@@ -1,0 +1,42 @@
+//! Criterion microbenchmark behind **Table 2**: deadline-driven vs
+//! goal-driven generation at 3- and 4-semester horizons (larger horizons
+//! are one-shot measurements in the `table2` binary — the paper's own
+//! 6-semester runs took half an hour).
+
+use coursenav_bench::{paper_deadline_explorer, paper_goal_explorer, paper_instance};
+use coursenav_navigator::PruneConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_deadline_vs_goal(c: &mut Criterion) {
+    let data = paper_instance();
+    let mut group = c.benchmark_group("table2_deadline_vs_goal");
+    group.sample_size(10);
+
+    for semesters in [3i32, 4] {
+        group.bench_function(format!("deadline_count_{semesters}sem"), |b| {
+            b.iter_batched(
+                || paper_deadline_explorer(&data, semesters),
+                |e| e.count_paths(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("deadline_materialize_{semesters}sem"), |b| {
+            b.iter_batched(
+                || paper_deadline_explorer(&data, semesters),
+                |e| e.build_graph(50_000_000).expect("fits the budget"),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("goal_count_{semesters}sem"), |b| {
+            b.iter_batched(
+                || paper_goal_explorer(&data, semesters, PruneConfig::all()),
+                |e| e.count_paths(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deadline_vs_goal);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbenchmark behind **Table 1**: goal-driven generation with
+//! and without the paper's pruning strategies (4-semester horizon, where
+//! the unpruned run is still cheap enough to sample repeatedly).
+
+use coursenav_bench::{paper_goal_explorer, paper_instance};
+use coursenav_navigator::PruneConfig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_goal_pruning(c: &mut Criterion) {
+    let data = paper_instance();
+    let mut group = c.benchmark_group("table1_goal_pruning");
+    group.sample_size(20);
+
+    group.bench_function("with_pruning_4sem", |b| {
+        b.iter_batched(
+            || paper_goal_explorer(&data, 4, PruneConfig::all()),
+            |e| e.count_paths(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("without_pruning_4sem", |b| {
+        b.iter_batched(
+            || paper_goal_explorer(&data, 4, PruneConfig::none()),
+            |e| e.count_paths(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("time_only_4sem", |b| {
+        b.iter_batched(
+            || paper_goal_explorer(&data, 4, PruneConfig::time_only()),
+            |e| e.count_paths(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("availability_only_4sem", |b| {
+        b.iter_batched(
+            || paper_goal_explorer(&data, 4, PruneConfig::availability_only()),
+            |e| e.count_paths(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_goal_pruning);
+criterion_main!(benches);

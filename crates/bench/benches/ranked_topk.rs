@@ -1,0 +1,28 @@
+//! Criterion microbenchmark behind **Figure 4**: ranked top-k generation
+//! with the time-based ranking function across period lengths and k.
+
+use coursenav_bench::{sparse_instance, synthetic_goal_explorer};
+use coursenav_navigator::TimeRanking;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_ranked_topk(c: &mut Criterion) {
+    let synth = sparse_instance(8);
+    let mut group = c.benchmark_group("fig4_ranked_topk");
+    group.sample_size(10);
+
+    for period in [6i32, 7, 8] {
+        for k in [10usize, 100, 1000] {
+            group.bench_function(format!("top{k}_{period}sem"), |b| {
+                b.iter_batched(
+                    || synthetic_goal_explorer(&synth, period),
+                    |e| e.top_k(&TimeRanking, k).expect("goal is set"),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranked_topk);
+criterion_main!(benches);

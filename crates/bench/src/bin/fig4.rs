@@ -1,0 +1,60 @@
+//! **Figure 4** — runtime of the ranked learning paths algorithm.
+//!
+//! Paper: time-based ranking, CS-major goal, k ∈ {10, 100, 500, 1000}
+//! output paths, academic periods of 6, 7, and 8 semesters; even at 8
+//! semesters and k = 1000 the runtime stays interactive (< 25 s on their
+//! Java prototype).
+//!
+//! The bundled catalog covers 7 semesters, so this experiment runs on the
+//! paper-shaped synthetic instance with an 8-semester schedule (DESIGN.md
+//! §3). Prints one series per period, like the figure.
+//!
+//! Run: `cargo run -p coursenav-bench --release --bin fig4 [--csv]`
+//! (`--csv` emits `k,period_semesters,seconds` rows for plotting.)
+
+use coursenav_bench::{secs, sparse_instance, synthetic_goal_explorer, timed};
+use coursenav_navigator::TimeRanking;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let synth = sparse_instance(8);
+    let ks = [10usize, 100, 500, 1000];
+    let periods = [6i32, 7, 8];
+
+    if csv {
+        println!("k,period_semesters,seconds,paths");
+        for k in ks {
+            for period in periods {
+                let explorer = synthetic_goal_explorer(&synth, period);
+                let (paths, t) = timed(|| explorer.top_k(&TimeRanking, k).expect("goal is set"));
+                println!("{k},{period},{},{}", secs(t), paths.len());
+            }
+        }
+        return;
+    }
+
+    println!("Figure 4: runtime (s) of ranked learning paths (time-based ranking, top-k)");
+    println!("(sparse synthetic 38-course instance, CS-major-shaped goal, m = 3)\n");
+    print!("{:>12}", "k \\ period");
+    for p in periods {
+        print!(" {:>14}", format!("{p} semesters"));
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 15 * periods.len()));
+
+    for k in ks {
+        print!("{:>12}", k);
+        for period in periods {
+            let explorer = synthetic_goal_explorer(&synth, period);
+            let (paths, t) = timed(|| explorer.top_k(&TimeRanking, k).expect("goal is set"));
+            let label = if paths.len() < k {
+                format!("{}* ({})", secs(t), paths.len())
+            } else {
+                secs(t)
+            };
+            print!(" {:>14}", label);
+        }
+        println!();
+    }
+    println!("\n(* = fewer than k goal paths exist; count in parentheses)");
+}

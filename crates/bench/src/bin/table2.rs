@@ -1,0 +1,93 @@
+//! **Table 2** — deadline-driven vs goal-driven learning path generation.
+//!
+//! Paper (38 Brandeis CS courses, m = 3, CS-major goal, 4–7 semesters):
+//!
+//! ```text
+//! semesters | deadline #paths  runtime | goal #paths     runtime
+//!         4 |     740,677      17.878  |      1,979        1.011
+//!         5 |     971,128      20.143  |      3,791        1.295
+//!         6 |     N/A          N/A     | 41,556,657        1,845
+//!         7 |     N/A          N/A     | 50,960,005        2,472
+//! ```
+//!
+//! The deadline-driven "N/A" cells are out-of-memory failures in the paper;
+//! we reproduce them with a materialization node budget. Default runs
+//! semesters 4–5; `--full` adds 6–7 (the goal-driven long-horizon counts
+//! take minutes, as in the paper).
+//!
+//! Run: `cargo run -p coursenav-bench --release --bin table2 [--full]`
+
+use coursenav_bench::{paper_deadline_explorer, paper_goal_explorer, paper_instance, secs, timed};
+use coursenav_navigator::PruneConfig;
+
+/// Horizons whose goal-driven tree is too large to stream path-by-path on
+/// this denser-than-Brandeis instance; counted with the memoized-DAG
+/// counter instead (marked `†` in the output).
+const MEMOIZED_HORIZONS: &[i32] = &[7];
+
+/// Node budget standing in for the paper's 32 GB server: materializing a
+/// graph larger than this is reported N/A, as in the paper.
+const NODE_BUDGET: usize = 20_000_000;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let data = paper_instance();
+    let horizons: &[i32] = if full { &[4, 5, 6, 7] } else { &[4, 5, 6] };
+
+    println!("Table 2: deadline-driven vs. goal-driven learning paths generation");
+    println!(
+        "(CS-major goal, m = 3, start {}; deadline graph budget {} nodes)\n",
+        data.horizon.0, NODE_BUDGET
+    );
+    println!(
+        "{:>9} | {:>16} {:>12} | {:>16} {:>12}",
+        "semesters", "deadline #paths", "runtime(s)", "goal #paths", "runtime(s)"
+    );
+    println!("{}", "-".repeat(76));
+
+    for &semesters in horizons {
+        // Deadline-driven: materialize the graph (the paper's Algorithm 1
+        // stores it), reporting N/A when the budget is exceeded.
+        let deadline = paper_deadline_explorer(&data, semesters);
+        let ((paths, na), dt) = timed(|| match deadline.build_graph(NODE_BUDGET) {
+            Ok(graph) => (graph.path_count() as u128, false),
+            Err(_) => (0, true),
+        });
+        let (d_paths, d_time) = if na {
+            ("N/A".to_string(), "N/A".to_string())
+        } else {
+            (paths.to_string(), secs(dt))
+        };
+
+        // Goal-driven with both pruning strategies.
+        let goal = paper_goal_explorer(&data, semesters, PruneConfig::all());
+        let memoized = MEMOIZED_HORIZONS.contains(&semesters);
+        let (gc, gt) = if memoized {
+            // Budget ≈ 40M distinct states (~5 GB of memo) stands in for the
+            // paper's 32 GB server; beyond it the goal side reports N/A too.
+            timed(|| goal.count_paths_dedup_budgeted(40_000_000))
+        } else {
+            timed(|| Ok(goal.count_paths()))
+        };
+        let (g_paths, g_time) = match gc {
+            Ok(c) => (c.total_paths.to_string(), secs(gt)),
+            Err(_) => ("N/A".to_string(), "N/A".to_string()),
+        };
+
+        println!(
+            "{:>9} | {:>16} {:>12} | {:>16} {:>12}{}",
+            semesters,
+            d_paths,
+            d_time,
+            g_paths,
+            g_time,
+            if memoized { " †" } else { "" }
+        );
+    }
+
+    println!("\n(goal #paths counts paths surviving pruning; the goal-satisfying subset");
+    println!(" is smaller still — see table1. Deadline N/A = node budget exceeded,");
+    println!(" the analogue of the paper's out-of-memory failure. † = memoized-DAG");
+    println!(" count: streaming generation at this horizon is impractical on this");
+    println!(" instance, whose tree outgrows the paper's by ~25x — see EXPERIMENTS.md.)");
+}

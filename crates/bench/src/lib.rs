@@ -1,0 +1,141 @@
+//! Shared setup for the CourseNavigator benchmark harness.
+//!
+//! One module per experiment lives in `src/bin/` (table-printing binaries)
+//! and `benches/` (Criterion microbenchmarks); this library holds the
+//! workload constructors and formatting helpers they share. The experiment
+//! ↔ binary mapping is in DESIGN.md §4; measured-vs-paper numbers are
+//! recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use coursenav_catalog::{Semester, SyntheticCatalog, SyntheticConfig};
+use coursenav_navigator::{EnrollmentStatus, Explorer, Goal, PruneConfig};
+use coursenav_registrar::{brandeis_cs, RegistrarData};
+
+/// The paper's experimental constants (§5.1): students start with no CS
+/// courses and take at most 3 courses per semester.
+pub const PAPER_M: usize = 3;
+
+/// The evaluation instance: the bundled Brandeis-like 38-course catalog.
+pub fn paper_instance() -> RegistrarData {
+    brandeis_cs()
+}
+
+/// A synthetic paper-shaped instance with a longer schedule horizon, used
+/// where an experiment needs more semesters than the bundled catalog covers
+/// (Figure 4 explores up to 8 semesters).
+pub fn synthetic_instance(schedule_semesters: usize) -> SyntheticCatalog {
+    SyntheticCatalog::generate(&SyntheticConfig {
+        schedule_semesters,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// The sparse paper-shaped instance (registrar-like branching factor;
+/// see `SyntheticConfig::sparse`). Figure 4 runs on this one — on the
+/// dense instance the 5-semester tree alone has ~4×10⁸ paths, two orders
+/// of magnitude past the paper's own dataset.
+pub fn sparse_instance(schedule_semesters: usize) -> SyntheticCatalog {
+    SyntheticCatalog::generate(&SyntheticConfig {
+        schedule_semesters,
+        ..SyntheticConfig::sparse()
+    })
+}
+
+/// Builds the goal-driven explorer of the paper's §5.1 configuration over
+/// the bundled catalog: fresh student, CS-major goal, deadline `semesters`
+/// selection semesters ahead of the period start (deadline = start + n —
+/// the paper's "n semesters" counts transitions: its §5.2 period
+/// Fall '12 → Fall '15 is the "6 semesters" row of Table 2).
+pub fn paper_goal_explorer(
+    data: &RegistrarData,
+    semesters: i32,
+    prune: PruneConfig,
+) -> Explorer<'_> {
+    let degree = data
+        .degree
+        .clone()
+        .expect("bundled catalog declares the CS major");
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.0 + semesters,
+        PAPER_M,
+        Goal::degree(degree),
+    )
+    .expect("valid request")
+    .with_prune(prune)
+}
+
+/// Deadline-driven explorer over the bundled catalog (same conventions).
+pub fn paper_deadline_explorer(data: &RegistrarData, semesters: i32) -> Explorer<'_> {
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    Explorer::deadline_driven(&data.catalog, start, data.horizon.0 + semesters, PAPER_M)
+        .expect("valid request")
+}
+
+/// Goal-driven explorer over a synthetic instance.
+pub fn synthetic_goal_explorer(synth: &SyntheticCatalog, semesters: i32) -> Explorer<'_> {
+    let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+    Explorer::goal_driven(
+        &synth.catalog,
+        start,
+        synth.start + semesters,
+        PAPER_M,
+        Goal::degree(synth.degree.clone()),
+    )
+    .expect("valid request")
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Formats a duration the way the paper's tables do (seconds).
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Deadline semester for an n-selection-semester exploration from `start`.
+pub fn deadline_for(start: Semester, semesters: i32) -> Semester {
+    start + semesters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_explorers_build() {
+        let data = paper_instance();
+        let goal = paper_goal_explorer(&data, 4, PruneConfig::all());
+        assert!(goal.goal().is_some());
+        assert_eq!(goal.deadline(), data.horizon.0 + 4);
+        let dl = paper_deadline_explorer(&data, 4);
+        assert!(dl.goal().is_none());
+    }
+
+    #[test]
+    fn synthetic_instance_has_requested_horizon() {
+        let synth = synthetic_instance(8);
+        assert_eq!(synth.end - synth.start, 7);
+        // 8 selection semesters use the full schedule; the deadline node
+        // sits one semester past the last scheduled one.
+        let e = synthetic_goal_explorer(&synth, 8);
+        assert_eq!(e.deadline(), synth.end + 1);
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 5);
+        assert!(!secs(d).is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! The course catalog: the paper's course set `C` with `Q_i` and `S_i`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use coursenav_prereq::Expr;
+use serde::{Deserialize, Serialize};
+
+use crate::course::{Course, CourseCode, CourseId, PrereqCondition};
+use crate::error::CatalogError;
+use crate::semester::Semester;
+use crate::set::CourseSet;
+
+/// An immutable, validated course catalog.
+///
+/// Construct one with [`CatalogBuilder`]. Besides the course table, the
+/// catalog precomputes a per-semester offering bitmap so the learning-graph
+/// expansion's `Y_i` computation (courses offered in `s_i` whose
+/// prerequisites `X_i` satisfies, §2) touches only bitset words and the
+/// per-course DNF masks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    courses: Vec<Course>,
+    by_code: HashMap<CourseCode, CourseId>,
+    /// Bitmap of courses offered per semester, keyed by `Semester::index()`.
+    offered_by_semester: HashMap<i32, CourseSet>,
+    /// Earliest and latest semester appearing in any schedule.
+    semester_range: Option<(Semester, Semester)>,
+}
+
+impl Catalog {
+    /// Number of courses.
+    pub fn len(&self) -> usize {
+        self.courses.len()
+    }
+
+    /// Whether the catalog has no courses.
+    pub fn is_empty(&self) -> bool {
+        self.courses.is_empty()
+    }
+
+    /// The course with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this catalog.
+    pub fn course(&self, id: CourseId) -> &Course {
+        &self.courses[id.as_usize()]
+    }
+
+    /// Looks up a course by code.
+    pub fn get(&self, code: &CourseCode) -> Option<&Course> {
+        self.by_code.get(code).map(|&id| self.course(id))
+    }
+
+    /// Resolves a course code to its id.
+    pub fn id_of(&self, code: &CourseCode) -> Option<CourseId> {
+        self.by_code.get(code).copied()
+    }
+
+    /// Resolves a raw code string (normalized) to its id.
+    pub fn id_of_str(&self, code: &str) -> Option<CourseId> {
+        self.id_of(&CourseCode::new(code))
+    }
+
+    /// Iterates all courses in id order.
+    pub fn courses(&self) -> impl ExactSizeIterator<Item = &Course> {
+        self.courses.iter()
+    }
+
+    /// The set of all course ids.
+    pub fn all_courses(&self) -> CourseSet {
+        (0..self.courses.len() as u16).map(CourseId::new).collect()
+    }
+
+    /// Bitmap of courses offered in `semester` (empty when none).
+    pub fn offered_in(&self, semester: Semester) -> CourseSet {
+        self.offered_by_semester
+            .get(&semester.index())
+            .copied()
+            .unwrap_or(CourseSet::EMPTY)
+    }
+
+    /// The paper's `Y_i`: courses not yet completed, offered in `semester`,
+    /// whose prerequisite condition is satisfied by `completed`.
+    pub fn eligible(&self, completed: &CourseSet, semester: Semester) -> CourseSet {
+        let mut options = CourseSet::new();
+        for id in &self.offered_in(semester).difference(completed) {
+            if self.course(id).prereq_satisfied(completed) {
+                options.insert(id);
+            }
+        }
+        options
+    }
+
+    /// Union of `offered_in` over `from..=to` — the course-availability
+    /// pruning strategy's `C_offered` (§4.2.2).
+    pub fn offered_between(&self, from: Semester, to: Semester) -> CourseSet {
+        let mut set = CourseSet::new();
+        for s in from.through(to) {
+            set.union_with(&self.offered_in(s));
+        }
+        set
+    }
+
+    /// Earliest and latest scheduled semester across all courses, if any
+    /// course has a schedule.
+    pub fn semester_range(&self) -> Option<(Semester, Semester)> {
+        self.semester_range
+    }
+}
+
+/// Specification of one course fed to [`CatalogBuilder::add_course`].
+///
+/// Prerequisites are expressed over course *codes*; the builder resolves
+/// them to interned ids once all courses are known, so declaration order
+/// doesn't matter.
+#[derive(Debug, Clone)]
+pub struct CourseSpec {
+    /// The course code, e.g. `COSI 11A`.
+    pub code: CourseCode,
+    /// Human-readable course title.
+    pub title: String,
+    /// Prerequisite condition over course codes.
+    pub prereq: Expr<CourseCode>,
+    /// Semesters the course is offered.
+    pub offered: BTreeSet<Semester>,
+    /// Weekly workload in hours.
+    pub workload: f64,
+}
+
+impl CourseSpec {
+    /// Starts a spec with no prerequisites, no schedule, and a default
+    /// workload of 10 hours/week.
+    pub fn new(code: impl Into<CourseCode>, title: impl Into<String>) -> CourseSpec {
+        CourseSpec {
+            code: code.into(),
+            title: title.into(),
+            prereq: Expr::True,
+            offered: BTreeSet::new(),
+            workload: 10.0,
+        }
+    }
+
+    /// Sets the prerequisite condition (over course codes).
+    pub fn prereq(mut self, prereq: Expr<CourseCode>) -> CourseSpec {
+        self.prereq = prereq;
+        self
+    }
+
+    /// Adds offered semesters.
+    pub fn offered(mut self, semesters: impl IntoIterator<Item = Semester>) -> CourseSpec {
+        self.offered.extend(semesters);
+        self
+    }
+
+    /// Sets the weekly workload in hours.
+    pub fn workload(mut self, hours: f64) -> CourseSpec {
+        self.workload = hours;
+        self
+    }
+}
+
+/// Builder assembling and validating a [`Catalog`].
+#[derive(Debug, Default)]
+pub struct CatalogBuilder {
+    specs: Vec<CourseSpec>,
+    allow_unreachable: bool,
+}
+
+impl CatalogBuilder {
+    /// An empty builder.
+    pub fn new() -> CatalogBuilder {
+        CatalogBuilder::default()
+    }
+
+    /// Adds a course spec. Order determines [`CourseId`] assignment.
+    pub fn add_course(&mut self, spec: CourseSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Permits courses whose prerequisites can never be satisfied (cyclic or
+    /// unsatisfiable). Off by default: real catalogs should never contain
+    /// them, and they silently produce empty exploration results.
+    pub fn allow_unreachable(&mut self, allow: bool) -> &mut Self {
+        self.allow_unreachable = allow;
+        self
+    }
+
+    /// Validates and builds the catalog.
+    pub fn build(&self) -> Result<Catalog, CatalogError> {
+        if self.specs.len() > CourseSet::CAPACITY {
+            return Err(CatalogError::TooManyCourses {
+                count: self.specs.len(),
+                capacity: CourseSet::CAPACITY,
+            });
+        }
+        // Assign ids and detect duplicates.
+        let mut by_code: HashMap<CourseCode, CourseId> = HashMap::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            if by_code
+                .insert(spec.code.clone(), CourseId::new(i as u16))
+                .is_some()
+            {
+                return Err(CatalogError::DuplicateCode(spec.code.clone()));
+            }
+        }
+        // Resolve prerequisites and assemble courses.
+        let mut courses = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            if !spec.workload.is_finite() || spec.workload < 0.0 {
+                return Err(CatalogError::InvalidWorkload {
+                    course: spec.code.clone(),
+                    workload: spec.workload,
+                });
+            }
+            let mut missing: Option<String> = None;
+            let prereq: PrereqCondition = spec.prereq.map_atoms(&mut |code: &CourseCode| {
+                by_code.get(code).copied().unwrap_or_else(|| {
+                    missing.get_or_insert_with(|| code.as_str().to_string());
+                    CourseId::new(0)
+                })
+            });
+            if let Some(missing) = missing {
+                return Err(CatalogError::UnknownPrereq {
+                    course: spec.code.clone(),
+                    missing,
+                });
+            }
+            courses.push(Course::assemble(
+                CourseId::new(i as u16),
+                spec.code.clone(),
+                spec.title.clone(),
+                prereq,
+                spec.offered.clone(),
+                spec.workload,
+            ));
+        }
+        // Takeability fixed point: a course is takeable when some DNF term of
+        // its prerequisite uses only takeable courses. Courses outside the
+        // fixed point sit on a prerequisite cycle (or depend on one, or have
+        // an unsatisfiable condition) and can never be completed.
+        if !self.allow_unreachable {
+            let mut takeable = CourseSet::new();
+            loop {
+                let mut changed = false;
+                for course in &courses {
+                    if !takeable.contains(course.id()) && course.prereq_satisfied(&takeable) {
+                        takeable.insert(course.id());
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let stuck: Vec<CourseCode> = courses
+                .iter()
+                .filter(|c| !takeable.contains(c.id()))
+                .map(|c| c.code().clone())
+                .collect();
+            if !stuck.is_empty() {
+                return Err(CatalogError::PrereqCycle { cycle: stuck });
+            }
+        }
+        // Precompute per-semester offering bitmaps.
+        let mut offered_by_semester: HashMap<i32, CourseSet> = HashMap::new();
+        let mut semester_range: Option<(Semester, Semester)> = None;
+        for course in &courses {
+            for &sem in course.offered() {
+                offered_by_semester
+                    .entry(sem.index())
+                    .or_default()
+                    .insert(course.id());
+                semester_range = Some(match semester_range {
+                    None => (sem, sem),
+                    Some((lo, hi)) => (lo.min(sem), hi.max(sem)),
+                });
+            }
+        }
+        Ok(Catalog {
+            courses,
+            by_code,
+            offered_by_semester,
+            semester_range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semester::Term;
+
+    fn fall11() -> Semester {
+        Semester::new(2011, Term::Fall)
+    }
+
+    fn spring12() -> Semester {
+        Semester::new(2012, Term::Spring)
+    }
+
+    /// The three-course example of the paper's Figure 3.
+    pub(crate) fn fig3_catalog() -> Catalog {
+        let fall12 = Semester::new(2012, Term::Fall);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "Intro A").offered([fall11(), fall12]));
+        b.add_course(CourseSpec::new("29A", "Intro B").offered([fall11(), fall12]));
+        b.add_course(
+            CourseSpec::new("21A", "Data Structures")
+                .prereq(Expr::Atom(CourseCode::new("11A")))
+                .offered([spring12()]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ids_follow_insertion_order() {
+        let c = fig3_catalog();
+        assert_eq!(c.id_of_str("11A"), Some(CourseId::new(0)));
+        assert_eq!(c.id_of_str("29A"), Some(CourseId::new(1)));
+        assert_eq!(c.id_of_str("21A"), Some(CourseId::new(2)));
+        assert_eq!(c.id_of_str("99Z"), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = fig3_catalog();
+        assert_eq!(c.id_of_str("11a"), c.id_of_str("11A"));
+    }
+
+    #[test]
+    fn offered_in_matches_schedules() {
+        let c = fig3_catalog();
+        let fall11_offered = c.offered_in(fall11());
+        assert_eq!(fall11_offered.len(), 2);
+        assert!(fall11_offered.contains(c.id_of_str("11A").unwrap()));
+        assert!(fall11_offered.contains(c.id_of_str("29A").unwrap()));
+        let spring12_offered = c.offered_in(spring12());
+        assert_eq!(spring12_offered.len(), 1);
+        assert!(spring12_offered.contains(c.id_of_str("21A").unwrap()));
+        assert!(c.offered_in(Semester::new(1990, Term::Fall)).is_empty());
+    }
+
+    #[test]
+    fn eligible_computes_paper_y() {
+        let c = fig3_catalog();
+        // Paper Fig. 3, node n1: Y1 = {11A, 29A}.
+        let y1 = c.eligible(&CourseSet::EMPTY, fall11());
+        assert_eq!(y1.len(), 2);
+        // Node n4 (completed {29A}) in Spring '12: 21A's prereq 11A unmet => Y = {}.
+        let x4 = CourseSet::from_iter([c.id_of_str("29A").unwrap()]);
+        assert!(c.eligible(&x4, spring12()).is_empty());
+        // Node n3 (completed {11A, 29A}): Y = {21A}.
+        let x3 = CourseSet::from_iter([c.id_of_str("11A").unwrap(), c.id_of_str("29A").unwrap()]);
+        let y3 = c.eligible(&x3, spring12());
+        assert_eq!(y3.len(), 1);
+        assert!(y3.contains(c.id_of_str("21A").unwrap()));
+    }
+
+    #[test]
+    fn eligible_excludes_completed_courses() {
+        let c = fig3_catalog();
+        let x = CourseSet::from_iter([c.id_of_str("11A").unwrap()]);
+        let y = c.eligible(&x, fall11());
+        assert!(!y.contains(c.id_of_str("11A").unwrap()));
+        assert!(y.contains(c.id_of_str("29A").unwrap()));
+    }
+
+    #[test]
+    fn offered_between_unions_semesters() {
+        let c = fig3_catalog();
+        let all = c.offered_between(fall11(), Semester::new(2012, Term::Fall));
+        assert_eq!(all.len(), 3);
+        let later = c.offered_between(spring12(), spring12());
+        assert_eq!(later.len(), 1);
+    }
+
+    #[test]
+    fn semester_range_spans_schedules() {
+        let c = fig3_catalog();
+        assert_eq!(
+            c.semester_range(),
+            Some((fall11(), Semester::new(2012, Term::Fall)))
+        );
+    }
+
+    #[test]
+    fn duplicate_codes_rejected() {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "One"));
+        b.add_course(CourseSpec::new("11a", "Two"));
+        assert!(matches!(b.build(), Err(CatalogError::DuplicateCode(_))));
+    }
+
+    #[test]
+    fn unknown_prereq_rejected() {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "One").prereq(Expr::Atom(CourseCode::new("MATH 1"))));
+        match b.build() {
+            Err(CatalogError::UnknownPrereq { course, missing }) => {
+                assert_eq!(course, CourseCode::new("11A"));
+                assert_eq!(missing, "MATH 1");
+            }
+            other => panic!("expected UnknownPrereq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_workload_rejected() {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "One").workload(-1.0));
+        assert!(matches!(
+            b.build(),
+            Err(CatalogError::InvalidWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn prereq_cycle_rejected_by_default() {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("A", "A").prereq(Expr::Atom(CourseCode::new("B"))));
+        b.add_course(CourseSpec::new("B", "B").prereq(Expr::Atom(CourseCode::new("A"))));
+        match b.build() {
+            Err(CatalogError::PrereqCycle { cycle }) => assert_eq!(cycle.len(), 2),
+            other => panic!("expected PrereqCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_through_or_branch_is_fine() {
+        // A requires (B or nothing-else-needed)? Use: B requires A, A requires (B or C), C free.
+        let mut b = CatalogBuilder::new();
+        b.add_course(
+            CourseSpec::new("A", "A")
+                .prereq(Expr::Atom(CourseCode::new("B")).or(Expr::Atom(CourseCode::new("C")))),
+        );
+        b.add_course(CourseSpec::new("B", "B").prereq(Expr::Atom(CourseCode::new("A"))));
+        b.add_course(CourseSpec::new("C", "C"));
+        // C -> A -> B all takeable despite the A<->B cycle branch.
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn allow_unreachable_bypasses_cycle_check() {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("A", "A").prereq(Expr::Atom(CourseCode::new("B"))));
+        b.add_course(CourseSpec::new("B", "B").prereq(Expr::Atom(CourseCode::new("A"))));
+        b.allow_unreachable(true);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut b = CatalogBuilder::new();
+        for i in 0..=CourseSet::CAPACITY {
+            b.add_course(CourseSpec::new(format!("C {i}").as_str(), "x"));
+        }
+        assert!(matches!(
+            b.build(),
+            Err(CatalogError::TooManyCourses { .. })
+        ));
+    }
+}

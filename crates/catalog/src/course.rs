@@ -1,0 +1,235 @@
+//! Courses and their identifiers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use coursenav_prereq::Expr;
+use serde::{Deserialize, Serialize};
+
+use crate::semester::Semester;
+use crate::set::CourseSet;
+
+/// Interned identifier of a course within one [`crate::Catalog`].
+///
+/// Ids are dense (`0..catalog.len()`), assigned in insertion order, and index
+/// directly into the catalog's course table and into [`CourseSet`] bitmaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CourseId(u16);
+
+impl CourseId {
+    /// Wraps a raw index. Callers outside the catalog builder normally
+    /// obtain ids from [`crate::Catalog::id_of`].
+    pub fn new(raw: u16) -> CourseId {
+        CourseId(raw)
+    }
+
+    /// The raw index.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The raw index widened for slicing.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CourseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Human-facing course code, e.g. `"COSI 11A"`.
+///
+/// Codes are compared case-insensitively with whitespace normalized, the way
+/// registrar data tends to arrive.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CourseCode(String);
+
+impl CourseCode {
+    /// Normalizes and wraps a raw code string.
+    pub fn new(raw: &str) -> CourseCode {
+        let normalized = raw
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_ascii_uppercase();
+        CourseCode(normalized)
+    }
+
+    /// The normalized code text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CourseCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CourseCode {
+    fn from(raw: &str) -> CourseCode {
+        CourseCode::new(raw)
+    }
+}
+
+/// The prerequisite condition `Q_i` of a course: a boolean expression over
+/// other courses (§2 of the paper).
+pub type PrereqCondition = Expr<CourseId>;
+
+/// A course in the catalog, with everything the paper's model attaches to it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Course {
+    id: CourseId,
+    code: CourseCode,
+    title: String,
+    /// `Q_i`: prerequisite condition.
+    prereq: PrereqCondition,
+    /// `Q_i` compiled to DNF bitmask terms: satisfied iff any term ⊆ X.
+    /// Empty list means unsatisfiable; a list containing the empty set means
+    /// no prerequisites.
+    prereq_terms: Vec<CourseSet>,
+    /// `S_i`: the semesters the course is offered.
+    offered: BTreeSet<Semester>,
+    /// Estimated weekly workload in hours (for workload-based ranking,
+    /// §4.3.1 — "often provided by students that have taken the course").
+    workload: f64,
+}
+
+impl Course {
+    /// Assembles a course; used by the catalog builder.
+    pub(crate) fn assemble(
+        id: CourseId,
+        code: CourseCode,
+        title: String,
+        prereq: PrereqCondition,
+        offered: BTreeSet<Semester>,
+        workload: f64,
+    ) -> Course {
+        let prereq_terms = prereq
+            .to_dnf()
+            .terms()
+            .iter()
+            .map(|term| CourseSet::from_iter(term.iter().copied()))
+            .collect();
+        Course {
+            id,
+            code,
+            title,
+            prereq,
+            prereq_terms,
+            offered,
+            workload,
+        }
+    }
+
+    /// The course's interned id.
+    pub fn id(&self) -> CourseId {
+        self.id
+    }
+
+    /// The course code, e.g. `COSI 11A`.
+    pub fn code(&self) -> &CourseCode {
+        &self.code
+    }
+
+    /// The course title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The prerequisite condition `Q_i`.
+    pub fn prereq(&self) -> &PrereqCondition {
+        &self.prereq
+    }
+
+    /// Whether `Q_i` is satisfied by the completed set `X` — the hot check
+    /// of the expansion loop, evaluated over precompiled DNF bitmasks.
+    #[inline]
+    pub fn prereq_satisfied(&self, completed: &CourseSet) -> bool {
+        self.prereq_terms.iter().any(|t| t.is_subset(completed))
+    }
+
+    /// The semesters the course is offered (`S_i`).
+    pub fn offered(&self) -> &BTreeSet<Semester> {
+        &self.offered
+    }
+
+    /// Whether the course is offered in `semester`.
+    pub fn offered_in(&self, semester: Semester) -> bool {
+        self.offered.contains(&semester)
+    }
+
+    /// Estimated weekly workload in hours.
+    pub fn workload(&self) -> f64 {
+        self.workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semester::Term;
+
+    fn sample_course(prereq: PrereqCondition) -> Course {
+        let offered = BTreeSet::from_iter([Semester::new(2011, Term::Fall)]);
+        Course::assemble(
+            CourseId::new(0),
+            CourseCode::new("COSI 11A"),
+            "Intro".into(),
+            prereq,
+            offered,
+            8.0,
+        )
+    }
+
+    #[test]
+    fn course_code_normalizes() {
+        assert_eq!(CourseCode::new("  cosi   11a ").as_str(), "COSI 11A");
+        assert_eq!(CourseCode::new("COSI 11A"), CourseCode::new("cosi 11a"));
+    }
+
+    #[test]
+    fn prereq_satisfied_compiles_dnf() {
+        let a = CourseId::new(1);
+        let b = CourseId::new(2);
+        let c = CourseId::new(3);
+        // (a and b) or c
+        let course = sample_course(Expr::Atom(a).and(Expr::Atom(b)).or(Expr::Atom(c)));
+        assert!(course.prereq_satisfied(&CourseSet::from_iter([a, b])));
+        assert!(course.prereq_satisfied(&CourseSet::from_iter([c])));
+        assert!(!course.prereq_satisfied(&CourseSet::from_iter([a])));
+        assert!(!course.prereq_satisfied(&CourseSet::EMPTY));
+    }
+
+    #[test]
+    fn no_prereq_is_always_satisfied() {
+        let course = sample_course(Expr::True);
+        assert!(course.prereq_satisfied(&CourseSet::EMPTY));
+    }
+
+    #[test]
+    fn unsatisfiable_prereq_never_satisfied() {
+        let course = sample_course(Expr::False);
+        let all: CourseSet = (0..10).map(CourseId::new).collect();
+        assert!(!course.prereq_satisfied(&all));
+    }
+
+    #[test]
+    fn offered_in_checks_schedule() {
+        let course = sample_course(Expr::True);
+        assert!(course.offered_in(Semester::new(2011, Term::Fall)));
+        assert!(!course.offered_in(Semester::new(2012, Term::Spring)));
+    }
+
+    #[test]
+    fn id_roundtrips() {
+        let id = CourseId::new(42);
+        assert_eq!(id.as_u16(), 42);
+        assert_eq!(id.as_usize(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+}

@@ -1,0 +1,181 @@
+//! Course-offering reliability model.
+//!
+//! §4.3.1 of the paper: "the reliability of a course `prob(c_i, s)` \[is\] the
+//! probability of course `c_i` being offered in semester `s`. Since most
+//! universities release the final schedules for only 1-2 semesters ahead,
+//! courses offered within these semesters have probability of 1.0 while for
+//! future semesters the probability is calculated based on historical
+//! schedule."
+//!
+//! [`OfferingModel`] implements exactly that: within the released horizon it
+//! reads the authoritative schedule; beyond it, it reports the historical
+//! frequency with which the course was offered in that term (Fall/Spring),
+//! estimated from recorded past schedules.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::course::{Course, CourseId};
+use crate::semester::{Semester, Term};
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct TermHistory {
+    offered: u32,
+    observed: u32,
+}
+
+impl TermHistory {
+    fn probability(self) -> Option<f64> {
+        (self.observed > 0).then(|| f64::from(self.offered) / f64::from(self.observed))
+    }
+}
+
+/// Per-course offering probabilities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfferingModel {
+    /// Last semester with a released (authoritative) schedule.
+    released_through: Semester,
+    /// Historical per-term offering counts, keyed by course id.
+    history: HashMap<CourseId, [TermHistory; 2]>,
+    /// Probability used for courses with no history beyond the horizon.
+    default_prob: f64,
+}
+
+fn term_slot(term: Term) -> usize {
+    matches!(term, Term::Fall) as usize
+}
+
+impl OfferingModel {
+    /// A model with no history: probability 1/0 inside the released horizon,
+    /// `default_prob` beyond it.
+    pub fn new(released_through: Semester, default_prob: f64) -> OfferingModel {
+        assert!(
+            (0.0..=1.0).contains(&default_prob),
+            "default_prob must be a probability, got {default_prob}"
+        );
+        OfferingModel {
+            released_through,
+            history: HashMap::new(),
+            default_prob,
+        }
+    }
+
+    /// Last semester covered by the authoritative schedule.
+    pub fn released_through(&self) -> Semester {
+        self.released_through
+    }
+
+    /// Records one historical observation: in some past semester of the
+    /// given term, the course either appeared in the schedule or did not.
+    pub fn record(&mut self, course: CourseId, term: Term, offered: bool) {
+        let entry = &mut self.history.entry(course).or_default()[term_slot(term)];
+        entry.observed += 1;
+        entry.offered += u32::from(offered);
+    }
+
+    /// Bulk-records a full historical schedule: for each semester in
+    /// `window`, `offered_in(course, semester)` says whether the course ran.
+    pub fn record_window(
+        &mut self,
+        course: CourseId,
+        window: impl IntoIterator<Item = Semester>,
+        offered_in: impl Fn(Semester) -> bool,
+    ) {
+        for sem in window {
+            self.record(course, sem.term(), offered_in(sem));
+        }
+    }
+
+    /// `prob(c_i, s)`: the probability the course is offered in `semester`.
+    ///
+    /// Within the released horizon this is 1.0 or 0.0 straight from the
+    /// course's schedule; beyond it, the historical frequency for the
+    /// semester's term (or `default_prob` with no history).
+    pub fn prob(&self, course: &Course, semester: Semester) -> f64 {
+        if semester <= self.released_through {
+            return if course.offered_in(semester) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        self.history
+            .get(&course.id())
+            .and_then(|terms| terms[term_slot(semester.term())].probability())
+            .unwrap_or(self.default_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogBuilder, CourseSpec};
+    use crate::Catalog;
+
+    fn fall(y: i32) -> Semester {
+        Semester::new(y, Term::Fall)
+    }
+
+    fn spring(y: i32) -> Semester {
+        Semester::new(y, Term::Spring)
+    }
+
+    fn one_course_catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "Intro").offered([fall(2011), fall(2012)]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn released_horizon_is_authoritative() {
+        let cat = one_course_catalog();
+        let model = OfferingModel::new(spring(2012), 0.5);
+        let course = cat.courses().next().unwrap();
+        assert_eq!(model.prob(course, fall(2011)), 1.0);
+        assert_eq!(model.prob(course, spring(2012)), 0.0);
+    }
+
+    #[test]
+    fn beyond_horizon_uses_history() {
+        let cat = one_course_catalog();
+        let mut model = OfferingModel::new(spring(2012), 0.5);
+        let course = cat.courses().next().unwrap();
+        let id = course.id();
+        // Offered 3 of 4 past falls, 0 of 4 past springs.
+        for year in 2008..2012 {
+            model.record(id, Term::Fall, year != 2009);
+            model.record(id, Term::Spring, false);
+        }
+        assert_eq!(model.prob(course, fall(2012)), 0.75);
+        assert_eq!(model.prob(course, spring(2013)), 0.0);
+    }
+
+    #[test]
+    fn no_history_falls_back_to_default() {
+        let cat = one_course_catalog();
+        let model = OfferingModel::new(spring(2012), 0.3);
+        let course = cat.courses().next().unwrap();
+        assert_eq!(model.prob(course, fall(2013)), 0.3);
+    }
+
+    #[test]
+    fn record_window_aggregates() {
+        let cat = one_course_catalog();
+        let mut model = OfferingModel::new(spring(2012), 0.0);
+        let course = cat.courses().next().unwrap();
+        // Window Fall 2009 ..= Spring 2012 (6 semesters, 3 falls, 3 springs);
+        // offered in falls only.
+        model.record_window(course.id(), fall(2009).through(spring(2012)), |s| {
+            s.term() == Term::Fall
+        });
+        assert_eq!(model.prob(course, fall(2013)), 1.0);
+        assert_eq!(model.prob(course, spring(2014)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_default_prob_panics() {
+        OfferingModel::new(fall(2011), 1.5);
+    }
+}

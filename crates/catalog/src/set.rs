@@ -1,0 +1,327 @@
+//! Fixed-capacity bitset of courses.
+//!
+//! Enrollment statuses (`X_i`, `Y_i`, `W_{i,i+1}` in the paper) are copied on
+//! every learning-graph node and edge — hundreds of millions of times in the
+//! Table 2 regime. `CourseSet` packs membership into four machine words so
+//! union/subset/difference are branch-free word ops and the type is `Copy`.
+//!
+//! Capacity is [`CourseSet::CAPACITY`] (256) courses — comfortably above the
+//! paper's 38-course dataset and any single department's catalog.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::course::CourseId;
+
+const WORDS: usize = 4;
+
+/// A set of [`CourseId`]s backed by a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CourseSet {
+    words: [u64; WORDS],
+}
+
+impl CourseSet {
+    /// Maximum number of distinct courses representable.
+    pub const CAPACITY: usize = WORDS * 64;
+
+    /// The empty set.
+    pub const EMPTY: CourseSet = CourseSet { words: [0; WORDS] };
+
+    /// Creates an empty set.
+    pub fn new() -> CourseSet {
+        CourseSet::EMPTY
+    }
+
+    /// Builds a set from an iterator of ids. (Also available through the
+    /// `FromIterator` impl; the inherent method reads better at call sites
+    /// that would otherwise need a type annotation.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(ids: impl IntoIterator<Item = CourseId>) -> CourseSet {
+        let mut set = CourseSet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    #[inline]
+    fn locate(id: CourseId) -> (usize, u64) {
+        let bit = id.as_usize();
+        debug_assert!(
+            bit < Self::CAPACITY,
+            "CourseId {bit} exceeds CourseSet capacity"
+        );
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Inserts a course; returns whether it was newly added.
+    #[inline]
+    pub fn insert(&mut self, id: CourseId) -> bool {
+        let (w, mask) = Self::locate(id);
+        let missing = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        missing
+    }
+
+    /// Removes a course; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, id: CourseId) -> bool {
+        let (w, mask) = Self::locate(id);
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: CourseId) -> bool {
+        let (w, mask) = Self::locate(id);
+        self.words[w] & mask != 0
+    }
+
+    /// Number of courses in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union (`X_{i+1} = X_i ∪ W_{i,i+1}`).
+    #[inline]
+    #[must_use]
+    pub fn union(&self, other: &CourseSet) -> CourseSet {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        CourseSet { words }
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(&self, other: &CourseSet) -> CourseSet {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+        CourseSet { words }
+    }
+
+    /// Set difference (`self − other`).
+    #[inline]
+    #[must_use]
+    pub fn difference(&self, other: &CourseSet) -> CourseSet {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+        CourseSet { words }
+    }
+
+    /// In-place union.
+    #[inline]
+    pub fn union_with(&mut self, other: &CourseSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &CourseSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets share no course.
+    #[inline]
+    pub fn is_disjoint(&self, other: &CourseSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> Iter {
+        Iter {
+            words: self.words,
+            word_idx: 0,
+        }
+    }
+
+    /// The lowest id in the set, if any.
+    pub fn first(&self) -> Option<CourseId> {
+        self.iter().next()
+    }
+}
+
+/// Ascending iterator over a [`CourseSet`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for Iter {
+    type Item = CourseId;
+
+    fn next(&mut self) -> Option<CourseId> {
+        while self.word_idx < WORDS {
+            let w = self.words[self.word_idx];
+            if w == 0 {
+                self.word_idx += 1;
+                continue;
+            }
+            let bit = w.trailing_zeros() as usize;
+            self.words[self.word_idx] &= w - 1; // clear lowest set bit
+            return Some(CourseId::new((self.word_idx * 64 + bit) as u16));
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.words[self.word_idx.min(WORDS - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for &CourseSet {
+    type Item = CourseId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl std::iter::FromIterator<CourseId> for CourseSet {
+    fn from_iter<I: IntoIterator<Item = CourseId>>(ids: I) -> CourseSet {
+        CourseSet::from_iter(ids)
+    }
+}
+
+impl Extend<CourseId> for CourseSet {
+    fn extend<I: IntoIterator<Item = CourseId>>(&mut self, ids: I) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+}
+
+impl fmt::Debug for CourseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u16) -> CourseId {
+        CourseId::new(n)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = CourseSet::new();
+        assert!(s.insert(id(3)));
+        assert!(!s.insert(id(3)), "second insert reports already-present");
+        assert!(s.contains(id(3)));
+        assert!(!s.contains(id(4)));
+        assert!(s.remove(id(3)));
+        assert!(!s.remove(id(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let mut s = CourseSet::new();
+        for n in [0u16, 63, 64, 127, 128, 191, 192, 255] {
+            assert!(s.insert(id(n)));
+        }
+        assert_eq!(s.len(), 8);
+        for n in [0u16, 63, 64, 127, 128, 191, 192, 255] {
+            assert!(s.contains(id(n)), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = CourseSet::from_iter([id(1), id(2), id(100)]);
+        let b = CourseSet::from_iter([id(2), id(100), id(200)]);
+        assert_eq!(
+            a.union(&b),
+            CourseSet::from_iter([id(1), id(2), id(100), id(200)])
+        );
+        assert_eq!(a.intersection(&b), CourseSet::from_iter([id(2), id(100)]));
+        assert_eq!(a.difference(&b), CourseSet::from_iter([id(1)]));
+        assert_eq!(b.difference(&a), CourseSet::from_iter([id(200)]));
+    }
+
+    #[test]
+    fn union_with_mutates_in_place() {
+        let mut a = CourseSet::from_iter([id(1)]);
+        a.union_with(&CourseSet::from_iter([id(2)]));
+        assert_eq!(a, CourseSet::from_iter([id(1), id(2)]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let small = CourseSet::from_iter([id(1), id(2)]);
+        let big = CourseSet::from_iter([id(1), id(2), id(3)]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(CourseSet::EMPTY.is_subset(&small));
+        assert!(small.is_disjoint(&CourseSet::from_iter([id(9)])));
+        assert!(!small.is_disjoint(&big));
+    }
+
+    #[test]
+    fn iter_is_ascending_and_exact() {
+        let s = CourseSet::from_iter([id(200), id(5), id(64), id(63)]);
+        let items: Vec<u16> = s.iter().map(|c| c.as_u16()).collect();
+        assert_eq!(items, vec![5, 63, 64, 200]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn first_returns_lowest() {
+        assert_eq!(CourseSet::EMPTY.first(), None);
+        let s = CourseSet::from_iter([id(200), id(7)]);
+        assert_eq!(s.first(), Some(id(7)));
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s = CourseSet::from_iter([id(1), id(2)]);
+        let text = format!("{s:?}");
+        assert!(text.starts_with('{') && text.ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: CourseSet = [id(1), id(9)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let mut s = s;
+        s.extend([id(10)]);
+        assert!(s.contains(id(10)));
+    }
+}

@@ -1,0 +1,496 @@
+//! Seed-driven synthetic "Brandeis-like" catalog generator.
+//!
+//! The paper evaluates on "38 Computer Science courses offered at Brandeis
+//! University and the class schedules of the academic period ending in
+//! Fall '15" (§5.1), with a CS-major goal of 7 core + 5 elective courses.
+//! That registrar dataset is not public, so the experiment harness runs on
+//! synthetic catalogs that match its structural parameters (see DESIGN.md
+//! §3): course count, a layered prerequisite DAG (intro → core → advanced),
+//! Fall/Spring offering patterns with annually-offered courses, the same
+//! degree-rule shape, and historical offering data for the reliability model.
+//!
+//! Generation is fully deterministic given [`SyntheticConfig::seed`].
+
+use std::collections::BTreeSet;
+
+use coursenav_prereq::Expr;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{Catalog, CatalogBuilder, CourseSpec};
+use crate::course::{CourseCode, CourseId};
+use crate::degree::DegreeRequirement;
+use crate::error::CatalogError;
+use crate::offering::OfferingModel;
+use crate::semester::{Semester, Term};
+use crate::set::CourseSet;
+
+/// Relative weights (percent) of the offering patterns assigned to
+/// non-intro courses. The remainder up to 100 becomes the irregular
+/// pattern. Denser patterns → more simultaneously-eligible courses → a
+/// bushier learning-path tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternWeights {
+    /// Percent of courses offered every semester.
+    pub every_semester: u8,
+    /// Percent of courses offered each fall only.
+    pub annual_fall: u8,
+    /// Percent of courses offered each spring only.
+    pub annual_spring: u8,
+}
+
+impl PatternWeights {
+    /// The dense default (the original generator behaviour).
+    pub const DENSE: PatternWeights = PatternWeights {
+        every_semester: 25,
+        annual_fall: 35,
+        annual_spring: 30,
+    };
+
+    /// Sparse schedules: almost everything runs once a year. Produces the
+    /// branching factor of the paper's real registrar data (≈10⁵–10⁶ paths
+    /// at 5 semesters instead of 10⁸).
+    pub const SPARSE: PatternWeights = PatternWeights {
+        every_semester: 4,
+        annual_fall: 46,
+        annual_spring: 46,
+    };
+}
+
+/// Parameters of the synthetic catalog generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// RNG seed; equal configs generate identical catalogs.
+    pub seed: u64,
+    /// Total number of courses (the paper's dataset: 38).
+    pub n_courses: usize,
+    /// Leading courses with no prerequisites, offered every semester.
+    pub n_intro: usize,
+    /// Number of mandatory core courses in the degree (paper: 7).
+    pub n_core: usize,
+    /// Number of electives the degree requires (paper: 5).
+    pub elective_k: usize,
+    /// First semester covered by the generated schedules.
+    pub start: Semester,
+    /// Number of semesters of generated schedule starting at `start`.
+    pub schedule_semesters: usize,
+    /// Of those, how many count as "released" (probability 1.0) for the
+    /// reliability model (universities release 1-2 semesters ahead, §4.3.1).
+    pub released_semesters: usize,
+    /// Years of simulated offering history feeding the reliability model.
+    pub history_years: usize,
+    /// Offering-pattern mix for non-intro courses.
+    pub pattern_weights: PatternWeights,
+    /// Number of prerequisite layers the non-intro courses spread over.
+    /// More layers → deeper chains → fewer simultaneously-eligible courses.
+    pub n_layers: usize,
+    /// Always give advanced courses two prerequisite conjuncts when
+    /// possible (instead of ~45% of the time), further thinning early
+    /// eligibility.
+    pub strict_prereqs: bool,
+}
+
+impl Default for SyntheticConfig {
+    /// The paper-shaped instance: 38 courses, 7 core + 5 electives,
+    /// schedules for 8 semesters starting Fall 2012 (the paper's §5.2
+    /// containment experiment spans Fall '12 – Fall '15).
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            seed: 0xC0FFEE,
+            n_courses: 38,
+            n_intro: 6,
+            n_core: 7,
+            elective_k: 5,
+            start: Semester::new(2012, Term::Fall),
+            schedule_semesters: 8,
+            released_semesters: 2,
+            history_years: 4,
+            pattern_weights: PatternWeights::DENSE,
+            n_layers: 3,
+            strict_prereqs: false,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A small instance for unit tests and examples: 12 courses,
+    /// 3 core + 2 electives.
+    pub fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            seed: 7,
+            n_courses: 12,
+            n_intro: 3,
+            n_core: 3,
+            elective_k: 2,
+            schedule_semesters: 6,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    /// A paper-shaped instance with registrar-like sparse schedules: a
+    /// small always-offered intro block and mostly-annual advanced courses.
+    /// Matches the path-count magnitudes of the paper's evaluation
+    /// (10⁵–10⁶ deadline paths at 5 semesters), which the dense default
+    /// overshoots by ~100×.
+    pub fn sparse() -> SyntheticConfig {
+        SyntheticConfig {
+            n_intro: 2,
+            pattern_weights: PatternWeights::SPARSE,
+            n_layers: 6,
+            strict_prereqs: true,
+            ..SyntheticConfig::default()
+        }
+    }
+}
+
+/// How often a synthetic course is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    EverySemester,
+    AnnualFall,
+    AnnualSpring,
+    /// Offered most semesters, with occasional seed-determined gaps.
+    Irregular,
+}
+
+impl Pattern {
+    fn offered_in(self, sem: Semester, rng: &mut StdRng) -> bool {
+        match self {
+            Pattern::EverySemester => true,
+            Pattern::AnnualFall => sem.term() == Term::Fall,
+            Pattern::AnnualSpring => sem.term() == Term::Spring,
+            Pattern::Irregular => rng.gen_bool(0.7),
+        }
+    }
+
+    /// Long-run probability of being offered in a semester of `term`,
+    /// used to simulate noisy historical schedules.
+    fn base_prob(self, term: Term) -> f64 {
+        match (self, term) {
+            (Pattern::EverySemester, _) => 0.97,
+            (Pattern::AnnualFall, Term::Fall) | (Pattern::AnnualSpring, Term::Spring) => 0.9,
+            (Pattern::AnnualFall, Term::Spring) | (Pattern::AnnualSpring, Term::Fall) => 0.08,
+            (Pattern::Irregular, _) => 0.7,
+        }
+    }
+}
+
+/// A generated catalog bundle: the catalog itself, the degree requirement,
+/// the reliability model, and the generator's bookkeeping sets.
+#[derive(Debug, Clone)]
+pub struct SyntheticCatalog {
+    /// The generated course catalog.
+    pub catalog: Catalog,
+    /// The generated degree requirement (core + electives).
+    pub degree: DegreeRequirement,
+    /// The generated offering-reliability model.
+    pub offering: OfferingModel,
+    /// First semester with a generated schedule (exploration start).
+    pub start: Semester,
+    /// Last semester with a generated schedule.
+    pub end: Semester,
+    /// The degree's core courses.
+    pub core: CourseSet,
+    /// The degree's elective pool.
+    pub electives: CourseSet,
+}
+
+impl SyntheticCatalog {
+    /// Generates a catalog from the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is internally inconsistent (e.g. more
+    /// core courses than courses). Generation itself cannot fail: the
+    /// produced prerequisite relation is a DAG by construction.
+    pub fn generate(config: &SyntheticConfig) -> SyntheticCatalog {
+        Self::try_generate(config).expect("synthetic generation produces valid catalogs")
+    }
+
+    /// Fallible variant of [`SyntheticCatalog::generate`].
+    pub fn try_generate(config: &SyntheticConfig) -> Result<SyntheticCatalog, CatalogError> {
+        assert!(config.n_intro >= 1, "need at least one intro course");
+        assert!(
+            config.n_courses >= config.n_intro,
+            "n_courses must cover the intro block"
+        );
+        assert!(
+            config.n_core <= config.n_courses,
+            "more core courses than courses"
+        );
+        assert!(config.schedule_semesters >= 1, "need a schedule horizon");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.n_courses;
+        let n_intro = config.n_intro;
+
+        // ---- Layers: 0 = intro; advanced courses spread over layers
+        // 1..=n_layers.
+        let n_layers = config.n_layers.max(1);
+        let layer_of = move |i: usize| -> usize {
+            if i < n_intro {
+                0
+            } else if n == n_intro {
+                1
+            } else {
+                1 + (i - n_intro) * n_layers / (n - n_intro).max(1)
+            }
+        };
+
+        // ---- Offering patterns. Intro courses run every semester; core
+        // courses (chosen below from the lowest-index advanced courses) are
+        // forced to at least annual frequency so the degree stays completable.
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = if layer_of(i) == 0 {
+                Pattern::EverySemester
+            } else {
+                let w = config.pattern_weights;
+                let roll = rng.gen_range(0..100u32);
+                if roll < u32::from(w.every_semester) {
+                    Pattern::EverySemester
+                } else if roll < u32::from(w.every_semester) + u32::from(w.annual_fall) {
+                    Pattern::AnnualFall
+                } else if roll
+                    < u32::from(w.every_semester)
+                        + u32::from(w.annual_fall)
+                        + u32::from(w.annual_spring)
+                {
+                    Pattern::AnnualSpring
+                } else {
+                    Pattern::Irregular
+                }
+            };
+            patterns.push(p);
+        }
+
+        // ---- Core selection: two intro anchors plus the lowest-index
+        // advanced courses (the registrar pattern: core courses sit early in
+        // the prerequisite DAG).
+        let mut core_indices: Vec<usize> = Vec::with_capacity(config.n_core);
+        core_indices.extend((0..n_intro.min(2)).take(config.n_core));
+        let mut next_advanced = n_intro;
+        while core_indices.len() < config.n_core && next_advanced < n {
+            core_indices.push(next_advanced);
+            next_advanced += 1;
+        }
+        // Core courses that landed on an Irregular pattern get upgraded so
+        // they are reliably offered.
+        for &i in &core_indices {
+            if patterns[i] == Pattern::Irregular {
+                patterns[i] = if rng.gen_bool(0.5) {
+                    Pattern::AnnualFall
+                } else {
+                    Pattern::AnnualSpring
+                };
+            }
+        }
+
+        // ---- Prerequisites: each advanced course requires 1-2 conjuncts
+        // drawn from strictly earlier courses; ~30% of conjuncts are an OR of
+        // two alternatives. Referencing only earlier indices keeps the
+        // relation acyclic.
+        let code_of = |i: usize| CourseCode::new(&format!("CS {}", 10 + i));
+        let mut prereqs: Vec<Expr<CourseCode>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if layer_of(i) == 0 {
+                prereqs.push(Expr::True);
+                continue;
+            }
+            // Candidate prerequisites: earlier courses from strictly lower layers.
+            let candidates: Vec<usize> = (0..i).filter(|&j| layer_of(j) < layer_of(i)).collect();
+            let n_conjuncts =
+                if candidates.len() >= 2 && (config.strict_prereqs || rng.gen_bool(0.45)) {
+                    2
+                } else {
+                    1
+                };
+            let mut chosen = candidates.clone();
+            chosen.shuffle(&mut rng);
+            let mut expr = Expr::True;
+            let mut used = 0usize;
+            let mut iter = chosen.into_iter();
+            while used < n_conjuncts {
+                let Some(a) = iter.next() else { break };
+                let conjunct = if rng.gen_bool(0.3) {
+                    match iter.next() {
+                        Some(b) => Expr::Atom(code_of(a)).or(Expr::Atom(code_of(b))),
+                        None => Expr::Atom(code_of(a)),
+                    }
+                } else {
+                    Expr::Atom(code_of(a))
+                };
+                expr = expr.and(conjunct);
+                used += 1;
+            }
+            prereqs.push(expr);
+        }
+
+        // ---- Build the catalog.
+        let horizon_end = config.start + (config.schedule_semesters as i32 - 1);
+        let mut builder = CatalogBuilder::new();
+        #[allow(clippy::needless_range_loop)] // i indexes patterns, prereqs, and codes
+        for i in 0..n {
+            let layer = layer_of(i);
+            let workload: f64 = match layer {
+                0 => rng.gen_range(6.0..9.0),
+                1 => rng.gen_range(8.0..12.0),
+                2 => rng.gen_range(10.0..14.0),
+                _ => rng.gen_range(12.0..16.0),
+            };
+            let offered: BTreeSet<Semester> = config
+                .start
+                .through(horizon_end)
+                .filter(|&s| patterns[i].offered_in(s, &mut rng))
+                .collect();
+            builder.add_course(
+                CourseSpec::new(
+                    code_of(i).as_str(),
+                    format!("Synthetic Course {} (layer {layer})", 10 + i),
+                )
+                .prereq(prereqs[i].clone())
+                .offered(offered)
+                .workload((workload * 10.0).round() / 10.0),
+            );
+        }
+        let catalog = builder.build()?;
+
+        // ---- Degree requirement: the chosen core + choose-k from the
+        // advanced non-core pool.
+        let core: CourseSet = core_indices
+            .iter()
+            .map(|&i| CourseId::new(i as u16))
+            .collect();
+        let electives: CourseSet = (0..n)
+            .filter(|&i| !core_indices.contains(&i) && layer_of(i) >= 1)
+            .map(|i| CourseId::new(i as u16))
+            .collect();
+        let degree = DegreeRequirement::with_core(core).elective(config.elective_k, electives);
+
+        // ---- Reliability model from simulated history.
+        let released_through = config.start + (config.released_semesters as i32 - 1);
+        let mut offering = OfferingModel::new(released_through, 0.5);
+        let history_start = config.start + (-(2 * config.history_years as i32));
+        for (i, pattern) in patterns.iter().enumerate() {
+            let id = CourseId::new(i as u16);
+            for sem in history_start.through(config.start.prev()) {
+                let offered = rng.gen_bool(pattern.base_prob(sem.term()));
+                offering.record(id, sem.term(), offered);
+            }
+        }
+
+        Ok(SyntheticCatalog {
+            catalog,
+            degree,
+            offering,
+            start: config.start,
+            end: horizon_end,
+            core,
+            electives,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_shape() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::default());
+        assert_eq!(synth.catalog.len(), 38);
+        assert_eq!(synth.core.len(), 7);
+        assert_eq!(synth.degree.total_slots(), 12);
+        assert!(synth.electives.len() >= 10, "elective pool should be ample");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCatalog::generate(&SyntheticConfig::default());
+        let b = SyntheticCatalog::generate(&SyntheticConfig::default());
+        for (ca, cb) in a.catalog.courses().zip(b.catalog.courses()) {
+            assert_eq!(ca.code(), cb.code());
+            assert_eq!(ca.prereq(), cb.prereq());
+            assert_eq!(ca.offered(), cb.offered());
+            assert_eq!(ca.workload(), cb.workload());
+        }
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.electives, b.electives);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCatalog::generate(&SyntheticConfig::default());
+        let b = SyntheticCatalog::generate(&SyntheticConfig {
+            seed: 99,
+            ..SyntheticConfig::default()
+        });
+        let schedules_differ = a
+            .catalog
+            .courses()
+            .zip(b.catalog.courses())
+            .any(|(ca, cb)| ca.offered() != cb.offered() || ca.prereq() != cb.prereq());
+        assert!(schedules_differ);
+    }
+
+    #[test]
+    fn intro_courses_have_no_prereqs_and_full_schedules() {
+        let config = SyntheticConfig::default();
+        let synth = SyntheticCatalog::generate(&config);
+        for course in synth.catalog.courses().take(config.n_intro) {
+            assert_eq!(course.prereq(), &Expr::True);
+            assert_eq!(course.offered().len(), config.schedule_semesters);
+        }
+    }
+
+    #[test]
+    fn prereq_dag_points_backwards() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::default());
+        for course in synth.catalog.courses() {
+            for atom in course.prereq().atoms() {
+                assert!(
+                    atom < course.id(),
+                    "course {} depends on later course {}",
+                    course.code(),
+                    atom
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_is_completable_with_full_horizon() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::default());
+        let everything = synth.catalog.all_courses();
+        assert!(synth.degree.satisfied(&everything));
+        // And with only the courses actually offered somewhere in the horizon.
+        let offered = synth.catalog.offered_between(synth.start, synth.end);
+        assert!(
+            synth.degree.satisfied(&offered.intersection(&everything)),
+            "core/elective courses must be offered within the horizon"
+        );
+    }
+
+    #[test]
+    fn small_config_builds() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        assert_eq!(synth.catalog.len(), 12);
+        assert_eq!(synth.degree.total_slots(), 5);
+    }
+
+    #[test]
+    fn reliability_probs_in_range_and_released_horizon_exact() {
+        let config = SyntheticConfig::default();
+        let synth = SyntheticCatalog::generate(&config);
+        let released = synth.offering.released_through();
+        assert_eq!(released, config.start + 1);
+        for course in synth.catalog.courses() {
+            for sem in config.start.through(synth.end) {
+                let p = synth.offering.prob(course, sem);
+                assert!((0.0..=1.0).contains(&p));
+                if sem <= released {
+                    assert!(p == 0.0 || p == 1.0, "released horizon must be certain");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the catalog substrate.
+
+use std::collections::BTreeSet;
+
+use coursenav_catalog::{CourseId, CourseSet, DegreeRequirement, Semester, Term};
+use coursenav_prereq::MinSat;
+use proptest::prelude::*;
+
+fn arb_ids() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..256, 0..40)
+}
+
+fn to_set(ids: &[u16]) -> CourseSet {
+    ids.iter().map(|&n| CourseId::new(n)).collect()
+}
+
+fn to_model(ids: &[u16]) -> BTreeSet<u16> {
+    ids.iter().copied().collect()
+}
+
+proptest! {
+    /// CourseSet agrees with a BTreeSet model on all the set algebra.
+    #[test]
+    fn courseset_matches_btreeset_model(a in arb_ids(), b in arb_ids()) {
+        let (sa, sb) = (to_set(&a), to_set(&b));
+        let (ma, mb) = (to_model(&a), to_model(&b));
+
+        prop_assert_eq!(sa.len(), ma.len());
+        let union: BTreeSet<u16> = sa.union(&sb).iter().map(|c| c.as_u16()).collect();
+        prop_assert_eq!(union, ma.union(&mb).copied().collect::<BTreeSet<u16>>());
+        let inter: BTreeSet<u16> = sa.intersection(&sb).iter().map(|c| c.as_u16()).collect();
+        prop_assert_eq!(inter, ma.intersection(&mb).copied().collect::<BTreeSet<u16>>());
+        let diff: BTreeSet<u16> = sa.difference(&sb).iter().map(|c| c.as_u16()).collect();
+        prop_assert_eq!(diff, ma.difference(&mb).copied().collect::<BTreeSet<u16>>());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    /// Iteration is ascending and matches the model exactly.
+    #[test]
+    fn courseset_iterates_ascending(a in arb_ids()) {
+        let s = to_set(&a);
+        let items: Vec<u16> = s.iter().map(|c| c.as_u16()).collect();
+        let model: Vec<u16> = to_model(&a).into_iter().collect();
+        prop_assert_eq!(items, model);
+    }
+
+    /// Semester +n then -n is the identity, and ordering tracks the index.
+    #[test]
+    fn semester_arithmetic_roundtrips(year in 1990i32..2100, fall in any::<bool>(), n in -40i32..40) {
+        let term = if fall { Term::Fall } else { Term::Spring };
+        let s = Semester::new(year, term);
+        prop_assert_eq!((s + n) - s, n);
+        prop_assert_eq!((s + n) + (-n), s);
+        prop_assert_eq!(s + n > s, n > 0);
+    }
+
+    /// Semester display/parse round-trips.
+    #[test]
+    fn semester_display_parse_roundtrip(year in 1900i32..2400, fall in any::<bool>()) {
+        let term = if fall { Term::Fall } else { Term::Spring };
+        let s = Semester::new(year, term);
+        prop_assert_eq!(s.to_string().parse::<Semester>().unwrap(), s);
+    }
+
+    /// Degree min_remaining is exact versus brute force on small instances.
+    #[test]
+    fn degree_min_remaining_matches_brute_force(
+        core in prop::collection::btree_set(0u16..6, 0..3),
+        pool in prop::collection::btree_set(0u16..6, 0..5),
+        k in 0usize..3,
+        completed in prop::collection::btree_set(0u16..6, 0..4),
+        obtainable in prop::collection::btree_set(0u16..6, 0..6),
+    ) {
+        let core_set = to_set(&core.iter().copied().collect::<Vec<_>>());
+        let pool_set = to_set(&pool.iter().copied().collect::<Vec<_>>());
+        let completed_set = to_set(&completed.iter().copied().collect::<Vec<_>>());
+        let obtainable_set = to_set(&obtainable.iter().copied().collect::<Vec<_>>());
+        let req = DegreeRequirement::with_core(core_set).elective(k, pool_set);
+
+        // Brute force: try all subsets of (obtainable - completed), smallest first.
+        let candidates: Vec<u16> = obtainable
+            .difference(&completed)
+            .copied()
+            .collect();
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << candidates.len()) {
+            let mut courses = completed_set;
+            for (i, &c) in candidates.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    courses.insert(CourseId::new(c));
+                }
+            }
+            if req.satisfied(&courses) {
+                let n = mask.count_ones() as usize;
+                best = Some(best.map_or(n, |b| b.min(n)));
+            }
+        }
+        let want = match best {
+            Some(0) => MinSat::Satisfied,
+            Some(n) => MinSat::Needs(n),
+            None => MinSat::Unreachable,
+        };
+        prop_assert_eq!(req.min_remaining(&completed_set, &obtainable_set), want);
+    }
+
+    /// slots_covered is monotone in the completed set.
+    #[test]
+    fn slots_covered_monotone(
+        core in prop::collection::btree_set(0u16..8, 0..4),
+        pool in prop::collection::btree_set(0u16..8, 0..6),
+        k in 0usize..4,
+        completed in prop::collection::btree_set(0u16..8, 0..5),
+        extra in 0u16..8,
+    ) {
+        let req = DegreeRequirement::with_core(to_set(&core.into_iter().collect::<Vec<_>>()))
+            .elective(k, to_set(&pool.into_iter().collect::<Vec<_>>()));
+        let base = to_set(&completed.into_iter().collect::<Vec<_>>());
+        let mut bigger = base;
+        bigger.insert(CourseId::new(extra));
+        prop_assert!(req.slots_covered(&bigger) >= req.slots_covered(&base));
+    }
+}

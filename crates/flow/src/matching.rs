@@ -1,0 +1,278 @@
+//! Maximum bipartite matching.
+//!
+//! Degree requirements are slot/course assignment problems: each requirement
+//! slot (left vertex) can be filled by certain courses (right vertices), and
+//! each course fills at most one slot. The maximum matching size tells the
+//! navigator how many slots are coverable — the complement is the `left_i`
+//! remaining-course lower bound of §4.2.1.
+//!
+//! Two implementations are provided: a Hopcroft–Karp-style layered search
+//! (production) and Kuhn's simple augmenting algorithm (reference, used to
+//! cross-check in tests and property tests).
+
+use std::collections::VecDeque;
+
+/// A bipartite graph described by the adjacency of its left vertices.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    /// `adj[l]` lists the right vertices adjacent to left vertex `l`.
+    adj: Vec<Vec<usize>>,
+    right_len: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates a graph with `left` and `right` vertices and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        BipartiteGraph {
+            adj: vec![Vec::new(); left],
+            right_len: right,
+        }
+    }
+
+    /// Number of left vertices.
+    pub fn left_len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn right_len(&self) -> usize {
+        self.right_len
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left vertex {l} out of range");
+        assert!(r < self.right_len, "right vertex {r} out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Neighbors of left vertex `l`.
+    pub fn neighbors(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+}
+
+/// Computes a maximum matching with a Hopcroft–Karp-style layered BFS/DFS.
+///
+/// Returns `match_left`, where `match_left[l]` is the right vertex matched
+/// to left vertex `l` (or `None`). O(E·√V).
+pub fn max_bipartite_matching(g: &BipartiteGraph) -> Vec<Option<usize>> {
+    let ln = g.left_len();
+    let rn = g.right_len();
+    let mut match_left: Vec<Option<usize>> = vec![None; ln];
+    let mut match_right: Vec<Option<usize>> = vec![None; rn];
+    let mut dist = vec![u32::MAX; ln];
+
+    loop {
+        // BFS from every free left vertex to build layers.
+        let mut queue = VecDeque::new();
+        for l in 0..ln {
+            if match_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = u32::MAX;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in g.neighbors(l) {
+                match match_right[r] {
+                    None => found_augmenting_layer = true,
+                    Some(l2) if dist[l2] == u32::MAX => {
+                        dist[l2] = dist[l] + 1;
+                        queue.push_back(l2);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            return match_left;
+        }
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths along the layering.
+        for l in 0..ln {
+            if match_left[l].is_none() {
+                augment(g, l, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+}
+
+/// Tries to find an augmenting path from free left vertex `l` along the BFS
+/// layering; flips matched edges on success.
+fn augment(
+    g: &BipartiteGraph,
+    l: usize,
+    match_left: &mut [Option<usize>],
+    match_right: &mut [Option<usize>],
+    dist: &mut [u32],
+) -> bool {
+    for &r in g.neighbors(l) {
+        let advance = match match_right[r] {
+            None => true,
+            Some(l2) => dist[l2] == dist[l] + 1 && augment(g, l2, match_left, match_right, dist),
+        };
+        if advance {
+            match_left[l] = Some(r);
+            match_right[r] = Some(l);
+            return true;
+        }
+    }
+    // Dead end: exclude this vertex from further DFS in this phase.
+    dist[l] = u32::MAX;
+    false
+}
+
+/// Kuhn's algorithm: repeated single-source augmenting DFS. O(V·E).
+///
+/// Kept as an independent reference implementation; tests assert it always
+/// agrees with [`max_bipartite_matching`] on matching *size*.
+pub fn max_bipartite_matching_kuhn(g: &BipartiteGraph) -> Vec<Option<usize>> {
+    let ln = g.left_len();
+    let rn = g.right_len();
+    let mut match_left: Vec<Option<usize>> = vec![None; ln];
+    let mut match_right: Vec<Option<usize>> = vec![None; rn];
+
+    fn try_kuhn(
+        g: &BipartiteGraph,
+        l: usize,
+        visited: &mut [bool],
+        match_left: &mut [Option<usize>],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &r in g.neighbors(l) {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            let free_or_movable = match match_right[r] {
+                None => true,
+                Some(l2) => try_kuhn(g, l2, visited, match_left, match_right),
+            };
+            if free_or_movable {
+                match_left[l] = Some(r);
+                match_right[r] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut visited = vec![false; rn];
+    for l in 0..ln {
+        visited.iter_mut().for_each(|v| *v = false);
+        try_kuhn(g, l, &mut visited, &mut match_left, &mut match_right);
+    }
+    match_left
+}
+
+/// Size of a matching returned by either algorithm.
+pub fn matching_size(match_left: &[Option<usize>]) -> usize {
+    match_left.iter().filter(|m| m.is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size(g: &BipartiteGraph) -> usize {
+        matching_size(&max_bipartite_matching(g))
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(size(&g), 0);
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 2);
+        assert_eq!(size(&g), 3);
+    }
+
+    #[test]
+    fn requires_augmenting_path_flip() {
+        // l0-{r0,r1}, l1-{r0}: greedy might match l0-r0 and strand l1;
+        // augmenting must find size 2.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(size(&g), 2);
+    }
+
+    #[test]
+    fn bottleneck_right_vertex_limits_matching() {
+        // Three left vertices all adjacent only to r0.
+        let mut g = BipartiteGraph::new(3, 1);
+        for l in 0..3 {
+            g.add_edge(l, 0);
+        }
+        assert_eq!(size(&g), 1);
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                if (l + r) % 2 == 0 {
+                    g.add_edge(l, r);
+                }
+            }
+        }
+        let m = max_bipartite_matching(&g);
+        // No right vertex used twice.
+        let mut used = [false; 4];
+        for r in m.iter().flatten() {
+            assert!(!used[*r], "right vertex {r} matched twice");
+            used[*r] = true;
+        }
+        // Matched pairs are actual edges.
+        for (l, r) in m.iter().enumerate() {
+            if let Some(r) = r {
+                assert!(g.neighbors(l).contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_agrees_with_kuhn_on_random_graphs() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..100 {
+            let ln = (rand() % 8) as usize;
+            let rn = (rand() % 8) as usize;
+            let mut g = BipartiteGraph::new(ln, rn);
+            if ln > 0 && rn > 0 {
+                for _ in 0..(rand() % 24) {
+                    g.add_edge((rand() as usize) % ln, (rand() as usize) % rn);
+                }
+            }
+            let hk = matching_size(&max_bipartite_matching(&g));
+            let kuhn = matching_size(&max_bipartite_matching_kuhn(&g));
+            assert_eq!(hk, kuhn);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 3);
+    }
+}

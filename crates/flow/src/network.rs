@@ -1,0 +1,317 @@
+//! Flow network representation and max-flow algorithms.
+
+use std::collections::VecDeque;
+
+/// Index of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Index of a (forward) edge as returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: NodeId,
+    /// Remaining capacity on this directed edge (residual for the twin).
+    cap: u64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+}
+
+/// A directed flow network stored as adjacency lists of residual edges.
+///
+/// Capacities are integral (`u64`), which is all the requirement-matching
+/// use case needs and keeps Ford–Fulkerson terminating. Adding an edge also
+/// adds its zero-capacity residual twin; both max-flow algorithms operate on
+/// the residual graph in place.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// `adj[v]` holds indices into `edges` for every edge leaving `v`.
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (`0..n`) and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `from -> to` with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        assert!(from < self.adj.len(), "from node {from} out of range");
+        assert!(to < self.adj.len(), "to node {to} out of range");
+        let fwd = self.edges.len();
+        let rev = fwd + 1;
+        self.edges.push(Edge { to, cap, rev });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd,
+        });
+        self.adj[from].push(fwd);
+        self.adj[to].push(rev);
+        EdgeId(fwd)
+    }
+
+    /// Flow currently routed through the given forward edge.
+    pub fn flow(&self, edge: EdgeId) -> u64 {
+        // Flow on a forward edge equals the residual capacity of its twin.
+        let rev = self.edges[edge.0].rev;
+        self.edges[rev].cap
+    }
+
+    /// Maximum `source -> sink` flow via Edmonds–Karp (BFS Ford–Fulkerson).
+    ///
+    /// O(V·E²); this is the textbook algorithm the paper cites through
+    /// Parameswaran et al. Mutates the residual graph.
+    pub fn max_flow_edmonds_karp(&mut self, source: NodeId, sink: NodeId) -> u64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let mut total = 0u64;
+        // prev[v] = (node, edge index) used to reach v in the BFS tree.
+        let mut prev: Vec<Option<(NodeId, usize)>> = vec![None; self.adj.len()];
+        loop {
+            prev.iter_mut().for_each(|p| *p = None);
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            prev[source] = Some((source, usize::MAX));
+            while let Some(v) = queue.pop_front() {
+                if v == sink {
+                    break;
+                }
+                for &ei in &self.adj[v] {
+                    let e = &self.edges[ei];
+                    if e.cap > 0 && prev[e.to].is_none() {
+                        prev[e.to] = Some((v, ei));
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if prev[sink].is_none() {
+                return total;
+            }
+            // Find the bottleneck along the augmenting path.
+            let mut bottleneck = u64::MAX;
+            let mut v = sink;
+            while v != source {
+                let (u, ei) = prev[v].expect("path reconstructed from BFS");
+                bottleneck = bottleneck.min(self.edges[ei].cap);
+                v = u;
+            }
+            // Apply it.
+            let mut v = sink;
+            while v != source {
+                let (u, ei) = prev[v].expect("path reconstructed from BFS");
+                self.edges[ei].cap -= bottleneck;
+                let rev = self.edges[ei].rev;
+                self.edges[rev].cap += bottleneck;
+                v = u;
+            }
+            total += bottleneck;
+        }
+    }
+
+    /// Maximum `source -> sink` flow via Dinic's algorithm.
+    ///
+    /// O(V²·E) in general, O(E·√V) on unit-capacity bipartite graphs — the
+    /// regime the requirement-matching oracle lives in. Mutates the residual
+    /// graph.
+    pub fn max_flow_dinic(&mut self, source: NodeId, sink: NodeId) -> u64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.adj.len();
+        let mut total = 0u64;
+        let mut level = vec![u32::MAX; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // Build the level graph with BFS over positive-capacity edges.
+            level.iter_mut().for_each(|l| *l = u32::MAX);
+            level[source] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(source);
+            while let Some(v) = queue.pop_front() {
+                for &ei in &self.adj[v] {
+                    let e = &self.edges[ei];
+                    if e.cap > 0 && level[e.to] == u32::MAX {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] == u32::MAX {
+                return total;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            while let Some(pushed) = self.dfs_blocking(source, sink, u64::MAX, &level, &mut iter) {
+                total += pushed;
+            }
+        }
+    }
+
+    /// Sends one blocking-flow augmentation; `None` when no path remains at
+    /// this level graph.
+    fn dfs_blocking(
+        &mut self,
+        v: NodeId,
+        sink: NodeId,
+        limit: u64,
+        level: &[u32],
+        iter: &mut [usize],
+    ) -> Option<u64> {
+        if v == sink {
+            return Some(limit);
+        }
+        while iter[v] < self.adj[v].len() {
+            let ei = self.adj[v][iter[v]];
+            let (to, cap) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                if let Some(d) = self.dfs_blocking(to, sink, limit.min(cap), level, iter) {
+                    self.edges[ei].cap -= d;
+                    let rev = self.edges[ei].rev;
+                    self.edges[rev].cap += d;
+                    return Some(d);
+                }
+            }
+            iter[v] += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic CLRS example network; max flow 23.
+    fn clrs_network() -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new(6);
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        net.add_edge(s, v1, 16);
+        net.add_edge(s, v2, 13);
+        net.add_edge(v1, v3, 12);
+        net.add_edge(v2, v1, 4);
+        net.add_edge(v2, v4, 14);
+        net.add_edge(v3, v2, 9);
+        net.add_edge(v3, t, 20);
+        net.add_edge(v4, v3, 7);
+        net.add_edge(v4, t, 4);
+        (net, s, t)
+    }
+
+    #[test]
+    fn edmonds_karp_clrs_example() {
+        let (mut net, s, t) = clrs_network();
+        assert_eq!(net.max_flow_edmonds_karp(s, t), 23);
+    }
+
+    #[test]
+    fn dinic_clrs_example() {
+        let (mut net, s, t) = clrs_network();
+        assert_eq!(net.max_flow_dinic(s, t), 23);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow_edmonds_karp(0, 2), 0);
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 1, 4);
+        assert_eq!(net.max_flow_dinic(0, 1), 7);
+    }
+
+    #[test]
+    fn flow_per_edge_is_reported() {
+        let mut net = FlowNetwork::new(3);
+        let e1 = net.add_edge(0, 1, 5);
+        let e2 = net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow_edmonds_karp(0, 2), 3);
+        assert_eq!(net.flow(e1), 3);
+        assert_eq!(net.flow(e2), 3);
+    }
+
+    #[test]
+    fn bottleneck_limits_path() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow_dinic(0, 3), 1);
+    }
+
+    #[test]
+    fn add_node_extends_network() {
+        let mut net = FlowNetwork::new(1);
+        let b = net.add_node();
+        assert_eq!(net.len(), 2);
+        net.add_edge(0, b, 2);
+        assert_eq!(net.max_flow_edmonds_karp(0, b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_to_missing_node_panics() {
+        let mut net = FlowNetwork::new(1);
+        net.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_graphs() {
+        // Small deterministic LCG so the test needs no external crate.
+        let mut state = 0x1234_5678u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..50 {
+            let n = 2 + (rand() % 8) as usize;
+            let mut a = FlowNetwork::new(n);
+            let m = rand() % 20;
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                let u = (rand() as usize) % n;
+                let v = (rand() as usize) % n;
+                if u != v {
+                    let cap = (rand() % 10) as u64;
+                    edges.push((u, v, cap));
+                    a.add_edge(u, v, cap);
+                }
+            }
+            let mut b = a.clone();
+            let f1 = a.max_flow_edmonds_karp(0, n - 1);
+            let f2 = b.max_flow_dinic(0, n - 1);
+            assert_eq!(f1, f2, "disagreement on edges {edges:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the flow/matching substrate.
+
+use coursenav_flow::matching::matching_size;
+use coursenav_flow::{
+    max_bipartite_matching, max_bipartite_matching_kuhn, BipartiteGraph, FlowNetwork,
+};
+use proptest::prelude::*;
+
+/// Random edge list for a small flow network.
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
+    (2usize..9).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n, 0..n, 0u64..12).prop_filter("no self loops", |(u, v, _)| u != v),
+            0..24,
+        );
+        (Just(n), edges)
+    })
+}
+
+/// Random bipartite graph.
+fn arb_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..8, 1usize..8).prop_flat_map(|(ln, rn)| {
+        prop::collection::vec((0..ln, 0..rn), 0..30).prop_map(move |edges| {
+            let mut g = BipartiteGraph::new(ln, rn);
+            for (l, r) in edges {
+                g.add_edge(l, r);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// Edmonds–Karp and Dinic always agree.
+    #[test]
+    fn max_flow_algorithms_agree((n, edges) in arb_network()) {
+        let mut a = FlowNetwork::new(n);
+        let mut b = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            a.add_edge(u, v, c);
+            b.add_edge(u, v, c);
+        }
+        prop_assert_eq!(a.max_flow_edmonds_karp(0, n - 1), b.max_flow_dinic(0, n - 1));
+    }
+
+    /// Flow is bounded by total capacity leaving the source and entering the sink.
+    #[test]
+    fn max_flow_bounded_by_cuts((n, edges) in arb_network()) {
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, c);
+        }
+        let out_cap: u64 = edges.iter().filter(|(u, _, _)| *u == 0).map(|(_, _, c)| c).sum();
+        let in_cap: u64 = edges.iter().filter(|(_, v, _)| *v == n - 1).map(|(_, _, c)| c).sum();
+        let f = net.max_flow_dinic(0, n - 1);
+        prop_assert!(f <= out_cap.min(in_cap));
+    }
+
+    /// Hopcroft–Karp and Kuhn find matchings of the same size, and that size
+    /// equals the unit-capacity max-flow through the same graph.
+    #[test]
+    fn matching_size_equals_unit_flow(g in arb_bipartite()) {
+        let hk = matching_size(&max_bipartite_matching(&g));
+        let kuhn = matching_size(&max_bipartite_matching_kuhn(&g));
+        prop_assert_eq!(hk, kuhn);
+
+        // Model as flow: source=0, left=1..=ln, right=ln+1..=ln+rn, sink=last.
+        let ln = g.left_len();
+        let rn = g.right_len();
+        let mut net = FlowNetwork::new(ln + rn + 2);
+        let source = 0;
+        let sink = ln + rn + 1;
+        for l in 0..ln {
+            net.add_edge(source, 1 + l, 1);
+            for &r in g.neighbors(l) {
+                net.add_edge(1 + l, 1 + ln + r, 1);
+            }
+        }
+        for r in 0..rn {
+            net.add_edge(1 + ln + r, sink, 1);
+        }
+        prop_assert_eq!(net.max_flow_dinic(source, sink) as usize, hk);
+    }
+
+    /// A returned matching is valid: pairs are edges and right vertices are unique.
+    #[test]
+    fn matching_is_valid(g in arb_bipartite()) {
+        let m = max_bipartite_matching(&g);
+        let mut used = vec![false; g.right_len()];
+        for (l, r) in m.iter().enumerate() {
+            if let Some(r) = *r {
+                prop_assert!(g.neighbors(l).contains(&r));
+                prop_assert!(!used[r]);
+                used[r] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Memoized-DAG path counting (an ablation beyond the paper).
+//!
+//! The tree the paper's algorithms unfold repeats work: two different
+//! selection orders that reach the same `(semester, completed)` state have
+//! identical subtrees. The subtree below a node is a function of
+//! [`EnrollmentStatus::state_key`] alone, so path *counts* can be memoized
+//! state-by-state, collapsing the exponential tree into a DAG of distinct
+//! states. The counts are exactly those of the tree enumeration (verified
+//! against streaming counts by property tests), but runtime scales with the
+//! number of distinct states — milliseconds in regimes where the paper's
+//! enumeration needed hours or exhausted memory.
+//!
+//! Counters in the returned [`PathCounts::stats`] reflect *distinct states*
+//! (each state is expanded or pruned once), not tree nodes.
+
+use std::collections::HashMap;
+
+use coursenav_catalog::CourseSet;
+
+use crate::error::ExploreError;
+use crate::expand::SelectionIter;
+use crate::explorer::{Disposition, Explorer};
+use crate::path::LeafKind;
+use crate::pruning::{record_prune, Pruner};
+use crate::stats::{ExploreStats, PathCounts};
+use crate::status::EnrollmentStatus;
+
+type StateKey = (i32, CourseSet);
+type Counts = (u128, u128); // (total paths, goal paths)
+
+/// A node of the deduplicated state DAG.
+#[derive(Debug, Clone)]
+pub struct StateNode {
+    /// The enrollment status this state represents.
+    pub status: EnrollmentStatus,
+    /// `Some(kind)` for terminal states, `None` for expanded interiors.
+    /// Pruned states are not materialized.
+    pub leaf: Option<LeafKind>,
+    /// Learning paths through the subgraph rooted here.
+    pub paths: u128,
+    /// Goal paths through the subgraph rooted here.
+    pub goal_paths: u128,
+}
+
+/// An edge of the state DAG: one course selection between two states.
+#[derive(Debug, Clone)]
+pub struct StateEdge {
+    /// Index of the source state.
+    pub from: u32,
+    /// Index of the target state.
+    pub to: u32,
+    /// The course selection making the transition.
+    pub selection: CourseSet,
+}
+
+/// The learning graph with "overlapping learning paths" merged (§2, Fig. 1):
+/// enrollment statuses reached by different selection orders collapse into
+/// one node, turning the exploration tree into a DAG small enough to
+/// visualize even when the tree has millions of paths.
+///
+/// Build with [`Explorer::build_state_dag`]; render with
+/// `coursenav-viz`'s `state_dag_to_dot`.
+#[derive(Debug, Clone, Default)]
+pub struct StateDag {
+    /// Distinct states; index 0 is the root.
+    pub states: Vec<StateNode>,
+    /// Selection transitions between states.
+    pub edges: Vec<StateEdge>,
+}
+
+impl StateDag {
+    /// The root state (index 0).
+    pub fn root(&self) -> &StateNode {
+        &self.states[0]
+    }
+
+    /// Number of distinct states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct (state, selection) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl Explorer<'_> {
+    /// Counts learning paths by memoizing per-state subtree counts.
+    /// Equivalent to [`Explorer::count_paths`] on the path counts, far
+    /// faster when many selection orders converge to the same states.
+    pub fn count_paths_dedup(&self) -> PathCounts {
+        let pruner = self.pruner();
+        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
+        let mut stats = ExploreStats::default();
+        let (total_paths, goal_paths) =
+            self.count_state(*self.start(), pruner.as_ref(), &mut memo, &mut stats);
+        PathCounts {
+            total_paths,
+            goal_paths,
+            stats,
+        }
+    }
+
+    /// Budgeted variant of [`Explorer::count_paths_dedup`]: gives up with
+    /// [`ExploreError::BudgetExceeded`] once more than `state_budget`
+    /// distinct states have been memoized, bounding memory on instances
+    /// whose *state space* (not just path count) is huge.
+    pub fn count_paths_dedup_budgeted(
+        &self,
+        state_budget: usize,
+    ) -> Result<PathCounts, ExploreError> {
+        let pruner = self.pruner();
+        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
+        let mut stats = ExploreStats::default();
+        let (total_paths, goal_paths) = self.count_state_budgeted(
+            *self.start(),
+            pruner.as_ref(),
+            &mut memo,
+            &mut stats,
+            state_budget,
+        )?;
+        Ok(PathCounts {
+            total_paths,
+            goal_paths,
+            stats,
+        })
+    }
+
+    fn count_state_budgeted(
+        &self,
+        status: EnrollmentStatus,
+        pruner: Option<&Pruner<'_>>,
+        memo: &mut HashMap<StateKey, Counts>,
+        stats: &mut ExploreStats,
+        state_budget: usize,
+    ) -> Result<Counts, ExploreError> {
+        let key = status.state_key();
+        if let Some(&cached) = memo.get(&key) {
+            return Ok(cached);
+        }
+        if memo.len() >= state_budget {
+            return Err(ExploreError::BudgetExceeded {
+                node_budget: state_budget,
+            });
+        }
+        let result = match self.disposition(&status, pruner) {
+            Disposition::Leaf(kind) => (1, u128::from(kind == LeafKind::Goal)),
+            Disposition::Pruned(reason) => {
+                record_prune(stats, reason);
+                (0, 0)
+            }
+            Disposition::Expand {
+                min_selection,
+                include_empty,
+            } => {
+                stats.nodes_expanded += 1;
+                let options = *status.options();
+                let iter = if include_empty {
+                    SelectionIter::with_empty(&options, self.max_per_semester())
+                } else {
+                    SelectionIter::new(&options, self.max_per_semester())
+                };
+                let mut total = 0u128;
+                let mut goal = 0u128;
+                let mut emitted = 0usize;
+                let mut floor_skipped = 0usize;
+                for selection in iter {
+                    if selection.len() < min_selection {
+                        floor_skipped += 1;
+                        stats.pruned_time += 1;
+                        continue;
+                    }
+                    if !self.selection_allowed(&status, &selection) {
+                        continue;
+                    }
+                    emitted += 1;
+                    stats.edges_created += 1;
+                    let child = status.advance(self.catalog(), &selection);
+                    let (t, g) =
+                        self.count_state_budgeted(child, pruner, memo, stats, state_budget)?;
+                    total += t;
+                    goal += g;
+                }
+                if emitted == 0 && floor_skipped == 0 {
+                    (1, 0)
+                } else {
+                    (total, goal)
+                }
+            }
+        };
+        memo.insert(key, result);
+        Ok(result)
+    }
+
+    /// Number of distinct `(semester, completed)` states reachable in this
+    /// exploration — the size of the deduplicated DAG.
+    pub fn distinct_states(&self) -> usize {
+        let pruner = self.pruner();
+        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
+        let mut stats = ExploreStats::default();
+        self.count_state(*self.start(), pruner.as_ref(), &mut memo, &mut stats);
+        // The root is counted whether or not it was memoized.
+        memo.len().max(1)
+    }
+
+    /// Builds the deduplicated state DAG, with per-state path counts.
+    /// `state_budget` caps the number of distinct states materialized
+    /// (the DAG is exponentially smaller than the tree, but deep dense
+    /// horizons can still have millions of states).
+    pub fn build_state_dag(&self, state_budget: usize) -> Result<StateDag, ExploreError> {
+        let pruner = self.pruner();
+        let mut dag = StateDag::default();
+        let mut index: HashMap<StateKey, Option<u32>> = HashMap::new();
+        self.dag_state(
+            *self.start(),
+            pruner.as_ref(),
+            &mut dag,
+            &mut index,
+            state_budget,
+        )?;
+        if dag.states.is_empty() {
+            // The root itself was pruned (the goal is unreachable from the
+            // start): represent it as an interior state with zero paths so
+            // the DAG always has a root.
+            dag.states.push(StateNode {
+                status: *self.start(),
+                leaf: None,
+                paths: 0,
+                goal_paths: 0,
+            });
+        }
+        // The recursion appends post-order; re-rooting at 0 keeps the
+        // documented invariant that index 0 is the root.
+        {
+            let last = dag.states.len() as u32 - 1;
+            dag.states.swap(0, last as usize);
+            for e in &mut dag.edges {
+                if e.from == 0 {
+                    e.from = last;
+                } else if e.from == last {
+                    e.from = 0;
+                }
+                if e.to == 0 {
+                    e.to = last;
+                } else if e.to == last {
+                    e.to = 0;
+                }
+            }
+        }
+        Ok(dag)
+    }
+
+    /// Returns the state's DAG index, or `None` when it was pruned.
+    fn dag_state(
+        &self,
+        status: EnrollmentStatus,
+        pruner: Option<&Pruner<'_>>,
+        dag: &mut StateDag,
+        index: &mut HashMap<StateKey, Option<u32>>,
+        state_budget: usize,
+    ) -> Result<Option<u32>, ExploreError> {
+        let key = status.state_key();
+        if let Some(&cached) = index.get(&key) {
+            return Ok(cached);
+        }
+        let result = match self.disposition(&status, pruner) {
+            Disposition::Leaf(kind) => {
+                if dag.states.len() >= state_budget {
+                    return Err(ExploreError::BudgetExceeded {
+                        node_budget: state_budget,
+                    });
+                }
+                let id = dag.states.len() as u32;
+                dag.states.push(StateNode {
+                    status,
+                    leaf: Some(kind),
+                    paths: 1,
+                    goal_paths: u128::from(kind == LeafKind::Goal),
+                });
+                Some(id)
+            }
+            Disposition::Pruned(_) => None,
+            Disposition::Expand {
+                min_selection,
+                include_empty,
+            } => {
+                let options = *status.options();
+                let iter = if include_empty {
+                    SelectionIter::with_empty(&options, self.max_per_semester())
+                } else {
+                    SelectionIter::new(&options, self.max_per_semester())
+                };
+                let mut children: Vec<(CourseSet, u32)> = Vec::new();
+                let mut paths = 0u128;
+                let mut goal_paths = 0u128;
+                let mut floor_skipped = false;
+                // Selections surviving the floor and filters, including ones
+                // whose child state is pruned (the tree still creates those
+                // edges, so this node is interior, not a dead end).
+                let mut attempted = 0usize;
+                for selection in iter {
+                    if selection.len() < min_selection {
+                        floor_skipped = true;
+                        continue;
+                    }
+                    if !self.selection_allowed(&status, &selection) {
+                        continue;
+                    }
+                    attempted += 1;
+                    let child = status.advance(self.catalog(), &selection);
+                    if let Some(child_id) =
+                        self.dag_state(child, pruner, dag, index, state_budget)?
+                    {
+                        paths += dag.states[child_id as usize].paths;
+                        goal_paths += dag.states[child_id as usize].goal_paths;
+                        children.push((selection, child_id));
+                    }
+                }
+                if dag.states.len() >= state_budget {
+                    return Err(ExploreError::BudgetExceeded {
+                        node_budget: state_budget,
+                    });
+                }
+                let id = dag.states.len() as u32;
+                if attempted == 0 && !floor_skipped {
+                    // Filters vetoed everything: dead-end leaf state.
+                    dag.states.push(StateNode {
+                        status,
+                        leaf: Some(LeafKind::DeadEnd),
+                        paths: 1,
+                        goal_paths: 0,
+                    });
+                } else {
+                    dag.states.push(StateNode {
+                        status,
+                        leaf: None,
+                        paths,
+                        goal_paths,
+                    });
+                    for (selection, child_id) in children {
+                        dag.edges.push(StateEdge {
+                            from: id,
+                            to: child_id,
+                            selection,
+                        });
+                    }
+                }
+                Some(id)
+            }
+        };
+        index.insert(key, result);
+        Ok(result)
+    }
+
+    fn count_state(
+        &self,
+        status: EnrollmentStatus,
+        pruner: Option<&Pruner<'_>>,
+        memo: &mut HashMap<StateKey, Counts>,
+        stats: &mut ExploreStats,
+    ) -> Counts {
+        let key = status.state_key();
+        if let Some(&cached) = memo.get(&key) {
+            return cached;
+        }
+        let result = match self.disposition(&status, pruner) {
+            Disposition::Leaf(kind) => (1, u128::from(kind == LeafKind::Goal)),
+            Disposition::Pruned(reason) => {
+                record_prune(stats, reason);
+                (0, 0)
+            }
+            Disposition::Expand {
+                min_selection,
+                include_empty,
+            } => {
+                stats.nodes_expanded += 1;
+                let options = *status.options();
+                let iter = if include_empty {
+                    SelectionIter::with_empty(&options, self.max_per_semester())
+                } else {
+                    SelectionIter::new(&options, self.max_per_semester())
+                };
+                let mut total = 0u128;
+                let mut goal = 0u128;
+                let mut emitted = 0usize;
+                let mut floor_skipped = 0usize;
+                for selection in iter {
+                    if selection.len() < min_selection {
+                        floor_skipped += 1;
+                        stats.pruned_time += 1;
+                        continue;
+                    }
+                    if !self.selection_allowed(&status, &selection) {
+                        continue;
+                    }
+                    emitted += 1;
+                    stats.edges_created += 1;
+                    let child = status.advance(self.catalog(), &selection);
+                    let (t, g) = self.count_state(child, pruner, memo, stats);
+                    total += t;
+                    goal += g;
+                }
+                if emitted == 0 && floor_skipped == 0 {
+                    // All selections vetoed by filters: dead-end leaf.
+                    (1, 0)
+                } else {
+                    (total, goal)
+                }
+            }
+        };
+        memo.insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::Goal;
+    use coursenav_catalog::{
+        Catalog, CatalogBuilder, CourseSpec, Semester, SyntheticCatalog, SyntheticConfig, Term,
+    };
+    use coursenav_prereq::Expr;
+
+    fn fall(y: i32) -> Semester {
+        Semester::new(y, Term::Fall)
+    }
+
+    fn fig3() -> Catalog {
+        let spring12 = Semester::new(2012, Term::Spring);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "A").offered([fall(2011), fall(2012)]));
+        b.add_course(CourseSpec::new("29A", "B").offered([fall(2011), fall(2012)]));
+        b.add_course(
+            CourseSpec::new("21A", "C")
+                .prereq(Expr::Atom("11A".into()))
+                .offered([spring12]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dedup_matches_streaming_on_fig3() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let e =
+            Explorer::deadline_driven(&cat, start, Semester::new(2013, Term::Spring), 3).unwrap();
+        let plain = e.count_paths();
+        let dedup = e.count_paths_dedup();
+        assert_eq!(plain.total_paths, dedup.total_paths);
+        assert_eq!(plain.goal_paths, dedup.goal_paths);
+    }
+
+    #[test]
+    fn dedup_matches_streaming_on_synthetic_goal_run() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let plain = e.count_paths();
+        let dedup = e.count_paths_dedup();
+        assert_eq!(plain.total_paths, dedup.total_paths);
+        assert_eq!(plain.goal_paths, dedup.goal_paths);
+    }
+
+    #[test]
+    fn dedup_expands_fewer_states_than_tree_nodes() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 4, 2).unwrap();
+        let plain = e.count_paths();
+        let dedup = e.count_paths_dedup();
+        assert_eq!(plain.total_paths, dedup.total_paths);
+        assert!(
+            dedup.stats.nodes_expanded <= plain.stats.nodes_expanded,
+            "dedup {} > tree {}",
+            dedup.stats.nodes_expanded,
+            plain.stats.nodes_expanded
+        );
+    }
+
+    #[test]
+    fn budgeted_dedup_matches_unbudgeted_within_budget() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 4, 2).unwrap();
+        let plain = e.count_paths_dedup();
+        let budgeted = e.count_paths_dedup_budgeted(10_000_000).unwrap();
+        assert_eq!(plain.total_paths, budgeted.total_paths);
+        assert_eq!(plain.goal_paths, budgeted.goal_paths);
+        // And an impossible budget errors out.
+        assert!(matches!(
+            e.count_paths_dedup_budgeted(2),
+            Err(ExploreError::BudgetExceeded { node_budget: 2 })
+        ));
+    }
+
+    #[test]
+    fn state_dag_counts_match_dedup_counts() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let counts = e.count_paths_dedup();
+        let dag = e.build_state_dag(1_000_000).unwrap();
+        assert_eq!(dag.root().paths, counts.total_paths);
+        assert_eq!(dag.root().goal_paths, counts.goal_paths);
+        assert_eq!(dag.root().status, *e.start());
+    }
+
+    #[test]
+    fn state_dag_is_smaller_than_tree() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 3, 2).unwrap();
+        let tree = e.build_graph(10_000_000).unwrap();
+        let dag = e.build_state_dag(10_000_000).unwrap();
+        assert!(dag.state_count() <= tree.node_count());
+        assert!(dag.edge_count() <= tree.edge_count());
+        assert_eq!(dag.root().paths as usize, tree.path_count());
+    }
+
+    #[test]
+    fn state_dag_edges_are_well_formed() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let e =
+            Explorer::deadline_driven(&cat, start, Semester::new(2013, Term::Spring), 3).unwrap();
+        let dag = e.build_state_dag(10_000).unwrap();
+        for edge in &dag.edges {
+            let from = &dag.states[edge.from as usize];
+            let to = &dag.states[edge.to as usize];
+            assert!(edge.selection.is_subset(from.status.options()));
+            assert_eq!(to.status.semester(), from.status.semester().next());
+            assert!(from.leaf.is_none(), "edges leave interior states only");
+        }
+    }
+
+    #[test]
+    fn state_dag_budget_is_enforced() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 3, 2).unwrap();
+        assert!(matches!(
+            e.build_state_dag(3),
+            Err(crate::error::ExploreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_states_bounded_by_tree_size() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let e =
+            Explorer::deadline_driven(&cat, start, Semester::new(2013, Term::Spring), 3).unwrap();
+        let states = e.distinct_states();
+        let graph = e.build_graph(10_000).unwrap();
+        assert!(states >= 1 && states <= graph.node_count());
+    }
+}

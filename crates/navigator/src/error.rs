@@ -1,0 +1,34 @@
+//! Exploration errors.
+
+use std::fmt;
+
+/// Error raised by the exploration engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// Materializing the learning graph exceeded the node budget. This is
+    /// the condition the paper reports as "N/A … the graph is huge and we
+    /// were not able to store it in memory" (Table 2) — surfaced here as a
+    /// typed error instead of an OOM kill.
+    BudgetExceeded {
+        /// The configured budget that was hit.
+        node_budget: usize,
+    },
+    /// The exploration request is inconsistent (e.g. deadline before start).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::BudgetExceeded { node_budget } => {
+                write!(
+                    f,
+                    "learning graph exceeded the node budget of {node_budget}"
+                )
+            }
+            ExploreError::InvalidRequest(msg) => write!(f, "invalid exploration request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}

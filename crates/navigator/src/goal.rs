@@ -1,0 +1,228 @@
+//! Goal requirements for goal-driven exploration (§4.2).
+//!
+//! The paper lets the user specify "his desired goal requirement as a
+//! boolean expression on the student's enrollment status". Two goal shapes
+//! cover the paper's uses:
+//!
+//! - an arbitrary boolean expression over completed courses (e.g. "complete
+//!   all of {11A, 21A, 29A}", the §4.2.3 walkthrough), and
+//! - a slot-based degree requirement (the §5.1 CS major: 7 core + 5
+//!   electives).
+//!
+//! Both expose the two oracles the algorithms need: a satisfaction test on
+//! `X_i`, and the `left_i` minimum-remaining-courses bound for time-based
+//! pruning. The boolean form compiles to DNF once at construction; the
+//! degree form delegates to the matching oracle in `coursenav-catalog`.
+
+use coursenav_catalog::{CourseId, CourseSet, DegreeRequirement};
+use coursenav_prereq::{min_extra_to_satisfy, Dnf, Expr, MinSat};
+
+/// A goal requirement: a condition on the completed-course set.
+#[derive(Debug, Clone)]
+pub struct Goal {
+    kind: GoalKind,
+}
+
+#[derive(Debug, Clone)]
+enum GoalKind {
+    Courses {
+        expr: Expr<CourseId>,
+        dnf: Dnf<CourseId>,
+    },
+    Degree(DegreeRequirement),
+}
+
+impl Goal {
+    /// Goal: make the boolean expression over completed courses true.
+    pub fn courses(expr: Expr<CourseId>) -> Goal {
+        let dnf = expr.to_dnf();
+        Goal {
+            kind: GoalKind::Courses { expr, dnf },
+        }
+    }
+
+    /// Goal: complete every course in `set`.
+    pub fn complete_all(set: CourseSet) -> Goal {
+        Goal::courses(Expr::all(set.iter().map(Expr::Atom)))
+    }
+
+    /// Goal: satisfy a slot-based degree requirement.
+    pub fn degree(req: DegreeRequirement) -> Goal {
+        Goal {
+            kind: GoalKind::Degree(req),
+        }
+    }
+
+    /// Whether `completed` satisfies the goal.
+    pub fn satisfied(&self, completed: &CourseSet) -> bool {
+        match &self.kind {
+            GoalKind::Courses { dnf, .. } => dnf.eval(&|id| completed.contains(*id)),
+            GoalKind::Degree(req) => req.satisfied(completed),
+        }
+    }
+
+    /// The `left_i` oracle (§4.2.1): the minimum number of additional
+    /// courses, drawn from `obtainable`, needed to satisfy the goal given
+    /// `completed`. Exact for both goal shapes, hence admissible — the
+    /// precondition of the paper's Lemma 1.
+    pub fn min_remaining(&self, completed: &CourseSet, obtainable: &CourseSet) -> MinSat {
+        match &self.kind {
+            GoalKind::Courses { dnf, .. } => {
+                min_extra_to_satisfy(dnf, &|id| completed.contains(*id), &|id| {
+                    obtainable.contains(*id)
+                })
+            }
+            GoalKind::Degree(req) => req.min_remaining(completed, obtainable),
+        }
+    }
+
+    /// The `left_i` bound assuming *every* untaken course is obtainable —
+    /// the schedule-agnostic form the time-based strategy actually uses
+    /// (§4.2.1). Cheaper than [`Goal::min_remaining`]: no feasibility
+    /// matching against an obtainable set. Returns `None` when the goal is
+    /// unsatisfiable even with every course (callers should have checked
+    /// satisfiability once up front).
+    pub fn left_lower_bound(&self, completed: &CourseSet) -> Option<usize> {
+        match &self.kind {
+            GoalKind::Courses { dnf, .. } => {
+                let mut best: Option<usize> = None;
+                for term in dnf.terms() {
+                    let missing = term.iter().filter(|id| !completed.contains(**id)).count();
+                    best = Some(best.map_or(missing, |b| b.min(missing)));
+                }
+                best
+            }
+            GoalKind::Degree(req) => Some(req.total_slots() - req.slots_covered(completed)),
+        }
+    }
+
+    /// The boolean expression, when the goal is expression-shaped.
+    pub fn as_expr(&self) -> Option<&Expr<CourseId>> {
+        match &self.kind {
+            GoalKind::Courses { expr, .. } => Some(expr),
+            GoalKind::Degree(_) => None,
+        }
+    }
+
+    /// The degree requirement, when the goal is degree-shaped.
+    pub fn as_degree(&self) -> Option<&DegreeRequirement> {
+        match &self.kind {
+            GoalKind::Degree(req) => Some(req),
+            GoalKind::Courses { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u16) -> CourseId {
+        CourseId::new(n)
+    }
+
+    fn set(ns: &[u16]) -> CourseSet {
+        ns.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn complete_all_requires_every_course() {
+        let goal = Goal::complete_all(set(&[1, 2, 3]));
+        assert!(!goal.satisfied(&set(&[1, 2])));
+        assert!(goal.satisfied(&set(&[1, 2, 3])));
+        assert!(goal.satisfied(&set(&[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn expression_goal_with_alternatives() {
+        // (1 and 2) or 3
+        let goal = Goal::courses(
+            Expr::Atom(id(1))
+                .and(Expr::Atom(id(2)))
+                .or(Expr::Atom(id(3))),
+        );
+        assert!(goal.satisfied(&set(&[3])));
+        assert!(goal.satisfied(&set(&[1, 2])));
+        assert!(!goal.satisfied(&set(&[1])));
+    }
+
+    #[test]
+    fn min_remaining_for_expression_goals() {
+        let goal = Goal::complete_all(set(&[1, 2, 3]));
+        assert_eq!(
+            goal.min_remaining(&set(&[1]), &set(&[2, 3])),
+            MinSat::Needs(2)
+        );
+        assert_eq!(
+            goal.min_remaining(&set(&[1]), &set(&[2])),
+            MinSat::Unreachable
+        );
+        assert_eq!(
+            goal.min_remaining(&set(&[1, 2, 3]), &CourseSet::EMPTY),
+            MinSat::Satisfied
+        );
+    }
+
+    #[test]
+    fn degree_goal_delegates_to_matching() {
+        let req = DegreeRequirement::with_core(set(&[0, 1])).elective(1, set(&[5, 6]));
+        let goal = Goal::degree(req);
+        assert!(!goal.satisfied(&set(&[0, 1])));
+        assert!(goal.satisfied(&set(&[0, 1, 6])));
+        assert_eq!(
+            goal.min_remaining(&set(&[0]), &set(&[1, 5])),
+            MinSat::Needs(2)
+        );
+    }
+
+    #[test]
+    fn left_lower_bound_matches_unbounded_min_remaining() {
+        let all: CourseSet = (0..8u16).map(id).collect();
+        let goals = [
+            Goal::complete_all(set(&[1, 2, 3])),
+            Goal::courses(
+                Expr::Atom(id(1))
+                    .and(Expr::Atom(id(2)))
+                    .or(Expr::Atom(id(3))),
+            ),
+            Goal::degree(DegreeRequirement::with_core(set(&[0, 1])).elective(1, set(&[5, 6]))),
+        ];
+        for goal in &goals {
+            for mask in 0u32..256 {
+                let completed: CourseSet =
+                    (0..8u16).filter(|i| mask & (1 << i) != 0).map(id).collect();
+                let fast = goal.left_lower_bound(&completed);
+                let slow = goal.min_remaining(&completed, &all.difference(&completed));
+                match slow {
+                    MinSat::Satisfied => assert_eq!(fast, Some(0)),
+                    MinSat::Needs(n) => assert_eq!(fast, Some(n)),
+                    MinSat::Unreachable => {
+                        // Unreachable-with-everything means the pruner's
+                        // up-front satisfiability check fires instead.
+                        assert!(!goal.satisfied(&all));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_expose_shape() {
+        let goal = Goal::complete_all(set(&[1]));
+        assert!(goal.as_expr().is_some());
+        assert!(goal.as_degree().is_none());
+        let goal = Goal::degree(DegreeRequirement::default());
+        assert!(goal.as_expr().is_none());
+        assert!(goal.as_degree().is_some());
+    }
+
+    #[test]
+    fn empty_complete_all_is_trivially_satisfied() {
+        let goal = Goal::complete_all(CourseSet::EMPTY);
+        assert!(goal.satisfied(&CourseSet::EMPTY));
+        assert_eq!(
+            goal.min_remaining(&CourseSet::EMPTY, &CourseSet::EMPTY),
+            MinSat::Satisfied
+        );
+    }
+}

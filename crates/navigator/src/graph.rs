@@ -1,0 +1,271 @@
+//! The materialized learning graph.
+//!
+//! "The output learning paths (which might be overlapping) define the
+//! learning graph" (§2). This is the arena the paper's Algorithm 1 builds:
+//! nodes are enrollment statuses, edges carry the course selection
+//! `W_{i,i+1}`, and every node except the root has exactly one parent (the
+//! generation algorithms unfold a tree of statuses; state *deduplication*
+//! is the separate [`crate::dedup`] mode).
+//!
+//! Construction happens through [`crate::Explorer::build_graph`], which
+//! enforces a node budget — the mechanism that reproduces the paper's
+//! Table 2 "N/A" cells ("the graph is huge and we were not able to store it
+//! in memory") as a typed error instead of an OOM.
+
+use std::ops::Range;
+
+use coursenav_catalog::CourseSet;
+
+use crate::path::{LeafKind, Path};
+use crate::pruning::PruneReason;
+use crate::status::EnrollmentStatus;
+
+/// Index of a node in a [`LearningGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an edge in a [`LearningGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a node plays in the finished graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Expanded; has outgoing edges.
+    Interior,
+    /// A leaf terminating a learning path.
+    Leaf(LeafKind),
+    /// Cut by a pruning strategy; not part of any output path.
+    Pruned(PruneReason),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) status: EnrollmentStatus,
+    pub(crate) parent: Option<EdgeId>,
+    pub(crate) kind: NodeKind,
+    /// Outgoing edges, contiguous because a node is expanded in one step.
+    pub(crate) children: Range<u32>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeData {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) selection: CourseSet,
+}
+
+/// An arena-backed learning graph (a tree of enrollment statuses).
+#[derive(Debug, Clone, Default)]
+pub struct LearningGraph {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) edges: Vec<EdgeData>,
+}
+
+impl LearningGraph {
+    pub(crate) fn with_root(status: EnrollmentStatus) -> LearningGraph {
+        LearningGraph {
+            nodes: vec![NodeData {
+                status,
+                parent: None,
+                kind: NodeKind::Leaf(LeafKind::DeadEnd), // refined during build
+                children: 0..0,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_node(&mut self, status: EnrollmentStatus, parent: EdgeId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            status,
+            parent: Some(parent),
+            kind: NodeKind::Leaf(LeafKind::DeadEnd),
+            children: 0..0,
+        });
+        id
+    }
+
+    pub(crate) fn push_edge(&mut self, from: NodeId, selection: CourseSet) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            from,
+            to: NodeId(u32::MAX), // patched right after the child node exists
+            selection,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The root node (the student's starting enrollment status).
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The enrollment status at a node.
+    pub fn status(&self, id: NodeId) -> &EnrollmentStatus {
+        &self.nodes[id.index()].status
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The edge into a node (`None` for the root).
+    pub fn parent_edge(&self, id: NodeId) -> Option<EdgeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Outgoing edges of a node.
+    pub fn children(&self, id: NodeId) -> impl ExactSizeIterator<Item = EdgeId> {
+        self.nodes[id.index()].children.clone().map(EdgeId)
+    }
+
+    /// Endpoint and selection data of an edge.
+    pub fn edge(&self, id: EdgeId) -> (NodeId, NodeId, &CourseSet) {
+        let e = &self.edges[id.index()];
+        (e.from, e.to, &e.selection)
+    }
+
+    /// Leaves that terminate learning paths (excludes pruned nodes).
+    pub fn path_leaves(&self) -> impl Iterator<Item = (NodeId, LeafKind)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n.kind {
+                NodeKind::Leaf(kind) => Some((NodeId(i as u32), kind)),
+                _ => None,
+            })
+    }
+
+    /// Leaves whose completed set satisfied the goal.
+    pub fn goal_leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.path_leaves()
+            .filter(|(_, kind)| *kind == LeafKind::Goal)
+            .map(|(id, _)| id)
+    }
+
+    /// Number of learning paths in the graph (= non-pruned leaves).
+    pub fn path_count(&self) -> usize {
+        self.path_leaves().count()
+    }
+
+    /// Reconstructs the root-to-`leaf` path.
+    pub fn path_to(&self, leaf: NodeId) -> Path {
+        let mut statuses = Vec::new();
+        let mut selections = Vec::new();
+        let mut cursor = leaf;
+        loop {
+            let node = &self.nodes[cursor.index()];
+            statuses.push(node.status);
+            match node.parent {
+                Some(eid) => {
+                    let e = &self.edges[eid.index()];
+                    selections.push(e.selection);
+                    cursor = e.from;
+                }
+                None => break,
+            }
+        }
+        statuses.reverse();
+        selections.reverse();
+        Path::new(statuses, selections)
+    }
+
+    /// All learning paths, leaf order.
+    pub fn paths(&self) -> impl Iterator<Item = Path> + '_ {
+        self.path_leaves().map(|(id, _)| self.path_to(id))
+    }
+
+    /// A copy of the graph containing only the nodes on root-to-leaf paths
+    /// whose leaf satisfies `keep`. Used to visualize just the goal paths of
+    /// a pruned exploration.
+    pub fn retain_leaves(&self, keep: impl Fn(LeafKind) -> bool) -> LearningGraph {
+        // Mark ancestors of kept leaves.
+        let mut marked = vec![false; self.nodes.len()];
+        for (leaf, kind) in self.path_leaves() {
+            if !keep(kind) {
+                continue;
+            }
+            let mut cursor = leaf;
+            loop {
+                if std::mem::replace(&mut marked[cursor.index()], true) {
+                    break; // already marked up to the root
+                }
+                match self.nodes[cursor.index()].parent {
+                    Some(eid) => cursor = self.edges[eid.index()].from,
+                    None => break,
+                }
+            }
+        }
+        // Rebuild with remapped ids (root first, then DFS order).
+        let mut out = LearningGraph::with_root(self.nodes[0].status);
+        out.nodes[0].kind = self.nodes[0].kind;
+        if !marked[0] {
+            return out; // nothing kept; degenerate single-root graph
+        }
+        let mut map = vec![u32::MAX; self.nodes.len()];
+        map[0] = 0;
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let new_from = NodeId(map[id.index()]);
+            let kept_children: Vec<EdgeId> = self
+                .children(id)
+                .filter(|e| marked[self.edges[e.index()].to.index()])
+                .collect();
+            let start = out.edges.len() as u32;
+            for eid in &kept_children {
+                let e = &self.edges[eid.index()];
+                let new_edge = out.push_edge(new_from, e.selection);
+                let child = e.to;
+                let new_child = out.push_node(self.nodes[child.index()].status, new_edge);
+                out.edges[new_edge.index()].to = new_child;
+                out.nodes[new_child.index()].kind = self.nodes[child.index()].kind;
+                map[child.index()] = new_child.0;
+                stack.push(child);
+            }
+            out.nodes[new_from.index()].children = start..out.edges.len() as u32;
+            // Interior nodes that lost all children would be inconsistent,
+            // but marking guarantees every marked interior keeps ≥1 child.
+            if !kept_children.is_empty() {
+                out.nodes[new_from.index()].kind = NodeKind::Interior;
+            }
+        }
+        out
+    }
+}
+
+// Tests live in the explorer module and the crate's integration tests,
+// where graphs are built through the real construction path.

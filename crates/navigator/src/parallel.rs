@@ -1,0 +1,179 @@
+//! Parallel path counting (an extension beyond the paper).
+//!
+//! Learning-path trees are embarrassingly parallel below the first level:
+//! each first-semester selection roots an independent subtree. The parallel
+//! counter expands the root sequentially, deals the first-level children
+//! round-robin to `threads` crossbeam-scoped workers, runs the ordinary
+//! streaming counter on each subtree, and merges counts and statistics.
+//!
+//! Counts are identical to [`Explorer::count_paths`] by construction
+//! (verified by tests); only wall-clock time changes.
+
+use crate::expand::SelectionIter;
+use crate::explorer::{Disposition, Explorer};
+use crate::path::LeafKind;
+use crate::pruning::record_prune;
+use crate::stats::{ExploreStats, PathCounts};
+use crate::status::EnrollmentStatus;
+
+impl Explorer<'_> {
+    /// Counts learning paths using up to `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn count_paths_parallel(&self, threads: usize) -> PathCounts {
+        assert!(threads > 0, "need at least one worker thread");
+        let pruner = self.pruner();
+        let mut root_stats = ExploreStats::default();
+
+        // Handle the root exactly like the sequential engine.
+        let (min_selection, include_empty) = match self.disposition(self.start(), pruner.as_ref()) {
+            Disposition::Leaf(kind) => {
+                return PathCounts {
+                    total_paths: 1,
+                    goal_paths: u128::from(kind == LeafKind::Goal),
+                    stats: root_stats,
+                }
+            }
+            Disposition::Pruned(reason) => {
+                record_prune(&mut root_stats, reason);
+                return PathCounts {
+                    total_paths: 0,
+                    goal_paths: 0,
+                    stats: root_stats,
+                };
+            }
+            Disposition::Expand {
+                min_selection,
+                include_empty,
+            } => (min_selection, include_empty),
+        };
+
+        root_stats.nodes_expanded += 1;
+        let options = *self.start().options();
+        let iter = if include_empty {
+            SelectionIter::with_empty(&options, self.max_per_semester())
+        } else {
+            SelectionIter::new(&options, self.max_per_semester())
+        };
+        let mut children: Vec<EnrollmentStatus> = Vec::new();
+        let mut floor_skipped = 0usize;
+        for selection in iter {
+            if selection.len() < min_selection {
+                floor_skipped += 1;
+                root_stats.pruned_time += 1;
+                continue;
+            }
+            if !self.selection_allowed(self.start(), &selection) {
+                continue;
+            }
+            root_stats.edges_created += 1;
+            children.push(self.start().advance(self.catalog(), &selection));
+        }
+        if children.is_empty() {
+            let total = u128::from(floor_skipped == 0); // filtered-out root = dead end
+            return PathCounts {
+                total_paths: total,
+                goal_paths: 0,
+                stats: root_stats,
+            };
+        }
+
+        // Deal subtrees to workers round-robin and merge their results.
+        let workers = threads.min(children.len());
+        let buckets: Vec<Vec<EnrollmentStatus>> = {
+            let mut buckets = vec![Vec::new(); workers];
+            for (i, child) in children.into_iter().enumerate() {
+                buckets[i % workers].push(child);
+            }
+            buckets
+        };
+        let results: Vec<PathCounts> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        let mut acc = PathCounts::default();
+                        for child in bucket {
+                            let sub = self.restarted(child).count_paths();
+                            acc.total_paths += sub.total_paths;
+                            acc.goal_paths += sub.goal_paths;
+                            acc.stats.merge(&sub.stats);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut out = PathCounts {
+            total_paths: 0,
+            goal_paths: 0,
+            stats: root_stats,
+        };
+        for r in results {
+            out.total_paths += r.total_paths;
+            out.goal_paths += r.goal_paths;
+            out.stats.merge(&r.stats);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::Goal;
+    use coursenav_catalog::{SyntheticCatalog, SyntheticConfig};
+
+    #[test]
+    fn parallel_matches_sequential_deadline() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 3, 2).unwrap();
+        let seq = e.count_paths();
+        for threads in [1, 2, 4] {
+            let par = e.count_paths_parallel(threads);
+            assert_eq!(par.total_paths, seq.total_paths, "threads={threads}");
+            assert_eq!(par.goal_paths, seq.goal_paths);
+            assert_eq!(par.stats, seq.stats, "stats must merge exactly");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_goal() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let seq = e.count_paths();
+        let par = e.count_paths_parallel(4);
+        assert_eq!(par.total_paths, seq.total_paths);
+        assert_eq!(par.goal_paths, seq.goal_paths);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn trivial_root_cases() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        // Deadline == start: single trivial path.
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start, 3).unwrap();
+        let counts = e.count_paths_parallel(4);
+        assert_eq!(counts.total_paths, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_panics() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let e = Explorer::deadline_driven(&synth.catalog, start, synth.start + 1, 1).unwrap();
+        e.count_paths_parallel(0);
+    }
+}

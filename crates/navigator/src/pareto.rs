@@ -1,0 +1,227 @@
+//! Multi-objective path exploration (a "more complex ranking" from the
+//! paper's future work, §6).
+//!
+//! A single ranking forces students to collapse "fast", "easy", and
+//! "reliable" into one number. The Pareto front keeps every goal path that
+//! is not *dominated* — no other path is at least as good on every
+//! objective and strictly better on one — giving the student the actual
+//! trade-off curve (e.g. "4 semesters at 117 h, or 5 semesters at 103 h").
+//!
+//! [`Explorer::pareto_front`] streams the goal paths once, maintaining the
+//! running front; memory is bounded by the front's size, not the path
+//! count. Objectives are any [`Ranking`]s (lower = better).
+
+use std::ops::ControlFlow;
+
+use serde::Serialize;
+
+use crate::error::ExploreError;
+use crate::explorer::Explorer;
+use crate::path::{LeafKind, Path};
+use crate::ranking::Ranking;
+
+/// A goal path with its score under every objective.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParetoPath {
+    /// The representative goal path for this cost point.
+    pub path: Path,
+    /// One cost per objective, in the order passed to
+    /// [`Explorer::pareto_front`].
+    pub costs: Vec<f64>,
+}
+
+/// `a` dominates `b` when it is ≤ everywhere and < somewhere.
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+impl Explorer<'_> {
+    /// The Pareto front of the goal paths under the given objectives
+    /// (each minimized), with **one representative path per distinct
+    /// non-dominated cost point** (many paths tie exactly — e.g. permuting
+    /// which elective lands in which semester; presenting one per point
+    /// keeps the curve readable). Requires a goal; errors otherwise.
+    ///
+    /// Exhaustive over the (pruned) goal-path set — scope the deadline the
+    /// way an interactive front end would. `max_front` caps the front's
+    /// size as a safety valve (`usize::MAX` for no cap); when the cap is
+    /// hit, additional non-dominated paths are dropped and the result is a
+    /// subset of the true front.
+    pub fn pareto_front(
+        &self,
+        objectives: &[&dyn Ranking],
+        max_front: usize,
+    ) -> Result<Vec<ParetoPath>, ExploreError> {
+        if self.goal().is_none() {
+            return Err(ExploreError::InvalidRequest(
+                "the Pareto front is defined over goal paths".into(),
+            ));
+        }
+        if objectives.is_empty() {
+            return Err(ExploreError::InvalidRequest(
+                "need at least one objective".into(),
+            ));
+        }
+        let mut front: Vec<ParetoPath> = Vec::new();
+        self.visit_paths(|visit| {
+            if visit.kind != LeafKind::Goal {
+                return ControlFlow::Continue(());
+            }
+            let path = visit.to_path();
+            let costs: Vec<f64> = objectives
+                .iter()
+                .map(|r| r.path_cost(self.catalog(), &path))
+                .collect();
+            if front
+                .iter()
+                .any(|p| p.costs == costs || dominates(&p.costs, &costs))
+            {
+                return ControlFlow::Continue(());
+            }
+            front.retain(|p| !dominates(&costs, &p.costs));
+            if front.len() < max_front {
+                front.push(ParetoPath { path, costs });
+            }
+            ControlFlow::Continue(())
+        });
+        // Deterministic presentation: sort by the first objective, then the rest.
+        front.sort_by(|a, b| {
+            a.costs
+                .iter()
+                .zip(&b.costs)
+                .map(|(x, y)| x.partial_cmp(y).expect("finite costs"))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::Goal;
+    use crate::ranking::{TimeRanking, WorkloadRanking};
+    use crate::status::EnrollmentStatus;
+    use coursenav_catalog::{SyntheticCatalog, SyntheticConfig};
+
+    fn explorer(s: &SyntheticCatalog) -> Explorer<'_> {
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        Explorer::goal_driven(
+            &s.catalog,
+            start,
+            s.start + 4,
+            3,
+            Goal::degree(s.degree.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn front_has_distinct_cost_points() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let front = e
+            .pareto_front(&[&TimeRanking, &WorkloadRanking], usize::MAX)
+            .unwrap();
+        for (i, a) in front.iter().enumerate() {
+            for b in &front[i + 1..] {
+                assert_ne!(a.costs, b.costs, "duplicate cost point");
+            }
+        }
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let front = e
+            .pareto_front(&[&TimeRanking, &WorkloadRanking], usize::MAX)
+            .unwrap();
+        assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !dominates(&a.costs, &b.costs),
+                        "{:?} dominates {:?}",
+                        a.costs,
+                        b.costs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_dominates_every_goal_path() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let objectives: [&dyn Ranking; 2] = [&TimeRanking, &WorkloadRanking];
+        let front = e.pareto_front(&objectives, usize::MAX).unwrap();
+        for path in e.collect_goal_paths() {
+            let costs: Vec<f64> = objectives
+                .iter()
+                .map(|r| r.path_cost(&s.catalog, &path))
+                .collect();
+            let covered = front
+                .iter()
+                .any(|p| p.costs == costs || dominates(&p.costs, &costs));
+            assert!(
+                covered,
+                "path with costs {costs:?} not covered by the front"
+            );
+        }
+    }
+
+    #[test]
+    fn single_objective_front_is_the_optimum() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let front = e.pareto_front(&[&TimeRanking], usize::MAX).unwrap();
+        let best = e.top_k(&TimeRanking, 1).unwrap()[0].cost;
+        assert!(front.iter().all(|p| p.costs[0] == best));
+    }
+
+    #[test]
+    fn front_includes_both_extremes() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let front = e
+            .pareto_front(&[&TimeRanking, &WorkloadRanking], usize::MAX)
+            .unwrap();
+        let best_time = e.top_k(&TimeRanking, 1).unwrap()[0].cost;
+        let best_work = e.top_k(&WorkloadRanking, 1).unwrap()[0].cost;
+        assert!(front.iter().any(|p| p.costs[0] == best_time));
+        assert!(front.iter().any(|p| p.costs[1] == best_work));
+    }
+
+    #[test]
+    fn requires_goal_and_objectives() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let no_goal = Explorer::deadline_driven(&s.catalog, start, s.start + 2, 2).unwrap();
+        assert!(no_goal.pareto_front(&[&TimeRanking], 10).is_err());
+        let e = explorer(&s);
+        assert!(e.pareto_front(&[], 10).is_err());
+    }
+
+    #[test]
+    fn max_front_caps_size() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let e = explorer(&s);
+        let capped = e
+            .pareto_front(&[&TimeRanking, &WorkloadRanking], 1)
+            .unwrap();
+        assert!(capped.len() <= 1);
+    }
+}

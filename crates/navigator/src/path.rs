@@ -1,0 +1,233 @@
+//! Learning paths — root-to-leaf chains of enrollment statuses.
+
+use coursenav_catalog::{Catalog, CourseSet, Semester};
+use serde::{Deserialize, Serialize};
+
+use crate::status::EnrollmentStatus;
+
+/// How a path ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeafKind {
+    /// The leaf sits in the end semester `d` (Algorithm 1 line 5).
+    Deadline,
+    /// The completed set satisfies the goal requirement (§4.2.3) — only in
+    /// goal-driven runs.
+    Goal,
+    /// No selections were possible and waiting could not help.
+    DeadEnd,
+}
+
+/// A borrowed view of the current root-to-leaf path handed to streaming
+/// visitors. Zero-copy: the slices alias the DFS stack.
+#[derive(Debug, Clone, Copy)]
+pub struct PathVisit<'a> {
+    /// Statuses from root to leaf (`k+1` nodes for `k` transitions).
+    pub statuses: &'a [EnrollmentStatus],
+    /// Selections between consecutive statuses (`k` entries).
+    pub selections: &'a [CourseSet],
+    /// Why the path ended.
+    pub kind: LeafKind,
+}
+
+impl PathVisit<'_> {
+    /// Materializes an owned [`Path`].
+    pub fn to_path(&self) -> Path {
+        Path {
+            statuses: self.statuses.to_vec(),
+            selections: self.selections.to_vec(),
+        }
+    }
+
+    /// The leaf status.
+    pub fn leaf(&self) -> &EnrollmentStatus {
+        self.statuses.last().expect("paths have at least a root")
+    }
+}
+
+/// An owned learning path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    statuses: Vec<EnrollmentStatus>,
+    selections: Vec<CourseSet>,
+}
+
+impl Path {
+    /// Builds a path from its statuses and the selections between them.
+    ///
+    /// # Panics
+    /// Panics unless `statuses.len() == selections.len() + 1` and
+    /// `statuses` is nonempty.
+    pub fn new(statuses: Vec<EnrollmentStatus>, selections: Vec<CourseSet>) -> Path {
+        assert!(
+            !statuses.is_empty() && statuses.len() == selections.len() + 1,
+            "a path is k+1 statuses joined by k selections"
+        );
+        Path {
+            statuses,
+            selections,
+        }
+    }
+
+    /// Statuses from root to leaf.
+    pub fn statuses(&self) -> &[EnrollmentStatus] {
+        &self.statuses
+    }
+
+    /// Selections between consecutive statuses.
+    pub fn selections(&self) -> &[CourseSet] {
+        &self.selections
+    }
+
+    /// The starting status.
+    pub fn start(&self) -> &EnrollmentStatus {
+        &self.statuses[0]
+    }
+
+    /// The final status.
+    pub fn end(&self) -> &EnrollmentStatus {
+        self.statuses.last().expect("paths are nonempty")
+    }
+
+    /// Number of semester transitions (the paper's time-based path cost).
+    pub fn len(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Whether the path has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.selections.is_empty()
+    }
+
+    /// All courses elected along the path.
+    pub fn courses_taken(&self) -> CourseSet {
+        let mut set = CourseSet::EMPTY;
+        for sel in &self.selections {
+            set.union_with(sel);
+        }
+        set
+    }
+
+    /// Total workload (Σ per-course hours) — the workload-based path cost.
+    pub fn total_workload(&self, catalog: &Catalog) -> f64 {
+        self.selections
+            .iter()
+            .flat_map(|sel| sel.iter())
+            .map(|id| catalog.course(id).workload())
+            .sum()
+    }
+
+    /// The semesters the path spans, start through leaf inclusive.
+    pub fn semesters(&self) -> impl Iterator<Item = Semester> + '_ {
+        self.statuses.iter().map(|s| s.semester())
+    }
+
+    /// Checks internal consistency against a catalog: every selection is
+    /// drawn from the predecessor's options, sizes respect `m`, and each
+    /// status follows from the previous one by the transition rule. Used by
+    /// tests and the transcript containment experiment.
+    pub fn validate(&self, catalog: &Catalog, max_per_semester: usize) -> Result<(), String> {
+        for (i, sel) in self.selections.iter().enumerate() {
+            let from = &self.statuses[i];
+            let to = &self.statuses[i + 1];
+            if !sel.is_subset(from.options()) {
+                return Err(format!("selection {i} not a subset of options"));
+            }
+            if sel.len() > max_per_semester {
+                return Err(format!("selection {i} exceeds {max_per_semester} courses"));
+            }
+            let expected = from.advance(catalog, sel);
+            if expected != *to {
+                return Err(format!("status {} does not follow from status {i}", i + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseSpec, Term};
+
+    fn catalog() -> Catalog {
+        let fall11 = Semester::new(2011, Term::Fall);
+        let spring12 = Semester::new(2012, Term::Spring);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("A", "A").offered([fall11]).workload(8.0));
+        b.add_course(
+            CourseSpec::new("B", "B")
+                .offered([fall11, spring12])
+                .workload(4.0),
+        );
+        b.build().unwrap()
+    }
+
+    fn two_step_path(cat: &Catalog) -> Path {
+        let fall11 = Semester::new(2011, Term::Fall);
+        let n1 = EnrollmentStatus::fresh(cat, fall11);
+        let sel1 = CourseSet::from_iter([cat.id_of_str("A").unwrap()]);
+        let n2 = n1.advance(cat, &sel1);
+        let sel2 = CourseSet::from_iter([cat.id_of_str("B").unwrap()]);
+        let n3 = n2.advance(cat, &sel2);
+        Path::new(vec![n1, n2, n3], vec![sel1, sel2])
+    }
+
+    #[test]
+    fn accessors_and_lengths() {
+        let cat = catalog();
+        let p = two_step_path(&cat);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.start().semester(), Semester::new(2011, Term::Fall));
+        assert_eq!(p.end().semester(), Semester::new(2012, Term::Fall));
+        assert_eq!(p.semesters().count(), 3);
+    }
+
+    #[test]
+    fn courses_taken_unions_selections() {
+        let cat = catalog();
+        let p = two_step_path(&cat);
+        assert_eq!(p.courses_taken().len(), 2);
+    }
+
+    #[test]
+    fn total_workload_sums_courses() {
+        let cat = catalog();
+        let p = two_step_path(&cat);
+        assert_eq!(p.total_workload(&cat), 12.0);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_paths() {
+        let cat = catalog();
+        let p = two_step_path(&cat);
+        assert_eq!(p.validate(&cat, 3), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_m_violation() {
+        let cat = catalog();
+        let p = two_step_path(&cat);
+        assert!(p.validate(&cat, 0).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_foreign_selection() {
+        let cat = catalog();
+        let fall11 = Semester::new(2011, Term::Fall);
+        let n1 = EnrollmentStatus::fresh(&cat, fall11);
+        // Claim we took B... but with a mismatched successor status.
+        let sel = CourseSet::from_iter([cat.id_of_str("B").unwrap()]);
+        let wrong_next = EnrollmentStatus::fresh(&cat, fall11.next());
+        let p = Path::new(vec![n1, wrong_next], vec![sel]);
+        assert!(p.validate(&cat, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k+1 statuses")]
+    fn mismatched_lengths_panic() {
+        let cat = catalog();
+        let n1 = EnrollmentStatus::fresh(&cat, Semester::new(2011, Term::Fall));
+        let _ = Path::new(vec![n1], vec![CourseSet::EMPTY]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Algorithm 3: ranked top-k learning paths via best-first search (§4.3.2).
+//!
+//! "Each time we generate a new node and new edge we calculate the cost of
+//! the new path … we explore first its outgoing edge with the lowest cost.
+//! If the edge ends with a goal node, we store the path … we stop the
+//! exploration when k paths have been generated."
+//!
+//! Implementation: a min-heap over frontier nodes keyed by accumulated path
+//! cost (ties broken by insertion order for determinism). Because every
+//! [`Ranking`] cost is non-negative, path costs are monotone along any
+//! path, so nodes pop in globally non-decreasing cost order and the first
+//! `k` goal nodes popped are exactly the top-k paths — the paper's Lemma 2.
+//! The search reuses the goal-driven pruning strategies, so hopeless
+//! branches never enter the heap.
+//!
+//! [`Explorer::top_k_by_enumeration`] is the brute-force baseline
+//! (enumerate all goal paths, sort, truncate), kept as the ablation
+//! comparator and the correctness oracle in tests.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use coursenav_catalog::CourseSet;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExploreError;
+use crate::expand::SelectionIter;
+use crate::explorer::{Disposition, Explorer};
+use crate::path::{LeafKind, Path};
+use crate::pruning::record_prune;
+use crate::ranking::Ranking;
+use crate::stats::ExploreStats;
+use crate::status::EnrollmentStatus;
+
+/// A goal path together with its cost under the requested ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedPath {
+    /// The goal path.
+    pub path: Path,
+    /// Its accumulated cost under the requested ranking.
+    pub cost: f64,
+}
+
+/// Arena node of the best-first search tree. Path costs live in the heap
+/// entries; the arena only needs enough to reconstruct paths.
+struct SearchNode {
+    status: EnrollmentStatus,
+    parent: Option<(u32, CourseSet)>,
+}
+
+/// Heap entry: minimal priority first, then FIFO by insertion sequence.
+/// `priority` is the accumulated cost `g` for plain best-first, or
+/// `g + h` when an A* heuristic is active; `cost` is always `g`.
+struct HeapEntry {
+    priority: f64,
+    cost: f64,
+    seq: u64,
+    node: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the *lowest* priority pops first.
+        other
+            .priority
+            .partial_cmp(&self.priority)
+            .expect("costs are finite by Ranking's contract")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Explorer<'_> {
+    /// The top-`k` goal paths under `ranking`, lowest cost first.
+    ///
+    /// Requires a goal (Algorithm 3 ranks goal-driven paths); errors with
+    /// [`ExploreError::InvalidRequest`] otherwise.
+    pub fn top_k(&self, ranking: &dyn Ranking, k: usize) -> Result<Vec<RankedPath>, ExploreError> {
+        self.top_k_with_stats(ranking, k).map(|(paths, _)| paths)
+    }
+
+    /// [`Explorer::top_k`] plus the run's exploration statistics.
+    pub fn top_k_with_stats(
+        &self,
+        ranking: &dyn Ranking,
+        k: usize,
+    ) -> Result<(Vec<RankedPath>, ExploreStats), ExploreError> {
+        self.ranked_search(ranking, None, k)
+    }
+
+    /// The shared best-first / A* engine behind [`Explorer::top_k`] and
+    /// [`Explorer::top_k_astar`].
+    pub(crate) fn ranked_search(
+        &self,
+        ranking: &dyn Ranking,
+        heuristic: Option<&dyn crate::astar::RemainingCostHeuristic>,
+        k: usize,
+    ) -> Result<(Vec<RankedPath>, ExploreStats), ExploreError> {
+        let Some(goal) = self.goal() else {
+            return Err(ExploreError::InvalidRequest(
+                "top-k ranking requires a goal-driven exploration".into(),
+            ));
+        };
+        let h = |status: &EnrollmentStatus| -> f64 {
+            match heuristic {
+                Some(h) => {
+                    let bound = h.lower_bound(self.catalog(), goal, status);
+                    debug_assert!(
+                        bound.is_finite() && bound >= 0.0,
+                        "{} produced invalid lower bound {bound}",
+                        h.name()
+                    );
+                    bound
+                }
+                None => 0.0,
+            }
+        };
+        let pruner = self.pruner();
+        let mut stats = ExploreStats::default();
+        let mut arena: Vec<SearchNode> = vec![SearchNode {
+            status: *self.start(),
+            parent: None,
+        }];
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(HeapEntry {
+            priority: h(self.start()),
+            cost: 0.0,
+            seq,
+            node: 0,
+        });
+        let mut out: Vec<RankedPath> = Vec::with_capacity(k.min(1024));
+
+        while let Some(entry) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            let status = arena[entry.node as usize].status;
+            match self.disposition(&status, pruner.as_ref()) {
+                Disposition::Leaf(LeafKind::Goal) => {
+                    out.push(RankedPath {
+                        path: self.reconstruct(&arena, entry.node),
+                        cost: entry.cost,
+                    });
+                }
+                Disposition::Leaf(_) => {} // non-goal leaf: discard
+                Disposition::Pruned(reason) => record_prune(&mut stats, reason),
+                Disposition::Expand {
+                    min_selection,
+                    include_empty,
+                } => {
+                    stats.nodes_expanded += 1;
+                    let options = *status.options();
+                    let iter = if include_empty {
+                        SelectionIter::with_empty(&options, self.max_per_semester())
+                    } else {
+                        SelectionIter::new(&options, self.max_per_semester())
+                    };
+                    for selection in iter {
+                        if selection.len() < min_selection {
+                            stats.pruned_time += 1;
+                            continue;
+                        }
+                        if !self.selection_allowed(&status, &selection) {
+                            continue;
+                        }
+                        let edge_cost = ranking.edge_cost(self.catalog(), &status, &selection);
+                        debug_assert!(
+                            edge_cost.is_finite() && edge_cost >= 0.0,
+                            "{} produced invalid edge cost {edge_cost}",
+                            ranking.name()
+                        );
+                        stats.edges_created += 1;
+                        let child_cost = entry.cost + edge_cost;
+                        let child_status = status.advance(self.catalog(), &selection);
+                        let child = arena.len() as u32;
+                        arena.push(SearchNode {
+                            status: child_status,
+                            parent: Some((entry.node, selection)),
+                        });
+                        seq += 1;
+                        let child_status_ref = &arena[child as usize].status;
+                        heap.push(HeapEntry {
+                            priority: child_cost + h(child_status_ref),
+                            cost: child_cost,
+                            seq,
+                            node: child,
+                        });
+                    }
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Baseline: enumerate every goal path, rank, and truncate to `k`.
+    /// Exponentially more work than [`Explorer::top_k`]; used as the
+    /// correctness oracle and the ablation comparator.
+    pub fn top_k_by_enumeration(
+        &self,
+        ranking: &dyn Ranking,
+        k: usize,
+    ) -> Result<Vec<RankedPath>, ExploreError> {
+        if self.goal().is_none() {
+            return Err(ExploreError::InvalidRequest(
+                "top-k ranking requires a goal-driven exploration".into(),
+            ));
+        }
+        let mut ranked: Vec<RankedPath> = self
+            .collect_goal_paths()
+            .into_iter()
+            .map(|path| RankedPath {
+                cost: ranking.path_cost(self.catalog(), &path),
+                path,
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    fn reconstruct(&self, arena: &[SearchNode], leaf: u32) -> Path {
+        let mut statuses = Vec::new();
+        let mut selections = Vec::new();
+        let mut cursor = leaf;
+        loop {
+            let node = &arena[cursor as usize];
+            statuses.push(node.status);
+            match node.parent {
+                Some((parent, selection)) => {
+                    selections.push(selection);
+                    cursor = parent;
+                }
+                None => break,
+            }
+        }
+        statuses.reverse();
+        selections.reverse();
+        Path::new(statuses, selections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::Goal;
+    use crate::ranking::{TimeRanking, WorkloadRanking};
+    use coursenav_catalog::{
+        Catalog, CatalogBuilder, CourseSpec, Semester, SyntheticCatalog, SyntheticConfig, Term,
+    };
+    use coursenav_prereq::Expr;
+
+    fn fall(y: i32) -> Semester {
+        Semester::new(y, Term::Fall)
+    }
+
+    fn fig3() -> Catalog {
+        let spring12 = Semester::new(2012, Term::Spring);
+        let mut b = CatalogBuilder::new();
+        b.add_course(
+            CourseSpec::new("11A", "A")
+                .offered([fall(2011), fall(2012)])
+                .workload(8.0),
+        );
+        b.add_course(
+            CourseSpec::new("29A", "B")
+                .offered([fall(2011), fall(2012)])
+                .workload(6.0),
+        );
+        b.add_course(
+            CourseSpec::new("21A", "C")
+                .prereq(Expr::Atom("11A".into()))
+                .offered([spring12])
+                .workload(10.0),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paper_top1_shortest_path_example() {
+        // §4.3.2's walkthrough: goal = all three courses, time ranking,
+        // k = 1 → the 2-semester path through n3.
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let goal = Goal::complete_all(cat.all_courses());
+        let e =
+            Explorer::goal_driven(&cat, start, Semester::new(2013, Term::Spring), 3, goal).unwrap();
+        let top = e.top_k(&TimeRanking, 1).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].cost, 2.0);
+        assert_eq!(top[0].path.len(), 2);
+        assert_eq!(top[0].path.courses_taken().len(), 3);
+    }
+
+    #[test]
+    fn top_k_matches_enumeration_costs() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        for k in [1usize, 5, 20] {
+            let fast = e.top_k(&TimeRanking, k).unwrap();
+            let slow = e.top_k_by_enumeration(&TimeRanking, k).unwrap();
+            assert_eq!(fast.len(), slow.len(), "k={k}");
+            let fast_costs: Vec<f64> = fast.iter().map(|p| p.cost).collect();
+            let slow_costs: Vec<f64> = slow.iter().map(|p| p.cost).collect();
+            assert_eq!(fast_costs, slow_costs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_workload_matches_enumeration() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let fast = e.top_k(&WorkloadRanking, 10).unwrap();
+        let slow = e.top_k_by_enumeration(&WorkloadRanking, 10).unwrap();
+        let fast_costs: Vec<f64> = fast.iter().map(|p| p.cost).collect();
+        let slow_costs: Vec<f64> = slow.iter().map(|p| p.cost).collect();
+        assert_eq!(fast_costs, slow_costs);
+    }
+
+    #[test]
+    fn costs_are_nondecreasing() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let top = e.top_k(&WorkloadRanking, 25).unwrap();
+        for pair in top.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+    }
+
+    #[test]
+    fn returned_paths_satisfy_goal_and_validate() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        for rp in e.top_k(&TimeRanking, 10).unwrap() {
+            rp.path.validate(&synth.catalog, 3).unwrap();
+            assert!(synth.degree.satisfied(rp.path.end().completed()));
+            let recomputed = TimeRanking.path_cost(&synth.catalog, &rp.path);
+            assert!((recomputed - rp.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let goal = Goal::complete_all(cat.all_courses());
+        let e = Explorer::goal_driven(&cat, start, fall(2012), 3, goal).unwrap();
+        let all_goal = e.collect_goal_paths().len();
+        let top = e.top_k(&TimeRanking, 1000).unwrap();
+        assert_eq!(top.len(), all_goal);
+    }
+
+    #[test]
+    fn top_k_without_goal_is_rejected() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let e = Explorer::deadline_driven(&cat, start, fall(2012), 3).unwrap();
+        assert!(matches!(
+            e.top_k(&TimeRanking, 5),
+            Err(ExploreError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let goal = Goal::complete_all(cat.all_courses());
+        let e = Explorer::goal_driven(&cat, start, fall(2012), 3, goal).unwrap();
+        assert!(e.top_k(&TimeRanking, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn best_first_explores_fewer_nodes_than_enumeration() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let (_, stats) = e.top_k_with_stats(&TimeRanking, 1).unwrap();
+        let full = e.count_paths();
+        assert!(
+            stats.nodes_expanded <= full.stats.nodes_expanded,
+            "best-first ({}) must not expand more than exhaustive ({})",
+            stats.nodes_expanded,
+            full.stats.nodes_expanded
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! The front-end exploration request (§3, Fig. 2).
+//!
+//! "Initially, the student provides the exploration parameters through the
+//! front-end interface. These parameters include the student's enrollment
+//! status and his desired exploration goal (e.g., graduation semester, a
+//! set of desired courses), constraints (e.g., maximum number of courses to
+//! take per semester, courses to avoid), and preferred ranking for the
+//! output learning paths (e.g., shortest)."
+//!
+//! [`ExplorationRequest`] is that parameter bundle, fully serializable so a
+//! web front end can POST it as JSON. Course references are *codes* (the
+//! student-facing vocabulary); [`crate::service::NavigatorService`] resolves
+//! them against its catalog and builds the corresponding [`crate::Explorer`].
+
+use coursenav_catalog::Semester;
+use serde::{Deserialize, Serialize};
+
+use crate::expand::WaitPolicy;
+use crate::pruning::PruneConfig;
+
+/// The student's desired exploration goal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum GoalSpec {
+    /// Complete every listed course (by code).
+    CompleteAll(Vec<String>),
+    /// Satisfy a boolean expression over course codes, in the registrar
+    /// grammar: `"COSI 21A and (COSI 29A or COSI 12B)"`.
+    Expression(String),
+    /// Satisfy the degree requirement the service was configured with
+    /// (e.g. "the CS major").
+    Degree,
+}
+
+/// The student's preferred ranking for the output paths (§4.3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum RankingSpec {
+    /// Fewest semesters to the goal.
+    Time,
+    /// Lightest total workload.
+    Workload,
+    /// Highest probability that every elected course is actually offered.
+    Reliability,
+    /// A non-negative weighted combination of other rankings.
+    Weighted(Vec<(f64, RankingSpec)>),
+}
+
+/// What the exploration should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum OutputMode {
+    /// Path counts and statistics only (scales to any horizon).
+    Count,
+    /// Materialize up to `limit` paths (front ends cannot render millions).
+    Collect {
+        /// Maximum number of paths to return.
+        limit: usize,
+    },
+    /// The top-`k` paths under [`ExplorationRequest::ranking`].
+    TopK {
+        /// How many top paths to return.
+        k: usize,
+    },
+}
+
+/// One complete exploration request from the front end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct ExplorationRequest {
+    /// The student's current semester.
+    pub start_semester: Semester,
+    /// Courses already completed, by code.
+    #[serde(default)]
+    pub completed: Vec<String>,
+    /// The end semester `d` of the exploration.
+    pub deadline: Semester,
+    /// Maximum number of courses per semester (`m`).
+    pub max_per_semester: usize,
+    /// Exploration goal; `None` runs deadline-driven exploration (§4.1).
+    #[serde(default)]
+    pub goal: Option<GoalSpec>,
+    /// Courses the student refuses to take, by code (§3 "courses to avoid").
+    #[serde(default)]
+    pub avoid: Vec<String>,
+    /// Cap on any single semester's summed weekly workload hours.
+    #[serde(default)]
+    pub max_semester_workload: Option<f64>,
+    /// Wait-semester semantics; defaults to the paper's.
+    #[serde(default)]
+    pub wait_policy: WaitPolicy,
+    /// Pruning configuration for goal-driven runs; defaults to both
+    /// strategies on, as in §4.2.
+    #[serde(default)]
+    pub pruning: PruneConfig,
+    /// Ranking for `TopK` output.
+    #[serde(default)]
+    pub ranking: Option<RankingSpec>,
+    /// What to produce.
+    pub output: OutputMode,
+}
+
+impl ExplorationRequest {
+    /// A minimal deadline-driven counting request.
+    pub fn deadline_count(
+        start_semester: Semester,
+        deadline: Semester,
+        max_per_semester: usize,
+    ) -> ExplorationRequest {
+        ExplorationRequest {
+            start_semester,
+            completed: Vec::new(),
+            deadline,
+            max_per_semester,
+            goal: None,
+            avoid: Vec::new(),
+            max_semester_workload: None,
+            wait_policy: WaitPolicy::default(),
+            pruning: PruneConfig::all(),
+            ranking: None,
+            output: OutputMode::Count,
+        }
+    }
+
+    /// A goal-driven request with the service's degree requirement.
+    pub fn degree_paths(
+        start_semester: Semester,
+        deadline: Semester,
+        max_per_semester: usize,
+        output: OutputMode,
+    ) -> ExplorationRequest {
+        ExplorationRequest {
+            goal: Some(GoalSpec::Degree),
+            output,
+            ..ExplorationRequest::deadline_count(start_semester, deadline, max_per_semester)
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<ExplorationRequest> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::Term;
+
+    fn fall(y: i32) -> Semester {
+        Semester::new(y, Term::Fall)
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = ExplorationRequest {
+            start_semester: fall(2012),
+            completed: vec!["COSI 10A".into()],
+            deadline: fall(2015),
+            max_per_semester: 3,
+            goal: Some(GoalSpec::Expression("COSI 21A and COSI 29A".into())),
+            avoid: vec!["COSI 2A".into()],
+            max_semester_workload: Some(30.0),
+            wait_policy: WaitPolicy::WhenNoOptions,
+            pruning: PruneConfig::time_only(),
+            ranking: Some(RankingSpec::Weighted(vec![
+                (3.0, RankingSpec::Time),
+                (0.1, RankingSpec::Workload),
+            ])),
+            output: OutputMode::TopK { k: 10 },
+        };
+        let json = req.to_json().unwrap();
+        let back = ExplorationRequest::from_json(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn optional_fields_default_from_minimal_json() {
+        let json = r#"{
+            "start-semester": "Fall 2012",
+            "deadline": "Spring 2014",
+            "max-per-semester": 3,
+            "output": "count"
+        }"#;
+        let req = ExplorationRequest::from_json(json).unwrap();
+        assert!(req.completed.is_empty());
+        assert!(req.goal.is_none());
+        assert_eq!(req.wait_policy, WaitPolicy::WhenNoOptions);
+        assert_eq!(req.pruning, PruneConfig::all());
+        assert_eq!(req.output, OutputMode::Count);
+    }
+
+    #[test]
+    fn constructors_fill_defaults() {
+        let req = ExplorationRequest::deadline_count(fall(2012), fall(2013), 3);
+        assert_eq!(req.output, OutputMode::Count);
+        assert!(req.goal.is_none());
+        let req =
+            ExplorationRequest::degree_paths(fall(2012), fall(2013), 3, OutputMode::TopK { k: 5 });
+        assert_eq!(req.goal, Some(GoalSpec::Degree));
+    }
+}

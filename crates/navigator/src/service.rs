@@ -1,0 +1,465 @@
+//! The CourseNavigator service: request in, learning paths out (§3).
+//!
+//! [`NavigatorService`] is the back-end entry point of the paper's system
+//! model: configured once with the registrar-derived data (catalog, degree
+//! requirement, offering history), it accepts front-end
+//! [`ExplorationRequest`]s, resolves course codes, builds the matching
+//! [`Explorer`], dispatches to the right algorithm, and returns a
+//! serializable [`ExplorationResponse`] for the Learning Path Visualizer.
+
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::Instant;
+
+use coursenav_catalog::{Catalog, CourseCode, CourseSet, DegreeRequirement, OfferingModel};
+use coursenav_prereq::parse_expr;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ExploreError;
+use crate::explorer::Explorer;
+use crate::filter::{AvoidCourses, MaxSemesterWorkload};
+use crate::goal::Goal;
+use crate::path::{LeafKind, Path};
+use crate::ranked::RankedPath;
+use crate::ranking::{Ranking, ReliabilityRanking, TimeRanking, WeightedRanking, WorkloadRanking};
+use crate::request::{ExplorationRequest, GoalSpec, OutputMode, RankingSpec};
+use crate::stats::{ExploreStats, PathCounts};
+use crate::status::EnrollmentStatus;
+
+/// Error raised while servicing a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A course code in the request is not in the catalog.
+    UnknownCourse(String),
+    /// The goal expression failed to parse or referenced unknown courses.
+    BadGoalExpression(String),
+    /// `GoalSpec::Degree` was requested but the service has no degree rule.
+    NoDegreeConfigured,
+    /// `RankingSpec::Reliability` was requested but the service has no
+    /// offering history.
+    NoOfferingModelConfigured,
+    /// `OutputMode::TopK` without a ranking, or a malformed weighted spec.
+    BadRanking(String),
+    /// The underlying exploration request was invalid.
+    Explore(ExploreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownCourse(code) => write!(f, "unknown course {code:?}"),
+            ServiceError::BadGoalExpression(msg) => write!(f, "bad goal expression: {msg}"),
+            ServiceError::NoDegreeConfigured => {
+                write!(f, "request asks for the degree goal but none is configured")
+            }
+            ServiceError::NoOfferingModelConfigured => {
+                write!(f, "reliability ranking requires offering history")
+            }
+            ServiceError::BadRanking(msg) => write!(f, "bad ranking: {msg}"),
+            ServiceError::Explore(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ExploreError> for ServiceError {
+    fn from(err: ExploreError) -> ServiceError {
+        ServiceError::Explore(err)
+    }
+}
+
+/// The service's answer, ready for the visualizer (serializable).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ExplorationResponse {
+    /// `OutputMode::Count` result.
+    Counts {
+        /// Maximal paths explored.
+        total_paths: u128,
+        /// Goal-satisfying paths found.
+        goal_paths: u128,
+        /// Exploration counters.
+        stats: ExploreStats,
+        /// Wall-clock time spent servicing the request.
+        millis: u128,
+    },
+    /// `OutputMode::Collect` result: up to `limit` paths plus whether more
+    /// exist beyond the limit.
+    Paths {
+        /// The materialized paths (goal paths for goal-driven runs).
+        paths: Vec<Path>,
+        /// Whether more paths exist beyond the requested limit.
+        truncated: bool,
+        /// Wall-clock time spent servicing the request.
+        millis: u128,
+    },
+    /// `OutputMode::TopK` result, lowest cost first.
+    Ranked {
+        /// Name of the ranking that ordered the paths.
+        ranking: String,
+        /// The top-k paths, lowest cost first.
+        paths: Vec<RankedPath>,
+        /// Wall-clock time spent servicing the request.
+        millis: u128,
+    },
+}
+
+/// The configured back end.
+pub struct NavigatorService<'a> {
+    catalog: &'a Catalog,
+    degree: Option<&'a DegreeRequirement>,
+    offering: Option<&'a OfferingModel>,
+}
+
+impl<'a> NavigatorService<'a> {
+    /// A service over a catalog alone (no degree rule, no history).
+    pub fn new(catalog: &'a Catalog) -> NavigatorService<'a> {
+        NavigatorService {
+            catalog,
+            degree: None,
+            offering: None,
+        }
+    }
+
+    /// Configures the degree requirement behind [`GoalSpec::Degree`].
+    pub fn with_degree(mut self, degree: &'a DegreeRequirement) -> Self {
+        self.degree = Some(degree);
+        self
+    }
+
+    /// Configures the offering history behind [`RankingSpec::Reliability`].
+    pub fn with_offering_model(mut self, offering: &'a OfferingModel) -> Self {
+        self.offering = Some(offering);
+        self
+    }
+
+    fn resolve_codes(&self, codes: &[String]) -> Result<CourseSet, ServiceError> {
+        codes
+            .iter()
+            .map(|raw| {
+                self.catalog
+                    .id_of(&CourseCode::new(raw))
+                    .ok_or_else(|| ServiceError::UnknownCourse(raw.clone()))
+            })
+            .collect()
+    }
+
+    fn resolve_goal(&self, spec: &GoalSpec) -> Result<Goal, ServiceError> {
+        match spec {
+            GoalSpec::CompleteAll(codes) => Ok(Goal::complete_all(self.resolve_codes(codes)?)),
+            GoalSpec::Expression(text) => {
+                let expr = parse_expr(text, |name| self.catalog.id_of_str(name))
+                    .map_err(|e| ServiceError::BadGoalExpression(e.to_string()))?;
+                Ok(Goal::courses(expr))
+            }
+            GoalSpec::Degree => self
+                .degree
+                .map(|d| Goal::degree(d.clone()))
+                .ok_or(ServiceError::NoDegreeConfigured),
+        }
+    }
+
+    fn resolve_ranking(&self, spec: &RankingSpec) -> Result<Arc<dyn Ranking + 'a>, ServiceError> {
+        match spec {
+            RankingSpec::Time => Ok(Arc::new(TimeRanking)),
+            RankingSpec::Workload => Ok(Arc::new(WorkloadRanking)),
+            RankingSpec::Reliability => {
+                let model = self
+                    .offering
+                    .ok_or(ServiceError::NoOfferingModelConfigured)?;
+                Ok(Arc::new(ReliabilityRanking::new(model)))
+            }
+            RankingSpec::Weighted(parts) => {
+                if parts.is_empty() {
+                    return Err(ServiceError::BadRanking("empty weighted ranking".into()));
+                }
+                let mut combined = WeightedRanking::new();
+                for (weight, inner) in parts {
+                    if !weight.is_finite() || *weight < 0.0 {
+                        return Err(ServiceError::BadRanking(format!(
+                            "weight {weight} must be finite and non-negative"
+                        )));
+                    }
+                    let inner: Arc<dyn Ranking + 'a> = self.resolve_ranking(inner)?;
+                    combined = combined.with(*weight, inner);
+                }
+                Ok(Arc::new(combined))
+            }
+        }
+    }
+
+    /// Builds the [`Explorer`] a request describes without running it —
+    /// useful when the caller wants streaming access.
+    pub fn build_explorer(&self, req: &ExplorationRequest) -> Result<Explorer<'a>, ServiceError> {
+        let completed = self.resolve_codes(&req.completed)?;
+        let start = EnrollmentStatus::new(self.catalog, req.start_semester, completed);
+        let mut explorer = match &req.goal {
+            None => {
+                Explorer::deadline_driven(self.catalog, start, req.deadline, req.max_per_semester)?
+            }
+            Some(spec) => {
+                let goal = self.resolve_goal(spec)?;
+                Explorer::goal_driven(
+                    self.catalog,
+                    start,
+                    req.deadline,
+                    req.max_per_semester,
+                    goal,
+                )?
+                .with_prune(req.pruning)
+            }
+        };
+        explorer = explorer.with_wait_policy(req.wait_policy);
+        if !req.avoid.is_empty() {
+            let avoid = self.resolve_codes(&req.avoid)?;
+            explorer = explorer.with_filter(Arc::new(AvoidCourses(avoid)));
+        }
+        if let Some(cap) = req.max_semester_workload {
+            explorer = explorer.with_filter(Arc::new(MaxSemesterWorkload(cap)));
+        }
+        Ok(explorer)
+    }
+
+    /// Services one request end to end.
+    pub fn run(&self, req: &ExplorationRequest) -> Result<ExplorationResponse, ServiceError> {
+        let explorer = self.build_explorer(req)?;
+        let t0 = Instant::now();
+        match req.output {
+            OutputMode::Count => {
+                let PathCounts {
+                    total_paths,
+                    goal_paths,
+                    stats,
+                } = explorer.count_paths();
+                Ok(ExplorationResponse::Counts {
+                    total_paths,
+                    goal_paths,
+                    stats,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::Collect { limit } => {
+                let mut paths = Vec::new();
+                let mut truncated = false;
+                explorer.visit_paths(|visit| {
+                    // Goal-driven runs return goal paths; deadline-driven
+                    // runs return every path.
+                    if explorer.goal().is_some() && visit.kind != LeafKind::Goal {
+                        return ControlFlow::Continue(());
+                    }
+                    if paths.len() >= limit {
+                        truncated = true;
+                        return ControlFlow::Break(());
+                    }
+                    paths.push(visit.to_path());
+                    ControlFlow::Continue(())
+                });
+                Ok(ExplorationResponse::Paths {
+                    paths,
+                    truncated,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::TopK { k } => {
+                let spec = req
+                    .ranking
+                    .as_ref()
+                    .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
+                let ranking = self.resolve_ranking(spec)?;
+                let paths = explorer.top_k(ranking.as_ref(), k)?;
+                Ok(ExplorationResponse::Ranked {
+                    ranking: ranking.name().to_string(),
+                    paths,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseSpec, Semester, Term};
+    use coursenav_prereq::Expr;
+
+    fn fall(y: i32) -> Semester {
+        Semester::new(y, Term::Fall)
+    }
+
+    fn spring(y: i32) -> Semester {
+        Semester::new(y, Term::Spring)
+    }
+
+    fn fig3() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "A").offered([fall(2011), fall(2012)]));
+        b.add_course(CourseSpec::new("29A", "B").offered([fall(2011), fall(2012)]));
+        b.add_course(
+            CourseSpec::new("21A", "C")
+                .prereq(Expr::Atom("11A".into()))
+                .offered([spring(2012)]),
+        );
+        b.build().unwrap()
+    }
+
+    fn base_request() -> ExplorationRequest {
+        ExplorationRequest::deadline_count(fall(2011), spring(2013), 3)
+    }
+
+    #[test]
+    fn count_request_matches_direct_exploration() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        match service.run(&base_request()).unwrap() {
+            ExplorationResponse::Counts { total_paths, .. } => assert_eq!(total_paths, 3),
+            other => panic!("expected Counts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_truncates_and_reports() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let mut req = base_request();
+        req.output = OutputMode::Collect { limit: 2 };
+        match service.run(&req).unwrap() {
+            ExplorationResponse::Paths {
+                paths, truncated, ..
+            } => {
+                assert_eq!(paths.len(), 2);
+                assert!(truncated);
+            }
+            other => panic!("expected Paths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn goal_expression_resolves_codes() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let mut req = base_request();
+        req.deadline = fall(2012);
+        req.goal = Some(GoalSpec::Expression("11A and 29A and 21A".into()));
+        req.output = OutputMode::Collect { limit: 10 };
+        match service.run(&req).unwrap() {
+            ExplorationResponse::Paths { paths, .. } => {
+                assert_eq!(paths.len(), 1, "the §4.2.3 single goal path");
+            }
+            other => panic!("expected Paths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_k_with_weighted_ranking() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::CompleteAll(vec![
+            "11A".into(),
+            "29A".into(),
+            "21A".into(),
+        ]));
+        req.ranking = Some(RankingSpec::Weighted(vec![
+            (1.0, RankingSpec::Time),
+            (0.0, RankingSpec::Workload),
+        ]));
+        req.output = OutputMode::TopK { k: 1 };
+        match service.run(&req).unwrap() {
+            ExplorationResponse::Ranked { ranking, paths, .. } => {
+                assert_eq!(ranking, "weighted");
+                assert_eq!(paths.len(), 1);
+                assert_eq!(paths[0].cost, 2.0);
+            }
+            other => panic!("expected Ranked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn completed_courses_shift_the_start_state() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let mut req = base_request();
+        req.start_semester = spring(2012);
+        req.completed = vec!["11A".into(), "29A".into()];
+        req.goal = Some(GoalSpec::CompleteAll(vec!["21A".into()]));
+        req.deadline = fall(2012);
+        req.output = OutputMode::Collect { limit: 10 };
+        match service.run(&req).unwrap() {
+            ExplorationResponse::Paths { paths, .. } => {
+                assert_eq!(paths.len(), 1);
+                assert_eq!(paths[0].len(), 1, "take 21A immediately");
+            }
+            other => panic!("expected Paths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn avoid_filter_applies() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let mut req = base_request();
+        req.avoid = vec!["29A".into()];
+        match service.run(&req).unwrap() {
+            ExplorationResponse::Counts { total_paths, .. } => {
+                assert!(total_paths < 3, "29A branches removed");
+            }
+            other => panic!("expected Counts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+
+        let mut req = base_request();
+        req.completed = vec!["GHOST 1".into()];
+        assert_eq!(
+            service.run(&req).unwrap_err(),
+            ServiceError::UnknownCourse("GHOST 1".into())
+        );
+
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::Degree);
+        assert_eq!(
+            service.run(&req).unwrap_err(),
+            ServiceError::NoDegreeConfigured
+        );
+
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::Expression("11A and (".into()));
+        assert!(matches!(
+            service.run(&req).unwrap_err(),
+            ServiceError::BadGoalExpression(_)
+        ));
+
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::CompleteAll(vec!["11A".into()]));
+        req.output = OutputMode::TopK { k: 3 };
+        assert!(matches!(
+            service.run(&req).unwrap_err(),
+            ServiceError::BadRanking(_)
+        ));
+
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::CompleteAll(vec!["11A".into()]));
+        req.output = OutputMode::TopK { k: 3 };
+        req.ranking = Some(RankingSpec::Reliability);
+        assert_eq!(
+            service.run(&req).unwrap_err(),
+            ServiceError::NoOfferingModelConfigured
+        );
+    }
+
+    #[test]
+    fn response_serializes() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let resp = service.run(&base_request()).unwrap();
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("total-paths") || json.contains("counts"));
+    }
+}

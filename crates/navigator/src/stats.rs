@@ -1,0 +1,71 @@
+//! Exploration statistics and path counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated during one exploration run.
+///
+/// `pruned_time` / `pruned_availability` drive the paper's §5.2 breakdown
+/// ("82% of them are pruned using time-based pruning strategy and 18% …
+/// course-availability"); when both strategies would fire on a node, the
+/// time-based one is tested first and takes the credit, matching the
+/// paper's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Nodes whose outgoing selections were enumerated.
+    pub nodes_expanded: u64,
+    /// Edges (selections) created or visited.
+    pub edges_created: u64,
+    /// Nodes cut by the time-based strategy (§4.2.1).
+    pub pruned_time: u64,
+    /// Nodes cut by the course-availability strategy (§4.2.2).
+    pub pruned_availability: u64,
+}
+
+impl ExploreStats {
+    /// Total nodes pruned by either strategy.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_time + self.pruned_availability
+    }
+
+    /// Merges counters from another run (used by the parallel counter).
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.edges_created += other.edges_created;
+        self.pruned_time += other.pruned_time;
+        self.pruned_availability += other.pruned_availability;
+    }
+}
+
+/// Result of a counting exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathCounts {
+    /// Maximal paths (root-to-leaf), the paper's "# of paths" for
+    /// deadline-driven runs.
+    pub total_paths: u128,
+    /// Paths ending in a node that satisfies the goal condition — the
+    /// paper's "# of paths" for goal-driven runs. Zero when no goal is set.
+    pub goal_paths: u128,
+    /// Exploration counters.
+    pub stats: ExploreStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ExploreStats {
+            nodes_expanded: 1,
+            edges_created: 2,
+            pruned_time: 3,
+            pruned_availability: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.nodes_expanded, 2);
+        assert_eq!(a.edges_created, 4);
+        assert_eq!(a.pruned_time, 6);
+        assert_eq!(a.pruned_availability, 8);
+        assert_eq!(a.pruned_total(), 14);
+    }
+}

@@ -1,0 +1,256 @@
+//! Lazy path iteration.
+//!
+//! [`Explorer::visit_paths`] inverts control (the engine calls you);
+//! [`PathStream`] offers the same streaming exploration as a plain
+//! [`Iterator`], which composes with adapters, `for` loops, and pagination
+//! — "interactive data exploration" (§1) means the front end pulls a page
+//! of paths at a time and resumes later.
+//!
+//! The stream holds an explicit DFS stack (frames of partially-consumed
+//! [`SelectionIter`]s), so it is resumable at any point and costs O(depth)
+//! memory regardless of how many paths the exploration contains.
+
+use coursenav_catalog::CourseSet;
+
+use crate::expand::SelectionIter;
+use crate::explorer::{Disposition, Explorer};
+use crate::path::{LeafKind, Path};
+use crate::pruning::{record_prune, Pruner};
+use crate::stats::ExploreStats;
+use crate::status::EnrollmentStatus;
+
+/// One DFS frame: an expanded node's remaining selections.
+struct Frame {
+    iter: SelectionIter,
+    min_selection: usize,
+    emitted: usize,
+    floor_skipped: usize,
+}
+
+/// A pull-based stream of learning paths. Create with
+/// [`Explorer::paths_iter`].
+pub struct PathStream<'e, 'c> {
+    explorer: &'e Explorer<'c>,
+    pruner: Option<Pruner<'e>>,
+    statuses: Vec<EnrollmentStatus>,
+    selections: Vec<CourseSet>,
+    frames: Vec<Frame>,
+    stats: ExploreStats,
+    /// The root still needs its disposition check.
+    fresh: bool,
+}
+
+impl<'c> Explorer<'c> {
+    /// Lazily iterates every learning path (with its [`LeafKind`]) in the
+    /// same depth-first order as [`Explorer::visit_paths`]. Pruned branches
+    /// are skipped, as in the visitor API.
+    pub fn paths_iter(&self) -> PathStream<'_, 'c> {
+        PathStream {
+            explorer: self,
+            pruner: self.pruner(),
+            statuses: vec![*self.start()],
+            selections: Vec::new(),
+            frames: Vec::new(),
+            stats: ExploreStats::default(),
+            fresh: true,
+        }
+    }
+
+    /// Lazily iterates only the goal-satisfying paths.
+    pub fn goal_paths_iter(&self) -> impl Iterator<Item = Path> + '_ {
+        self.paths_iter()
+            .filter(|(_, kind)| *kind == LeafKind::Goal)
+            .map(|(path, _)| path)
+    }
+}
+
+impl PathStream<'_, '_> {
+    /// Exploration statistics accumulated so far (complete once the stream
+    /// is exhausted).
+    pub fn stats(&self) -> &ExploreStats {
+        &self.stats
+    }
+
+    fn current_path(&self) -> Path {
+        Path::new(self.statuses.clone(), self.selections.clone())
+    }
+
+    /// Handles the node currently on top of `statuses`: either returns a
+    /// finished path (leaf), or pushes a frame to expand it (and returns
+    /// `None` to keep driving), or drops it (pruned).
+    fn enter_node(&mut self) -> Option<(Path, LeafKind)> {
+        let status = *self.statuses.last().expect("stack is never empty");
+        match self.explorer.disposition(&status, self.pruner.as_ref()) {
+            Disposition::Leaf(kind) => {
+                let path = self.current_path();
+                self.backtrack();
+                Some((path, kind))
+            }
+            Disposition::Pruned(reason) => {
+                record_prune(&mut self.stats, reason);
+                self.backtrack();
+                None
+            }
+            Disposition::Expand {
+                min_selection,
+                include_empty,
+            } => {
+                self.stats.nodes_expanded += 1;
+                let options = *status.options();
+                let iter = if include_empty {
+                    SelectionIter::with_empty(&options, self.explorer.max_per_semester())
+                } else {
+                    SelectionIter::new(&options, self.explorer.max_per_semester())
+                };
+                self.frames.push(Frame {
+                    iter,
+                    min_selection,
+                    emitted: 0,
+                    floor_skipped: 0,
+                });
+                None
+            }
+        }
+    }
+
+    /// Pops the just-finished node (leaf or pruned) off the path stack.
+    fn backtrack(&mut self) {
+        self.statuses.pop();
+        self.selections.pop();
+    }
+}
+
+impl Iterator for PathStream<'_, '_> {
+    type Item = (Path, LeafKind);
+
+    fn next(&mut self) -> Option<(Path, LeafKind)> {
+        if self.fresh {
+            self.fresh = false;
+            if let Some(leaf) = self.enter_node() {
+                return Some(leaf);
+            }
+        }
+        loop {
+            let Some(frame) = self.frames.last_mut() else {
+                return None; // exploration exhausted
+            };
+            // Pull the next viable selection from the top frame.
+            let mut next_child: Option<CourseSet> = None;
+            for selection in frame.iter.by_ref() {
+                if selection.len() < frame.min_selection {
+                    frame.floor_skipped += 1;
+                    self.stats.pruned_time += 1;
+                    continue;
+                }
+                let status = self.statuses.last().expect("frame implies a node");
+                if !self.explorer.selection_allowed(status, &selection) {
+                    continue;
+                }
+                next_child = Some(selection);
+                break;
+            }
+            match next_child {
+                Some(selection) => {
+                    let frame = self.frames.last_mut().expect("checked above");
+                    frame.emitted += 1;
+                    self.stats.edges_created += 1;
+                    let status = *self.statuses.last().expect("frame implies a node");
+                    self.statuses
+                        .push(status.advance(self.explorer.catalog(), &selection));
+                    self.selections.push(selection);
+                    if let Some(leaf) = self.enter_node() {
+                        return Some(leaf);
+                    }
+                }
+                None => {
+                    // Frame exhausted: maybe a filtered-to-death dead end.
+                    let frame = self.frames.pop().expect("checked above");
+                    let dead_end = frame.emitted == 0 && frame.floor_skipped == 0;
+                    if dead_end {
+                        let path = self.current_path();
+                        self.backtrack();
+                        return Some((path, LeafKind::DeadEnd));
+                    }
+                    self.backtrack();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::Goal;
+    use coursenav_catalog::{SyntheticCatalog, SyntheticConfig};
+    use std::ops::ControlFlow;
+
+    fn setting() -> SyntheticCatalog {
+        SyntheticCatalog::generate(&SyntheticConfig::small())
+    }
+
+    #[test]
+    fn stream_matches_visitor_exactly() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start + 3, 2).unwrap();
+        let mut from_visitor: Vec<(Path, LeafKind)> = Vec::new();
+        e.visit_paths(|v| {
+            from_visitor.push((v.to_path(), v.kind));
+            ControlFlow::Continue(())
+        });
+        let from_stream: Vec<(Path, LeafKind)> = e.paths_iter().collect();
+        assert_eq!(from_visitor.len(), from_stream.len());
+        assert_eq!(from_visitor, from_stream);
+    }
+
+    #[test]
+    fn stream_matches_visitor_on_goal_runs() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let collected = e.collect_goal_paths();
+        let streamed: Vec<Path> = e.goal_paths_iter().collect();
+        assert_eq!(collected, streamed);
+    }
+
+    #[test]
+    fn stream_is_lazy_and_resumable() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start + 3, 2).unwrap();
+        let total = e.count_paths().total_paths as usize;
+        assert!(total > 10);
+        let mut stream = e.paths_iter();
+        // First page.
+        let page1: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(page1.len(), 5);
+        // Resume for the rest.
+        let rest: Vec<_> = stream.collect();
+        assert_eq!(page1.len() + rest.len(), total);
+    }
+
+    #[test]
+    fn stream_stats_match_visitor_stats() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let visitor_stats = e.visit_paths(|_| ControlFlow::Continue(()));
+        let mut stream = e.paths_iter();
+        for _ in stream.by_ref() {}
+        assert_eq!(*stream.stats(), visitor_stats);
+    }
+
+    #[test]
+    fn trivial_start_at_deadline_yields_one() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start, 3).unwrap();
+        let all: Vec<_> = e.paths_iter().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, LeafKind::Deadline);
+        assert_eq!(all[0].0.len(), 0);
+    }
+}

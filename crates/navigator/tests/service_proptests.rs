@@ -1,0 +1,138 @@
+//! Property-based tests for the request/service front-end boundary.
+
+use coursenav_catalog::{Semester, SyntheticCatalog, SyntheticConfig, Term};
+use coursenav_navigator::{
+    ExplorationRequest, ExplorationResponse, GoalSpec, NavigatorService, OutputMode, PruneConfig,
+    RankingSpec, WaitPolicy,
+};
+use proptest::prelude::*;
+
+fn arb_goal() -> impl Strategy<Value = Option<GoalSpec>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(GoalSpec::Degree)),
+        prop::collection::vec(0usize..12, 1..4).prop_map(|ids| {
+            Some(GoalSpec::CompleteAll(
+                ids.into_iter().map(|i| format!("CS {}", 10 + i)).collect(),
+            ))
+        }),
+    ]
+}
+
+fn arb_ranking() -> impl Strategy<Value = RankingSpec> {
+    let leaf = prop_oneof![
+        Just(RankingSpec::Time),
+        Just(RankingSpec::Workload),
+        Just(RankingSpec::Reliability),
+    ];
+    leaf.prop_recursive(2, 6, 3, |inner| {
+        prop::collection::vec((0.0f64..10.0, inner), 1..3).prop_map(RankingSpec::Weighted)
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = ExplorationRequest> {
+    (
+        0i32..3,   // start offset
+        1i32..4,   // deadline offset beyond start
+        1usize..4, // m
+        arb_goal(),
+        prop::option::of(arb_ranking()),
+        prop_oneof![
+            Just(OutputMode::Count),
+            (1usize..30).prop_map(|limit| OutputMode::Collect { limit }),
+            (1usize..10).prop_map(|k| OutputMode::TopK { k }),
+        ],
+        any::<bool>(), // no_prune
+        any::<u8>(),   // wait policy selector
+    )
+        .prop_map(
+            |(start_off, deadline_off, m, goal, ranking, output, no_prune, wait)| {
+                let start = Semester::new(2012, Term::Fall) + start_off;
+                ExplorationRequest {
+                    start_semester: start,
+                    completed: Vec::new(),
+                    deadline: start + deadline_off,
+                    max_per_semester: m,
+                    goal,
+                    avoid: Vec::new(),
+                    max_semester_workload: None,
+                    wait_policy: match wait % 3 {
+                        0 => WaitPolicy::WhenNoOptions,
+                        1 => WaitPolicy::Never,
+                        _ => WaitPolicy::Always,
+                    },
+                    pruning: if no_prune {
+                        PruneConfig::none()
+                    } else {
+                        PruneConfig::all()
+                    },
+                    ranking,
+                    output,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request serializes to JSON and parses back identically.
+    #[test]
+    fn requests_roundtrip_json(req in arb_request()) {
+        let json = req.to_json().unwrap();
+        let back = ExplorationRequest::from_json(&json).unwrap();
+        prop_assert_eq!(req, back);
+    }
+
+    /// The service either answers or fails with a *specific* error — never
+    /// panics — and its answers are internally consistent with a direct
+    /// explorer run.
+    #[test]
+    fn service_answers_or_errors_cleanly(req in arb_request()) {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let service = NavigatorService::new(&synth.catalog)
+            .with_degree(&synth.degree)
+            .with_offering_model(&synth.offering);
+        match service.run(&req) {
+            Ok(ExplorationResponse::Counts { total_paths, goal_paths, .. }) => {
+                prop_assert!(goal_paths <= total_paths);
+                let direct = service.build_explorer(&req).unwrap().count_paths();
+                prop_assert_eq!(total_paths, direct.total_paths);
+                prop_assert_eq!(goal_paths, direct.goal_paths);
+            }
+            Ok(ExplorationResponse::Paths { paths, truncated, .. }) => {
+                let OutputMode::Collect { limit } = req.output else {
+                    return Err(TestCaseError::fail("paths from non-collect request"));
+                };
+                prop_assert!(paths.len() <= limit);
+                if truncated {
+                    prop_assert_eq!(paths.len(), limit);
+                }
+                for p in &paths {
+                    p.validate(&synth.catalog, req.max_per_semester)
+                        .map_err(TestCaseError::fail)?;
+                }
+            }
+            Ok(ExplorationResponse::Ranked { paths, .. }) => {
+                let OutputMode::TopK { k } = req.output else {
+                    return Err(TestCaseError::fail("ranking from non-topk request"));
+                };
+                prop_assert!(paths.len() <= k);
+                for pair in paths.windows(2) {
+                    prop_assert!(pair[0].cost <= pair[1].cost);
+                }
+            }
+            Err(err) => {
+                // Only the documented failure modes may occur here: top-k
+                // without goal/ranking (unknown course names are possible
+                // too, since CompleteAll draws from a fixed code pool).
+                let msg = err.to_string();
+                prop_assert!(
+                    msg.contains("ranking") || msg.contains("unknown course"),
+                    "unexpected error {}",
+                    msg
+                );
+            }
+        }
+    }
+}

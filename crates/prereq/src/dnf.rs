@@ -1,0 +1,202 @@
+//! Disjunctive-normal-form conversion.
+//!
+//! The paper writes every prerequisite condition in DNF
+//! (`Q_i = (x_j ∧ …) ∨ …`, §2). Arbitrary [`Expr`] trees are converted to
+//! that shape here. The DNF is the workhorse for the minimum-cardinality
+//! satisfaction bound used by time-based pruning (§4.2.1).
+
+use std::collections::BTreeSet;
+
+use crate::expr::Expr;
+
+/// A disjunctive normal form: a disjunction of conjunctions of atoms.
+///
+/// `terms` is the set of conjunctions; the expression is satisfied when the
+/// completed set is a superset of *any* term. Two degenerate cases:
+/// an empty `terms` list is unsatisfiable (`False`), and a list containing
+/// an empty term is a tautology (`True`).
+///
+/// Terms are kept **minimal under absorption**: no term is a superset of
+/// another (`{A} ∨ {A,B} ≡ {A}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dnf<A: Ord> {
+    terms: Vec<BTreeSet<A>>,
+}
+
+impl<A: Ord> Dnf<A> {
+    /// The unsatisfiable DNF.
+    pub fn unsat() -> Self {
+        Dnf { terms: Vec::new() }
+    }
+
+    /// The tautological DNF.
+    pub fn tautology() -> Self {
+        Dnf {
+            terms: vec![BTreeSet::new()],
+        }
+    }
+
+    /// Builds a DNF from raw terms, applying absorption.
+    pub fn from_terms(terms: impl IntoIterator<Item = BTreeSet<A>>) -> Self {
+        let mut dnf = Dnf { terms: Vec::new() };
+        for t in terms {
+            dnf.insert_term(t);
+        }
+        dnf
+    }
+
+    /// The minimized terms, each a conjunction of atoms.
+    pub fn terms(&self) -> &[BTreeSet<A>] {
+        &self.terms
+    }
+
+    /// Whether the DNF is unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether the DNF is a tautology.
+    pub fn is_tautology(&self) -> bool {
+        self.terms.iter().any(BTreeSet::is_empty)
+    }
+
+    /// Evaluates against a membership oracle.
+    pub fn eval(&self, completed: &impl Fn(&A) -> bool) -> bool {
+        self.terms.iter().any(|t| t.iter().all(completed))
+    }
+
+    /// Inserts a term, keeping the term set absorption-minimal.
+    fn insert_term(&mut self, term: BTreeSet<A>) {
+        // An existing term that is a subset of `term` absorbs it.
+        if self.terms.iter().any(|t| t.is_subset(&term)) {
+            return;
+        }
+        // `term` absorbs any existing superset of it.
+        self.terms.retain(|t| !term.is_subset(t));
+        self.terms.push(term);
+    }
+}
+
+impl<A: Ord + Clone> Dnf<A> {
+    /// Cross-product of two DNFs (logical conjunction).
+    fn and(&self, other: &Dnf<A>) -> Dnf<A> {
+        let mut out = Dnf::unsat();
+        for a in &self.terms {
+            for b in &other.terms {
+                let mut t = a.clone();
+                t.extend(b.iter().cloned());
+                out.insert_term(t);
+            }
+        }
+        out
+    }
+
+    /// Union of two DNFs (logical disjunction).
+    fn or(mut self, other: Dnf<A>) -> Dnf<A> {
+        for t in other.terms {
+            self.insert_term(t);
+        }
+        self
+    }
+
+    /// Converts back to an [`Expr`] (an `Any` of `All`s).
+    pub fn to_expr(&self) -> Expr<A> {
+        Expr::any(
+            self.terms
+                .iter()
+                .map(|t| Expr::all(t.iter().cloned().map(Expr::Atom))),
+        )
+    }
+}
+
+impl<A: Ord + Clone> Expr<A> {
+    /// Converts the expression to [`Dnf`].
+    ///
+    /// Worst-case exponential in expression depth (inherent to DNF), which
+    /// is fine at catalog scale: real prerequisite conditions have a handful
+    /// of atoms. Absorption keeps intermediate results small.
+    pub fn to_dnf(&self) -> Dnf<A> {
+        match self {
+            Expr::True => Dnf::tautology(),
+            Expr::False => Dnf::unsat(),
+            Expr::Atom(a) => Dnf {
+                terms: vec![BTreeSet::from_iter([a.clone()])],
+            },
+            Expr::All(es) => es
+                .iter()
+                .map(Expr::to_dnf)
+                .fold(Dnf::tautology(), |acc, d| acc.and(&d)),
+            Expr::Any(es) => es.iter().map(Expr::to_dnf).fold(Dnf::unsat(), Dnf::or),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(atoms: &[u32]) -> BTreeSet<u32> {
+        atoms.iter().copied().collect()
+    }
+
+    #[test]
+    fn atom_dnf_is_singleton() {
+        let d = Expr::Atom(1u32).to_dnf();
+        assert_eq!(d.terms(), &[term(&[1])]);
+    }
+
+    #[test]
+    fn and_distributes_over_or() {
+        // A and (B or C) => {A,B} | {A,C}
+        let e = Expr::Atom(1u32).and(Expr::Atom(2).or(Expr::Atom(3)));
+        let d = e.to_dnf();
+        let mut terms = d.terms().to_vec();
+        terms.sort();
+        assert_eq!(terms, vec![term(&[1, 2]), term(&[1, 3])]);
+    }
+
+    #[test]
+    fn absorption_removes_supersets() {
+        // A or (A and B) => {A}
+        let e = Expr::Atom(1u32).or(Expr::Atom(1).and(Expr::Atom(2)));
+        assert_eq!(e.to_dnf().terms(), &[term(&[1])]);
+    }
+
+    #[test]
+    fn true_false_degenerate_forms() {
+        assert!(Expr::<u32>::True.to_dnf().is_tautology());
+        assert!(Expr::<u32>::False.to_dnf().is_unsat());
+        // X and False is unsat.
+        assert!(Expr::Atom(1u32).and(Expr::False).to_dnf().is_unsat());
+    }
+
+    #[test]
+    fn dnf_eval_matches_expr_eval() {
+        let e = Expr::Atom(1u32)
+            .and(Expr::Atom(2).or(Expr::Atom(3)))
+            .or(Expr::Atom(4));
+        let d = e.to_dnf();
+        for mask in 0u32..16 {
+            let set: Vec<u32> = (1..=4).filter(|i| mask & (1 << (i - 1)) != 0).collect();
+            let oracle = |a: &u32| set.contains(a);
+            assert_eq!(e.eval(&oracle), d.eval(&oracle), "mask={mask:b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_expr_is_equivalent() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2).or(Expr::Atom(3)));
+        let back = e.to_dnf().to_expr();
+        for mask in 0u32..8 {
+            let set: Vec<u32> = (1..=3).filter(|i| mask & (1 << (i - 1)) != 0).collect();
+            let oracle = |a: &u32| set.contains(a);
+            assert_eq!(e.eval(&oracle), back.eval(&oracle));
+        }
+    }
+
+    #[test]
+    fn from_terms_applies_absorption() {
+        let d = Dnf::from_terms([term(&[1, 2]), term(&[1]), term(&[1, 3])]);
+        assert_eq!(d.terms(), &[term(&[1])]);
+    }
+}

@@ -1,0 +1,361 @@
+//! The boolean expression AST and its core operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A boolean expression over atoms of type `A`.
+///
+/// Expressions are built from conjunction ([`Expr::All`]) and disjunction
+/// ([`Expr::Any`]) of positive atoms — the paper's prerequisite conditions
+/// contain no negation (a prerequisite never requires *not* having taken a
+/// course). `True` is the condition of a course with no prerequisites;
+/// `False` is the always-unsatisfiable condition (it never appears in real
+/// catalogs but keeps the algebra total under simplification).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr<A> {
+    /// Always satisfied (no prerequisites).
+    True,
+    /// Never satisfied.
+    False,
+    /// Satisfied when the atom (course) is in the completed set.
+    Atom(A),
+    /// Satisfied when every sub-expression is satisfied (conjunction).
+    All(Vec<Expr<A>>),
+    /// Satisfied when at least one sub-expression is satisfied (disjunction).
+    Any(Vec<Expr<A>>),
+}
+
+impl<A> Expr<A> {
+    /// Conjunction of two expressions, flattening nested `All`s.
+    pub fn and(self, other: Expr<A>) -> Expr<A> {
+        match (self, other) {
+            (Expr::True, e) | (e, Expr::True) => e,
+            (Expr::False, _) | (_, Expr::False) => Expr::False,
+            (Expr::All(mut a), Expr::All(b)) => {
+                a.extend(b);
+                Expr::All(a)
+            }
+            (Expr::All(mut a), e) => {
+                a.push(e);
+                Expr::All(a)
+            }
+            (e, Expr::All(mut b)) => {
+                b.insert(0, e);
+                Expr::All(b)
+            }
+            (a, b) => Expr::All(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two expressions, flattening nested `Any`s.
+    pub fn or(self, other: Expr<A>) -> Expr<A> {
+        match (self, other) {
+            (Expr::True, _) | (_, Expr::True) => Expr::True,
+            (Expr::False, e) | (e, Expr::False) => e,
+            (Expr::Any(mut a), Expr::Any(b)) => {
+                a.extend(b);
+                Expr::Any(a)
+            }
+            (Expr::Any(mut a), e) => {
+                a.push(e);
+                Expr::Any(a)
+            }
+            (e, Expr::Any(mut b)) => {
+                b.insert(0, e);
+                Expr::Any(b)
+            }
+            (a, b) => Expr::Any(vec![a, b]),
+        }
+    }
+
+    /// Conjunction of an iterator of expressions.
+    pub fn all(exprs: impl IntoIterator<Item = Expr<A>>) -> Expr<A> {
+        exprs.into_iter().fold(Expr::True, Expr::and)
+    }
+
+    /// Disjunction of an iterator of expressions.
+    pub fn any(exprs: impl IntoIterator<Item = Expr<A>>) -> Expr<A> {
+        exprs.into_iter().fold(Expr::False, Expr::or)
+    }
+
+    /// Evaluates the expression against a membership oracle: `completed(a)`
+    /// returns whether atom `a` holds (the course has been completed).
+    pub fn eval(&self, completed: &impl Fn(&A) -> bool) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::False => false,
+            Expr::Atom(a) => completed(a),
+            Expr::All(es) => es.iter().all(|e| e.eval(completed)),
+            Expr::Any(es) => es.iter().any(|e| e.eval(completed)),
+        }
+    }
+
+    /// Visits every atom in the expression (with repetition).
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&A)) {
+        match self {
+            Expr::True | Expr::False => {}
+            Expr::Atom(a) => f(a),
+            Expr::All(es) | Expr::Any(es) => {
+                for e in es {
+                    e.for_each_atom(f);
+                }
+            }
+        }
+    }
+
+    /// Collects the distinct atoms of the expression in first-appearance
+    /// order.
+    pub fn atoms(&self) -> Vec<A>
+    where
+        A: Clone + PartialEq,
+    {
+        let mut out = Vec::new();
+        self.for_each_atom(&mut |a| {
+            if !out.contains(a) {
+                out.push(a.clone());
+            }
+        });
+        out
+    }
+
+    /// Number of AST nodes; useful for bounding work in fuzzing and parsing.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::True | Expr::False | Expr::Atom(_) => 1,
+            Expr::All(es) | Expr::Any(es) => 1 + es.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Structurally simplifies the expression:
+    ///
+    /// - flattens nested `All`/`Any`;
+    /// - drops `True` from conjunctions and `False` from disjunctions;
+    /// - collapses conjunctions containing `False` and disjunctions
+    ///   containing `True`;
+    /// - unwraps single-child connectives; empty `All` becomes `True`,
+    ///   empty `Any` becomes `False`.
+    ///
+    /// The result is logically equivalent to the input.
+    pub fn simplify(self) -> Expr<A> {
+        match self {
+            Expr::True => Expr::True,
+            Expr::False => Expr::False,
+            Expr::Atom(a) => Expr::Atom(a),
+            Expr::All(es) => {
+                let mut out = Vec::with_capacity(es.len());
+                for e in es {
+                    match e.simplify() {
+                        Expr::True => {}
+                        Expr::False => return Expr::False,
+                        Expr::All(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::True,
+                    1 => out.pop().expect("len checked"),
+                    _ => Expr::All(out),
+                }
+            }
+            Expr::Any(es) => {
+                let mut out = Vec::with_capacity(es.len());
+                for e in es {
+                    match e.simplify() {
+                        Expr::False => {}
+                        Expr::True => return Expr::True,
+                        Expr::Any(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::False,
+                    1 => out.pop().expect("len checked"),
+                    _ => Expr::Any(out),
+                }
+            }
+        }
+    }
+
+    /// Maps atoms through `f`, preserving structure.
+    pub fn map_atoms<B>(&self, f: &mut impl FnMut(&A) -> B) -> Expr<B> {
+        match self {
+            Expr::True => Expr::True,
+            Expr::False => Expr::False,
+            Expr::Atom(a) => Expr::Atom(f(a)),
+            Expr::All(es) => Expr::All(es.iter().map(|e| e.map_atoms(f)).collect()),
+            Expr::Any(es) => Expr::Any(es.iter().map(|e| e.map_atoms(f)).collect()),
+        }
+    }
+}
+
+impl<A: fmt::Display> Expr<A> {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_is_and: bool) -> fmt::Result {
+        match self {
+            Expr::True => write!(f, "true"),
+            Expr::False => write!(f, "false"),
+            Expr::Atom(a) => write!(f, "{a}"),
+            Expr::All(es) => {
+                if es.is_empty() {
+                    return write!(f, "true"); // empty conjunction
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    e.fmt_prec(f, true)?;
+                }
+                Ok(())
+            }
+            Expr::Any(es) => {
+                if es.is_empty() {
+                    return write!(f, "false"); // empty disjunction
+                }
+                if parent_is_and {
+                    write!(f, "(")?;
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    e.fmt_prec(f, false)?;
+                }
+                if parent_is_and {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for Expr<A> {
+    /// Renders in the registrar grammar accepted by [`crate::parse_expr`]:
+    /// `and` binds tighter than `or`; parentheses are inserted only where
+    /// needed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_set(set: &[u32]) -> impl Fn(&u32) -> bool + '_ {
+        move |a| set.contains(a)
+    }
+
+    #[test]
+    fn true_and_false_eval() {
+        assert!(Expr::<u32>::True.eval(&in_set(&[])));
+        assert!(!Expr::<u32>::False.eval(&in_set(&[])));
+    }
+
+    #[test]
+    fn atom_eval_tracks_membership() {
+        let e = Expr::Atom(7u32);
+        assert!(e.eval(&in_set(&[7])));
+        assert!(!e.eval(&in_set(&[8])));
+    }
+
+    #[test]
+    fn all_requires_every_atom() {
+        let e = Expr::all([Expr::Atom(1u32), Expr::Atom(2), Expr::Atom(3)]);
+        assert!(e.eval(&in_set(&[1, 2, 3])));
+        assert!(!e.eval(&in_set(&[1, 2])));
+    }
+
+    #[test]
+    fn any_requires_one_atom() {
+        let e = Expr::any([Expr::Atom(1u32), Expr::Atom(2)]);
+        assert!(e.eval(&in_set(&[2])));
+        assert!(!e.eval(&in_set(&[3])));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2)).and(Expr::Atom(3));
+        assert_eq!(
+            e,
+            Expr::All(vec![Expr::Atom(1), Expr::Atom(2), Expr::Atom(3)])
+        );
+        let e = Expr::Atom(1u32).or(Expr::Atom(2)).or(Expr::Atom(3));
+        assert_eq!(
+            e,
+            Expr::Any(vec![Expr::Atom(1), Expr::Atom(2), Expr::Atom(3)])
+        );
+    }
+
+    #[test]
+    fn identity_elements_collapse() {
+        assert_eq!(Expr::Atom(1u32).and(Expr::True), Expr::Atom(1));
+        assert_eq!(Expr::Atom(1u32).or(Expr::False), Expr::Atom(1));
+        assert_eq!(Expr::Atom(1u32).and(Expr::False), Expr::False);
+        assert_eq!(Expr::Atom(1u32).or(Expr::True), Expr::True);
+    }
+
+    #[test]
+    fn empty_combinators_are_identities() {
+        assert_eq!(Expr::<u32>::all([]), Expr::True);
+        assert_eq!(Expr::<u32>::any([]), Expr::False);
+    }
+
+    #[test]
+    fn simplify_flattens_and_prunes() {
+        let e = Expr::All(vec![
+            Expr::True,
+            Expr::All(vec![Expr::Atom(1u32), Expr::Atom(2)]),
+            Expr::Any(vec![Expr::Atom(3)]),
+        ]);
+        assert_eq!(
+            e.simplify(),
+            Expr::All(vec![Expr::Atom(1), Expr::Atom(2), Expr::Atom(3)])
+        );
+    }
+
+    #[test]
+    fn simplify_short_circuits() {
+        let e = Expr::All(vec![Expr::Atom(1u32), Expr::False]);
+        assert_eq!(e.simplify(), Expr::False);
+        let e = Expr::Any(vec![Expr::Atom(1u32), Expr::True]);
+        assert_eq!(e.simplify(), Expr::True);
+    }
+
+    #[test]
+    fn simplify_empty_connectives() {
+        assert_eq!(Expr::<u32>::All(vec![]).simplify(), Expr::True);
+        assert_eq!(Expr::<u32>::Any(vec![]).simplify(), Expr::False);
+    }
+
+    #[test]
+    fn atoms_dedup_in_order() {
+        let e = Expr::all([Expr::Atom(2u32), Expr::any([Expr::Atom(1), Expr::Atom(2)])]);
+        assert_eq!(e.atoms(), vec![2, 1]);
+    }
+
+    #[test]
+    fn display_inserts_minimal_parens() {
+        let e = Expr::Atom("A").and(Expr::Atom("B").or(Expr::Atom("C")));
+        assert_eq!(e.to_string(), "A and (B or C)");
+        let e = Expr::Atom("A").or(Expr::Atom("B").and(Expr::Atom("C")));
+        assert_eq!(e.to_string(), "A or B and C");
+    }
+
+    #[test]
+    fn map_atoms_preserves_structure() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2).or(Expr::Atom(3)));
+        let mapped = e.map_atoms(&mut |a| a * 10);
+        assert_eq!(
+            mapped,
+            Expr::Atom(10u32).and(Expr::Atom(20).or(Expr::Atom(30)))
+        );
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2).or(Expr::Atom(3)));
+        // All(Atom, Any(Atom, Atom)) = 5 nodes.
+        assert_eq!(e.size(), 5);
+    }
+}

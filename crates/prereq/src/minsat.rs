@@ -1,0 +1,164 @@
+//! Minimum-cardinality satisfaction costs.
+//!
+//! Time-based pruning (§4.2.1) needs `left_i`: the minimum number of
+//! *additional* courses a student must complete for the goal condition to
+//! become true. For a DNF condition this is the minimum, over the terms,
+//! of how many of the term's atoms are still missing — restricted to atoms
+//! that can actually still be obtained.
+//!
+//! The bound must be **admissible** (never overestimate) for the paper's
+//! Lemma 1 (no goal-reaching path is pruned) to hold; [`min_extra_to_satisfy`]
+//! is exact for pure course-set goals, and the navigator layer combines it
+//! with the matching-based degree-slot oracle from `coursenav-flow`.
+
+use crate::dnf::Dnf;
+use crate::expr::Expr;
+
+/// Outcome of a minimum-satisfaction query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinSat {
+    /// Already satisfied by the completed set.
+    Satisfied,
+    /// Satisfiable by completing this many additional atoms.
+    Needs(usize),
+    /// Not satisfiable even with every obtainable atom completed.
+    Unreachable,
+}
+
+impl MinSat {
+    /// The number of additional atoms needed, treating `Satisfied` as 0.
+    /// Returns `None` for `Unreachable`.
+    pub fn needed(self) -> Option<usize> {
+        match self {
+            MinSat::Satisfied => Some(0),
+            MinSat::Needs(n) => Some(n),
+            MinSat::Unreachable => None,
+        }
+    }
+}
+
+/// Computes the minimum number of additional atoms (courses) that must be
+/// completed for `dnf` to hold, given:
+///
+/// - `completed(a)`: atoms already held, and
+/// - `obtainable(a)`: atoms that could still be completed in the remaining
+///   time (e.g. courses offered in some remaining semester).
+///
+/// A DNF term contributes a candidate count only if all of its missing
+/// atoms are obtainable; otherwise that term can never be completed.
+pub fn min_extra_to_satisfy<A: Ord>(
+    dnf: &Dnf<A>,
+    completed: &impl Fn(&A) -> bool,
+    obtainable: &impl Fn(&A) -> bool,
+) -> MinSat {
+    let mut best: Option<usize> = None;
+    for term in dnf.terms() {
+        let mut missing = 0usize;
+        let mut feasible = true;
+        for atom in term {
+            if completed(atom) {
+                continue;
+            }
+            if !obtainable(atom) {
+                feasible = false;
+                break;
+            }
+            missing += 1;
+        }
+        if !feasible {
+            continue;
+        }
+        if missing == 0 {
+            return MinSat::Satisfied;
+        }
+        best = Some(best.map_or(missing, |b| b.min(missing)));
+    }
+    match best {
+        Some(n) => MinSat::Needs(n),
+        None => MinSat::Unreachable,
+    }
+}
+
+/// Convenience wrapper computing the DNF on the fly from an [`Expr`].
+///
+/// Prefer caching the [`Dnf`] (the navigator does) when querying repeatedly.
+pub fn min_extra_for_expr<A: Ord + Clone>(
+    expr: &Expr<A>,
+    completed: &impl Fn(&A) -> bool,
+    obtainable: &impl Fn(&A) -> bool,
+) -> MinSat {
+    min_extra_to_satisfy(&expr.to_dnf(), completed, obtainable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains(set: &[u32]) -> impl Fn(&u32) -> bool + '_ {
+        move |a| set.contains(a)
+    }
+
+    fn always(_: &u32) -> bool {
+        true
+    }
+
+    #[test]
+    fn satisfied_when_term_complete() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2));
+        let m = min_extra_for_expr(&e, &contains(&[1, 2]), &always);
+        assert_eq!(m, MinSat::Satisfied);
+    }
+
+    #[test]
+    fn counts_missing_atoms() {
+        let e = Expr::all([Expr::Atom(1u32), Expr::Atom(2), Expr::Atom(3)]);
+        let m = min_extra_for_expr(&e, &contains(&[1]), &always);
+        assert_eq!(m, MinSat::Needs(2));
+    }
+
+    #[test]
+    fn takes_cheapest_disjunct() {
+        // (1 and 2 and 3) or (4): cheapest is taking just 4.
+        let e = Expr::all([Expr::Atom(1u32), Expr::Atom(2), Expr::Atom(3)]).or(Expr::Atom(4));
+        let m = min_extra_for_expr(&e, &contains(&[]), &always);
+        assert_eq!(m, MinSat::Needs(1));
+    }
+
+    #[test]
+    fn unobtainable_atom_disables_term() {
+        // (1 and 2) or (3): 2 can never be obtained, so only the `3` term counts.
+        let e = Expr::Atom(1u32).and(Expr::Atom(2)).or(Expr::Atom(3));
+        let obtainable = |a: &u32| *a != 2;
+        let m = min_extra_for_expr(&e, &contains(&[1]), &obtainable);
+        assert_eq!(m, MinSat::Needs(1));
+    }
+
+    #[test]
+    fn unreachable_when_no_term_feasible() {
+        let e = Expr::Atom(1u32).and(Expr::Atom(2));
+        let obtainable = |a: &u32| *a != 2;
+        let m = min_extra_for_expr(&e, &contains(&[]), &obtainable);
+        assert_eq!(m, MinSat::Unreachable);
+    }
+
+    #[test]
+    fn tautology_is_satisfied_and_unsat_is_unreachable() {
+        assert_eq!(
+            min_extra_for_expr(&Expr::<u32>::True, &contains(&[]), &always),
+            MinSat::Satisfied
+        );
+        assert_eq!(
+            min_extra_for_expr(&Expr::<u32>::False, &contains(&[]), &always),
+            MinSat::Unreachable
+        );
+    }
+
+    #[test]
+    fn completed_but_unobtainable_atoms_still_count_as_done() {
+        // Already-completed atoms need not be obtainable.
+        let e = Expr::Atom(1u32).and(Expr::Atom(2));
+        let obtainable = |a: &u32| *a == 2;
+        let m = min_extra_for_expr(&e, &contains(&[1]), &obtainable);
+        assert_eq!(m, MinSat::Needs(1));
+    }
+}

@@ -1,0 +1,332 @@
+//! Registrar-style prerequisite text parser.
+//!
+//! The paper's Prerequisite Parser (§3, Fig. 2) turns free-text course
+//! descriptions into boolean conditions. This module implements the
+//! structured core of that component: a small grammar over course names,
+//! `and`, `or`, commas (read as `and`, the registrar convention) and
+//! parentheses:
+//!
+//! ```text
+//! expr    := or_expr
+//! or_expr := and_expr ( "or" and_expr )*
+//! and_expr:= primary ( ("and" | ",") primary )*
+//! primary := "(" expr ")" | NAME+
+//! ```
+//!
+//! Course names may contain spaces ("COSI 11A"); consecutive non-keyword
+//! words are joined into one name and resolved to an atom through a
+//! caller-supplied resolver, so the parser stays generic over the atom type.
+//! The empty string and the word `none` parse as [`Expr::True`]
+//! (no prerequisites).
+
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// Error produced while parsing a prerequisite condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A name could not be resolved to a known atom (unknown course code).
+    UnknownName {
+        /// The unresolvable name.
+        name: String,
+        /// Token index where it appeared.
+        position: usize,
+    },
+    /// Unexpected token (or end of input) at `position` (token index).
+    Unexpected {
+        /// Description of the offending token.
+        found: String,
+        /// Token index where it appeared.
+        position: usize,
+    },
+    /// Input ended while an expression was still open.
+    UnexpectedEnd,
+    /// A `(` without a matching `)`.
+    UnbalancedParen {
+        /// Token index of the unmatched `(`.
+        position: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownName { name, position } => {
+                write!(f, "unknown course name {name:?} at token {position}")
+            }
+            ParseError::Unexpected { found, position } => {
+                write!(f, "unexpected {found:?} at token {position}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of prerequisite expression"),
+            ParseError::UnbalancedParen { position } => {
+                write!(f, "unbalanced '(' at token {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    And,
+    Or,
+    Comma,
+    Open,
+    Close,
+    Word(String),
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::And => "'and'".into(),
+            Token::Or => "'or'".into(),
+            Token::Comma => "','".into(),
+            Token::Open => "'('".into(),
+            Token::Close => "')'".into(),
+            Token::Word(w) => format!("{w:?}"),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    let flush = |word: &mut String, tokens: &mut Vec<Token>| {
+        if !word.is_empty() {
+            let tok = match word.to_ascii_lowercase().as_str() {
+                "and" => Token::And,
+                "or" => Token::Or,
+                _ => Token::Word(std::mem::take(word)),
+            };
+            word.clear();
+            tokens.push(tok);
+        }
+    };
+    for ch in input.chars() {
+        match ch {
+            '(' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Open);
+            }
+            ')' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Close);
+            }
+            ',' | ';' => {
+                flush(&mut word, &mut tokens);
+                tokens.push(Token::Comma);
+            }
+            c if c.is_whitespace() => flush(&mut word, &mut tokens),
+            c => word.push(c),
+        }
+    }
+    flush(&mut word, &mut tokens);
+    tokens
+}
+
+struct Parser<'a, A, R: Fn(&str) -> Option<A>> {
+    tokens: Vec<Token>,
+    pos: usize,
+    resolve: &'a R,
+}
+
+impl<A, R: Fn(&str) -> Option<A>> Parser<'_, A, R> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Expr<A>, ParseError> {
+        let mut expr = self.parse_and()?;
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.bump();
+            expr = expr.or(self.parse_and()?);
+        }
+        Ok(expr)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr<A>, ParseError> {
+        let mut expr = self.parse_primary()?;
+        while matches!(self.peek(), Some(Token::And | Token::Comma)) {
+            self.bump();
+            expr = expr.and(self.parse_primary()?);
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr<A>, ParseError> {
+        match self.bump() {
+            Some(Token::Open) => {
+                let open_pos = self.pos - 1;
+                let inner = self.parse_or()?;
+                match self.bump() {
+                    Some(Token::Close) => Ok(inner),
+                    _ => Err(ParseError::UnbalancedParen { position: open_pos }),
+                }
+            }
+            Some(Token::Word(first)) => {
+                let start = self.pos - 1;
+                let mut name = first;
+                while let Some(Token::Word(w)) = self.peek() {
+                    name.push(' ');
+                    name.push_str(w);
+                    self.bump();
+                }
+                if name.eq_ignore_ascii_case("none") {
+                    return Ok(Expr::True);
+                }
+                (self.resolve)(&name)
+                    .map(Expr::Atom)
+                    .ok_or(ParseError::UnknownName {
+                        name,
+                        position: start,
+                    })
+            }
+            Some(tok) => Err(ParseError::Unexpected {
+                found: tok.describe(),
+                position: self.pos - 1,
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+}
+
+/// Parses a prerequisite condition, resolving each course name through
+/// `resolve`. Empty/blank input and the word `none` yield [`Expr::True`].
+pub fn parse_expr<A>(
+    input: &str,
+    resolve: impl Fn(&str) -> Option<A>,
+) -> Result<Expr<A>, ParseError> {
+    let tokens = tokenize(input);
+    if tokens.is_empty() {
+        return Ok(Expr::True);
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        resolve: &resolve,
+    };
+    let expr = parser.parse_or()?;
+    match parser.peek() {
+        None => Ok(expr),
+        Some(tok) => Err(ParseError::Unexpected {
+            found: tok.describe(),
+            position: parser.pos,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Resolver accepting names of the form "COSI <n>" and bare numbers.
+    fn resolve(name: &str) -> Option<u32> {
+        let trimmed = name.trim().trim_start_matches("COSI ").trim();
+        trimmed.parse().ok()
+    }
+
+    #[test]
+    fn empty_and_none_are_true() {
+        assert_eq!(parse_expr("", resolve).unwrap(), Expr::True);
+        assert_eq!(parse_expr("   ", resolve).unwrap(), Expr::True);
+        assert_eq!(parse_expr("none", resolve).unwrap(), Expr::True);
+        assert_eq!(parse_expr("None", resolve).unwrap(), Expr::True);
+    }
+
+    #[test]
+    fn single_course() {
+        assert_eq!(parse_expr("COSI 11", resolve).unwrap(), Expr::Atom(11));
+    }
+
+    #[test]
+    fn multiword_names_join() {
+        // "COSI 11" is two words; they merge into one name.
+        assert_eq!(parse_expr("COSI 11", resolve).unwrap(), Expr::Atom(11));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let e = parse_expr("11 or 12 and 13", resolve).unwrap();
+        assert_eq!(e, Expr::Atom(11).or(Expr::Atom(12).and(Expr::Atom(13))));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse_expr("(11 or 12) and 13", resolve).unwrap();
+        assert_eq!(e, Expr::Atom(11).or(Expr::Atom(12)).and(Expr::Atom(13)));
+    }
+
+    #[test]
+    fn comma_reads_as_and() {
+        let e = parse_expr("11, 12, 13", resolve).unwrap();
+        assert_eq!(
+            e,
+            Expr::all([Expr::Atom(11), Expr::Atom(12), Expr::Atom(13)])
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let e = parse_expr("11 AND 12 Or 13", resolve).unwrap();
+        assert_eq!(e, Expr::Atom(11).and(Expr::Atom(12)).or(Expr::Atom(13)));
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let err = parse_expr("MATH 8", resolve).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::UnknownName {
+                name: "MATH 8".into(),
+                position: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unbalanced_paren_is_reported() {
+        let err = parse_expr("(11 and 12", resolve).unwrap_err();
+        assert_eq!(err, ParseError::UnbalancedParen { position: 0 });
+    }
+
+    #[test]
+    fn trailing_operator_is_an_error() {
+        assert_eq!(
+            parse_expr("11 and", resolve).unwrap_err(),
+            ParseError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn stray_close_paren_is_an_error() {
+        let err = parse_expr("11 )", resolve).unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let inputs = [
+            "11 and (12 or 13)",
+            "11 or 12 and 13",
+            "11 and 12 and 13",
+            "(11 or 12) and (13 or 14)",
+        ];
+        for input in inputs {
+            let e = parse_expr(input, resolve).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed, resolve).unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {input:?} -> {printed:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the boolean prerequisite engine.
+
+use std::collections::BTreeSet;
+
+use coursenav_prereq::{min_extra_to_satisfy, parse_expr, Expr, MinSat};
+use proptest::prelude::*;
+
+const NUM_ATOMS: u32 = 6;
+
+/// Strategy producing arbitrary expressions over atoms 0..NUM_ATOMS.
+fn arb_expr() -> impl Strategy<Value = Expr<u32>> {
+    let leaf = prop_oneof![
+        3 => (0..NUM_ATOMS).prop_map(Expr::Atom),
+        1 => Just(Expr::True),
+        1 => Just(Expr::False),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::All),
+            prop::collection::vec(inner, 0..4).prop_map(Expr::Any),
+        ]
+    })
+}
+
+fn oracle(mask: u32) -> impl Fn(&u32) -> bool {
+    move |a| mask & (1 << *a) != 0
+}
+
+/// Brute-force minimum extra atoms: try all subsets of obtainable atoms in
+/// increasing cardinality.
+fn brute_min_extra(expr: &Expr<u32>, completed: u32, obtainable: u32) -> MinSat {
+    if expr.eval(&oracle(completed)) {
+        return MinSat::Satisfied;
+    }
+    let candidates: Vec<u32> = (0..NUM_ATOMS)
+        .filter(|a| obtainable & (1 << a) != 0 && completed & (1 << a) == 0)
+        .collect();
+    let n = candidates.len();
+    let mut best: Option<usize> = None;
+    for pick in 0u32..(1 << n) {
+        let mut mask = completed;
+        for (i, a) in candidates.iter().enumerate() {
+            if pick & (1 << i) != 0 {
+                mask |= 1 << a;
+            }
+        }
+        if expr.eval(&oracle(mask)) {
+            let count = pick.count_ones() as usize;
+            best = Some(best.map_or(count, |b| b.min(count)));
+        }
+    }
+    match best {
+        Some(n) => MinSat::Needs(n),
+        None => MinSat::Unreachable,
+    }
+}
+
+proptest! {
+    /// DNF conversion preserves truth on every assignment.
+    #[test]
+    fn dnf_equivalent_to_expr(expr in arb_expr(), mask in 0u32..(1 << NUM_ATOMS)) {
+        let dnf = expr.to_dnf();
+        prop_assert_eq!(expr.eval(&oracle(mask)), dnf.eval(&oracle(mask)));
+    }
+
+    /// simplify() preserves truth on every assignment.
+    #[test]
+    fn simplify_equivalent_to_expr(expr in arb_expr(), mask in 0u32..(1 << NUM_ATOMS)) {
+        let simplified = expr.clone().simplify();
+        prop_assert_eq!(expr.eval(&oracle(mask)), simplified.eval(&oracle(mask)));
+    }
+
+    /// DNF terms are absorption-minimal: no term is a subset of another.
+    #[test]
+    fn dnf_terms_are_minimal(expr in arb_expr()) {
+        let dnf = expr.to_dnf();
+        let terms: Vec<&BTreeSet<u32>> = dnf.terms().iter().collect();
+        for (i, a) in terms.iter().enumerate() {
+            for (j, b) in terms.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset(b), "term {a:?} absorbed by {b:?}");
+                }
+            }
+        }
+    }
+
+    /// Display output reparses to a logically equivalent expression.
+    #[test]
+    fn display_roundtrips(expr in arb_expr()) {
+        // Displayed atoms are bare numbers; "true"/"false" render as words the
+        // resolver rejects, so restrict to expressions without constants by
+        // replacing them via DNF round-trip when needed.
+        let printed = expr.to_string();
+        if printed.contains("true") || printed.contains("false") {
+            return Ok(()); // constants are not part of the registrar grammar
+        }
+        let reparsed = parse_expr(&printed, |s| s.parse::<u32>().ok()).unwrap();
+        for mask in 0u32..(1 << NUM_ATOMS) {
+            prop_assert_eq!(expr.eval(&oracle(mask)), reparsed.eval(&oracle(mask)));
+        }
+    }
+
+    /// min_extra_to_satisfy matches a brute-force search over subsets.
+    #[test]
+    fn minsat_matches_brute_force(
+        expr in arb_expr(),
+        completed in 0u32..(1 << NUM_ATOMS),
+        obtainable in 0u32..(1 << NUM_ATOMS),
+    ) {
+        let dnf = expr.to_dnf();
+        let got = min_extra_to_satisfy(&dnf, &oracle(completed), &oracle(obtainable));
+        let want = brute_min_extra(&expr, completed, obtainable);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The minsat bound is monotone: completing more courses never increases it.
+    #[test]
+    fn minsat_monotone_in_completed(
+        expr in arb_expr(),
+        completed in 0u32..(1 << NUM_ATOMS),
+        extra in 0u32..NUM_ATOMS,
+    ) {
+        let dnf = expr.to_dnf();
+        let all = |_: &u32| true;
+        let before = min_extra_to_satisfy(&dnf, &oracle(completed), &all);
+        let after = min_extra_to_satisfy(&dnf, &oracle(completed | (1 << extra)), &all);
+        match (before.needed(), after.needed()) {
+            (Some(b), Some(a)) => prop_assert!(a <= b),
+            (None, Some(_)) => prop_assert!(false, "gaining a course made goal reachable from unreachable under full obtainability? impossible"),
+            _ => {}
+        }
+    }
+}

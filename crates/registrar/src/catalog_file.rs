@@ -1,0 +1,454 @@
+//! The registrar catalog file format.
+//!
+//! A line-oriented format carrying everything the paper's back-end receives
+//! from the registrar (§3): course descriptions with prerequisite text,
+//! class schedules, degree requirements, the released-schedule horizon, and
+//! historical offering data for the reliability model. Example:
+//!
+//! ```text
+//! # Academic period covered by the schedules below.
+//! horizon Fall 2012 .. Fall 2015
+//! # Final schedules are public through this semester (reliability = 1.0).
+//! released-through Spring 2013
+//!
+//! course COSI 10A "Introduction to Problem Solving"
+//!   workload 7
+//!   prereq none
+//!   offered every semester
+//!
+//! course COSI 21A "Data Structures"
+//!   workload 11
+//!   prereq COSI 10A or COSI 11A
+//!   offered every fall
+//!
+//! degree-core COSI 10A, COSI 21A
+//! degree-electives 2 of COSI 101A, COSI 111A, COSI 120A
+//!
+//! history-window Fall 2008 .. Spring 2012
+//! history COSI 21A: Fall 2008, Fall 2009, Fall 2010, Fall 2011
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Course fields (`workload`,
+//! `prereq`, `offered`) attach to the most recent `course` directive.
+
+use std::collections::BTreeSet;
+
+use coursenav_catalog::{
+    Catalog, CatalogBuilder, CourseCode, CourseSpec, DegreeRequirement, OfferingModel, Semester,
+};
+use coursenav_prereq::Expr;
+
+use crate::error::{RegistrarError, RegistrarErrorKind};
+use crate::prereq_parser::parse_prereq_text;
+use crate::schedule_parser::parse_schedule_text;
+
+/// Everything a registrar file provides.
+#[derive(Debug, Clone)]
+pub struct RegistrarData {
+    /// The validated course catalog.
+    pub catalog: Catalog,
+    /// The degree requirement, when the file declares one.
+    pub degree: Option<DegreeRequirement>,
+    /// Reliability model, when the file declares a released horizon or
+    /// offering history.
+    pub offering: Option<OfferingModel>,
+    /// The academic period covered by the schedules (inclusive).
+    pub horizon: (Semester, Semester),
+}
+
+fn malformed(line: usize, msg: impl Into<String>) -> RegistrarError {
+    RegistrarError::at(line, RegistrarErrorKind::Malformed(msg.into()))
+}
+
+/// Parses `"<semester> .. <semester>"`.
+fn parse_range(text: &str, line: usize) -> Result<(Semester, Semester), RegistrarError> {
+    let (lo, hi) = text
+        .split_once("..")
+        .ok_or_else(|| malformed(line, format!("expected '<sem> .. <sem>', got {text:?}")))?;
+    let lo: Semester = lo
+        .trim()
+        .parse()
+        .map_err(|e| malformed(line, format!("{e}")))?;
+    let hi: Semester = hi
+        .trim()
+        .parse()
+        .map_err(|e| malformed(line, format!("{e}")))?;
+    if lo > hi {
+        return Err(malformed(line, format!("inverted range {lo} .. {hi}")));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses a comma-separated list of course codes.
+fn parse_code_list(text: &str) -> Vec<CourseCode> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(CourseCode::new)
+        .collect()
+}
+
+#[derive(Debug)]
+struct PendingCourse {
+    line: usize,
+    code: CourseCode,
+    title: String,
+    workload: Option<f64>,
+    prereq: Option<Expr<CourseCode>>,
+    offered: Option<BTreeSet<Semester>>,
+}
+
+/// Parses a registrar catalog file. See the module docs for the format.
+pub fn parse_registrar_file(input: &str) -> Result<RegistrarData, RegistrarError> {
+    let mut horizon: Option<(Semester, Semester)> = None;
+    let mut released_through: Option<Semester> = None;
+    let mut history_window: Option<(Semester, Semester)> = None;
+    let mut history: Vec<(usize, CourseCode, BTreeSet<Semester>)> = Vec::new();
+    let mut courses: Vec<PendingCourse> = Vec::new();
+    let mut degree_core: Option<Vec<CourseCode>> = None;
+    let mut degree_electives: Vec<(usize, Vec<CourseCode>)> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword.to_ascii_lowercase().as_str() {
+            "horizon" => {
+                if horizon.is_some() {
+                    return Err(RegistrarError::at(
+                        lineno,
+                        RegistrarErrorKind::Conflict("horizon declared twice".into()),
+                    ));
+                }
+                horizon = Some(parse_range(rest, lineno)?);
+            }
+            "released-through" => {
+                released_through = Some(
+                    rest.parse()
+                        .map_err(|e| malformed(lineno, format!("{e}")))?,
+                );
+            }
+            "course" => {
+                let (code_text, title) = match rest.split_once('"') {
+                    Some((code, rest_title)) => {
+                        let title = rest_title.trim_end().trim_end_matches('"');
+                        (code.trim(), title.to_string())
+                    }
+                    None => (rest, String::new()),
+                };
+                if code_text.is_empty() {
+                    return Err(malformed(lineno, "course directive without a code"));
+                }
+                courses.push(PendingCourse {
+                    line: lineno,
+                    code: CourseCode::new(code_text),
+                    title,
+                    workload: None,
+                    prereq: None,
+                    offered: None,
+                });
+            }
+            "workload" => {
+                let course = courses
+                    .last_mut()
+                    .ok_or_else(|| malformed(lineno, "workload outside a course block"))?;
+                let hours: f64 = rest
+                    .parse()
+                    .map_err(|_| malformed(lineno, format!("bad workload {rest:?}")))?;
+                course.workload = Some(hours);
+            }
+            "prereq" => {
+                let course = courses
+                    .last_mut()
+                    .ok_or_else(|| malformed(lineno, "prereq outside a course block"))?;
+                let expr = parse_prereq_text(rest).map_err(|e| {
+                    RegistrarError::at(lineno, RegistrarErrorKind::Prereq(e.to_string()))
+                })?;
+                course.prereq = Some(expr);
+            }
+            "offered" => {
+                let hz = horizon
+                    .ok_or_else(|| malformed(lineno, "offered before a horizon declaration"))?;
+                let course = courses
+                    .last_mut()
+                    .ok_or_else(|| malformed(lineno, "offered outside a course block"))?;
+                let sched = parse_schedule_text(rest, hz)
+                    .map_err(|e| RegistrarError::at(lineno, RegistrarErrorKind::Schedule(e)))?;
+                course.offered = Some(sched);
+            }
+            "degree-core" => {
+                if degree_core.is_some() {
+                    return Err(RegistrarError::at(
+                        lineno,
+                        RegistrarErrorKind::Conflict("degree-core declared twice".into()),
+                    ));
+                }
+                degree_core = Some(parse_code_list(rest));
+            }
+            "degree-electives" => {
+                // "<k> of <code list>"
+                let (k_text, list) = rest.split_once(" of ").ok_or_else(|| {
+                    malformed(lineno, "expected 'degree-electives <k> of <courses>'")
+                })?;
+                let k: usize = k_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed(lineno, format!("bad elective count {k_text:?}")))?;
+                let codes = parse_code_list(list);
+                if codes.len() < k {
+                    return Err(malformed(
+                        lineno,
+                        format!("elective pool of {} cannot satisfy choose-{k}", codes.len()),
+                    ));
+                }
+                degree_electives.push((k, codes));
+            }
+            "history-window" => {
+                history_window = Some(parse_range(rest, lineno)?);
+            }
+            "history" => {
+                let (code_text, semesters) = rest
+                    .split_once(':')
+                    .ok_or_else(|| malformed(lineno, "expected 'history <code>: <semesters>'"))?;
+                let hz = history_window.ok_or_else(|| {
+                    malformed(lineno, "history before a history-window declaration")
+                })?;
+                let sched = parse_schedule_text(semesters, hz)
+                    .map_err(|e| RegistrarError::at(lineno, RegistrarErrorKind::Schedule(e)))?;
+                history.push((lineno, CourseCode::new(code_text), sched));
+            }
+            other => {
+                return Err(malformed(lineno, format!("unknown directive {other:?}")));
+            }
+        }
+    }
+
+    let horizon = horizon.ok_or_else(|| {
+        RegistrarError::global(RegistrarErrorKind::Missing("horizon declaration".into()))
+    })?;
+
+    // Assemble the catalog.
+    let mut builder = CatalogBuilder::new();
+    for pending in &courses {
+        let mut spec = CourseSpec::new(pending.code.as_str(), pending.title.clone());
+        if let Some(w) = pending.workload {
+            spec = spec.workload(w);
+        }
+        if let Some(p) = &pending.prereq {
+            spec = spec.prereq(p.clone());
+        }
+        let offered = pending.offered.clone().ok_or_else(|| {
+            malformed(
+                pending.line,
+                format!("course {} has no offered declaration", pending.code),
+            )
+        })?;
+        spec = spec.offered(offered);
+        builder.add_course(spec);
+    }
+    let catalog = builder.build()?;
+
+    // Degree requirement.
+    let degree = if degree_core.is_some() || !degree_electives.is_empty() {
+        let resolve = |codes: &[CourseCode], line: usize| {
+            codes
+                .iter()
+                .map(|c| {
+                    catalog.id_of(c).ok_or_else(|| {
+                        RegistrarError::at(
+                            line,
+                            RegistrarErrorKind::UnknownCourse(c.as_str().to_string()),
+                        )
+                    })
+                })
+                .collect::<Result<coursenav_catalog::CourseSet, _>>()
+        };
+        let core = match &degree_core {
+            Some(codes) => resolve(codes, 0)?,
+            None => coursenav_catalog::CourseSet::EMPTY,
+        };
+        let mut req = DegreeRequirement::with_core(core);
+        for (k, codes) in &degree_electives {
+            req = req.elective(*k, resolve(codes, 0)?);
+        }
+        Some(req)
+    } else {
+        None
+    };
+
+    // Reliability model.
+    let offering = if released_through.is_some() || !history.is_empty() {
+        let released = released_through.unwrap_or(horizon.0);
+        let mut model = OfferingModel::new(released, 0.5);
+        for (line, code, offered) in &history {
+            let id = catalog.id_of(code).ok_or_else(|| {
+                RegistrarError::at(
+                    *line,
+                    RegistrarErrorKind::UnknownCourse(code.as_str().to_string()),
+                )
+            })?;
+            let (lo, hi) = history_window.expect("history lines require a window");
+            model.record_window(id, lo.through(hi), |s| offered.contains(&s));
+        }
+        Some(model)
+    } else {
+        None
+    };
+
+    Ok(RegistrarData {
+        catalog,
+        degree,
+        offering,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::Term;
+
+    const SMALL: &str = r#"
+# A miniature registrar file (the paper's Fig. 3 instance).
+horizon Fall 2011 .. Spring 2013
+released-through Spring 2012
+
+course 11A "Intro A"
+  workload 8
+  prereq none
+  offered Fall 2011, Fall 2012
+
+course 29A "Intro B"
+  workload 7
+  offered Fall 2011, Fall 2012
+
+course 21A "Data Structures"
+  workload 11
+  prereq 11A
+  offered Spring 2012
+
+degree-core 11A, 21A
+degree-electives 1 of 29A
+
+history-window Fall 2008 .. Spring 2011
+history 21A: Spring 2009, Spring 2010, Spring 2011
+"#;
+
+    #[test]
+    fn parses_the_fig3_file() {
+        let data = parse_registrar_file(SMALL).unwrap();
+        assert_eq!(data.catalog.len(), 3);
+        assert_eq!(
+            data.horizon,
+            (
+                Semester::new(2011, Term::Fall),
+                Semester::new(2013, Term::Spring)
+            )
+        );
+        let c21a = data.catalog.get(&CourseCode::new("21A")).unwrap();
+        assert_eq!(c21a.workload(), 11.0);
+        assert!(c21a.offered_in(Semester::new(2012, Term::Spring)));
+        assert!(!c21a.offered_in(Semester::new(2011, Term::Fall)));
+        // Prereq resolved to 11A.
+        let id_11a = data.catalog.id_of_str("11A").unwrap();
+        assert!(c21a.prereq_satisfied(&coursenav_catalog::CourseSet::from_iter([id_11a])));
+    }
+
+    #[test]
+    fn degree_rules_resolve() {
+        let data = parse_registrar_file(SMALL).unwrap();
+        let degree = data.degree.unwrap();
+        assert_eq!(degree.total_slots(), 3);
+        let all = data.catalog.all_courses();
+        assert!(degree.satisfied(&all));
+    }
+
+    #[test]
+    fn reliability_model_built_from_history() {
+        let data = parse_registrar_file(SMALL).unwrap();
+        let model = data.offering.unwrap();
+        assert_eq!(model.released_through(), Semester::new(2012, Term::Spring));
+        let c21a = data.catalog.get(&CourseCode::new("21A")).unwrap();
+        // Within released horizon: certain.
+        assert_eq!(model.prob(c21a, Semester::new(2012, Term::Spring)), 1.0);
+        // Beyond: history says offered every observed spring, never in fall.
+        assert_eq!(model.prob(c21a, Semester::new(2013, Term::Spring)), 1.0);
+        assert_eq!(model.prob(c21a, Semester::new(2013, Term::Fall)), 0.0);
+    }
+
+    #[test]
+    fn default_workload_applies() {
+        let data = parse_registrar_file(SMALL).unwrap();
+        let c29a = data.catalog.get(&CourseCode::new("29A")).unwrap();
+        assert_eq!(c29a.workload(), 7.0);
+    }
+
+    #[test]
+    fn missing_horizon_is_an_error() {
+        let err = parse_registrar_file("course X \"x\"\n offered every fall\n").unwrap_err();
+        assert!(err.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn missing_offered_is_an_error() {
+        let input = "horizon Fall 2011 .. Fall 2012\ncourse X \"x\"\n";
+        let err = parse_registrar_file(input).unwrap_err();
+        assert!(err.to_string().contains("offered"), "{err}");
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let input = "horizon Fall 2011 .. Fall 2012\nfrobnicate yes\n";
+        let err = parse_registrar_file(input).unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn unknown_prereq_course_fails_catalog_validation() {
+        let input = r#"
+horizon Fall 2011 .. Fall 2012
+course A "a"
+  prereq GHOST 1
+  offered every fall
+"#;
+        assert!(parse_registrar_file(input).is_err());
+    }
+
+    #[test]
+    fn unknown_degree_course_is_reported() {
+        let input = r#"
+horizon Fall 2011 .. Fall 2012
+course A "a"
+  offered every fall
+degree-core GHOST 1
+"#;
+        let err = parse_registrar_file(input).unwrap_err();
+        assert!(matches!(err.kind, RegistrarErrorKind::UnknownCourse(_)));
+    }
+
+    #[test]
+    fn elective_pool_too_small_is_reported() {
+        let input = r#"
+horizon Fall 2011 .. Fall 2012
+course A "a"
+  offered every fall
+degree-electives 3 of A
+"#;
+        let err = parse_registrar_file(input).unwrap_err();
+        assert!(err.to_string().contains("choose-3"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let input = "# leading comment\n\nhorizon Fall 2011 .. Fall 2012 # trailing\n\ncourse A \"a\" # named\n  offered every fall\n";
+        let data = parse_registrar_file(input).unwrap();
+        assert_eq!(data.catalog.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Registrar parsing errors.
+
+use std::fmt;
+
+use coursenav_catalog::CatalogError;
+
+/// Error raised while parsing registrar data files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrarError {
+    /// 1-based line number in the source file, when known.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub kind: RegistrarErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistrarErrorKind {
+    /// A malformed directive or field.
+    Malformed(String),
+    /// A prerequisite expression failed to parse.
+    Prereq(String),
+    /// A schedule declaration failed to parse.
+    Schedule(String),
+    /// A directive referenced an undeclared course.
+    UnknownCourse(String),
+    /// A duplicate or conflicting directive.
+    Conflict(String),
+    /// A required directive is missing.
+    Missing(String),
+    /// Catalog validation rejected the assembled data.
+    Catalog(CatalogError),
+}
+
+impl RegistrarError {
+    pub(crate) fn at(line: usize, kind: RegistrarErrorKind) -> RegistrarError {
+        RegistrarError {
+            line: Some(line),
+            kind,
+        }
+    }
+
+    pub(crate) fn global(kind: RegistrarErrorKind) -> RegistrarError {
+        RegistrarError { line: None, kind }
+    }
+}
+
+impl fmt::Display for RegistrarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.kind {
+            RegistrarErrorKind::Malformed(msg) => write!(f, "malformed directive: {msg}"),
+            RegistrarErrorKind::Prereq(msg) => write!(f, "invalid prerequisite: {msg}"),
+            RegistrarErrorKind::Schedule(msg) => write!(f, "invalid schedule: {msg}"),
+            RegistrarErrorKind::UnknownCourse(code) => write!(f, "unknown course {code:?}"),
+            RegistrarErrorKind::Conflict(msg) => write!(f, "conflicting directive: {msg}"),
+            RegistrarErrorKind::Missing(msg) => write!(f, "missing directive: {msg}"),
+            RegistrarErrorKind::Catalog(err) => write!(f, "catalog validation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistrarError {}
+
+impl From<CatalogError> for RegistrarError {
+    fn from(err: CatalogError) -> RegistrarError {
+        RegistrarError::global(RegistrarErrorKind::Catalog(err))
+    }
+}

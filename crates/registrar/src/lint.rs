@@ -1,0 +1,306 @@
+//! Catalog quality checks.
+//!
+//! The paper's pipeline assumes clean registrar data, but real course
+//! descriptions rot: schedules lapse, prerequisite chains dead-end, degree
+//! rules reference courses that stopped running. `lint_catalog` finds the
+//! problems that silently produce empty or misleading exploration results —
+//! the checks a department would run before publishing a catalog file.
+
+use std::fmt;
+
+use coursenav_catalog::{Catalog, CourseSet, DegreeRequirement, Semester};
+
+use crate::catalog_file::RegistrarData;
+
+/// One finding from [`lint_catalog`]. All findings are advisories — the
+/// catalog already passed hard validation when it was built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// The course is never offered within the declared horizon, so no
+    /// learning path can ever include it.
+    NeverOffered {
+        /// The unofferable course code.
+        course: String,
+    },
+    /// The course is offered, but never in a semester where its
+    /// prerequisites could already be complete — it is untakeable by a
+    /// student starting at the horizon's first semester.
+    UnreachableInHorizon {
+        /// The untakeable course code.
+        course: String,
+    },
+    /// The degree requirement cannot be completed within the horizon even
+    /// by a student taking every eligible course every semester.
+    DegreeUnsatisfiableInHorizon {
+        /// Requirement slots that can never be filled.
+        missing_slots: usize,
+    },
+    /// No other course requires this one and the degree does not count it:
+    /// taking it never unlocks anything (fine for enrichment courses, but
+    /// often a symptom of a typo in someone else's prerequisite list).
+    Orphaned {
+        /// The unreferenced course code.
+        course: String,
+    },
+    /// A prerequisite of this course is last offered *after* the course's
+    /// own final offering, making the natural order impossible late in the
+    /// horizon.
+    PrereqOfferedTooLate {
+        /// The dependent course code.
+        course: String,
+        /// The prerequisite that outlives it.
+        prereq: String,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::NeverOffered { course } => {
+                write!(f, "{course}: never offered within the horizon")
+            }
+            LintWarning::UnreachableInHorizon { course } => write!(
+                f,
+                "{course}: prerequisites cannot be completed before any of its offerings"
+            ),
+            LintWarning::DegreeUnsatisfiableInHorizon { missing_slots } => write!(
+                f,
+                "degree: {missing_slots} requirement slot(s) cannot be filled within the horizon"
+            ),
+            LintWarning::Orphaned { course } => write!(
+                f,
+                "{course}: no prerequisite references it and the degree does not count it"
+            ),
+            LintWarning::PrereqOfferedTooLate { course, prereq } => write!(
+                f,
+                "{course}: prerequisite {prereq} has offerings after {course}'s last one"
+            ),
+        }
+    }
+}
+
+/// The takeable-by-semester closure: courses completable by a fresh student
+/// by the *end* of each semester, taking everything eligible (no `m` cap).
+fn eligibility_closure(catalog: &Catalog, horizon: (Semester, Semester)) -> Vec<CourseSet> {
+    let mut completed = CourseSet::EMPTY;
+    let mut per_semester = Vec::new();
+    for sem in horizon.0.through(horizon.1) {
+        let eligible = catalog.eligible(&completed, sem);
+        completed.union_with(&eligible);
+        per_semester.push(completed);
+    }
+    per_semester
+}
+
+/// Runs every lint over the registrar data, in a stable order
+/// (per-course checks by course id, then degree-level checks).
+pub fn lint_catalog(data: &RegistrarData) -> Vec<LintWarning> {
+    lint(&data.catalog, data.degree.as_ref(), data.horizon)
+}
+
+/// [`lint_catalog`] over the pieces, for callers without a
+/// [`RegistrarData`] bundle.
+pub fn lint(
+    catalog: &Catalog,
+    degree: Option<&DegreeRequirement>,
+    horizon: (Semester, Semester),
+) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    let offered_in_horizon = catalog.offered_between(horizon.0, horizon.1);
+    let closure = eligibility_closure(catalog, horizon);
+    let ever_takeable = closure.last().copied().unwrap_or(CourseSet::EMPTY);
+
+    // Which courses appear in someone's prerequisite condition?
+    let mut referenced = CourseSet::EMPTY;
+    for course in catalog.courses() {
+        for atom in course.prereq().atoms() {
+            referenced.insert(atom);
+        }
+    }
+    let counted_by_degree = degree
+        .map(|d| d.relevant_courses())
+        .unwrap_or(CourseSet::EMPTY);
+
+    for course in catalog.courses() {
+        let code = course.code().to_string();
+        if !offered_in_horizon.contains(course.id()) {
+            warnings.push(LintWarning::NeverOffered { course: code });
+            continue;
+        }
+        if !ever_takeable.contains(course.id()) {
+            warnings.push(LintWarning::UnreachableInHorizon { course: code });
+            continue;
+        }
+        if !referenced.contains(course.id()) && !counted_by_degree.contains(course.id()) {
+            warnings.push(LintWarning::Orphaned {
+                course: code.clone(),
+            });
+        }
+        // Prerequisites whose offerings outlive the course's final offering.
+        let last_offering = course
+            .offered()
+            .iter()
+            .copied()
+            .filter(|s| (horizon.0..=horizon.1).contains(s))
+            .max();
+        if let Some(last) = last_offering {
+            for atom in course.prereq().atoms() {
+                let prereq = catalog.course(atom);
+                let prereq_first = prereq
+                    .offered()
+                    .iter()
+                    .copied()
+                    .filter(|s| (horizon.0..=horizon.1).contains(s))
+                    .min();
+                if let Some(first) = prereq_first {
+                    if first >= last {
+                        warnings.push(LintWarning::PrereqOfferedTooLate {
+                            course: code.clone(),
+                            prereq: prereq.code().to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(degree) = degree {
+        let covered = degree.slots_covered(&ever_takeable);
+        if covered < degree.total_slots() {
+            warnings.push(LintWarning::DegreeUnsatisfiableInHorizon {
+                missing_slots: degree.total_slots() - covered,
+            });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_registrar_file;
+    use crate::sample::brandeis_cs;
+
+    #[test]
+    fn bundled_catalog_is_mostly_clean() {
+        let data = brandeis_cs();
+        let warnings = lint_catalog(&data);
+        // The bundled catalog must have no hard problems. (This lint caught
+        // a real one during development: COSI 147A's single offering
+        // preceded the earliest completion of its prerequisite chain.)
+        assert!(
+            !warnings.iter().any(|w| matches!(
+                w,
+                LintWarning::NeverOffered { .. }
+                    | LintWarning::UnreachableInHorizon { .. }
+                    | LintWarning::DegreeUnsatisfiableInHorizon { .. }
+            )),
+            "{warnings:?}"
+        );
+        // COSI 33B (a non-majors course) is a known, acceptable advisory.
+        assert!(warnings.contains(&LintWarning::Orphaned {
+            course: "COSI 33B".into()
+        }));
+    }
+
+    fn parse(input: &str) -> RegistrarData {
+        parse_registrar_file(input).unwrap()
+    }
+
+    #[test]
+    fn flags_never_offered_courses() {
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2013\n\
+             course A \"a\"\n offered every fall\n\
+             course B \"b\"\n offered Fall 2020\n",
+        );
+        let warnings = lint_catalog(&data);
+        assert!(warnings.contains(&LintWarning::NeverOffered { course: "B".into() }));
+    }
+
+    #[test]
+    fn flags_unreachable_courses() {
+        // B requires A, but B's only offering is in the first semester.
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2013\n\
+             course A \"a\"\n offered Spring 2013\n\
+             course B \"b\"\n prereq A\n offered Fall 2012\n",
+        );
+        let warnings = lint_catalog(&data);
+        assert!(warnings.contains(&LintWarning::UnreachableInHorizon { course: "B".into() }));
+    }
+
+    #[test]
+    fn flags_unsatisfiable_degree() {
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2013\n\
+             course A \"a\"\n offered every fall\n\
+             course B \"b\"\n prereq A\n offered Fall 2012\n\
+             degree-core A, B\n",
+        );
+        let warnings = lint_catalog(&data);
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::DegreeUnsatisfiableInHorizon { missing_slots: 1 }
+        )));
+    }
+
+    #[test]
+    fn flags_orphans_but_not_degree_courses() {
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2013\n\
+             course A \"a\"\n offered every fall\n\
+             course B \"b\"\n prereq A\n offered every spring\n\
+             course C \"c\"\n offered every fall\n\
+             degree-core B\n",
+        );
+        let warnings = lint_catalog(&data);
+        // A is referenced by B; B is in the degree; C is orphaned.
+        assert!(warnings.contains(&LintWarning::Orphaned { course: "C".into() }));
+        assert!(!warnings.contains(&LintWarning::Orphaned { course: "A".into() }));
+        assert!(!warnings.contains(&LintWarning::Orphaned { course: "B".into() }));
+    }
+
+    #[test]
+    fn flags_prereqs_offered_too_late() {
+        // B (requires A) last runs Fall 2012; A first runs Spring 2013.
+        // B is unreachable AND its prereq schedule is inverted; the
+        // unreachable lint fires first (it short-circuits per course), so
+        // test the late-prereq lint with a reachable course: A offered both
+        // early and late, B in the middle.
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2014\n\
+             course A \"a\"\n offered Fall 2012, Fall 2014\n\
+             course B \"b\"\n prereq A\n offered Spring 2013\n",
+        );
+        let warnings = lint_catalog(&data);
+        // A's offerings extend past B's last one — not flagged (first < last).
+        assert!(!warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::PrereqOfferedTooLate { .. })));
+        // B is reachable via C, but the A alternative only materializes
+        // after B's final offering.
+        let data = parse(
+            "horizon Fall 2012 .. Fall 2014\n\
+             course A \"a\"\n offered Fall 2014\n\
+             course C \"c\"\n offered Fall 2012\n\
+             course B \"b\"\n prereq A or C\n offered Spring 2013\n",
+        );
+        let warnings = lint_catalog(&data);
+        assert!(
+            warnings.contains(&LintWarning::PrereqOfferedTooLate {
+                course: "B".into(),
+                prereq: "A".into()
+            }),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn display_messages_name_the_course() {
+        let w = LintWarning::NeverOffered {
+            course: "X 1".into(),
+        };
+        assert!(w.to_string().contains("X 1"));
+    }
+}

@@ -1,0 +1,65 @@
+//! The Prerequisite Parser of the paper's back-end (§3, Fig. 2).
+//!
+//! Turns registrar prerequisite text into a boolean expression over course
+//! *codes* (resolution to interned ids happens when the catalog is built,
+//! so forward references between courses are fine).
+
+use coursenav_catalog::CourseCode;
+use coursenav_prereq::{parse_expr, Expr, ParseError};
+
+/// Parses prerequisite text like `"COSI 21A and (COSI 29A or COSI 12B)"`
+/// into an expression over course codes. Any well-formed name is accepted
+/// as a code; `""` and `"none"` mean no prerequisites.
+pub fn parse_prereq_text(text: &str) -> Result<Expr<CourseCode>, ParseError> {
+    parse_expr(text, |name| Some(CourseCode::new(name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_codes_with_spaces() {
+        let e = parse_prereq_text("COSI 21A and COSI 29A").unwrap();
+        assert_eq!(
+            e,
+            Expr::Atom(CourseCode::new("COSI 21A")).and(Expr::Atom(CourseCode::new("COSI 29A")))
+        );
+    }
+
+    #[test]
+    fn parses_alternatives() {
+        let e = parse_prereq_text("COSI 10A or COSI 11A").unwrap();
+        assert_eq!(
+            e,
+            Expr::Atom(CourseCode::new("COSI 10A")).or(Expr::Atom(CourseCode::new("COSI 11A")))
+        );
+    }
+
+    #[test]
+    fn parses_nested_registrar_style() {
+        let e = parse_prereq_text("COSI 21A and (COSI 29A or COSI 12B)").unwrap();
+        let want = Expr::Atom(CourseCode::new("COSI 21A")).and(
+            Expr::Atom(CourseCode::new("COSI 29A")).or(Expr::Atom(CourseCode::new("COSI 12B"))),
+        );
+        assert_eq!(e, want);
+    }
+
+    #[test]
+    fn none_and_empty_mean_no_prereq() {
+        assert_eq!(parse_prereq_text("none").unwrap(), Expr::True);
+        assert_eq!(parse_prereq_text("").unwrap(), Expr::True);
+    }
+
+    #[test]
+    fn codes_are_normalized() {
+        let e = parse_prereq_text("cosi   21a").unwrap();
+        assert_eq!(e, Expr::Atom(CourseCode::new("COSI 21A")));
+    }
+
+    #[test]
+    fn reports_syntax_errors() {
+        assert!(parse_prereq_text("COSI 21A and (").is_err());
+        assert!(parse_prereq_text("and COSI 21A").is_err());
+    }
+}

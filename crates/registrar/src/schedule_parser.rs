@@ -1,0 +1,117 @@
+//! The Schedule Parser of the paper's back-end (§3, Fig. 2).
+//!
+//! Registrar schedules arrive either as explicit semester lists
+//! (`"Fall 2012, Spring 2013, Fall 2013"`) or as patterns relative to the
+//! published horizon (`"every fall"`, `"every spring"`, `"every semester"`).
+//! Patterns are expanded against the catalog file's declared horizon.
+
+use std::collections::BTreeSet;
+
+use coursenav_catalog::{Semester, Term};
+
+/// Parses a schedule declaration into the set of offered semesters.
+///
+/// `horizon` is the inclusive range of semesters the catalog file covers;
+/// pattern forms (`every …`) expand against it. Explicit semester lists may
+/// mention any semester (even outside the horizon).
+pub fn parse_schedule_text(
+    text: &str,
+    horizon: (Semester, Semester),
+) -> Result<BTreeSet<Semester>, String> {
+    let trimmed = text.trim();
+    let lower = trimmed.to_ascii_lowercase();
+    let (lo, hi) = horizon;
+    if lo > hi {
+        return Err(format!("empty horizon {lo} .. {hi}"));
+    }
+    match lower.as_str() {
+        "every semester" => return Ok(lo.through(hi).collect()),
+        "every fall" => return Ok(lo.through(hi).filter(|s| s.term() == Term::Fall).collect()),
+        "every spring" => {
+            return Ok(lo
+                .through(hi)
+                .filter(|s| s.term() == Term::Spring)
+                .collect())
+        }
+        "never" => return Ok(BTreeSet::new()),
+        _ => {}
+    }
+    let mut out = BTreeSet::new();
+    for part in trimmed.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let sem: Semester = part
+            .parse()
+            .map_err(|e| format!("bad semester {part:?}: {e}"))?;
+        out.insert(sem);
+    }
+    if out.is_empty() {
+        return Err(format!("schedule {trimmed:?} lists no semesters"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon() -> (Semester, Semester) {
+        (
+            Semester::new(2012, Term::Fall),
+            Semester::new(2015, Term::Fall),
+        )
+    }
+
+    #[test]
+    fn every_semester_expands_to_horizon() {
+        let sched = parse_schedule_text("every semester", horizon()).unwrap();
+        assert_eq!(sched.len(), 7); // F12 S13 F13 S14 F14 S15 F15
+    }
+
+    #[test]
+    fn every_fall_and_spring_filter_terms() {
+        let falls = parse_schedule_text("every fall", horizon()).unwrap();
+        assert_eq!(falls.len(), 4);
+        assert!(falls.iter().all(|s| s.term() == Term::Fall));
+        let springs = parse_schedule_text("Every Spring", horizon()).unwrap();
+        assert_eq!(springs.len(), 3);
+        assert!(springs.iter().all(|s| s.term() == Term::Spring));
+    }
+
+    #[test]
+    fn explicit_lists_parse() {
+        let sched = parse_schedule_text("Fall 2012, Spring 2014", horizon()).unwrap();
+        assert_eq!(sched.len(), 2);
+        assert!(sched.contains(&Semester::new(2012, Term::Fall)));
+        assert!(sched.contains(&Semester::new(2014, Term::Spring)));
+    }
+
+    #[test]
+    fn explicit_lists_may_leave_the_horizon() {
+        let sched = parse_schedule_text("Fall 2020", horizon()).unwrap();
+        assert!(sched.contains(&Semester::new(2020, Term::Fall)));
+    }
+
+    #[test]
+    fn never_is_empty() {
+        assert!(parse_schedule_text("never", horizon()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_schedule_text("Winter 2012", horizon()).is_err());
+        assert!(parse_schedule_text("", horizon()).is_err());
+        assert!(parse_schedule_text(" , ,", horizon()).is_err());
+    }
+
+    #[test]
+    fn inverted_horizon_is_rejected() {
+        let bad = (
+            Semester::new(2015, Term::Fall),
+            Semester::new(2012, Term::Fall),
+        );
+        assert!(parse_schedule_text("every fall", bad).is_err());
+    }
+}

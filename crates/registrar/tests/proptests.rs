@@ -1,0 +1,127 @@
+//! Property-based tests for the registrar parsers and writer.
+
+use std::collections::BTreeSet;
+
+use coursenav_catalog::{
+    Catalog, CatalogBuilder, CourseCode, CourseSet, CourseSpec, DegreeRequirement, Semester, Term,
+};
+use coursenav_prereq::Expr;
+use coursenav_registrar::{parse_registrar_file, write_registrar_file};
+use proptest::prelude::*;
+
+const HORIZON_SEMS: i32 = 6;
+
+fn start() -> Semester {
+    Semester::new(2012, Term::Fall)
+}
+
+/// Strategy for a random valid catalog plus degree rule: layered prereqs,
+/// random schedules, random workloads, random core/elective split.
+#[allow(clippy::type_complexity)]
+fn arb_catalog() -> impl Strategy<Value = (Catalog, Option<DegreeRequirement>)> {
+    let courses = prop::collection::vec(
+        (
+            0u64..u64::MAX,              // offering mask source
+            prop::option::of(0usize..4), // prereq pick (index into earlier courses)
+            1u32..30,                    // workload (integral to dodge float text issues)
+            any::<bool>(),               // OR-alternative prereq?
+        ),
+        1..10,
+    );
+    (courses, any::<u64>()).prop_map(|(specs, degree_seed)| {
+        let mut b = CatalogBuilder::new();
+        let n = specs.len();
+        for (i, (mask, prereq_pick, workload, use_or)) in specs.iter().enumerate() {
+            let offered: BTreeSet<Semester> = (0..HORIZON_SEMS)
+                .filter(|k| mask & (1 << k) != 0)
+                .map(|k| start() + k)
+                .collect();
+            let prereq = match prereq_pick {
+                Some(p) if i > 0 => {
+                    let a = p % i;
+                    let atom = |j: usize| Expr::Atom(CourseCode::new(&format!("C {j}")));
+                    if *use_or && i >= 2 {
+                        atom(a).or(atom((p + 1) % i))
+                    } else {
+                        atom(a)
+                    }
+                }
+                _ => Expr::True,
+            };
+            b.add_course(
+                CourseSpec::new(format!("C {i}").as_str(), format!("Course {i}"))
+                    .offered(offered)
+                    .prereq(prereq)
+                    .workload(f64::from(*workload)),
+            );
+        }
+        let catalog = b.build().expect("layered catalogs are valid");
+        let degree = if degree_seed % 3 == 0 {
+            None
+        } else {
+            let core: CourseSet = (0..n)
+                .filter(|i| degree_seed & (1 << i) != 0)
+                .map(|i| coursenav_catalog::CourseId::new(i as u16))
+                .collect();
+            let pool: CourseSet = (0..n)
+                .filter(|i| degree_seed & (1 << (i + 16)) != 0)
+                .map(|i| coursenav_catalog::CourseId::new(i as u16))
+                .collect();
+            if core.is_empty() && pool.is_empty() {
+                // An empty degree is trivially satisfied and has no
+                // representation in the text format.
+                None
+            } else if pool.is_empty() {
+                Some(DegreeRequirement::with_core(core))
+            } else {
+                let k = degree_seed as usize % pool.len();
+                Some(DegreeRequirement::with_core(core).elective(k, pool))
+            }
+        };
+        (catalog, degree)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write → parse reproduces the catalog semantics exactly.
+    #[test]
+    fn registrar_file_roundtrips((catalog, degree) in arb_catalog()) {
+        let horizon = (start(), start() + (HORIZON_SEMS - 1));
+        let text = write_registrar_file(&catalog, degree.as_ref(), horizon);
+        let back = parse_registrar_file(&text).unwrap();
+        prop_assert_eq!(back.catalog.len(), catalog.len());
+        prop_assert_eq!(back.horizon, horizon);
+        for (a, b) in catalog.courses().zip(back.catalog.courses()) {
+            prop_assert_eq!(a.code(), b.code());
+            prop_assert_eq!(a.title(), b.title());
+            prop_assert_eq!(a.workload(), b.workload());
+            prop_assert_eq!(a.offered(), b.offered());
+            prop_assert_eq!(a.prereq().to_dnf(), b.prereq().to_dnf());
+        }
+        prop_assert_eq!(back.degree, degree);
+    }
+
+    /// Eligibility queries agree between original and round-tripped catalog
+    /// on arbitrary completed-sets (derived state survives the format).
+    #[test]
+    fn roundtripped_catalog_answers_queries_identically(
+        (catalog, _) in arb_catalog(),
+        completed_mask in any::<u16>(),
+        sem_offset in 0i32..HORIZON_SEMS,
+    ) {
+        let horizon = (start(), start() + (HORIZON_SEMS - 1));
+        let text = write_registrar_file(&catalog, None, horizon);
+        let back = parse_registrar_file(&text).unwrap();
+        let completed: CourseSet = (0..catalog.len())
+            .filter(|i| completed_mask & (1 << (i % 16)) != 0)
+            .map(|i| coursenav_catalog::CourseId::new(i as u16))
+            .collect();
+        let sem = start() + sem_offset;
+        prop_assert_eq!(
+            catalog.eligible(&completed, sem),
+            back.catalog.eligible(&completed, sem)
+        );
+    }
+}

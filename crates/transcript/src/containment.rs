@@ -1,0 +1,331 @@
+//! The §5.2 containment predicate.
+//!
+//! The paper compared 83 actual student paths against the 41,556,657
+//! generated goal-driven paths and found "all existing paths are included
+//! in the paths we generated". Enumerating tens of millions of paths to
+//! test membership is unnecessary: the goal-driven algorithm generates
+//! *exactly* the valid, goal-minimal, deadline-respecting paths, so
+//! membership is a local predicate on the transcript. [`check_containment`]
+//! implements it; tests verify the predicate coincides with literal
+//! membership in the enumerated path set on small instances.
+
+use std::fmt;
+
+use coursenav_navigator::{Explorer, Path, WaitPolicy};
+
+use crate::transcript::Transcript;
+
+/// Why a transcript is *not* one of the generated goal-driven paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentError {
+    /// The explorer has no goal; containment is defined for goal-driven runs.
+    NotGoalDriven,
+    /// The transcript starts in a different semester than the exploration.
+    StartMismatch,
+    /// A selection elects a course that is not eligible at that point.
+    InvalidTransition(String),
+    /// A selection exceeds the per-semester cap `m`.
+    SelectionTooLarge {
+        /// Zero-based index of the offending semester.
+        semester_index: usize,
+    },
+    /// An empty selection was made while eligible options existed (the
+    /// paper's expansion never emits such edges under the default policy).
+    EmptySelectionWithOptions {
+        /// Zero-based index of the idle semester.
+        semester_index: usize,
+    },
+    /// The final completed set does not satisfy the goal.
+    GoalNotReached,
+    /// The goal was already satisfied before the final semester (generated
+    /// paths stop at the first goal-satisfying node).
+    GoalReachedEarly {
+        /// Zero-based index of the semester after which the goal held.
+        semester_index: usize,
+    },
+    /// The path runs past the exploration deadline.
+    PastDeadline,
+}
+
+impl fmt::Display for ContainmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainmentError::NotGoalDriven => {
+                write!(f, "containment is defined for goal-driven explorations")
+            }
+            ContainmentError::StartMismatch => write!(f, "start semester mismatch"),
+            ContainmentError::InvalidTransition(msg) => write!(f, "invalid transition: {msg}"),
+            ContainmentError::SelectionTooLarge { semester_index } => {
+                write!(f, "selection {semester_index} exceeds the per-semester cap")
+            }
+            ContainmentError::EmptySelectionWithOptions { semester_index } => write!(
+                f,
+                "semester {semester_index} takes nothing despite eligible options"
+            ),
+            ContainmentError::GoalNotReached => write!(f, "goal not satisfied at the end"),
+            ContainmentError::GoalReachedEarly { semester_index } => write!(
+                f,
+                "goal already satisfied after semester {semester_index}; generated paths stop there"
+            ),
+            ContainmentError::PastDeadline => write!(f, "path extends past the deadline"),
+        }
+    }
+}
+
+impl std::error::Error for ContainmentError {}
+
+/// Decides whether `transcript` is one of the learning paths the
+/// goal-driven exploration `explorer` generates, without enumerating them.
+///
+/// Assumes an unfiltered exploration with the default
+/// [`WaitPolicy::WhenNoOptions`] or [`WaitPolicy::Always`]; under
+/// [`WaitPolicy::Never`] any wait transition disqualifies the transcript.
+pub fn check_containment(
+    explorer: &Explorer<'_>,
+    transcript: &Transcript,
+) -> Result<Path, ContainmentError> {
+    let goal = explorer.goal().ok_or(ContainmentError::NotGoalDriven)?;
+    if transcript.start() != explorer.start().semester() {
+        return Err(ContainmentError::StartMismatch);
+    }
+    let path = transcript
+        .to_path(explorer.catalog())
+        .map_err(ContainmentError::InvalidTransition)?;
+    if path.end().semester() > explorer.deadline() {
+        return Err(ContainmentError::PastDeadline);
+    }
+    // Start status must match exactly (same completed set).
+    if path.start() != explorer.start() {
+        return Err(ContainmentError::StartMismatch);
+    }
+    for (i, sel) in path.selections().iter().enumerate() {
+        if sel.len() > explorer.max_per_semester() {
+            return Err(ContainmentError::SelectionTooLarge { semester_index: i });
+        }
+        if sel.is_empty()
+            && !path.statuses()[i].options().is_empty()
+            && explorer.wait_policy() != WaitPolicy::Always
+        {
+            return Err(ContainmentError::EmptySelectionWithOptions { semester_index: i });
+        }
+    }
+    // Goal minimality: satisfied at the leaf and nowhere earlier.
+    for (i, status) in path.statuses().iter().enumerate() {
+        let satisfied = goal.satisfied(status.completed());
+        let is_leaf = i + 1 == path.statuses().len();
+        match (satisfied, is_leaf) {
+            (true, true) => {}
+            (false, true) => return Err(ContainmentError::GoalNotReached),
+            (true, false) => return Err(ContainmentError::GoalReachedEarly { semester_index: i }),
+            (false, false) => {}
+        }
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyCorePolicy, RandomValidPolicy, SelectionPolicy};
+    use crate::simulator::TranscriptSimulator;
+    use coursenav_catalog::{CourseSet, SyntheticCatalog, SyntheticConfig};
+    use coursenav_navigator::{EnrollmentStatus, Goal};
+
+    fn setting() -> (SyntheticCatalog, i32) {
+        (SyntheticCatalog::generate(&SyntheticConfig::small()), 5)
+    }
+
+    fn explorer<'a>(s: &'a SyntheticCatalog, horizon: i32) -> Explorer<'a> {
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        Explorer::goal_driven(
+            &s.catalog,
+            start,
+            s.start + horizon,
+            3,
+            Goal::degree(s.degree.clone()),
+        )
+        .unwrap()
+    }
+
+    /// Every enumerated goal path, replayed as a transcript, passes the
+    /// containment predicate (predicate completeness).
+    #[test]
+    fn all_generated_paths_are_contained() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let paths = e.collect_goal_paths();
+        assert!(!paths.is_empty(), "instance must have goal paths");
+        for p in &paths {
+            let t = Transcript::new(s.start, p.selections().to_vec());
+            check_containment(&e, &t).unwrap();
+        }
+    }
+
+    /// Simulated graduating students are contained (the paper's result).
+    #[test]
+    fn simulated_graduates_are_contained() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let sim =
+            TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.start + (horizon - 1), 3);
+        let policies: Vec<&dyn SelectionPolicy> = vec![&GreedyCorePolicy, &RandomValidPolicy];
+        let cohort = sim.simulate_cohort(&policies, 30, 11);
+        let grads = sim.graduating_paths(&cohort);
+        assert!(!grads.is_empty(), "some students must graduate");
+        for g in &grads {
+            check_containment(&e, g).unwrap();
+        }
+    }
+
+    /// The predicate agrees with literal membership in the enumerated set.
+    #[test]
+    fn predicate_equals_enumerated_membership() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let generated: std::collections::BTreeSet<Vec<Vec<u16>>> = e
+            .collect_goal_paths()
+            .iter()
+            .map(|p| {
+                p.selections()
+                    .iter()
+                    .map(|sel| sel.iter().map(|c| c.as_u16()).collect())
+                    .collect()
+            })
+            .collect();
+        // Probe with simulated transcripts, truncated and untruncated.
+        let sim =
+            TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.start + (horizon - 1), 3);
+        let policies: Vec<&dyn SelectionPolicy> = vec![&GreedyCorePolicy, &RandomValidPolicy];
+        for t in sim.simulate_cohort(&policies, 40, 99) {
+            let candidates = [
+                Some(t.clone()),
+                t.truncate_at_goal(|c| s.degree.satisfied(c)),
+            ];
+            for candidate in candidates.into_iter().flatten() {
+                let key: Vec<Vec<u16>> = candidate
+                    .selections()
+                    .iter()
+                    .map(|sel| sel.iter().map(|c| c.as_u16()).collect())
+                    .collect();
+                let in_set = generated.contains(&key);
+                let predicate = check_containment(&e, &candidate).is_ok();
+                assert_eq!(
+                    in_set, predicate,
+                    "disagreement on transcript {key:?} (in_set={in_set})"
+                );
+            }
+        }
+    }
+
+    /// Students who idle despite having options are not among the default
+    /// expansion's paths — but ARE among the `WaitPolicy::Always` paths.
+    #[test]
+    fn procrastinators_need_the_always_wait_policy() {
+        use crate::policy::ProcrastinatorPolicy;
+        use coursenav_navigator::WaitPolicy;
+        let (s, horizon) = setting();
+        let sim =
+            TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.start + (horizon - 1), 3);
+        let policy = ProcrastinatorPolicy::default();
+        let policies: Vec<&dyn SelectionPolicy> = vec![&policy];
+        let cohort = sim.simulate_cohort(&policies, 60, 3);
+        let grads = sim.graduating_paths(&cohort);
+        let idle_grads: Vec<_> = grads
+            .iter()
+            .filter(|g| {
+                // Did they ever idle while having options?
+                g.to_path(&s.catalog).is_ok_and(|p| {
+                    p.selections()
+                        .iter()
+                        .zip(p.statuses())
+                        .any(|(sel, st)| sel.is_empty() && !st.options().is_empty())
+                })
+            })
+            .collect();
+        assert!(
+            !idle_grads.is_empty(),
+            "some procrastinators should graduate with idle semesters"
+        );
+        let default_explorer = explorer(&s, horizon);
+        let always_explorer = default_explorer
+            .clone()
+            .with_wait_policy(WaitPolicy::Always);
+        for g in idle_grads {
+            assert!(matches!(
+                check_containment(&default_explorer, g).unwrap_err(),
+                ContainmentError::EmptySelectionWithOptions { .. }
+            ));
+            check_containment(&always_explorer, g)
+                .expect("Always-wait generates procrastinator paths");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_start() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let t = Transcript::new(s.start + 1, vec![]);
+        assert_eq!(
+            check_containment(&e, &t).unwrap_err(),
+            ContainmentError::StartMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_goal_not_reached() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let t = Transcript::new(s.start, vec![]);
+        assert_eq!(
+            check_containment(&e, &t).unwrap_err(),
+            ContainmentError::GoalNotReached
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_selections() {
+        let (s, _) = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::goal_driven(
+            &s.catalog,
+            start,
+            s.start + 5,
+            1, // m = 1
+            Goal::degree(s.degree.clone()),
+        )
+        .unwrap();
+        // Take two courses in the first semester.
+        let two: CourseSet = start.options().iter().take(2).collect();
+        assert_eq!(two.len(), 2);
+        let t = Transcript::new(s.start, vec![two]);
+        assert!(matches!(
+            check_containment(&e, &t).unwrap_err(),
+            ContainmentError::SelectionTooLarge { semester_index: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_idle_semester_with_options() {
+        let (s, horizon) = setting();
+        let e = explorer(&s, horizon);
+        let t = Transcript::new(s.start, vec![CourseSet::EMPTY]);
+        // First semester has options (intro courses): idling disqualifies.
+        let err = check_containment(&e, &t).unwrap_err();
+        assert!(matches!(
+            err,
+            ContainmentError::EmptySelectionWithOptions { semester_index: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_deadline_driven_explorers() {
+        let (s, _) = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start + 2, 3).unwrap();
+        let t = Transcript::new(s.start, vec![]);
+        assert_eq!(
+            check_containment(&e, &t).unwrap_err(),
+            ContainmentError::NotGoalDriven
+        );
+    }
+}

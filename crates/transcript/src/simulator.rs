@@ -1,0 +1,167 @@
+//! The transcript simulator.
+
+use coursenav_catalog::{Catalog, DegreeRequirement, Semester};
+use coursenav_navigator::EnrollmentStatus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policy::SelectionPolicy;
+use crate::transcript::Transcript;
+
+/// Drives a [`SelectionPolicy`] semester by semester to produce student
+/// transcripts: the stand-in for the paper's 83 registrar transcripts
+/// (§5.2; see DESIGN.md §3 for the substitution rationale).
+pub struct TranscriptSimulator<'a> {
+    catalog: &'a Catalog,
+    degree: &'a DegreeRequirement,
+    start: Semester,
+    /// Last semester a selection may be made in (the paper's period end).
+    end: Semester,
+    /// Per-semester course cap (the paper's experiments use 3).
+    max_per_semester: usize,
+}
+
+impl<'a> TranscriptSimulator<'a> {
+    /// A simulator over the given catalog, degree rule, and academic period.
+    pub fn new(
+        catalog: &'a Catalog,
+        degree: &'a DegreeRequirement,
+        start: Semester,
+        end: Semester,
+        max_per_semester: usize,
+    ) -> TranscriptSimulator<'a> {
+        assert!(start <= end, "period must be nonempty");
+        assert!(max_per_semester >= 1, "m must be at least 1");
+        TranscriptSimulator {
+            catalog,
+            degree,
+            start,
+            end,
+            max_per_semester,
+        }
+    }
+
+    /// Simulates one student with the given policy and seed. The student
+    /// selects courses each semester from `start` through `end` inclusive,
+    /// stopping early once the degree is complete.
+    pub fn simulate(&self, policy: &dyn SelectionPolicy, seed: u64) -> Transcript {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut status = EnrollmentStatus::fresh(self.catalog, self.start);
+        let mut selections = Vec::new();
+        for _ in self.start.through(self.end) {
+            if self.degree.satisfied(status.completed()) {
+                break;
+            }
+            let selection = policy.choose(
+                self.catalog,
+                self.degree,
+                &status,
+                self.max_per_semester,
+                &mut rng,
+            );
+            debug_assert!(selection.is_subset(status.options()));
+            status = status.advance(self.catalog, &selection);
+            selections.push(selection);
+        }
+        Transcript::new(self.start, selections)
+    }
+
+    /// Simulates a cohort: `count` students with seeds `base_seed..`,
+    /// cycling through the provided policies (the paper's 83 students were
+    /// not all alike).
+    pub fn simulate_cohort(
+        &self,
+        policies: &[&dyn SelectionPolicy],
+        count: usize,
+        base_seed: u64,
+    ) -> Vec<Transcript> {
+        assert!(!policies.is_empty(), "need at least one policy");
+        (0..count)
+            .map(|i| self.simulate(policies[i % policies.len()], base_seed + i as u64))
+            .collect()
+    }
+
+    /// Keeps only the transcripts that completed the degree, truncated at
+    /// their graduation point — the "actual paths to a CS major" of §5.2.
+    pub fn graduating_paths(&self, transcripts: &[Transcript]) -> Vec<Transcript> {
+        transcripts
+            .iter()
+            .filter_map(|t| t.truncate_at_goal(|completed| self.degree.satisfied(completed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyCorePolicy, RandomValidPolicy};
+    use coursenav_catalog::{SyntheticCatalog, SyntheticConfig};
+
+    fn synth() -> SyntheticCatalog {
+        SyntheticCatalog::generate(&SyntheticConfig::small())
+    }
+
+    #[test]
+    fn greedy_student_graduates_on_small_catalog() {
+        let s = synth();
+        let sim = TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.end, 3);
+        let t = sim.simulate(&GreedyCorePolicy, 1);
+        assert!(
+            s.degree.satisfied(&t.completed()),
+            "greedy-core should finish a 5-slot degree in 6 semesters"
+        );
+        // And the transcript replays into a valid path.
+        let path = t.to_path(&s.catalog).unwrap();
+        path.validate(&s.catalog, 3).unwrap();
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let s = synth();
+        let sim = TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.end, 3);
+        let a = sim.simulate(&RandomValidPolicy, 42);
+        let b = sim.simulate(&RandomValidPolicy, 42);
+        assert_eq!(a, b);
+        let c = sim.simulate(&RandomValidPolicy, 43);
+        assert!(a != c || a.selections().is_empty());
+    }
+
+    #[test]
+    fn cohort_mixes_policies() {
+        let s = synth();
+        let sim = TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.end, 3);
+        let policies: Vec<&dyn SelectionPolicy> = vec![&GreedyCorePolicy, &RandomValidPolicy];
+        let cohort = sim.simulate_cohort(&policies, 10, 0);
+        assert_eq!(cohort.len(), 10);
+        for t in &cohort {
+            t.to_path(&s.catalog)
+                .unwrap()
+                .validate(&s.catalog, 3)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn graduating_paths_end_exactly_at_goal() {
+        let s = synth();
+        let sim = TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.end, 3);
+        let policies: Vec<&dyn SelectionPolicy> = vec![&GreedyCorePolicy, &RandomValidPolicy];
+        let cohort = sim.simulate_cohort(&policies, 20, 7);
+        for g in sim.graduating_paths(&cohort) {
+            assert!(s.degree.satisfied(&g.completed()));
+            // Dropping the last semester must un-satisfy the degree.
+            let prefix = Transcript::new(g.start(), g.selections()[..g.semesters() - 1].to_vec());
+            assert!(!s.degree.satisfied(&prefix.completed()));
+        }
+    }
+
+    #[test]
+    fn stops_at_period_end_without_graduation() {
+        let s = synth();
+        // One-semester period: nobody completes a 5-slot degree.
+        let sim = TranscriptSimulator::new(&s.catalog, &s.degree, s.start, s.start, 3);
+        let t = sim.simulate(&GreedyCorePolicy, 1);
+        assert_eq!(t.semesters(), 1);
+        assert!(!s.degree.satisfied(&t.completed()));
+    }
+}

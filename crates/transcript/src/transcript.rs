@@ -1,0 +1,147 @@
+//! The transcript record type.
+
+use coursenav_catalog::{Catalog, CourseSet, Semester};
+use coursenav_navigator::{EnrollmentStatus, Path};
+use serde::{Deserialize, Serialize};
+
+/// A student's transcript: the semester they started and the courses they
+/// elected each semester (possibly none — a semester without CS courses).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transcript {
+    start: Semester,
+    selections: Vec<CourseSet>,
+}
+
+impl Transcript {
+    /// Builds a transcript from a start semester and per-semester selections.
+    pub fn new(start: Semester, selections: Vec<CourseSet>) -> Transcript {
+        Transcript { start, selections }
+    }
+
+    /// The student's first semester.
+    pub fn start(&self) -> Semester {
+        self.start
+    }
+
+    /// Per-semester selections, starting at [`Transcript::start`].
+    pub fn selections(&self) -> &[CourseSet] {
+        &self.selections
+    }
+
+    /// Number of semesters covered.
+    pub fn semesters(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// All courses completed by the end of the transcript.
+    pub fn completed(&self) -> CourseSet {
+        let mut set = CourseSet::EMPTY;
+        for sel in &self.selections {
+            set.union_with(sel);
+        }
+        set
+    }
+
+    /// Replays the transcript into a learning [`Path`] over the catalog.
+    ///
+    /// Fails (with a message naming the offending semester) if any selection
+    /// elects a course that is not eligible at that point — transcripts from
+    /// a different catalog revision do this in practice.
+    pub fn to_path(&self, catalog: &Catalog) -> Result<Path, String> {
+        let mut statuses = vec![EnrollmentStatus::fresh(catalog, self.start)];
+        for (i, sel) in self.selections.iter().enumerate() {
+            let current = statuses.last().expect("nonempty by construction");
+            if !sel.is_subset(current.options()) {
+                return Err(format!(
+                    "semester {} ({}) elects ineligible courses",
+                    i,
+                    current.semester()
+                ));
+            }
+            statuses.push(current.advance(catalog, sel));
+        }
+        Ok(Path::new(statuses, self.selections.clone()))
+    }
+
+    /// The transcript truncated at the first point where `completed`
+    /// satisfies `goal_satisfied` — the "graduation" prefix used by the
+    /// containment experiment (students may keep taking courses afterwards).
+    pub fn truncate_at_goal(
+        &self,
+        goal_satisfied: impl Fn(&CourseSet) -> bool,
+    ) -> Option<Transcript> {
+        let mut completed = CourseSet::EMPTY;
+        for (i, sel) in self.selections.iter().enumerate() {
+            completed.union_with(sel);
+            if goal_satisfied(&completed) {
+                return Some(Transcript {
+                    start: self.start,
+                    selections: self.selections[..=i].to_vec(),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseId, CourseSpec, Term};
+
+    fn catalog() -> Catalog {
+        let fall11 = Semester::new(2011, Term::Fall);
+        let spring12 = Semester::new(2012, Term::Spring);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("A", "A").offered([fall11]));
+        b.add_course(CourseSpec::new("B", "B").offered([spring12]));
+        b.build().unwrap()
+    }
+
+    fn ids(ns: &[u16]) -> CourseSet {
+        ns.iter().map(|&n| CourseId::new(n)).collect()
+    }
+
+    #[test]
+    fn to_path_replays_valid_transcripts() {
+        let cat = catalog();
+        let t = Transcript::new(Semester::new(2011, Term::Fall), vec![ids(&[0]), ids(&[1])]);
+        let path = t.to_path(&cat).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path.courses_taken(), ids(&[0, 1]));
+        assert_eq!(t.completed(), ids(&[0, 1]));
+    }
+
+    #[test]
+    fn to_path_rejects_ineligible_selections() {
+        let cat = catalog();
+        // B is not offered in Fall 2011.
+        let t = Transcript::new(Semester::new(2011, Term::Fall), vec![ids(&[1])]);
+        let err = t.to_path(&cat).unwrap_err();
+        assert!(err.contains("Fall 2011"), "{err}");
+    }
+
+    #[test]
+    fn transcripts_serialize_for_storage() {
+        let t = Transcript::new(Semester::new(2011, Term::Fall), vec![ids(&[0]), ids(&[1])]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn truncate_at_goal_cuts_the_graduation_prefix() {
+        let t = Transcript::new(
+            Semester::new(2011, Term::Fall),
+            vec![ids(&[0]), ids(&[1]), ids(&[2])],
+        );
+        let cut = t
+            .truncate_at_goal(|c| c.contains(CourseId::new(1)))
+            .unwrap();
+        assert_eq!(cut.semesters(), 2);
+        // Goal never reached:
+        assert!(t
+            .truncate_at_goal(|c| c.contains(CourseId::new(9)))
+            .is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Terminal rendering of learning paths.
+
+use std::fmt::Write as _;
+
+use coursenav_catalog::Catalog;
+use coursenav_navigator::Path;
+
+/// Renders one path as a semester-by-semester table:
+///
+/// ```text
+/// Fall 2012    take COSI 10A, COSI 11A, COSI 29A   (25h/wk)
+/// Spring 2013  take COSI 12B                        (9h/wk)
+/// Fall 2013    — wait —
+/// => completes 4 courses over 3 semesters, total workload 34h
+/// ```
+pub fn render_path(path: &Path, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    let width = path
+        .statuses()
+        .iter()
+        .map(|s| s.semester().to_string().len())
+        .max()
+        .unwrap_or(0);
+    for (status, selection) in path.statuses().iter().zip(path.selections()) {
+        let semester = status.semester().to_string();
+        if selection.is_empty() {
+            let _ = writeln!(out, "{semester:width$}  — wait —");
+            continue;
+        }
+        let codes: Vec<String> = selection
+            .iter()
+            .map(|id| catalog.course(id).code().to_string())
+            .collect();
+        let hours: f64 = selection
+            .iter()
+            .map(|id| catalog.course(id).workload())
+            .sum();
+        let _ = writeln!(
+            out,
+            "{semester:width$}  take {}   ({hours:.0}h/wk)",
+            codes.join(", ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "=> completes {} courses over {} semesters, total workload {:.0}h",
+        path.courses_taken().len(),
+        path.len(),
+        path.total_workload(catalog)
+    );
+    out
+}
+
+/// Renders a list of paths as compact one-line summaries, numbered from 1.
+pub fn render_path_list(paths: &[Path], catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for (i, path) in paths.iter().enumerate() {
+        let selections: Vec<String> = path
+            .selections()
+            .iter()
+            .map(|sel| {
+                if sel.is_empty() {
+                    "·".to_string()
+                } else {
+                    sel.iter()
+                        .map(|id| catalog.course(id).code().to_string())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>3}. {}  [{} sem, {:.0}h]",
+            i + 1,
+            selections.join(" | "),
+            path.len(),
+            path.total_workload(catalog)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseSet, CourseSpec, Semester, Term};
+    use coursenav_navigator::EnrollmentStatus;
+
+    fn setting() -> (Catalog, Path) {
+        let fall = Semester::new(2012, Term::Fall);
+        let spring = Semester::new(2013, Term::Spring);
+        let fall13 = Semester::new(2013, Term::Fall);
+        let mut b = CatalogBuilder::new();
+        b.add_course(
+            CourseSpec::new("COSI 10A", "intro")
+                .offered([fall])
+                .workload(7.0),
+        );
+        b.add_course(
+            CourseSpec::new("COSI 29A", "math")
+                .offered([fall13])
+                .workload(10.0),
+        );
+        let cat = b.build().unwrap();
+        let n1 = EnrollmentStatus::fresh(&cat, fall);
+        let s1 = CourseSet::from_iter([cat.id_of_str("COSI 10A").unwrap()]);
+        let n2 = n1.advance(&cat, &s1);
+        let n3 = n2.advance(&cat, &CourseSet::EMPTY); // wait Spring 2013
+        let path = Path::new(vec![n1, n2, n3], vec![s1, CourseSet::EMPTY]);
+        let _ = spring;
+        (cat, path)
+    }
+
+    #[test]
+    fn render_path_shows_semesters_and_waits() {
+        let (cat, path) = setting();
+        let text = render_path(&path, &cat);
+        assert!(text.contains("Fall 2012"));
+        assert!(text.contains("take COSI 10A"));
+        assert!(text.contains("— wait —"));
+        assert!(text.contains("completes 1 courses over 2 semesters"));
+        assert!(text.contains("(7h/wk)"));
+    }
+
+    #[test]
+    fn render_path_list_is_one_line_per_path() {
+        let (cat, path) = setting();
+        let text = render_path_list(&[path.clone(), path], &cat);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("  1. "));
+        assert!(text.contains("COSI 10A | ·"));
+    }
+
+    #[test]
+    fn empty_list_renders_empty() {
+        let (cat, _) = setting();
+        assert!(render_path_list(&[], &cat).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Graphviz DOT export.
+
+use std::fmt::Write as _;
+
+use coursenav_catalog::{Catalog, CourseSet};
+use coursenav_navigator::graph::NodeKind;
+use coursenav_navigator::{LeafKind, LearningGraph, StateDag};
+
+/// Rendering options for [`graph_to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Include the completed set `X_i` in node labels.
+    pub show_completed: bool,
+    /// Include the options set `Y_i` in node labels.
+    pub show_options: bool,
+    /// Render pruned nodes (dashed gray) instead of omitting them.
+    pub show_pruned: bool,
+    /// Emit at most this many nodes (graphs at paper scale do not plot).
+    pub max_nodes: usize,
+}
+
+impl Default for DotOptions {
+    fn default() -> DotOptions {
+        DotOptions {
+            show_completed: true,
+            show_options: true,
+            show_pruned: false,
+            max_nodes: 500,
+        }
+    }
+}
+
+fn set_label(catalog: &Catalog, set: &CourseSet) -> String {
+    let codes: Vec<String> = set
+        .iter()
+        .map(|id| catalog.course(id).code().to_string())
+        .collect();
+    format!("{{{}}}", codes.join(", "))
+}
+
+/// Renders a learning graph as Graphviz DOT. Goal leaves are doubled
+/// octagons, deadline leaves boxes, dead ends gray, pruned nodes (when
+/// shown) dashed. Truncates at `options.max_nodes` with a warning comment.
+pub fn graph_to_dot(graph: &LearningGraph, catalog: &Catalog, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph learning_paths {\n");
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\", fontsize=10];\n");
+    let mut emitted = vec![false; graph.node_count()];
+    for id in graph.node_ids() {
+        if id.index() >= options.max_nodes {
+            let _ = writeln!(
+                out,
+                "  // truncated: {} of {} nodes shown",
+                options.max_nodes,
+                graph.node_count()
+            );
+            break;
+        }
+        let kind = graph.kind(id);
+        if matches!(kind, NodeKind::Pruned(_)) && !options.show_pruned {
+            continue;
+        }
+        let status = graph.status(id);
+        let mut label = format!("n{}\\n{}", id.index(), status.semester());
+        if options.show_completed {
+            let _ = write!(label, "\\nX={}", set_label(catalog, status.completed()));
+        }
+        if options.show_options {
+            let _ = write!(label, "\\nY={}", set_label(catalog, status.options()));
+        }
+        let style = match kind {
+            NodeKind::Interior => "shape=ellipse",
+            NodeKind::Leaf(LeafKind::Goal) => "shape=doubleoctagon, color=darkgreen",
+            NodeKind::Leaf(LeafKind::Deadline) => "shape=box",
+            NodeKind::Leaf(LeafKind::DeadEnd) => "shape=box, color=gray50, fontcolor=gray50",
+            NodeKind::Pruned(_) => "shape=box, style=dashed, color=gray70, fontcolor=gray70",
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\", {}];", id.index(), label, style);
+        emitted[id.index()] = true;
+    }
+    for id in graph.node_ids() {
+        if !emitted[id.index()] {
+            continue;
+        }
+        for eid in graph.children(id) {
+            let (from, to, selection) = graph.edge(eid);
+            if to.index() >= emitted.len() || !emitted[to.index()] {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"W={}\"];",
+                from.index(),
+                to.index(),
+                set_label(catalog, selection)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a deduplicated [`StateDag`] as Graphviz DOT — the paper's
+/// Figure-1 view, where overlapping learning paths share nodes. Node labels
+/// carry the per-state path counts so heavy corridors are visible.
+pub fn state_dag_to_dot(dag: &StateDag, catalog: &Catalog, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph learning_state_dag {\n");
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\", fontsize=10];\n");
+    let shown = dag.state_count().min(options.max_nodes);
+    if shown < dag.state_count() {
+        let _ = writeln!(
+            out,
+            "  // truncated: {shown} of {} states shown",
+            dag.state_count()
+        );
+    }
+    for (i, state) in dag.states.iter().take(shown).enumerate() {
+        let mut label = format!("s{i}\\n{}", state.status.semester());
+        if options.show_completed {
+            let _ = write!(
+                label,
+                "\\nX={}",
+                set_label(catalog, state.status.completed())
+            );
+        }
+        let _ = write!(label, "\\npaths={}", state.paths);
+        if state.goal_paths > 0 {
+            let _ = write!(label, " goal={}", state.goal_paths);
+        }
+        let style = match state.leaf {
+            Some(LeafKind::Goal) => "shape=doubleoctagon, color=darkgreen",
+            Some(LeafKind::Deadline) => "shape=box",
+            Some(LeafKind::DeadEnd) => "shape=box, color=gray50, fontcolor=gray50",
+            None => "shape=ellipse",
+        };
+        let _ = writeln!(out, "  s{i} [label=\"{label}\", {style}];");
+    }
+    for edge in &dag.edges {
+        if edge.from as usize >= shown || edge.to as usize >= shown {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"W={}\"];",
+            edge.from,
+            edge.to,
+            set_label(catalog, &edge.selection)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseSpec, Semester, Term};
+    use coursenav_navigator::{EnrollmentStatus, Explorer, Goal};
+    use coursenav_prereq::Expr;
+
+    fn fig3() -> Catalog {
+        let fall11 = Semester::new(2011, Term::Fall);
+        let spring12 = Semester::new(2012, Term::Spring);
+        let fall12 = Semester::new(2012, Term::Fall);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("11A", "A").offered([fall11, fall12]));
+        b.add_course(CourseSpec::new("29A", "B").offered([fall11, fall12]));
+        b.add_course(
+            CourseSpec::new("21A", "C")
+                .prereq(Expr::Atom("11A".into()))
+                .offered([spring12]),
+        );
+        b.build().unwrap()
+    }
+
+    fn fig3_graph(cat: &Catalog) -> LearningGraph {
+        let start = EnrollmentStatus::fresh(cat, Semester::new(2011, Term::Fall));
+        Explorer::deadline_driven(cat, start, Semester::new(2013, Term::Spring), 3)
+            .unwrap()
+            .build_graph(1_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let cat = fig3();
+        let graph = fig3_graph(&cat);
+        let dot = graph_to_dot(&graph, &cat, &DotOptions::default());
+        assert!(dot.starts_with("digraph"));
+        for i in 0..graph.node_count() {
+            assert!(dot.contains(&format!("n{i} [label=")), "missing node {i}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), graph.edge_count());
+        assert!(dot.contains("W={11A, 29A}"), "edge selections labelled");
+    }
+
+    #[test]
+    fn label_options_toggle_content() {
+        let cat = fig3();
+        let graph = fig3_graph(&cat);
+        let bare = graph_to_dot(
+            &graph,
+            &cat,
+            &DotOptions {
+                show_completed: false,
+                show_options: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!bare.contains("X={"));
+        assert!(!bare.contains("Y={"));
+    }
+
+    #[test]
+    fn max_nodes_truncates() {
+        let cat = fig3();
+        let graph = fig3_graph(&cat);
+        let dot = graph_to_dot(
+            &graph,
+            &cat,
+            &DotOptions {
+                max_nodes: 2,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("truncated"));
+        assert!(!dot.contains("n5 [label="));
+    }
+
+    #[test]
+    fn state_dag_dot_renders_counts_and_shared_nodes() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, Semester::new(2011, Term::Fall));
+        let e =
+            Explorer::deadline_driven(&cat, start, Semester::new(2013, Term::Spring), 3).unwrap();
+        let dag = e.build_state_dag(10_000).unwrap();
+        let dot = state_dag_to_dot(&dag, &cat, &DotOptions::default());
+        assert!(dot.starts_with("digraph learning_state_dag"));
+        assert!(dot.contains("paths="));
+        assert_eq!(dot.matches(" -> ").count(), dag.edge_count());
+        // Root label carries the total path count.
+        assert!(dot.contains(&format!("paths={}", e.count_paths().total_paths)));
+    }
+
+    #[test]
+    fn pruned_nodes_hidden_by_default_shown_on_request() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, Semester::new(2011, Term::Fall));
+        let goal = Goal::complete_all(cat.all_courses());
+        let graph = Explorer::goal_driven(&cat, start, Semester::new(2012, Term::Fall), 3, goal)
+            .unwrap()
+            .build_graph(1_000)
+            .unwrap();
+        let hidden = graph_to_dot(&graph, &cat, &DotOptions::default());
+        assert!(!hidden.contains("dashed"));
+        let shown = graph_to_dot(
+            &graph,
+            &cat,
+            &DotOptions {
+                show_pruned: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(shown.contains("dashed"));
+        // Goal leaf styling present either way.
+        assert!(shown.contains("doubleoctagon"));
+    }
+}

@@ -1,0 +1,166 @@
+//! JSON export for web front ends.
+
+use coursenav_catalog::{Catalog, CourseSet};
+use coursenav_navigator::graph::NodeKind;
+use coursenav_navigator::{LeafKind, LearningGraph, Path};
+use serde::{Deserialize, Serialize};
+
+/// JSON shape of one graph node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonNode {
+    /// Node index within the graph.
+    pub id: u32,
+    /// Display form of the node's semester, e.g. `"Fall 2012"`.
+    pub semester: String,
+    /// Completed course codes (`X_i`).
+    pub completed: Vec<String>,
+    /// Eligible course codes (`Y_i`).
+    pub options: Vec<String>,
+    /// `"interior"`, `"goal"`, `"deadline"`, `"dead-end"`, or `"pruned"`.
+    pub kind: String,
+}
+
+/// JSON shape of one graph edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonEdge {
+    /// Source node index.
+    pub from: u32,
+    /// Target node index.
+    pub to: u32,
+    /// Elected course codes (`W`).
+    pub selection: Vec<String>,
+}
+
+/// JSON shape of a learning graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonGraph {
+    /// All nodes, indexable by `JsonEdge::from`/`to`.
+    pub nodes: Vec<JsonNode>,
+    /// All selection edges.
+    pub edges: Vec<JsonEdge>,
+}
+
+/// JSON shape of one learning path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JsonPath {
+    /// Semesters visited, root to leaf (`k+1` entries).
+    pub semesters: Vec<String>,
+    /// Course codes elected between consecutive semesters (`k` entries).
+    pub selections: Vec<Vec<String>>,
+    /// Total weekly-hours workload of the path.
+    pub total_workload: f64,
+}
+
+fn codes(catalog: &Catalog, set: &CourseSet) -> Vec<String> {
+    set.iter()
+        .map(|id| catalog.course(id).code().to_string())
+        .collect()
+}
+
+fn kind_name(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Interior => "interior",
+        NodeKind::Leaf(LeafKind::Goal) => "goal",
+        NodeKind::Leaf(LeafKind::Deadline) => "deadline",
+        NodeKind::Leaf(LeafKind::DeadEnd) => "dead-end",
+        NodeKind::Pruned(_) => "pruned",
+    }
+}
+
+/// Converts a learning graph to its JSON document.
+pub fn graph_to_json(graph: &LearningGraph, catalog: &Catalog) -> serde_json::Result<String> {
+    let nodes = graph
+        .node_ids()
+        .map(|id| {
+            let status = graph.status(id);
+            JsonNode {
+                id: id.index() as u32,
+                semester: status.semester().to_string(),
+                completed: codes(catalog, status.completed()),
+                options: codes(catalog, status.options()),
+                kind: kind_name(graph.kind(id)).to_string(),
+            }
+        })
+        .collect();
+    let edges = graph
+        .node_ids()
+        .flat_map(|id| graph.children(id).collect::<Vec<_>>())
+        .map(|eid| {
+            let (from, to, selection) = graph.edge(eid);
+            JsonEdge {
+                from: from.index() as u32,
+                to: to.index() as u32,
+                selection: codes(catalog, selection),
+            }
+        })
+        .collect();
+    serde_json::to_string_pretty(&JsonGraph { nodes, edges })
+}
+
+/// Converts a list of paths to a JSON array document.
+pub fn paths_to_json(paths: &[Path], catalog: &Catalog) -> serde_json::Result<String> {
+    let out: Vec<JsonPath> = paths
+        .iter()
+        .map(|p| JsonPath {
+            semesters: p.semesters().map(|s| s.to_string()).collect(),
+            selections: p
+                .selections()
+                .iter()
+                .map(|sel| codes(catalog, sel))
+                .collect(),
+            total_workload: p.total_workload(catalog),
+        })
+        .collect();
+    serde_json::to_string_pretty(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::{CatalogBuilder, CourseSpec, Semester, Term};
+    use coursenav_navigator::{EnrollmentStatus, Explorer};
+
+    fn setting() -> (Catalog, LearningGraph) {
+        let fall = Semester::new(2012, Term::Fall);
+        let mut b = CatalogBuilder::new();
+        b.add_course(CourseSpec::new("A", "a").offered([fall]));
+        b.add_course(CourseSpec::new("B", "b").offered([fall]));
+        let cat = b.build().unwrap();
+        let start = EnrollmentStatus::fresh(&cat, fall);
+        let graph = Explorer::deadline_driven(&cat, start, fall.next(), 2)
+            .unwrap()
+            .build_graph(100)
+            .unwrap();
+        (cat, graph)
+    }
+
+    #[test]
+    fn graph_json_roundtrips() {
+        let (cat, graph) = setting();
+        let json = graph_to_json(&graph, &cat).unwrap();
+        let back: JsonGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes.len(), graph.node_count());
+        assert_eq!(back.edges.len(), graph.edge_count());
+        assert_eq!(back.nodes[0].kind, "interior");
+        assert!(back.nodes[0].options.contains(&"A".to_string()));
+    }
+
+    #[test]
+    fn paths_json_roundtrips() {
+        let (cat, graph) = setting();
+        let paths: Vec<Path> = graph.paths().collect();
+        let json = paths_to_json(&paths, &cat).unwrap();
+        let back: Vec<JsonPath> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), paths.len());
+        for (jp, p) in back.iter().zip(&paths) {
+            assert_eq!(jp.selections.len(), p.len());
+            assert_eq!(jp.semesters.len(), p.len() + 1);
+        }
+    }
+
+    #[test]
+    fn empty_path_list_is_empty_array() {
+        let (cat, _) = setting();
+        assert_eq!(paths_to_json(&[], &cat).unwrap(), "[]");
+    }
+}

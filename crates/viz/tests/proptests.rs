@@ -1,0 +1,145 @@
+//! Property-based tests for the visualization back-ends on random graphs.
+
+use coursenav_catalog::{Catalog, CatalogBuilder, CourseSpec, Semester, Term};
+use coursenav_navigator::{EnrollmentStatus, Explorer, LearningGraph};
+use coursenav_prereq::Expr;
+use coursenav_viz::{
+    graph_to_dot, graph_to_json, paths_to_json, render_path, render_path_list, state_dag_to_dot,
+    DotOptions, JsonGraph, JsonPath,
+};
+use proptest::prelude::*;
+
+const HORIZON: i32 = 4;
+
+fn start() -> Semester {
+    Semester::new(2012, Term::Fall)
+}
+
+/// Random small catalog (layered prereqs, random offerings) plus the
+/// deadline-driven learning graph it induces.
+fn arb_graph() -> impl Strategy<Value = (Catalog, LearningGraph)> {
+    (
+        2usize..6,
+        prop::collection::vec(any::<u32>(), 6),
+        1usize..=3,
+    )
+        .prop_map(|(n, masks, m)| {
+            let mut b = CatalogBuilder::new();
+            #[allow(clippy::needless_range_loop)] // i names the course AND indexes masks
+            for i in 0..n {
+                let mask = masks[i] % (1 << HORIZON);
+                let mask = if mask == 0 { 1 } else { mask };
+                let offered: Vec<Semester> = (0..HORIZON)
+                    .filter(|k| mask & (1 << k) != 0)
+                    .map(|k| start() + k)
+                    .collect();
+                let prereq = if i == 0 {
+                    Expr::True
+                } else {
+                    Expr::Atom(format!("C{}", (masks[i] as usize) % i).as_str().into())
+                };
+                b.add_course(
+                    CourseSpec::new(format!("C{i}").as_str(), "x")
+                        .offered(offered)
+                        .prereq(prereq),
+                );
+            }
+            let catalog = b.build().unwrap();
+            let st = EnrollmentStatus::fresh(&catalog, start());
+            let graph = Explorer::deadline_driven(&catalog, st, start() + 3, m)
+                .unwrap()
+                .build_graph(1_000_000)
+                .unwrap();
+            (catalog, graph)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DOT output is structurally sound: one statement per node and edge,
+    /// balanced braces, every referenced node declared.
+    #[test]
+    fn dot_is_structurally_sound((catalog, graph) in arb_graph()) {
+        let dot = graph_to_dot(&graph, &catalog, &DotOptions {
+            max_nodes: usize::MAX >> 1,
+            ..DotOptions::default()
+        });
+        prop_assert!(dot.starts_with("digraph"));
+        let balanced = dot.trim_end().ends_with('}');
+        prop_assert!(balanced, "dot must close its digraph block");
+        prop_assert_eq!(dot.matches(" -> ").count(), graph.edge_count());
+        prop_assert_eq!(dot.matches("[label=").count(), graph.node_count() + graph.edge_count());
+        // Every edge endpoint has a node declaration.
+        for line in dot.lines().filter(|l| l.contains(" -> ")) {
+            let ids: Vec<&str> = line.trim().split(" -> ").collect();
+            let from = ids[0].trim();
+            let to = ids[1].split_whitespace().next().unwrap();
+            let from_decl = format!("{from} [label=");
+            let to_decl = format!("{to} [label=");
+            prop_assert!(dot.contains(&from_decl), "undeclared {}", from);
+            prop_assert!(dot.contains(&to_decl), "undeclared {}", to);
+        }
+    }
+
+    /// JSON export parses back with exactly the graph's shape, and node ids
+    /// referenced by edges exist.
+    #[test]
+    fn json_graph_is_consistent((catalog, graph) in arb_graph()) {
+        let json = graph_to_json(&graph, &catalog).unwrap();
+        let back: JsonGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.nodes.len(), graph.node_count());
+        prop_assert_eq!(back.edges.len(), graph.edge_count());
+        for e in &back.edges {
+            prop_assert!((e.from as usize) < back.nodes.len());
+            prop_assert!((e.to as usize) < back.nodes.len());
+            prop_assert!(!e.selection.is_empty() || e.selection.is_empty()); // shape only
+        }
+        // Node 0 is the root at the start semester.
+        prop_assert_eq!(&back.nodes[0].semester, &start().to_string());
+    }
+
+    /// Paths JSON has k+1 semesters for k selections, and workloads are finite.
+    #[test]
+    fn json_paths_are_consistent((catalog, graph) in arb_graph()) {
+        let paths: Vec<_> = graph.paths().collect();
+        let json = paths_to_json(&paths, &catalog).unwrap();
+        let back: Vec<JsonPath> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.len(), paths.len());
+        for jp in &back {
+            prop_assert_eq!(jp.semesters.len(), jp.selections.len() + 1);
+            prop_assert!(jp.total_workload.is_finite());
+        }
+    }
+
+    /// ASCII rendering mentions every semester of the path and never panics.
+    #[test]
+    fn ascii_mentions_every_semester((catalog, graph) in arb_graph()) {
+        let paths: Vec<_> = graph.paths().collect();
+        for p in paths.iter().take(5) {
+            let text = render_path(p, &catalog);
+            for sem in p.semesters().take(p.len()) {
+                let sem_text = sem.to_string();
+                prop_assert!(text.contains(&sem_text), "missing {} in {}", sem_text, text);
+            }
+        }
+        let listing = render_path_list(&paths, &catalog);
+        prop_assert_eq!(listing.lines().count(), paths.len());
+    }
+
+    /// The state-DAG DOT is sound and labels the root with the total count.
+    #[test]
+    fn state_dag_dot_is_sound((catalog, _) in arb_graph()) {
+        let st = EnrollmentStatus::fresh(&catalog, start());
+        let e = Explorer::deadline_driven(&catalog, st, start() + 3, 2).unwrap();
+        let dag = e.build_state_dag(1_000_000).unwrap();
+        let dot = state_dag_to_dot(&dag, &catalog, &DotOptions {
+            max_nodes: usize::MAX >> 1,
+            ..DotOptions::default()
+        });
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.matches(" -> ").count(), dag.edge_count());
+        let root_label = format!("paths={}", e.count_paths().total_paths);
+        prop_assert!(dot.contains(&root_label), "missing root count label");
+    }
+}

@@ -1,0 +1,77 @@
+//! Degree planner: goal-driven CS-major exploration on the bundled
+//! Brandeis-like catalog (the paper's §5.1 configuration).
+//!
+//! A student starting Fall 2012 with no CS courses, taking at most 3
+//! courses a semester, wants every way to finish the CS major (7 core +
+//! 5 electives) within a few semesters — with and without the paper's
+//! pruning strategies, to see what they buy.
+//!
+//! ```text
+//! cargo run --release --example degree_planner
+//! ```
+
+use std::time::Instant;
+
+use coursenavigator::navigator::{EnrollmentStatus, Explorer, Goal, PruneConfig, TimeRanking};
+use coursenavigator::registrar::brandeis_cs;
+use coursenavigator::viz::render_path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = brandeis_cs();
+    let degree = data.degree.clone().expect("sample declares the CS major");
+    println!(
+        "catalog: {} courses, period {} .. {}",
+        data.catalog.len(),
+        data.horizon.0,
+        data.horizon.1
+    );
+    println!(
+        "degree: {} core + {} elective slots\n",
+        degree.core().len(),
+        degree.total_slots() - degree.core().len()
+    );
+
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    let deadline = data.horizon.0 + 4; // five semesters: Fall '12 .. Fall '14
+    let m = 3;
+
+    // --- With the paper's pruning strategies.
+    let goal = Goal::degree(degree.clone());
+    let pruned = Explorer::goal_driven(&data.catalog, start, deadline, m, goal)?;
+    let t0 = Instant::now();
+    let with_pruning = pruned.count_paths();
+    let pruned_time = t0.elapsed();
+    println!(
+        "goal-driven WITH pruning:  {:>12} paths to a CS major in {:?}",
+        with_pruning.goal_paths, pruned_time
+    );
+    println!(
+        "  pruned {} nodes ({} time-based, {} availability-based)",
+        with_pruning.stats.pruned_total(),
+        with_pruning.stats.pruned_time,
+        with_pruning.stats.pruned_availability
+    );
+
+    // --- Without pruning (the paper's Table 1 baseline).
+    let goal = Goal::degree(degree.clone());
+    let unpruned = Explorer::goal_driven(&data.catalog, start, deadline, m, goal)?
+        .with_prune(PruneConfig::none());
+    let t0 = Instant::now();
+    let without_pruning = unpruned.count_paths();
+    let unpruned_time = t0.elapsed();
+    println!(
+        "goal-driven WITHOUT pruning: {:>10} paths explored in {:?} (same {} goal paths)",
+        without_pruning.total_paths, unpruned_time, without_pruning.goal_paths
+    );
+
+    // --- Show the student a concrete plan: the shortest path to the major.
+    let goal = Goal::degree(degree);
+    let ranked = Explorer::goal_driven(&data.catalog, start, data.horizon.1, m, goal)?;
+    let top = ranked.top_k(&TimeRanking, 3)?;
+    println!("\nshortest plans to the CS major:");
+    for (i, rp) in top.iter().enumerate() {
+        println!("--- plan {} ({} semesters) ---", i + 1, rp.cost);
+        print!("{}", render_path(&rp.path, &data.catalog));
+    }
+    Ok(())
+}

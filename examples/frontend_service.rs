@@ -1,0 +1,118 @@
+//! Front-end service walkthrough: the paper's Fig. 2 system boundary.
+//!
+//! A web front end would POST JSON exploration requests; this example plays
+//! both sides — it serializes an [`ExplorationRequest`], services it with
+//! [`NavigatorService`], and renders the JSON response. It then goes beyond
+//! the paper's single-ranking output with the Pareto trade-off curve and
+//! the merged state-DAG view of overlapping paths (Figure 1).
+//!
+//! ```text
+//! cargo run --release --example frontend_service
+//! ```
+
+use coursenavigator::navigator::{
+    EnrollmentStatus, ExplorationRequest, ExplorationResponse, Explorer, Goal, GoalSpec,
+    NavigatorService, OutputMode, RankingSpec, TimeRanking, WorkloadRanking,
+};
+use coursenavigator::registrar::brandeis_cs;
+use coursenavigator::viz::{state_dag_to_dot, DotOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = brandeis_cs();
+    let degree = data.degree.clone().expect("sample declares the CS major");
+    let offering = data.offering.clone().expect("sample declares history");
+    let service = NavigatorService::new(&data.catalog)
+        .with_degree(&degree)
+        .with_offering_model(&offering);
+
+    // --- 1. The front end sends a JSON request…
+    let request = ExplorationRequest {
+        goal: Some(GoalSpec::Degree),
+        ranking: Some(RankingSpec::Weighted(vec![
+            (5.0, RankingSpec::Time),
+            (0.05, RankingSpec::Workload),
+        ])),
+        output: OutputMode::TopK { k: 3 },
+        ..ExplorationRequest::degree_paths(
+            data.horizon.0,
+            data.horizon.0 + 4,
+            3,
+            OutputMode::TopK { k: 3 },
+        )
+    };
+    let wire = request.to_json()?;
+    println!("== request (JSON wire format) ==\n{wire}\n");
+
+    // --- 2. …the service answers with a JSON response.
+    let parsed = ExplorationRequest::from_json(&wire)?;
+    let response = service.run(&parsed)?;
+    println!("== response ==");
+    match &response {
+        ExplorationResponse::Ranked {
+            ranking,
+            paths,
+            millis,
+        } => {
+            println!("{} paths by '{ranking}' in {millis} ms:", paths.len());
+            for rp in paths {
+                println!(
+                    "  cost {:>6.2}: {} semesters, {:.0}h total",
+                    rp.cost,
+                    rp.path.len(),
+                    rp.path.total_workload(&data.catalog)
+                );
+            }
+        }
+        other => println!("{other:?}"),
+    }
+    println!(
+        "\n(response serializes to {} bytes of JSON for the visualizer)\n",
+        serde_json::to_string(&response)?.len()
+    );
+
+    // --- 3. Beyond a single ranking: the time/workload Pareto curve.
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    // One extra semester of slack so the curve can trade time for workload.
+    let explorer = Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.0 + 5,
+        3,
+        Goal::degree(degree.clone()),
+    )?;
+    let front = explorer.pareto_front(&[&TimeRanking, &WorkloadRanking], 100)?;
+    println!("== time/workload trade-off curve (Pareto front) ==");
+    for p in &front {
+        println!("  {:>2} semesters at {:>4.0}h", p.costs[0], p.costs[1]);
+    }
+
+    // --- 4. The Figure-1 view: overlapping paths merged into a state DAG.
+    let small = Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.0 + 4,
+        3,
+        Goal::degree(degree),
+    )?;
+    let dag = small.build_state_dag(100_000)?;
+    println!(
+        "\n== state DAG ==\n{} goal paths share just {} distinct states and {} edges",
+        dag.root().goal_paths,
+        dag.state_count(),
+        dag.edge_count()
+    );
+    let dot = state_dag_to_dot(
+        &dag,
+        &data.catalog,
+        &DotOptions {
+            show_completed: false,
+            max_nodes: 30,
+            ..DotOptions::default()
+        },
+    );
+    println!(
+        "(first lines of the Graphviz rendering)\n{}",
+        dot.lines().take(6).collect::<Vec<_>>().join("\n")
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the paper's Figure 3 instance, end to end.
+//!
+//! Builds the three-course catalog of the paper's running example, runs all
+//! three algorithms on it, and prints the results:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use coursenavigator::catalog::{CatalogBuilder, CourseSpec, Semester, Term};
+use coursenavigator::navigator::{EnrollmentStatus, Explorer, Goal, TimeRanking};
+use coursenavigator::prereq::Expr;
+use coursenavigator::viz::{graph_to_dot, render_path, render_path_list, DotOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The Figure 3 catalog: 11A and 29A have no prerequisites and run
+    // every fall; 21A requires 11A and runs only in the spring.
+    let fall11 = Semester::new(2011, Term::Fall);
+    let spring12 = Semester::new(2012, Term::Spring);
+    let fall12 = Semester::new(2012, Term::Fall);
+    let spring13 = Semester::new(2013, Term::Spring);
+
+    let mut builder = CatalogBuilder::new();
+    builder.add_course(
+        CourseSpec::new("11A", "Intro Programming")
+            .offered([fall11, fall12])
+            .workload(8.0),
+    );
+    builder.add_course(
+        CourseSpec::new("29A", "Discrete Math")
+            .offered([fall11, fall12])
+            .workload(7.0),
+    );
+    builder.add_course(
+        CourseSpec::new("21A", "Data Structures")
+            .prereq(Expr::Atom("11A".into()))
+            .offered([spring12])
+            .workload(11.0),
+    );
+    let catalog = builder.build()?;
+
+    // --- Algorithm 1: all deadline-driven paths Fall '11 -> Spring '13.
+    let start = EnrollmentStatus::fresh(&catalog, fall11);
+    let explorer = Explorer::deadline_driven(&catalog, start, spring13, 3)?;
+    let graph = explorer.build_graph(10_000)?;
+    println!("== Deadline-driven exploration (paper Fig. 3) ==");
+    println!(
+        "{} nodes, {} edges, {} learning paths:\n",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.path_count()
+    );
+    let paths: Vec<_> = graph.paths().collect();
+    print!("{}", render_path_list(&paths, &catalog));
+
+    // --- Algorithm 2: paths completing all three courses by Fall '12.
+    let goal = Goal::complete_all(catalog.all_courses());
+    let goal_explorer = Explorer::goal_driven(&catalog, start, fall12, 3, goal)?;
+    let goal_paths = goal_explorer.collect_goal_paths();
+    println!("\n== Goal-driven exploration (complete all 3 courses by Fall '12) ==");
+    println!("{} goal path(s):\n", goal_paths.len());
+    for p in &goal_paths {
+        print!("{}", render_path(p, &catalog));
+    }
+    let counts = goal_explorer.count_paths();
+    println!(
+        "pruned {} node(s): {} time-based, {} availability-based",
+        counts.stats.pruned_total(),
+        counts.stats.pruned_time,
+        counts.stats.pruned_availability
+    );
+
+    // --- Algorithm 3: the single shortest path (the paper's §4.3.2 walkthrough).
+    let goal = Goal::complete_all(catalog.all_courses());
+    let ranked = Explorer::goal_driven(&catalog, start, spring13, 3, goal)?;
+    let top = ranked.top_k(&TimeRanking, 1)?;
+    println!("\n== Ranked exploration: top-1 shortest completion ==");
+    for rp in &top {
+        println!("cost = {} semesters", rp.cost);
+        print!("{}", render_path(&rp.path, &catalog));
+    }
+
+    // --- Visualization: DOT output for Graphviz.
+    println!("\n== Graphviz (render with `dot -Tsvg`) ==");
+    print!(
+        "{}",
+        graph_to_dot(
+            &graph,
+            &catalog,
+            &DotOptions {
+                show_options: false,
+                ..DotOptions::default()
+            }
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Ranked advisor: the three ranking functions of §4.3.1 side by side,
+//! plus a weighted composite (the paper's future-work extension).
+//!
+//! ```text
+//! cargo run --release --example ranked_advisor
+//! ```
+
+use std::sync::Arc;
+
+use coursenavigator::navigator::{
+    EnrollmentStatus, Explorer, Goal, Ranking, ReliabilityRanking, TimeRanking, WeightedRanking,
+    WorkloadHeuristic, WorkloadRanking,
+};
+use coursenavigator::registrar::brandeis_cs;
+use coursenavigator::viz::render_path_list;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = brandeis_cs();
+    let degree = data.degree.clone().expect("sample declares the CS major");
+    let offering = data.offering.clone().expect("sample declares history");
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    let m = 3;
+    let k = 5;
+
+    // Time-based ranking tolerates the full horizon (uniform edge costs make
+    // best-first behave like BFS). Workload/reliability rankings order the
+    // frontier by accumulated cost, so cheap partial paths flood it on long
+    // horizons — scope those to a 5-semester deadline, as a student planning
+    // a concrete stretch would.
+    let explorer = Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.1,
+        m,
+        Goal::degree(degree.clone()),
+    )?;
+    let scoped = Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.0 + 4,
+        m,
+        Goal::degree(degree),
+    )?;
+
+    // --- Time: finish the major in as few semesters as possible.
+    println!("== top-{k} by TIME (fewest semesters) ==");
+    let top = explorer.top_k(&TimeRanking, k)?;
+    let paths: Vec<_> = top.iter().map(|rp| rp.path.clone()).collect();
+    print!("{}", render_path_list(&paths, &data.catalog));
+    for rp in &top {
+        print!("{} ", rp.cost);
+    }
+    println!("semesters\n");
+
+    // --- Workload: the easiest plans. A* with the workload heuristic keeps
+    // the search tractable (plain best-first floods the frontier with cheap
+    // partial paths; see the ablation_d bench).
+    println!("== top-{k} by WORKLOAD (lightest total hours) ==");
+    let top = scoped.top_k_astar(&WorkloadRanking, &WorkloadHeuristic, k)?;
+    for rp in &top {
+        println!("  {:>5.0}h over {} semesters", rp.cost, rp.path.len());
+    }
+    println!();
+
+    // --- Reliability: plans most likely to materialize, given that final
+    // schedules are only released through Spring 2013.
+    println!("== top-{k} by RELIABILITY (schedule certainty) ==");
+    let reliability = ReliabilityRanking::new(&offering);
+    let top = scoped.top_k(&reliability, k)?;
+    for rp in &top {
+        println!(
+            "  P(materializes) = {:.3} over {} semesters",
+            ReliabilityRanking::cost_to_probability(rp.cost),
+            rp.path.len()
+        );
+    }
+    println!();
+
+    // --- Weighted composite: mostly fast, a bit workload-averse.
+    println!("== top-{k} by WEIGHTED(3*time + 0.1*workload) ==");
+    let weighted = WeightedRanking::new()
+        .with(3.0, Arc::new(TimeRanking))
+        .with(0.1, Arc::new(WorkloadRanking));
+    let top = scoped.top_k(&weighted, k)?;
+    for rp in &top {
+        println!(
+            "  cost {:>6.1} = {} semesters, {:.0}h total",
+            rp.cost,
+            rp.path.len(),
+            rp.path.total_workload(&data.catalog)
+        );
+    }
+    println!(
+        "\n({} = monotone additive cost; see Lemma 2)",
+        weighted.name()
+    );
+    Ok(())
+}

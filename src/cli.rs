@@ -1,0 +1,722 @@
+//! The `coursenav` command-line interface.
+//!
+//! A thin front end over [`NavigatorService`]: load a registrar catalog
+//! file (or the bundled sample), phrase the student's question as an
+//! [`ExplorationRequest`], and render the answer. The logic lives here,
+//! pure and testable; `src/bin/coursenav.rs` only wires it to
+//! `std::env::args` and stdout.
+//!
+//! ```text
+//! coursenav <catalog | builtin:brandeis> <command> [flags]
+//!
+//! commands:
+//!   info                         catalog summary
+//!   count                        count learning paths (Algorithm 1/2)
+//!   paths                        print learning paths (up to --limit)
+//!   topk                         top-k ranked paths (Algorithm 3)
+//!   impact                       rank this semester's selection options
+//!   pareto                       time/workload trade-off curve of goal paths
+//!   progress                     degree progress for --completed courses
+//!   explain <CODE>               one course: prerequisites, schedule, odds
+//!   lint                         catalog quality checks
+//!   export                       normalized registrar text (or --json)
+//!   dot                          Graphviz export (--dag for the state DAG)
+//!
+//! common flags:
+//!   --start <sem>   --deadline <sem>   --m <n>
+//!   --goal degree | --goal all:CODE,CODE | --goal expr:<boolean expr>
+//!   --completed CODE,CODE        --avoid CODE,CODE
+//!   --no-prune                   --limit <n>   --k <n>
+//!   --ranking time|workload|reliability
+//! ```
+
+use std::fmt;
+
+use coursenav_catalog::{CourseCode, Semester};
+use coursenav_navigator::{
+    ExplorationRequest, ExplorationResponse, GoalSpec, NavigatorService, OutputMode, PruneConfig,
+    RankingSpec, ServiceError,
+};
+use coursenav_navigator::{TimeRanking, WorkloadRanking};
+use coursenav_registrar::{
+    brandeis_cs, json::catalog_to_json, lint_catalog, parse_registrar_file, write_registrar_file,
+    RegistrarData,
+};
+use coursenav_viz::{graph_to_dot, render_path, render_path_list, state_dag_to_dot, DotOptions};
+
+/// CLI failure, rendered to stderr by the binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the message includes usage help.
+    Usage(String),
+    /// The catalog file could not be read.
+    Io(String),
+    /// The catalog file could not be parsed.
+    Parse(String),
+    /// The underlying service rejected the request.
+    Service(ServiceError),
+    /// The exploration itself failed (e.g. budget exceeded).
+    Explore(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(msg) => write!(f, "io error: {msg}"),
+            CliError::Parse(msg) => write!(f, "catalog error: {msg}"),
+            CliError::Service(err) => write!(f, "{err}"),
+            CliError::Explore(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ServiceError> for CliError {
+    fn from(err: ServiceError) -> CliError {
+        CliError::Service(err)
+    }
+}
+
+const USAGE: &str = "usage: coursenav <catalog.cnav | builtin:brandeis> \
+<info|count|paths|topk|impact|pareto|progress|explain|lint|export|dot> [flags]\n\
+see `coursenav help` for flags";
+
+/// Parsed command-line flags.
+#[derive(Debug)]
+struct Flags {
+    start: Option<Semester>,
+    deadline: Option<Semester>,
+    m: Option<usize>,
+    goal: Option<GoalSpec>,
+    completed: Vec<String>,
+    avoid: Vec<String>,
+    no_prune: bool,
+    limit: usize,
+    k: usize,
+    ranking: RankingSpec,
+    dag: bool,
+    json: bool,
+}
+
+fn split_codes(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags {
+        start: None,
+        deadline: None,
+        m: None,
+        goal: None,
+        completed: Vec::new(),
+        avoid: Vec::new(),
+        no_prune: false,
+        limit: 20,
+        k: 5,
+        ranking: RankingSpec::Time,
+        dag: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--start" => {
+                flags.start = Some(value("--start")?.parse().map_err(
+                    |e: coursenav_catalog::semester::ParseSemesterError| {
+                        CliError::Usage(e.to_string())
+                    },
+                )?)
+            }
+            "--deadline" => {
+                flags.deadline = Some(value("--deadline")?.parse().map_err(
+                    |e: coursenav_catalog::semester::ParseSemesterError| {
+                        CliError::Usage(e.to_string())
+                    },
+                )?)
+            }
+            "--m" => {
+                flags.m = Some(
+                    value("--m")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--m needs an integer".into()))?,
+                )
+            }
+            "--goal" => {
+                let spec = value("--goal")?;
+                flags.goal = Some(if spec == "degree" {
+                    GoalSpec::Degree
+                } else if let Some(codes) = spec.strip_prefix("all:") {
+                    GoalSpec::CompleteAll(split_codes(codes))
+                } else if let Some(expr) = spec.strip_prefix("expr:") {
+                    GoalSpec::Expression(expr.to_string())
+                } else {
+                    return Err(CliError::Usage(format!(
+                        "--goal must be 'degree', 'all:...', or 'expr:...', got {spec:?}"
+                    )));
+                });
+            }
+            "--completed" => flags.completed = split_codes(value("--completed")?),
+            "--avoid" => flags.avoid = split_codes(value("--avoid")?),
+            "--no-prune" => flags.no_prune = true,
+            "--limit" => {
+                flags.limit = value("--limit")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--limit needs an integer".into()))?
+            }
+            "--k" => {
+                flags.k = value("--k")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--k needs an integer".into()))?
+            }
+            "--ranking" => {
+                flags.ranking = match value("--ranking")?.as_str() {
+                    "time" => RankingSpec::Time,
+                    "workload" => RankingSpec::Workload,
+                    "reliability" => RankingSpec::Reliability,
+                    other => return Err(CliError::Usage(format!("unknown ranking {other:?}"))),
+                }
+            }
+            "--dag" => flags.dag = true,
+            "--json" => flags.json = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(flags)
+}
+
+fn load_catalog(spec: &str) -> Result<RegistrarData, CliError> {
+    if spec == "builtin:brandeis" {
+        return Ok(brandeis_cs());
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::Io(format!("cannot read {spec}: {e}")))?;
+    parse_registrar_file(&text).map_err(|e| CliError::Parse(e.to_string()))
+}
+
+fn build_request(data: &RegistrarData, flags: &Flags) -> Result<ExplorationRequest, CliError> {
+    let start = flags.start.unwrap_or(data.horizon.0);
+    let deadline = flags.deadline.unwrap_or(data.horizon.1);
+    let mut req = ExplorationRequest::deadline_count(start, deadline, flags.m.unwrap_or(3));
+    req.completed = flags.completed.clone();
+    req.avoid = flags.avoid.clone();
+    req.goal = flags.goal.clone();
+    if flags.no_prune {
+        req.pruning = PruneConfig::none();
+    }
+    Ok(req)
+}
+
+/// Runs the CLI: `args` are everything after the program name. Returns the
+/// text to print on stdout.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let [catalog_spec, command, rest @ ..] = args else {
+        if args.first().map(String::as_str) == Some("help") {
+            return Ok(USAGE.to_string());
+        }
+        return Err(CliError::Usage("expected <catalog> <command>".into()));
+    };
+    if catalog_spec == "help" {
+        return Ok(USAGE.to_string());
+    }
+    let data = load_catalog(catalog_spec)?;
+    // `explain` takes one positional argument (the course code); every other
+    // token is a flag.
+    let flag_args: Vec<String> = if command == "explain" {
+        let mut seen_positional = false;
+        rest.iter()
+            .filter(|a| {
+                if !a.starts_with("--") && !seen_positional {
+                    seen_positional = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect()
+    } else {
+        rest.to_vec()
+    };
+    let flags = parse_flags(&flag_args)?;
+    let service = {
+        let mut s = NavigatorService::new(&data.catalog);
+        if let Some(degree) = &data.degree {
+            s = s.with_degree(degree);
+        }
+        if let Some(offering) = &data.offering {
+            s = s.with_offering_model(offering);
+        }
+        s
+    };
+    let mut req = build_request(&data, &flags)?;
+
+    let mut out = String::new();
+    match command.as_str() {
+        "info" => {
+            out.push_str(&format!(
+                "catalog: {} courses, schedules {} .. {}\n",
+                data.catalog.len(),
+                data.horizon.0,
+                data.horizon.1
+            ));
+            if let Some(degree) = &data.degree {
+                out.push_str(&format!(
+                    "degree: {} core courses + {} further slots\n",
+                    degree.core().len(),
+                    degree.total_slots() - degree.core().len()
+                ));
+            }
+            if let Some(model) = &data.offering {
+                out.push_str(&format!(
+                    "schedules released through {}\n",
+                    model.released_through()
+                ));
+            }
+        }
+        "count" => {
+            req.output = OutputMode::Count;
+            match service.run(&req)? {
+                ExplorationResponse::Counts {
+                    total_paths,
+                    goal_paths,
+                    stats,
+                    millis,
+                } => {
+                    out.push_str(&format!("paths: {total_paths}\n"));
+                    if req.goal.is_some() {
+                        out.push_str(&format!("goal paths: {goal_paths}\n"));
+                        out.push_str(&format!(
+                            "pruned: {} ({} time-based, {} availability-based)\n",
+                            stats.pruned_total(),
+                            stats.pruned_time,
+                            stats.pruned_availability
+                        ));
+                    }
+                    out.push_str(&format!("elapsed: {millis} ms\n"));
+                }
+                _ => unreachable!("count requests produce counts"),
+            }
+        }
+        "paths" => {
+            req.output = OutputMode::Collect { limit: flags.limit };
+            match service.run(&req)? {
+                ExplorationResponse::Paths {
+                    paths, truncated, ..
+                } => {
+                    out.push_str(&render_path_list(&paths, &data.catalog));
+                    if truncated {
+                        out.push_str(&format!("... (more than {} paths)\n", flags.limit));
+                    }
+                }
+                _ => unreachable!("collect requests produce paths"),
+            }
+        }
+        "topk" => {
+            if req.goal.is_none() {
+                return Err(CliError::Usage("topk requires --goal".into()));
+            }
+            req.ranking = Some(flags.ranking.clone());
+            req.output = OutputMode::TopK { k: flags.k };
+            match service.run(&req)? {
+                ExplorationResponse::Ranked { ranking, paths, .. } => {
+                    out.push_str(&format!("top {} by {}:\n", paths.len(), ranking));
+                    for (i, rp) in paths.iter().enumerate() {
+                        out.push_str(&format!("--- #{} (cost {:.2}) ---\n", i + 1, rp.cost));
+                        out.push_str(&render_path(&rp.path, &data.catalog));
+                    }
+                }
+                _ => unreachable!("topk requests produce rankings"),
+            }
+        }
+        "impact" => {
+            let explorer = service.build_explorer(&req)?;
+            let impacts = explorer.selection_impacts();
+            out.push_str("this semester's options, by doors kept open:\n");
+            for impact in impacts.iter().take(flags.limit) {
+                let codes: Vec<String> = impact
+                    .selection
+                    .iter()
+                    .map(|id| data.catalog.course(id).code().to_string())
+                    .collect();
+                let label = if codes.is_empty() {
+                    "(wait)".to_string()
+                } else {
+                    codes.join(" + ")
+                };
+                out.push_str(&format!(
+                    "  {label:<40} -> {} options next, {} paths",
+                    impact.options_next_semester, impact.paths
+                ));
+                if req.goal.is_some() {
+                    out.push_str(&format!(", {} goal paths", impact.goal_paths));
+                }
+                out.push('\n');
+            }
+        }
+        "dot" => {
+            let explorer = service.build_explorer(&req)?;
+            if flags.dag {
+                let dag = explorer
+                    .build_state_dag(200_000)
+                    .map_err(|e| CliError::Explore(e.to_string()))?;
+                out.push_str(&state_dag_to_dot(
+                    &dag,
+                    &data.catalog,
+                    &DotOptions::default(),
+                ));
+            } else {
+                let graph = explorer
+                    .build_graph(200_000)
+                    .map_err(|e| CliError::Explore(e.to_string()))?;
+                out.push_str(&graph_to_dot(&graph, &data.catalog, &DotOptions::default()));
+            }
+        }
+        "pareto" => {
+            if req.goal.is_none() {
+                return Err(CliError::Usage("pareto requires --goal".into()));
+            }
+            let explorer = service.build_explorer(&req)?;
+            let front = explorer
+                .pareto_front(&[&TimeRanking, &WorkloadRanking], 1_000)
+                .map_err(|e| CliError::Explore(e.to_string()))?;
+            out.push_str("time/workload trade-off curve (non-dominated goal paths):\n");
+            for p in &front {
+                out.push_str(&format!(
+                    "  {:>2} semesters, {:>5.0}h total\n",
+                    p.costs[0], p.costs[1]
+                ));
+            }
+        }
+        "progress" => {
+            let degree = data
+                .degree
+                .as_ref()
+                .ok_or_else(|| CliError::Usage("catalog declares no degree".into()))?;
+            let completed = flags
+                .completed
+                .iter()
+                .map(|raw| {
+                    data.catalog
+                        .id_of(&CourseCode::new(raw))
+                        .ok_or_else(|| CliError::Usage(format!("unknown course {raw:?}")))
+                })
+                .collect::<Result<coursenav_catalog::CourseSet, _>>()?;
+            let p = degree.progress(&completed);
+            out.push_str(&format!(
+                "degree progress: {}/{} slots filled{}\n",
+                p.slots_filled,
+                p.slots_total,
+                if p.is_complete() {
+                    " — complete!"
+                } else {
+                    ""
+                }
+            ));
+            let codes = |set: &coursenav_catalog::CourseSet| -> String {
+                set.iter()
+                    .map(|id| data.catalog.course(id).code().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            out.push_str(&format!("core done:      {}\n", codes(&p.core_completed)));
+            out.push_str(&format!("core remaining: {}\n", codes(&p.core_remaining)));
+            for (i, rule) in p.elective_rules.iter().enumerate() {
+                out.push_str(&format!(
+                    "electives[{i}]:   {}/{} taken\n",
+                    rule.taken_from_pool, rule.k
+                ));
+            }
+        }
+        "explain" => {
+            let code = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Usage("explain needs a course code".into()))?;
+            let course = data
+                .catalog
+                .get(&CourseCode::new(code))
+                .ok_or_else(|| CliError::Usage(format!("unknown course {code:?}")))?;
+            out.push_str(&format!("{} — {}\n", course.code(), course.title()));
+            out.push_str(&format!("workload: {} h/week\n", course.workload()));
+            let prereq = course
+                .prereq()
+                .map_atoms(&mut |id| data.catalog.course(*id).code().clone());
+            out.push_str(&format!("prerequisites: {prereq}\n"));
+            let offered: Vec<String> = course.offered().iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!(
+                "offered: {}\n",
+                if offered.is_empty() {
+                    "never".into()
+                } else {
+                    offered.join(", ")
+                }
+            ));
+            if let Some(model) = &data.offering {
+                let next_fall = coursenav_catalog::Semester::new(
+                    data.horizon.1.year() + 1,
+                    coursenav_catalog::Term::Fall,
+                );
+                let next_spring = coursenav_catalog::Semester::new(
+                    data.horizon.1.year() + 1,
+                    coursenav_catalog::Term::Spring,
+                );
+                out.push_str(&format!(
+                    "historical odds beyond the released schedule: fall {:.0}%, spring {:.0}%\n",
+                    model.prob(course, next_fall) * 100.0,
+                    model.prob(course, next_spring) * 100.0
+                ));
+            }
+        }
+        "lint" => {
+            let warnings = lint_catalog(&data);
+            if warnings.is_empty() {
+                out.push_str("no problems found\n");
+            } else {
+                for w in &warnings {
+                    out.push_str(&format!("warning: {w}\n"));
+                }
+                out.push_str(&format!("{} warning(s)\n", warnings.len()));
+            }
+        }
+        "export" => {
+            if flags.json {
+                out.push_str(
+                    &catalog_to_json(&data.catalog)
+                        .map_err(|e| CliError::Explore(e.to_string()))?,
+                );
+                out.push('\n');
+            } else {
+                out.push_str(&write_registrar_file(
+                    &data.catalog,
+                    data.degree.as_ref(),
+                    data.horizon,
+                ));
+            }
+        }
+        "help" => out.push_str(USAGE),
+        other => return Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_cli(&args)
+    }
+
+    #[test]
+    fn info_summarizes_the_builtin_catalog() {
+        let out = run(&["builtin:brandeis", "info"]).unwrap();
+        assert!(out.contains("38 courses"));
+        assert!(out.contains("7 core"));
+    }
+
+    #[test]
+    fn count_with_goal_reports_pruning() {
+        let out = run(&[
+            "builtin:brandeis",
+            "count",
+            "--goal",
+            "degree",
+            "--deadline",
+            "Fall 2014",
+        ])
+        .unwrap();
+        assert!(out.contains("goal paths: 98"), "{out}");
+        assert!(out.contains("pruned:"));
+    }
+
+    #[test]
+    fn paths_respects_limit() {
+        let out = run(&[
+            "builtin:brandeis",
+            "paths",
+            "--deadline",
+            "Fall 2013",
+            "--limit",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().filter(|l| l.contains('[')).count(), 3);
+        assert!(out.contains("more than 3 paths"));
+    }
+
+    #[test]
+    fn topk_requires_goal() {
+        let err = run(&["builtin:brandeis", "topk"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let out = run(&[
+            "builtin:brandeis",
+            "topk",
+            "--goal",
+            "degree",
+            "--k",
+            "2",
+            "--deadline",
+            "Fall 2014",
+        ])
+        .unwrap();
+        assert!(out.contains("top 2 by time"), "{out}");
+    }
+
+    #[test]
+    fn impact_lists_selections() {
+        let out = run(&[
+            "builtin:brandeis",
+            "impact",
+            "--deadline",
+            "Fall 2014", // four selection semesters: the shortest completion
+            "--goal",
+            "degree",
+        ])
+        .unwrap();
+        assert!(out.contains("goal paths"), "{out}");
+        assert!(out.contains("COSI"));
+        // An infeasible deadline yields an empty impact list, not an error.
+        let out = run(&[
+            "builtin:brandeis",
+            "impact",
+            "--deadline",
+            "Spring 2013",
+            "--goal",
+            "degree",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 1, "{out}");
+    }
+
+    #[test]
+    fn dot_outputs_graphviz() {
+        let out = run(&["builtin:brandeis", "dot", "--deadline", "Spring 2013"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        let out = run(&[
+            "builtin:brandeis",
+            "dot",
+            "--dag",
+            "--deadline",
+            "Spring 2013",
+        ])
+        .unwrap();
+        assert!(out.contains("learning_state_dag"));
+    }
+
+    #[test]
+    fn bad_inputs_give_usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["builtin:brandeis", "frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "count", "--start", "Winter 1"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["/nonexistent/file.cnav", "info"]),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "count", "--goal", "sideways"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn pareto_prints_tradeoff_curve() {
+        let out = run(&[
+            "builtin:brandeis",
+            "pareto",
+            "--goal",
+            "degree",
+            "--deadline",
+            "Fall 2014",
+        ])
+        .unwrap();
+        assert!(out.contains("trade-off"));
+        assert!(out.contains("semesters"));
+    }
+
+    #[test]
+    fn progress_reports_slots() {
+        let out = run(&[
+            "builtin:brandeis",
+            "progress",
+            "--completed",
+            "COSI 10A,COSI 11A,COSI 29A",
+        ])
+        .unwrap();
+        assert!(out.contains("3/12 slots"), "{out}");
+        assert!(out.contains("core remaining"));
+    }
+
+    #[test]
+    fn explain_describes_a_course() {
+        let out = run(&["builtin:brandeis", "explain", "COSI 21A"]).unwrap();
+        assert!(out.contains("Data Structures"));
+        assert!(out.contains("prerequisites: COSI 12B"));
+        assert!(out.contains("historical odds"));
+        assert!(matches!(
+            run(&["builtin:brandeis", "explain"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "explain", "GHOST 1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lint_runs_on_the_builtin_catalog() {
+        let out = run(&["builtin:brandeis", "lint"]).unwrap();
+        // The bundled catalog is clean of hard errors; output is either the
+        // all-clear or advisory orphan notes.
+        assert!(
+            out.contains("no problems") || out.contains("warning"),
+            "{out}"
+        );
+        assert!(!out.contains("never offered"), "{out}");
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_parser() {
+        let text = run(&["builtin:brandeis", "export"]).unwrap();
+        let reparsed = coursenav_registrar::parse_registrar_file(&text).unwrap();
+        assert_eq!(reparsed.catalog.len(), 38);
+        let json = run(&["builtin:brandeis", "export", "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["help"]).unwrap().contains("usage:"));
+    }
+
+    #[test]
+    fn expression_goal_via_flag() {
+        let out = run(&[
+            "builtin:brandeis",
+            "count",
+            "--goal",
+            "expr:COSI 10A and COSI 29A",
+            "--deadline",
+            "Fall 2013",
+        ])
+        .unwrap();
+        assert!(out.contains("goal paths:"));
+    }
+}

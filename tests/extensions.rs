@@ -1,0 +1,152 @@
+//! Cross-crate coverage of the extension features (DESIGN.md §1,
+//! "Extensions") through the facade API on the bundled catalog.
+
+use coursenavigator::navigator::{
+    EnrollmentStatus, Explorer, Goal, TimeHeuristic, TimeRanking, WorkloadHeuristic,
+    WorkloadRanking,
+};
+use coursenavigator::registrar::{brandeis_cs, lint_catalog, LintWarning};
+use coursenavigator::viz::{state_dag_to_dot, DotOptions};
+
+fn cs_major_explorer(
+    data: &coursenavigator::registrar::RegistrarData,
+    horizon: i32,
+) -> Explorer<'_> {
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    Explorer::goal_driven(
+        &data.catalog,
+        start,
+        data.horizon.0 + horizon,
+        3,
+        Goal::degree(data.degree.clone().unwrap()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pareto_front_spans_fast_and_light_plans() {
+    let data = brandeis_cs();
+    let e = cs_major_explorer(&data, 5);
+    let front = e
+        .pareto_front(&[&TimeRanking, &WorkloadRanking], 100)
+        .unwrap();
+    assert!(front.len() >= 2, "expect a real trade-off curve");
+    // Curve is monotone: as semesters increase, workload must decrease
+    // (otherwise the point would be dominated).
+    for pair in front.windows(2) {
+        assert!(pair[0].costs[0] < pair[1].costs[0]);
+        assert!(pair[0].costs[1] > pair[1].costs[1]);
+    }
+}
+
+#[test]
+fn impact_identifies_the_core_first_start() {
+    let data = brandeis_cs();
+    let e = cs_major_explorer(&data, 4);
+    let impacts = e.selection_impacts();
+    assert!(!impacts.is_empty());
+    // The top selection must include core intro courses — nothing else can
+    // finish in four semesters.
+    let top = &impacts[0];
+    assert!(top.goal_paths > 0);
+    let codes: Vec<String> = top
+        .selection
+        .iter()
+        .map(|id| data.catalog.course(id).code().to_string())
+        .collect();
+    for required in ["COSI 10A", "COSI 11A", "COSI 29A"] {
+        assert!(codes.contains(&required.to_string()), "{codes:?}");
+    }
+}
+
+#[test]
+fn astar_agrees_with_best_first_on_the_real_catalog() {
+    let data = brandeis_cs();
+    let e = cs_major_explorer(&data, 4);
+    let plain: Vec<f64> = e
+        .top_k(&TimeRanking, 5)
+        .unwrap()
+        .iter()
+        .map(|p| p.cost)
+        .collect();
+    let astar: Vec<f64> = e
+        .top_k_astar(
+            &TimeRanking,
+            &TimeHeuristic {
+                max_per_semester: 3,
+            },
+            5,
+        )
+        .unwrap()
+        .iter()
+        .map(|p| p.cost)
+        .collect();
+    assert_eq!(plain, astar);
+
+    let plain_w: Vec<f64> = e
+        .top_k(&WorkloadRanking, 5)
+        .unwrap()
+        .iter()
+        .map(|p| p.cost)
+        .collect();
+    let astar_w: Vec<f64> = e
+        .top_k_astar(&WorkloadRanking, &WorkloadHeuristic, 5)
+        .unwrap()
+        .iter()
+        .map(|p| p.cost)
+        .collect();
+    assert_eq!(plain_w, astar_w);
+}
+
+#[test]
+fn stream_paginates_the_goal_paths() {
+    let data = brandeis_cs();
+    let e = cs_major_explorer(&data, 4);
+    let total = e.count_paths().goal_paths as usize;
+    let mut stream = e.goal_paths_iter();
+    let page: Vec<_> = stream.by_ref().take(10).collect();
+    let rest = stream.count();
+    assert_eq!(page.len() + rest, total);
+}
+
+#[test]
+fn state_dag_compresses_the_goal_tree() {
+    let data = brandeis_cs();
+    let e = cs_major_explorer(&data, 4);
+    let dag = e.build_state_dag(1_000_000).unwrap();
+    assert_eq!(dag.root().goal_paths, e.count_paths().goal_paths);
+    let tree = e.build_graph(10_000_000).unwrap();
+    assert!(dag.state_count() < tree.node_count());
+    let dot = state_dag_to_dot(&dag, &data.catalog, &DotOptions::default());
+    assert!(dot.contains("goal="));
+}
+
+#[test]
+fn degree_progress_tracks_a_partial_transcript() {
+    let data = brandeis_cs();
+    let degree = data.degree.unwrap();
+    let completed = ["COSI 10A", "COSI 11A", "COSI 29A", "COSI 114A"]
+        .iter()
+        .map(|c| data.catalog.id_of_str(c).unwrap())
+        .collect();
+    let progress = degree.progress(&completed);
+    assert_eq!(progress.slots_filled, 4); // 3 core + 1 elective
+    assert_eq!(progress.slots_total, 12);
+    assert_eq!(progress.core_completed.len(), 3);
+    assert_eq!(progress.core_remaining.len(), 4);
+    assert!(!progress.is_complete());
+}
+
+#[test]
+fn lint_is_clean_of_hard_problems_on_the_bundle() {
+    let data = brandeis_cs();
+    for warning in lint_catalog(&data) {
+        assert!(
+            matches!(
+                warning,
+                LintWarning::Orphaned { .. } | LintWarning::PrereqOfferedTooLate { .. }
+            ),
+            "hard problem in bundled catalog: {warning}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end pinning of the paper's worked examples through the facade.
+
+use coursenavigator::catalog::{CatalogBuilder, CourseSpec, Semester, Term};
+use coursenavigator::navigator::{EnrollmentStatus, Explorer, Goal, LeafKind, TimeRanking};
+use coursenavigator::prereq::Expr;
+
+fn fall(y: i32) -> Semester {
+    Semester::new(y, Term::Fall)
+}
+
+fn spring(y: i32) -> Semester {
+    Semester::new(y, Term::Spring)
+}
+
+/// The catalog of the paper's Figures 1 and 3.
+fn fig3_catalog() -> coursenavigator::catalog::Catalog {
+    let mut b = CatalogBuilder::new();
+    b.add_course(CourseSpec::new("11A", "Intro A").offered([fall(2011), fall(2012)]));
+    b.add_course(CourseSpec::new("29A", "Intro B").offered([fall(2011), fall(2012)]));
+    b.add_course(
+        CourseSpec::new("21A", "Data Structures")
+            .prereq(Expr::Atom("11A".into()))
+            .offered([spring(2012)]),
+    );
+    b.build().unwrap()
+}
+
+/// §4.1 / Figure 3: deadline-driven exploration Fall '11 → Spring '13
+/// produces exactly the 9-node graph with 3 learning paths the paper draws.
+#[test]
+fn figure3_deadline_driven_graph() {
+    let cat = fig3_catalog();
+    let start = EnrollmentStatus::fresh(&cat, fall(2011));
+    let explorer = Explorer::deadline_driven(&cat, start, spring(2013), 3).unwrap();
+    let graph = explorer.build_graph(1_000).unwrap();
+    assert_eq!(graph.node_count(), 9, "paper draws n1..n9");
+    assert_eq!(graph.edge_count(), 8);
+    assert_eq!(graph.path_count(), 3);
+
+    // The three paths by their semester selections:
+    //   n1→n2→n5→n8: {11A} {21A} {29A}
+    //   n1→n3→n6:    {11A,29A} {21A}
+    //   n1→n4→n7→n9: {29A} {} {11A}
+    let mut keys: Vec<Vec<Vec<String>>> = graph
+        .paths()
+        .map(|p| {
+            p.selections()
+                .iter()
+                .map(|sel| {
+                    sel.iter()
+                        .map(|id| cat.course(id).code().to_string())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    keys.sort();
+    let mut expected = vec![
+        vec![
+            vec!["11A".to_string()],
+            vec!["21A".into()],
+            vec!["29A".into()],
+        ],
+        vec![vec!["11A".to_string(), "29A".into()], vec!["21A".into()]],
+        vec![vec!["29A".to_string()], vec![], vec!["11A".into()]],
+    ];
+    expected.sort();
+    assert_eq!(keys, expected);
+}
+
+/// §4.2.3: with goal = all three courses and deadline Fall '12, node n4 is
+/// pruned by course availability and the only goal path is n1→n3→n6.
+#[test]
+fn section_423_goal_driven_walkthrough() {
+    let cat = fig3_catalog();
+    let start = EnrollmentStatus::fresh(&cat, fall(2011));
+    let goal = Goal::complete_all(cat.all_courses());
+    let explorer = Explorer::goal_driven(&cat, start, fall(2012), 3, goal).unwrap();
+    let counts = explorer.count_paths();
+    assert_eq!(counts.goal_paths, 1);
+    assert!(counts.stats.pruned_availability >= 1, "n4 must be pruned");
+
+    let graph = explorer.build_graph(1_000).unwrap();
+    let goal_only = graph.retain_leaves(|k| k == LeafKind::Goal);
+    assert_eq!(goal_only.path_count(), 1);
+    let path = goal_only.paths().next().unwrap();
+    assert_eq!(path.len(), 2, "Fall '11 and Spring '12 selections");
+    assert_eq!(path.selections()[0].len(), 2, "take 11A and 29A first");
+    assert_eq!(path.selections()[1].len(), 1, "then 21A");
+}
+
+/// §4.3.2: top-1 shortest path stops without building the whole graph.
+#[test]
+fn section_432_top1_shortest() {
+    let cat = fig3_catalog();
+    let start = EnrollmentStatus::fresh(&cat, fall(2011));
+    let goal = Goal::complete_all(cat.all_courses());
+    let explorer = Explorer::goal_driven(&cat, start, spring(2013), 3, goal).unwrap();
+    let (top, stats) = explorer.top_k_with_stats(&TimeRanking, 1).unwrap();
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].cost, 2.0, "two semesters");
+    // Early exit: strictly fewer nodes expanded than the full exploration.
+    let full = explorer.count_paths();
+    assert!(stats.nodes_expanded <= full.stats.nodes_expanded);
+}
+
+/// Figure 1: the two overlapping learning paths from the paper's intro
+/// (same first selection {11A, 29A}, then {12B,21B,2A} vs {12B,21B,65A}).
+#[test]
+fn figure1_overlapping_paths() {
+    let mut b = CatalogBuilder::new();
+    b.add_course(CourseSpec::new("11A", "a").offered([fall(2011)]));
+    b.add_course(CourseSpec::new("29A", "b").offered([fall(2011)]));
+    for code in ["12B", "21B", "2A", "65A"] {
+        b.add_course(
+            CourseSpec::new(code, "second year")
+                .prereq(Expr::Atom("11A".into()).and(Expr::Atom("29A".into())))
+                .offered([spring(2012)]),
+        );
+    }
+    let cat = b.build().unwrap();
+    let start = EnrollmentStatus::fresh(&cat, fall(2011));
+    let explorer = Explorer::deadline_driven(&cat, start, fall(2012), 3).unwrap();
+    let paths: Vec<_> = explorer.collect_paths();
+    // Both Figure-1 paths appear among the enumerated ones.
+    let has = |codes: &[&str]| {
+        paths.iter().any(|p| {
+            p.selections().len() >= 2 && {
+                let second: Vec<String> = p.selections()[1]
+                    .iter()
+                    .map(|id| cat.course(id).code().to_string())
+                    .collect();
+                codes.iter().all(|c| second.contains(&c.to_string()))
+                    && p.selections()[0].len() == 2
+            }
+        })
+    };
+    assert!(has(&["12B", "21B", "2A"]), "path through n3");
+    assert!(has(&["12B", "21B", "65A"]), "path through n4");
+}
