@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint. No network access is assumed — every
+# dependency is a path dependency (see vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

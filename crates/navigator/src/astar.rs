@@ -140,7 +140,8 @@ impl Explorer<'_> {
         heuristic: &dyn RemainingCostHeuristic,
         k: usize,
     ) -> Result<(Vec<RankedPath>, ExploreStats), ExploreError> {
-        self.ranked_search(ranking, Some(heuristic), k)
+        self.ranked_search(ranking, Some(heuristic), k, None)
+            .map(|(paths, stats, _)| (paths, stats))
     }
 }
 

@@ -19,6 +19,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use coursenav_catalog::CourseSet;
 use serde::{Deserialize, Serialize};
@@ -98,17 +99,35 @@ impl Explorer<'_> {
         ranking: &dyn Ranking,
         k: usize,
     ) -> Result<(Vec<RankedPath>, ExploreStats), ExploreError> {
-        self.ranked_search(ranking, None, k)
+        self.ranked_search(ranking, None, k, None)
+            .map(|(paths, stats, _)| (paths, stats))
+    }
+
+    /// [`Explorer::top_k`] under a wall-clock deadline: when the deadline
+    /// passes mid-search the paths found so far are returned (still the
+    /// true best-so-far, by the heap's cost order) with `true` as the
+    /// truncation marker. `None` runs to completion.
+    pub fn top_k_until(
+        &self,
+        ranking: &dyn Ranking,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<RankedPath>, bool), ExploreError> {
+        self.ranked_search(ranking, None, k, deadline)
+            .map(|(paths, _, truncated)| (paths, truncated))
     }
 
     /// The shared best-first / A* engine behind [`Explorer::top_k`] and
-    /// [`Explorer::top_k_astar`].
+    /// [`Explorer::top_k_astar`]. The third element of the result is the
+    /// truncation marker: `true` when `deadline` expired before the search
+    /// finished.
     pub(crate) fn ranked_search(
         &self,
         ranking: &dyn Ranking,
         heuristic: Option<&dyn crate::astar::RemainingCostHeuristic>,
         k: usize,
-    ) -> Result<(Vec<RankedPath>, ExploreStats), ExploreError> {
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<RankedPath>, ExploreStats, bool), ExploreError> {
         let Some(goal) = self.goal() else {
             return Err(ExploreError::InvalidRequest(
                 "top-k ranking requires a goal-driven exploration".into(),
@@ -143,10 +162,23 @@ impl Explorer<'_> {
             node: 0,
         });
         let mut out: Vec<RankedPath> = Vec::with_capacity(k.min(1024));
+        let mut truncated = false;
+        let mut pops = 0u32;
 
         while let Some(entry) = heap.pop() {
             if out.len() >= k {
                 break;
+            }
+            // Deadline check amortized over pops; `Instant::now` is cheap
+            // but not free against sub-microsecond expansions.
+            pops = pops.wrapping_add(1);
+            if pops & 0x3F == 1 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        truncated = true;
+                        break;
+                    }
+                }
             }
             let status = arena[entry.node as usize].status;
             match self.disposition(&status, pruner.as_ref()) {
@@ -203,7 +235,7 @@ impl Explorer<'_> {
                 }
             }
         }
-        Ok((out, stats))
+        Ok((out, stats, truncated))
     }
 
     /// Baseline: enumerate every goal path, rank, and truncate to `k`.
@@ -380,6 +412,23 @@ mod tests {
             e.top_k(&TimeRanking, 5),
             Err(ExploreError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_truncates_top_k() {
+        let cat = fig3();
+        let start = EnrollmentStatus::fresh(&cat, fall(2011));
+        let goal = Goal::complete_all(cat.all_courses());
+        let e = Explorer::goal_driven(&cat, start, fall(2012), 3, goal).unwrap();
+        let (paths, truncated) = e
+            .top_k_until(&TimeRanking, 10, Some(std::time::Instant::now()))
+            .unwrap();
+        assert!(truncated);
+        assert!(paths.is_empty());
+        // And with no deadline the same call runs to completion.
+        let (paths, truncated) = e.top_k_until(&TimeRanking, 10, None).unwrap();
+        assert!(!truncated);
+        assert_eq!(paths.len(), 1);
     }
 
     #[test]

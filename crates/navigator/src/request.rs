@@ -46,6 +46,42 @@ pub enum RankingSpec {
     Weighted(Vec<(f64, RankingSpec)>),
 }
 
+impl RankingSpec {
+    /// The canonical form of this ranking: zero-weight components dropped,
+    /// the remaining weights scaled so the largest is 1, components sorted,
+    /// and nested weighted rankings canonicalized recursively. Semantically
+    /// equivalent rankings (same ordering over paths) map to the same
+    /// canonical form, which is what makes response caching effective.
+    /// Scaling by the maximum rather than the sum keeps canonicalization
+    /// exactly idempotent: the second pass divides by 1.0, a bit-exact
+    /// no-op, where re-dividing by a float sum that landed near 1 would
+    /// perturb low bits.
+    pub fn canonicalized(&self) -> RankingSpec {
+        match self {
+            RankingSpec::Weighted(parts) => {
+                let mut kept: Vec<(f64, RankingSpec)> = parts
+                    .iter()
+                    .filter(|(weight, _)| *weight != 0.0)
+                    .map(|(weight, inner)| (*weight, inner.canonicalized()))
+                    .collect();
+                let max = kept.iter().map(|(weight, _)| *weight).fold(0.0, f64::max);
+                if max.is_finite() && max > 0.0 {
+                    for (weight, _) in &mut kept {
+                        *weight /= max;
+                    }
+                }
+                kept.sort_by(|a, b| {
+                    format!("{:?}", a.1)
+                        .cmp(&format!("{:?}", b.1))
+                        .then(a.0.total_cmp(&b.0))
+                });
+                RankingSpec::Weighted(kept)
+            }
+            other => other.clone(),
+        }
+    }
+}
+
 /// What the exploration should produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case")]
@@ -98,6 +134,11 @@ pub struct ExplorationRequest {
     pub ranking: Option<RankingSpec>,
     /// What to produce.
     pub output: OutputMode,
+    /// Wall-clock budget in milliseconds. When the budget elapses the
+    /// service stops exploring and returns whatever it has, with the
+    /// response's `truncated` marker set; `None` runs to completion.
+    #[serde(default)]
+    pub budget_ms: Option<u64>,
 }
 
 impl ExplorationRequest {
@@ -119,6 +160,7 @@ impl ExplorationRequest {
             pruning: PruneConfig::all(),
             ranking: None,
             output: OutputMode::Count,
+            budget_ms: None,
         }
     }
 
@@ -134,6 +176,34 @@ impl ExplorationRequest {
             output,
             ..ExplorationRequest::deadline_count(start_semester, deadline, max_per_semester)
         }
+    }
+
+    /// The canonical form of this request: course-code lists sorted and
+    /// deduplicated, the ranking canonicalized (see
+    /// [`RankingSpec::canonicalized`]). Requests that describe the same
+    /// exploration map to the same canonical form.
+    pub fn canonicalize(&self) -> ExplorationRequest {
+        let mut req = self.clone();
+        req.completed.sort();
+        req.completed.dedup();
+        req.avoid.sort();
+        req.avoid.dedup();
+        if let Some(GoalSpec::CompleteAll(codes)) = &mut req.goal {
+            codes.sort();
+            codes.dedup();
+        }
+        req.ranking = req.ranking.as_ref().map(RankingSpec::canonicalized);
+        req
+    }
+
+    /// A deterministic cache key: the compact JSON of the canonical form,
+    /// with the wall-clock budget masked out (the budget decides how long
+    /// the service may spend, not what the complete answer is; truncated
+    /// responses must not be cached against it).
+    pub fn cache_key(&self) -> String {
+        let mut canon = self.canonicalize();
+        canon.budget_ms = None;
+        serde_json::to_string(&canon).expect("a request always serializes")
     }
 
     /// Serializes to JSON.
@@ -173,10 +243,62 @@ mod tests {
                 (0.1, RankingSpec::Workload),
             ])),
             output: OutputMode::TopK { k: 10 },
+            budget_ms: Some(250),
         };
         let json = req.to_json().unwrap();
         let back = ExplorationRequest::from_json(&json).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn canonicalize_sorts_dedups_and_normalizes() {
+        let mut req = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        req.completed = vec!["B".into(), "A".into(), "B".into()];
+        req.avoid = vec!["Z".into(), "Z".into()];
+        req.goal = Some(GoalSpec::CompleteAll(vec!["D".into(), "C".into(), "D".into()]));
+        req.ranking = Some(RankingSpec::Weighted(vec![
+            (3.0, RankingSpec::Workload),
+            (0.0, RankingSpec::Reliability),
+            (1.0, RankingSpec::Time),
+        ]));
+        let canon = req.canonicalize();
+        assert_eq!(canon.completed, vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(canon.avoid, vec!["Z".to_string()]);
+        assert_eq!(
+            canon.goal,
+            Some(GoalSpec::CompleteAll(vec!["C".into(), "D".into()]))
+        );
+        assert_eq!(
+            canon.ranking,
+            Some(RankingSpec::Weighted(vec![
+                (1.0 / 3.0, RankingSpec::Time),
+                (1.0, RankingSpec::Workload),
+            ]))
+        );
+    }
+
+    #[test]
+    fn equivalent_requests_share_a_cache_key() {
+        let mut a = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        a.completed = vec!["X".into(), "Y".into()];
+        a.ranking = Some(RankingSpec::Weighted(vec![
+            (2.0, RankingSpec::Time),
+            (6.0, RankingSpec::Workload),
+        ]));
+
+        let mut b = a.clone();
+        b.completed = vec!["Y".into(), "X".into(), "X".into()];
+        b.ranking = Some(RankingSpec::Weighted(vec![
+            (0.75, RankingSpec::Workload),
+            (0.25, RankingSpec::Time),
+            (0.0, RankingSpec::Reliability),
+        ]));
+        b.budget_ms = Some(50); // budget never affects the key
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        let mut c = a.clone();
+        c.max_per_semester = 4;
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 
     #[test]

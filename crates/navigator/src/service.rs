@@ -82,6 +82,10 @@ pub enum ExplorationResponse {
         goal_paths: u128,
         /// Exploration counters.
         stats: ExploreStats,
+        /// Whether the wall-clock budget expired before the count finished
+        /// (the counts are then lower bounds).
+        #[serde(default)]
+        truncated: bool,
         /// Wall-clock time spent servicing the request.
         millis: u128,
     },
@@ -90,7 +94,8 @@ pub enum ExplorationResponse {
     Paths {
         /// The materialized paths (goal paths for goal-driven runs).
         paths: Vec<Path>,
-        /// Whether more paths exist beyond the requested limit.
+        /// Whether more paths exist beyond the requested limit, or the
+        /// wall-clock budget expired before the collection finished.
         truncated: bool,
         /// Wall-clock time spent servicing the request.
         millis: u128,
@@ -101,9 +106,25 @@ pub enum ExplorationResponse {
         ranking: String,
         /// The top-k paths, lowest cost first.
         paths: Vec<RankedPath>,
+        /// Whether the wall-clock budget expired before `k` paths were
+        /// found (the returned prefix is still best-first-correct).
+        #[serde(default)]
+        truncated: bool,
         /// Wall-clock time spent servicing the request.
         millis: u128,
     },
+}
+
+impl ExplorationResponse {
+    /// The response's truncation marker: whether the exploration stopped
+    /// early (output limit reached or wall-clock budget expired).
+    pub fn truncated(&self) -> bool {
+        match self {
+            ExplorationResponse::Counts { truncated, .. }
+            | ExplorationResponse::Paths { truncated, .. }
+            | ExplorationResponse::Ranked { truncated, .. } => *truncated,
+        }
+    }
 }
 
 /// The configured back end.
@@ -222,21 +243,60 @@ impl<'a> NavigatorService<'a> {
         Ok(explorer)
     }
 
-    /// Services one request end to end.
+    /// Services one request end to end. A request with a `budget_ms` is
+    /// given that wall-clock budget from this call's entry; see
+    /// [`NavigatorService::run_until`].
     pub fn run(&self, req: &ExplorationRequest) -> Result<ExplorationResponse, ServiceError> {
+        let deadline = req
+            .budget_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        self.run_until(req, deadline)
+    }
+
+    /// Services one request end to end, stopping at `deadline` if the
+    /// exploration is still running when it passes. A deadline-stopped
+    /// response carries whatever was produced so far with its `truncated`
+    /// marker set: partial counts are lower bounds, and a partial top-k is
+    /// a correct best-first prefix. An explicit `deadline` argument
+    /// overrides the request's own `budget_ms` (the serving layer passes
+    /// its per-request deadline here).
+    pub fn run_until(
+        &self,
+        req: &ExplorationRequest,
+        deadline: Option<Instant>,
+    ) -> Result<ExplorationResponse, ServiceError> {
         let explorer = self.build_explorer(req)?;
         let t0 = Instant::now();
+        // Amortizes `Instant::now` over leaf visits; leaves outnumber
+        // interior nodes, so the check cannot starve on a deep branch.
+        let mut ticks = 0u32;
+        let mut expired = move || {
+            ticks = ticks.wrapping_add(1);
+            match deadline {
+                Some(d) => ticks & 0xFF == 1 && Instant::now() >= d,
+                None => false,
+            }
+        };
         match req.output {
             OutputMode::Count => {
-                let PathCounts {
-                    total_paths,
-                    goal_paths,
-                    stats,
-                } = explorer.count_paths();
+                let mut counts = PathCounts::default();
+                let mut truncated = false;
+                let stats = explorer.visit_paths(|visit| {
+                    if expired() {
+                        truncated = true;
+                        return ControlFlow::Break(());
+                    }
+                    counts.total_paths += 1;
+                    if visit.kind == LeafKind::Goal {
+                        counts.goal_paths += 1;
+                    }
+                    ControlFlow::Continue(())
+                });
                 Ok(ExplorationResponse::Counts {
-                    total_paths,
-                    goal_paths,
+                    total_paths: counts.total_paths,
+                    goal_paths: counts.goal_paths,
                     stats,
+                    truncated,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -244,6 +304,10 @@ impl<'a> NavigatorService<'a> {
                 let mut paths = Vec::new();
                 let mut truncated = false;
                 explorer.visit_paths(|visit| {
+                    if expired() {
+                        truncated = true;
+                        return ControlFlow::Break(());
+                    }
                     // Goal-driven runs return goal paths; deadline-driven
                     // runs return every path.
                     if explorer.goal().is_some() && visit.kind != LeafKind::Goal {
@@ -268,10 +332,11 @@ impl<'a> NavigatorService<'a> {
                     .as_ref()
                     .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
                 let ranking = self.resolve_ranking(spec)?;
-                let paths = explorer.top_k(ranking.as_ref(), k)?;
+                let (paths, truncated) = explorer.top_k_until(ranking.as_ref(), k, deadline)?;
                 Ok(ExplorationResponse::Ranked {
                     ranking: ranking.name().to_string(),
                     paths,
+                    truncated,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -452,6 +517,42 @@ mod tests {
             service.run(&req).unwrap_err(),
             ServiceError::NoOfferingModelConfigured
         );
+    }
+
+    #[test]
+    fn expired_deadline_truncates_every_output_mode() {
+        let cat = fig3();
+        let service = NavigatorService::new(&cat);
+        let past = Some(Instant::now());
+
+        match service.run_until(&base_request(), past).unwrap() {
+            ExplorationResponse::Counts {
+                total_paths,
+                truncated,
+                ..
+            } => {
+                assert!(truncated);
+                assert_eq!(total_paths, 0);
+            }
+            other => panic!("expected Counts, got {other:?}"),
+        }
+
+        let mut req = base_request();
+        req.output = OutputMode::Collect { limit: 10 };
+        let resp = service.run_until(&req, past).unwrap();
+        assert!(resp.truncated());
+
+        let mut req = base_request();
+        req.goal = Some(GoalSpec::CompleteAll(vec!["11A".into()]));
+        req.ranking = Some(RankingSpec::Time);
+        req.output = OutputMode::TopK { k: 5 };
+        let resp = service.run_until(&req, past).unwrap();
+        assert!(resp.truncated());
+
+        // A generous budget on the same request runs to completion.
+        req.budget_ms = Some(60_000);
+        let resp = service.run(&req).unwrap();
+        assert!(!resp.truncated());
     }
 
     #[test]

@@ -68,20 +68,58 @@ fn arb_request() -> impl Strategy<Value = ExplorationRequest> {
                     },
                     ranking,
                     output,
+                    budget_ms: None,
                 }
             },
         )
 }
 
+/// Everything [`arb_request`] generates, plus the fields and variants the
+/// service test keeps out of play (expression goals, avoid lists, budgets):
+/// the full wire surface, for the serialization round-trip.
+fn arb_wire_request() -> impl Strategy<Value = ExplorationRequest> {
+    let arb_codes = prop::collection::vec((0usize..20).prop_map(|i| format!("CS {i}")), 0..4);
+    (
+        arb_request(),
+        arb_codes.clone(),
+        arb_codes,
+        prop::option::of(Just(GoalSpec::Expression("CS 1 and (CS 2 or CS 3)".into()))),
+        prop::option::of(1.0f64..60.0),
+        prop::option::of(1u64..5_000),
+    )
+        .prop_map(|(mut req, completed, avoid, expr_goal, workload, budget)| {
+            req.completed = completed;
+            req.avoid = avoid;
+            if expr_goal.is_some() {
+                req.goal = expr_goal;
+            }
+            req.max_semester_workload = workload;
+            req.budget_ms = budget;
+            req
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Every request serializes to JSON and parses back identically.
+    /// Every request serializes to JSON and parses back identically — over
+    /// the full wire surface: all three goal variants, all four ranking
+    /// variants (nested weighted included), all three output modes, avoid
+    /// lists, workload caps, and wall-clock budgets.
     #[test]
-    fn requests_roundtrip_json(req in arb_request()) {
+    fn requests_roundtrip_json(req in arb_wire_request()) {
         let json = req.to_json().unwrap();
         let back = ExplorationRequest::from_json(&json).unwrap();
         prop_assert_eq!(req, back);
+    }
+
+    /// Canonicalization is idempotent and cache keys respect equivalence:
+    /// a request and its canonical form always share a key.
+    #[test]
+    fn canonicalization_is_idempotent(req in arb_wire_request()) {
+        let canon = req.canonicalize();
+        prop_assert_eq!(canon.canonicalize(), canon.clone());
+        prop_assert_eq!(req.cache_key(), canon.cache_key());
     }
 
     /// The service either answers or fails with a *specific* error — never

@@ -1,0 +1,354 @@
+//! The CourseNavigator serving layer: a dependency-light concurrent
+//! HTTP/1.1 server over [`NavigatorService`].
+//!
+//! The paper's system model (§3) puts a web front end in front of the
+//! exploration engine; this crate is the boundary between them. Design
+//! goals, in order:
+//!
+//! 1. **Interactivity.** Every `POST /explore` runs under a wall-clock
+//!    deadline threaded into the engine's `ControlFlow` machinery
+//!    ([`NavigatorService::run_until`]); a slow exploration returns a
+//!    partial answer marked `truncated` instead of holding the connection.
+//! 2. **Effective caching.** Responses are cached under the request's
+//!    *canonical* form ([`ExplorationRequest::cache_key`]) — reordered
+//!    course lists and rescaled ranking weights hit the same entry. Only
+//!    complete (non-truncated) answers are cached.
+//! 3. **Bounded everything.** Fixed worker pool, bounded hand-off queue
+//!    with 503 load-shedding, capped request bodies, byte-budgeted cache.
+//!
+//! Routes:
+//!
+//! | Route                    | Meaning                                      |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /explore`          | JSON [`ExplorationRequest`] → [`ExplorationResponse`] |
+//! | `GET /catalog`           | the catalog as JSON                          |
+//! | `GET /healthz`           | liveness probe                               |
+//! | `GET /metrics`           | live counters ([`MetricsSnapshot`])          |
+//! | `POST /cache/invalidate` | drop every cached response                   |
+//!
+//! No async runtime, no HTTP framework: `std::net` sockets, a crossbeam
+//! channel, and parking_lot locks. See [`http`] for the wire protocol,
+//! [`pool`] for the threading model, [`cache`] for the LRU.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coursenav_navigator::{ExplorationRequest, NavigatorService};
+use coursenav_registrar::{json::catalog_to_json, RegistrarData};
+use parking_lot::RwLock;
+
+use cache::ResponseCache;
+use http::{ParseError, Request, Response};
+use metrics::Metrics;
+pub use metrics::MetricsSnapshot;
+
+/// Server tuning knobs. `Default` is sized for an interactive deployment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub threads: usize,
+    /// Response-cache budget in mebibytes.
+    pub cache_mb: usize,
+    /// Accepted-but-unclaimed connection queue; beyond it, 503.
+    pub queue_depth: usize,
+    /// Per-request body cap in bytes.
+    pub max_body_bytes: usize,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub keep_alive: Duration,
+    /// Wall-clock budget applied to explorations that do not carry their
+    /// own `budget_ms`; `None` lets them run to completion.
+    pub default_budget_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 4,
+            cache_mb: 64,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            keep_alive: Duration::from_secs(5),
+            default_budget_ms: Some(10_000),
+        }
+    }
+}
+
+/// Shared server state: the registrar data behind a swap lock, the
+/// response cache, and the metric counters.
+struct AppState {
+    data: RwLock<Arc<RegistrarData>>,
+    cache: ResponseCache,
+    metrics: Metrics,
+    default_budget_ms: Option<u64>,
+}
+
+/// A running server. Dropping it shuts it down gracefully.
+pub struct Server {
+    pool: pool::Pool,
+    addr: SocketAddr,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the acceptor and workers, and starts
+    /// serving `data`.
+    pub fn start(config: ServerConfig, data: RegistrarData) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState {
+            data: RwLock::new(Arc::new(data)),
+            cache: ResponseCache::new(config.cache_mb.max(1) * (1 << 20)),
+            metrics: Metrics::new(),
+            default_budget_ms: config.default_budget_ms,
+        });
+
+        let handler = {
+            let state = Arc::clone(&state);
+            let max_body = config.max_body_bytes;
+            let keep_alive = config.keep_alive;
+            Arc::new(move |conn: TcpStream| {
+                handle_connection(&state, conn, max_body, keep_alive);
+            })
+        };
+        let on_shed = {
+            let state = Arc::clone(&state);
+            Arc::new(move || {
+                state.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let pool = pool::spawn(listener, config.threads, config.queue_depth, handler, on_shed)?;
+        Ok(Server { pool, addr, state })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot (what `GET /metrics` serves).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.metrics.snapshot(self.state.cache.stats())
+    }
+
+    /// Replaces the registrar data and invalidates every cached response —
+    /// the catalog-reload path. In-flight requests finish against the data
+    /// they started with.
+    pub fn swap_catalog(&self, data: RegistrarData) -> u64 {
+        *self.state.data.write() = Arc::new(data);
+        self.state.cache.invalidate_all()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join every
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.pool.shutdown();
+    }
+
+    /// Blocks this thread forever (the CLI's `serve` loop); the server
+    /// keeps running on its own threads.
+    pub fn block_forever(self) -> ! {
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+/// One connection, start to finish: parse, route, respond, repeat while
+/// keep-alive holds.
+fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, keep_alive: Duration) {
+    state
+        .metrics
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = conn.set_read_timeout(Some(keep_alive));
+    let _ = conn.set_nodelay(true);
+    loop {
+        let (response, keep_open) = match http::read_request(&mut conn, max_body) {
+            Ok(request) => {
+                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                let keep = request.keep_alive;
+                (dispatch_catching_panics(state, &request), keep)
+            }
+            Err(ParseError::ConnectionClosed) | Err(ParseError::TimedOut) => return,
+            Err(ParseError::Io(_)) => return,
+            Err(ParseError::Malformed(msg)) => (Response::error(400, &msg), false),
+            Err(ParseError::HeadTooLarge) => {
+                (Response::error(431, "request head too large"), false)
+            }
+            Err(ParseError::BodyTooLarge { declared, limit }) => (
+                Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                ),
+                // The unread body would desynchronize the stream.
+                false,
+            ),
+        };
+        state.metrics.count_status(response.status);
+        if http::write_response(&mut conn, &response, keep_open).is_err() {
+            return;
+        }
+        if !keep_open {
+            return;
+        }
+    }
+}
+
+/// Routes one request; a panicking handler becomes a 500, not a dead
+/// worker.
+fn dispatch_catching_panics(state: &AppState, request: &Request) -> Response {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| route(state, request))) {
+        Ok(response) => response,
+        Err(_) => Response::error(500, "internal error"),
+    }
+}
+
+fn route(state: &AppState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/explore") => explore(state, request),
+        ("GET", "/catalog") => {
+            let data = Arc::clone(&state.data.read());
+            match catalog_to_json(&data.catalog) {
+                Ok(json) => Response::json(200, json),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => {
+            let snapshot = state.metrics.snapshot(state.cache.stats());
+            match serde_json::to_string(&snapshot) {
+                Ok(json) => Response::json(200, json),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
+        ("POST", "/cache/invalidate") => {
+            let dropped = state.cache.invalidate_all();
+            Response::json(200, format!("{{\"invalidated\":{dropped}}}"))
+        }
+        // Right path, wrong verb → 405 with the allowed method.
+        (_, "/explore") | (_, "/cache/invalidate") => {
+            let mut resp = Response::error(405, "method not allowed");
+            resp.extra_headers.push(("allow".into(), "POST".into()));
+            resp
+        }
+        (_, "/catalog") | (_, "/healthz") | (_, "/metrics") => {
+            let mut resp = Response::error(405, "method not allowed");
+            resp.extra_headers.push(("allow".into(), "GET".into()));
+            resp
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// `POST /explore`: parse, canonicalize, consult the cache, run under a
+/// deadline, cache complete answers.
+fn explore(state: &AppState, request: &Request) -> Response {
+    state
+        .metrics
+        .explore_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let req = match ExplorationRequest::from_json(body) {
+        Ok(req) => req,
+        Err(e) => return Response::error(400, &format!("bad exploration request: {e}")),
+    };
+    // Execute the *canonical* form, not the submitted one: two spellings
+    // that share a cache key must produce byte-identical answers, and a
+    // weighted ranking's reported costs depend on the weight scale. The
+    // canonical scale (largest weight = 1) is the one the cache stores.
+    let req = req.canonicalize();
+
+    let key = req.cache_key();
+    if let Some(cached) = state.cache.get(&key) {
+        state
+            .metrics
+            .explore_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        let mut resp = Response::json(200, cached.to_vec());
+        resp.extra_headers.push(("x-cache".into(), "hit".into()));
+        return resp;
+    }
+
+    state.metrics.explore_computed.fetch_add(1, Ordering::Relaxed);
+    let deadline = req
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let data = Arc::clone(&state.data.read());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+
+    match service.run_until(&req, deadline) {
+        Ok(response) => {
+            if response.truncated() {
+                state
+                    .metrics
+                    .explore_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            match serde_json::to_string(&response) {
+                Ok(json) => {
+                    // Only complete answers are cacheable: a truncated one
+                    // reflects this request's deadline, not the exploration.
+                    if !response.truncated() {
+                        state.cache.put(&key, json.as_bytes());
+                    }
+                    let mut resp = Response::json(200, json);
+                    resp.extra_headers.push(("x-cache".into(), "miss".into()));
+                    resp
+                }
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
+        Err(e) => Response::error(422, &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_registrar::brandeis_cs;
+
+    fn tiny_server(config: ServerConfig) -> Server {
+        Server::start(config, brandeis_cs()).expect("bind loopback")
+    }
+
+    #[test]
+    fn starts_on_an_ephemeral_port_and_shuts_down() {
+        let server = tiny_server(ServerConfig::default());
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+        server.shutdown();
+    }
+
+    #[test]
+    fn swap_catalog_invalidates_the_cache() {
+        let server = tiny_server(ServerConfig::default());
+        server.state.cache.put("k", b"v");
+        assert_eq!(server.swap_catalog(brandeis_cs()), 1);
+        assert_eq!(server.metrics().cache.entries, 0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,137 @@
+//! Live serving metrics: lock-free counters, snapshotted to JSON by
+//! `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::cache::CacheStats;
+
+/// Counter block shared by every worker. All increments are `Relaxed` —
+/// each counter is independent, and `/metrics` only needs a consistent
+/// *enough* view, not a cross-counter snapshot.
+pub struct Metrics {
+    started: Instant,
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused with 503 because the queue was full.
+    pub connections_shed: AtomicU64,
+    /// Requests fully parsed and routed.
+    pub requests_total: AtomicU64,
+    /// `POST /explore` requests served (cache hits included).
+    pub explore_requests: AtomicU64,
+    /// Explorations answered from the response cache.
+    pub explore_cache_hits: AtomicU64,
+    /// Explorations that ran the engine.
+    pub explore_computed: AtomicU64,
+    /// Explorations cut short by their wall-clock deadline.
+    pub explore_truncated: AtomicU64,
+    /// Responses with a 4xx status.
+    pub client_errors: AtomicU64,
+    /// Responses with a 5xx status (handler panics included).
+    pub server_errors: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            connections_accepted: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            explore_requests: AtomicU64::new(0),
+            explore_cache_hits: AtomicU64::new(0),
+            explore_computed: AtomicU64::new(0),
+            explore_truncated: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts a finished response by status class.
+    pub fn count_status(&self, status: u16) {
+        match status {
+            400..=499 => self.client_errors.fetch_add(1, Ordering::Relaxed),
+            500..=599 => self.server_errors.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+    }
+
+    /// A serializable point-in-time view, merged with the cache's stats.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            connections_accepted: load(&self.connections_accepted),
+            connections_shed: load(&self.connections_shed),
+            requests_total: load(&self.requests_total),
+            explore_requests: load(&self.explore_requests),
+            explore_cache_hits: load(&self.explore_cache_hits),
+            explore_computed: load(&self.explore_computed),
+            explore_truncated: load(&self.explore_truncated),
+            client_errors: load(&self.client_errors),
+            server_errors: load(&self.server_errors),
+            cache,
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+/// What `GET /metrics` serializes.
+#[derive(Debug, Clone, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: u64,
+    /// Connections refused with 503 because the queue was full.
+    pub connections_shed: u64,
+    /// Requests fully parsed and routed.
+    pub requests_total: u64,
+    /// `POST /explore` requests served (cache hits included).
+    pub explore_requests: u64,
+    /// Explorations answered from the response cache.
+    pub explore_cache_hits: u64,
+    /// Explorations that ran the engine.
+    pub explore_computed: u64,
+    /// Explorations cut short by their wall-clock deadline.
+    pub explore_truncated: u64,
+    /// Responses with a 4xx status.
+    pub client_errors: u64,
+    /// Responses with a 5xx status.
+    pub server_errors: u64,
+    /// Response-cache statistics.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.count_status(200);
+        m.count_status(404);
+        m.count_status(500);
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.client_errors, 1);
+        assert_eq!(snap.server_errors, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_kebab_keys() {
+        let m = Metrics::new();
+        let json = serde_json::to_string(&m.snapshot(CacheStats::default())).unwrap();
+        assert!(json.contains("\"explore-cache-hits\":0"), "{json}");
+        assert!(json.contains("\"cache\":{"), "{json}");
+    }
+}

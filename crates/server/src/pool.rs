@@ -1,0 +1,134 @@
+//! The serving threads: one acceptor, a fixed pool of connection workers,
+//! a bounded hand-off queue between them.
+//!
+//! The acceptor owns the listener. Each accepted connection is pushed onto
+//! a bounded crossbeam channel with `try_send`: if every worker is busy
+//! and the queue is full, the acceptor *sheds load* — it writes a one-line
+//! `503` and closes, so clients fail fast instead of queueing without
+//! bound (the paper's interactivity budget cuts both ways: a response that
+//! arrives late is as bad as none).
+//!
+//! Workers own a connection for its whole keep-alive lifetime. Graceful
+//! shutdown: flip the shutdown flag; the acceptor (polling a non-blocking
+//! listener) drops the sender, the channel disconnects, workers finish
+//! their current connection and exit, `join` collects them all.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, TrySendError};
+
+/// How often the acceptor polls for shutdown between accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// The running thread set.
+pub struct Pool {
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Everything a worker does with one connection.
+pub type ConnectionHandler = dyn Fn(TcpStream) + Send + Sync;
+
+/// Spawns the acceptor and `threads` workers over `listener`.
+///
+/// `queue_depth` bounds connections accepted but not yet claimed by a
+/// worker; beyond it the acceptor sheds with 503. `on_shed` observes every
+/// shed (metrics).
+pub fn spawn(
+    listener: TcpListener,
+    threads: usize,
+    queue_depth: usize,
+    handler: Arc<ConnectionHandler>,
+    on_shed: Arc<dyn Fn() + Send + Sync>,
+) -> std::io::Result<Pool> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (sender, receiver) = bounded::<TcpStream>(queue_depth.max(1));
+
+    let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
+        .map(|i| {
+            let receiver = receiver.clone();
+            let handler = Arc::clone(&handler);
+            std::thread::Builder::new()
+                .name(format!("coursenav-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(conn) = receiver.recv() {
+                        handler(conn);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("coursenav-acceptor".into())
+            .spawn(move || {
+                // `sender` moves in here; dropping it on exit disconnects
+                // the channel and lets the workers drain and stop.
+                while !shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((conn, _peer)) => match sender.try_send(conn) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(conn)) => {
+                                shed(conn);
+                                on_shed();
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        },
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(Pool {
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// The load-shedding response: minimal, fixed, written without blocking
+/// the accept loop for long.
+fn shed(mut conn: TcpStream) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = b"{\"error\":\"server saturated, retry later\"}";
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: 1\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = conn.write_all(head.as_bytes());
+    let _ = conn.write_all(body);
+    // Dropping the stream closes it.
+}
+
+impl Pool {
+    /// Signals shutdown and joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,382 @@
+//! End-to-end loopback tests: a real listener on port 0, raw `TcpStream`
+//! clients, concurrent load. Everything the ISSUE's acceptance list asks
+//! of the serving layer is exercised here over actual sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use coursenav_navigator::{
+    ExplorationRequest, GoalSpec, OutputMode, RankingSpec,
+};
+use coursenav_registrar::brandeis_cs;
+use coursenav_server::{Server, ServerConfig};
+
+/// A minimal blocking HTTP/1.1 client over one TcpStream.
+struct Client {
+    stream: TcpStream,
+}
+
+struct ClientResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl ClientResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client { stream }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes()).unwrap();
+        self.read_response()
+    }
+
+    fn send_raw(&mut self, raw: &[u8]) -> ClientResponse {
+        self.stream.write_all(raw).unwrap();
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> ClientResponse {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "connection closed before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end - 4]).unwrap();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .expect("status code in status line")
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .map(|l| {
+                let (k, v) = l.split_once(':').expect("header line");
+                (k.to_ascii_lowercase(), v.trim().to_string())
+            })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap_or(0);
+        let mut body = buf[head_end..].to_vec();
+        while body.len() < content_length {
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        ClientResponse {
+            status,
+            headers,
+            body: String::from_utf8(body).unwrap(),
+        }
+    }
+}
+
+fn start_default() -> Server {
+    Server::start(ServerConfig::default(), brandeis_cs()).expect("start server")
+}
+
+fn count_request() -> ExplorationRequest {
+    let data = brandeis_cs();
+    // horizon.0 + 4 (Fall 2014): large enough that the degree is feasible
+    // (98 goal paths), small enough that the exploration runs in
+    // milliseconds — the next semester step multiplies the path count by
+    // orders of magnitude.
+    let mut req = ExplorationRequest::deadline_count(data.horizon.0, data.horizon.0 + 4, 3);
+    req.goal = Some(GoalSpec::Degree);
+    req
+}
+
+fn fetch_metrics(addr: std::net::SocketAddr) -> serde_json::Value {
+    let mut client = Client::connect(addr);
+    let resp = client.send("GET", "/metrics", None);
+    assert_eq!(resp.status, 200);
+    serde_json::from_str(&resp.body).expect("metrics is valid JSON")
+}
+
+#[test]
+fn explore_answers_over_real_tcp() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr);
+    let resp = client.send("POST", "/explore", Some(&count_request().to_json().unwrap()));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    let counts = &value["counts"];
+    assert!(!counts.is_null(), "expected a counts response: {}", resp.body);
+    assert!(counts["total_paths"].as_u64().unwrap_or(0) > 0);
+    assert_eq!(resp.header("x-cache"), Some("miss"));
+
+    // Keep-alive: a second request rides the same connection.
+    let health = client.send("GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+
+    let catalog = client.send("GET", "/catalog", None);
+    assert_eq!(catalog.status, 200);
+    assert!(catalog.body.contains("COSI"), "catalog JSON lists courses");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_hit_the_canonicalization_cache() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    // Six clients, one logical request, six different spellings: permuted
+    // completed lists, duplicated codes, rescaled ranking weights. The
+    // canonicalizer folds them onto one cache entry.
+    let spellings: Vec<ExplorationRequest> = (0..6)
+        .map(|i| {
+            let mut req = count_request();
+            req.output = OutputMode::TopK { k: 3 };
+            req.ranking = Some(RankingSpec::Weighted(vec![
+                ((i + 1) as f64, RankingSpec::Time),
+                ((i + 1) as f64 * 0.25, RankingSpec::Workload),
+            ]));
+            req.completed = if i % 2 == 0 {
+                vec!["COSI 10A".into(), "COSI 11A".into()]
+            } else {
+                vec!["COSI 11A".into(), "COSI 10A".into(), "COSI 11A".into()]
+            };
+            req
+        })
+        .collect();
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spellings
+            .iter()
+            .map(|req| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let resp =
+                        client.send("POST", "/explore", Some(&req.to_json().unwrap()));
+                    assert_eq!(resp.status, 200, "{}", resp.body);
+                    resp.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every spelling got the same answer. `millis` is timing metadata and
+    // may differ when two clients race past the same cache miss, so
+    // compare the substantive fields.
+    let essence = |body: &str| -> (String, String) {
+        let value: serde_json::Value = serde_json::from_str(body).unwrap();
+        let ranked = &value["ranked"];
+        (
+            serde_json::to_string(&ranked["paths"]).unwrap(),
+            format!("{:?}{:?}", ranked["ranking"], ranked["truncated"]),
+        )
+    };
+    for body in &bodies[1..] {
+        assert_eq!(essence(body), essence(&bodies[0]));
+    }
+
+    let metrics = fetch_metrics(addr);
+    let hits = metrics["cache"]["hits"].as_u64().unwrap();
+    let computed = metrics["explore-computed"].as_u64().unwrap();
+    assert!(hits > 0, "cache hit-rate must be observable: {metrics:?}");
+    assert!(
+        computed < 6,
+        "canonicalization must fold spellings: computed {computed} of 6"
+    );
+    assert_eq!(hits + computed, 6, "{metrics:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_503() {
+    let server = Server::start(
+        ServerConfig {
+            threads: 1,
+            queue_depth: 1,
+            keep_alive: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Occupy the single worker: a served response proves the worker owns
+    // this connection's keep-alive loop.
+    let mut busy = Client::connect(addr);
+    let resp = busy.send("GET", "/healthz", None);
+    assert_eq!(resp.status, 200);
+
+    // Fill the queue with a second (idle) connection...
+    let _queued = Client::connect(addr);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ...so the third is shed.
+    let mut shed = Client::connect(addr);
+    let resp = shed.read_response();
+    assert_eq!(resp.status, 503);
+    assert!(resp.body.contains("saturated"));
+
+    let metrics_after = {
+        // The metrics connection itself needs a worker; free them first.
+        drop(busy);
+        drop(_queued);
+        drop(shed);
+        std::thread::sleep(Duration::from_millis(100));
+        fetch_metrics(addr)
+    };
+    assert!(metrics_after["connections-shed"].as_u64().unwrap() >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unroutable_requests_get_4xx() {
+    let server = Server::start(
+        ServerConfig {
+            max_body_bytes: 4096,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Not HTTP at all.
+    let resp = Client::connect(addr).send_raw(b"NONSENSE\r\n\r\n");
+    assert_eq!(resp.status, 400);
+
+    // Valid HTTP, invalid JSON.
+    let resp = Client::connect(addr).send("POST", "/explore", Some("{not json"));
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("bad exploration request"));
+
+    // Valid JSON, invalid request (unknown course).
+    let mut req = count_request();
+    req.completed = vec!["GHOST 999".into()];
+    let resp = Client::connect(addr).send("POST", "/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 422);
+    assert!(resp.body.contains("unknown course"));
+
+    // Unknown route and wrong method.
+    let resp = Client::connect(addr).send("GET", "/nope", None);
+    assert_eq!(resp.status, 404);
+    let resp = Client::connect(addr).send("GET", "/explore", None);
+    assert_eq!(resp.status, 405);
+    let resp = Client::connect(addr).send("POST", "/metrics", None);
+    assert_eq!(resp.status, 405);
+
+    // Oversized body.
+    let huge = "x".repeat(8192);
+    let resp = Client::connect(addr).send("POST", "/explore", Some(&huge));
+    assert_eq!(resp.status, 413);
+
+    let metrics = fetch_metrics(addr);
+    assert!(metrics["client-errors"].as_u64().unwrap() >= 5, "{metrics:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn deadline_bounded_topk_returns_truncated_partial() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let mut req = count_request();
+    req.goal = Some(GoalSpec::Degree);
+    req.ranking = Some(RankingSpec::Time);
+    req.output = OutputMode::TopK { k: 5 };
+    req.budget_ms = Some(0); // deadline already expired on arrival
+    let json = req.to_json().unwrap();
+
+    let mut client = Client::connect(addr);
+    let resp = client.send("POST", "/explore", Some(&json));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    let ranked = &value["ranked"];
+    assert!(!ranked.is_null(), "expected a ranked response: {}", resp.body);
+    assert_eq!(ranked["truncated"].as_bool(), Some(true));
+    assert_eq!(
+        ranked["paths"].as_array().map(|paths| paths.len()),
+        Some(0),
+        "an expired deadline yields an empty (but well-formed) prefix"
+    );
+
+    // Truncated answers are never cached: the same request computes again.
+    let resp = client.send("POST", "/explore", Some(&json));
+    assert_eq!(resp.header("x-cache"), Some("miss"));
+
+    let metrics = fetch_metrics(addr);
+    assert!(metrics["explore-truncated"].as_u64().unwrap() >= 2, "{metrics:?}");
+    assert_eq!(metrics["cache"]["entries"].as_u64(), Some(0), "{metrics:?}");
+
+    // The identical exploration *without* a budget completes, is cached,
+    // and subsequently hits.
+    req.budget_ms = None;
+    let json = req.to_json().unwrap();
+    let resp = client.send("POST", "/explore", Some(&json));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-cache"), Some("miss"));
+    let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(value["ranked"]["truncated"].as_bool(), Some(false));
+    let resp = client.send("POST", "/explore", Some(&json));
+    assert_eq!(resp.header("x-cache"), Some("hit"));
+
+    server.shutdown();
+}
+
+#[test]
+fn cache_invalidation_route_empties_the_cache() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    let json = count_request().to_json().unwrap();
+    assert_eq!(client.send("POST", "/explore", Some(&json)).status, 200);
+    assert_eq!(
+        client.send("POST", "/explore", Some(&json)).header("x-cache"),
+        Some("hit")
+    );
+
+    let resp = client.send("POST", "/cache/invalidate", None);
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"invalidated\":1"), "{}", resp.body);
+
+    assert_eq!(
+        client.send("POST", "/explore", Some(&json)).header("x-cache"),
+        Some("miss")
+    );
+
+    server.shutdown();
+}

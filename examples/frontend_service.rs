@@ -9,6 +9,18 @@
 //! ```text
 //! cargo run --release --example frontend_service
 //! ```
+//!
+//! To serve the same request/response loop over real HTTP instead of
+//! in-process, start the serving layer and poke it with curl:
+//!
+//! ```text
+//! cargo run --release -- builtin:brandeis serve --addr 127.0.0.1:8080
+//! curl -s -X POST http://127.0.0.1:8080/explore -d '{
+//!   "start-semester": "Fall 2012", "deadline": "Fall 2014",
+//!   "max-per-semester": 3, "goal": "degree", "output": "count"
+//! }'
+//! curl -s http://127.0.0.1:8080/metrics
+//! ```
 
 use coursenavigator::navigator::{
     EnrollmentStatus, ExplorationRequest, ExplorationResponse, Explorer, Goal, GoalSpec,
@@ -52,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ranking,
             paths,
             millis,
+            ..
         } => {
             println!("{} paths by '{ranking}' in {millis} ms:", paths.len());
             for rp in paths {

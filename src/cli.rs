@@ -21,6 +21,8 @@
 //!   lint                         catalog quality checks
 //!   export                       normalized registrar text (or --json)
 //!   dot                          Graphviz export (--dag for the state DAG)
+//!   serve                        HTTP server (POST /explore, GET /catalog,
+//!                                GET /healthz, GET /metrics)
 //!
 //! common flags:
 //!   --start <sem>   --deadline <sem>   --m <n>
@@ -28,6 +30,9 @@
 //!   --completed CODE,CODE        --avoid CODE,CODE
 //!   --no-prune                   --limit <n>   --k <n>
 //!   --ranking time|workload|reliability
+//!
+//! serve flags:
+//!   --addr <host:port>           --threads <n>   --cache-mb <n>
 //! ```
 
 use std::fmt;
@@ -42,6 +47,7 @@ use coursenav_registrar::{
     brandeis_cs, json::catalog_to_json, lint_catalog, parse_registrar_file, write_registrar_file,
     RegistrarData,
 };
+use coursenav_server::{Server, ServerConfig};
 use coursenav_viz::{graph_to_dot, render_path, render_path_list, state_dag_to_dot, DotOptions};
 
 /// CLI failure, rendered to stderr by the binary.
@@ -80,7 +86,7 @@ impl From<ServiceError> for CliError {
 }
 
 const USAGE: &str = "usage: coursenav <catalog.cnav | builtin:brandeis> \
-<info|count|paths|topk|impact|pareto|progress|explain|lint|export|dot> [flags]\n\
+<info|count|paths|topk|impact|pareto|progress|explain|lint|export|dot|serve> [flags]\n\
 see `coursenav help` for flags";
 
 /// Parsed command-line flags.
@@ -98,6 +104,9 @@ struct Flags {
     ranking: RankingSpec,
     dag: bool,
     json: bool,
+    addr: Option<String>,
+    threads: Option<usize>,
+    cache_mb: Option<usize>,
 }
 
 fn split_codes(value: &str) -> Vec<String> {
@@ -123,6 +132,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         ranking: RankingSpec::Time,
         dag: false,
         json: false,
+        addr: None,
+        threads: None,
+        cache_mb: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -189,6 +201,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--dag" => flags.dag = true,
             "--json" => flags.json = true,
+            "--addr" => flags.addr = Some(value("--addr")?.clone()),
+            "--threads" => {
+                flags.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--threads needs an integer".into()))?,
+                )
+            }
+            "--cache-mb" => {
+                flags.cache_mb = Some(
+                    value("--cache-mb")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--cache-mb needs an integer".into()))?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -215,6 +242,24 @@ fn build_request(data: &RegistrarData, flags: &Flags) -> Result<ExplorationReque
         req.pruning = PruneConfig::none();
     }
     Ok(req)
+}
+
+/// `coursenav <catalog> serve [--addr .. --threads .. --cache-mb ..]`:
+/// starts the HTTP serving layer over the loaded catalog and blocks until
+/// the process is killed. Prints the bound address first, so `--addr
+/// 127.0.0.1:0` (an ephemeral port) is usable in scripts.
+fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError> {
+    let config = ServerConfig {
+        addr: flags.addr.clone().unwrap_or_else(|| "127.0.0.1:8080".into()),
+        threads: flags.threads.unwrap_or(4),
+        cache_mb: flags.cache_mb.unwrap_or(64),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(config, data).map_err(|e| CliError::Io(format!("cannot serve: {e}")))?;
+    println!("coursenav-server listening on http://{}", server.local_addr());
+    println!("routes: POST /explore, GET /catalog, GET /healthz, GET /metrics");
+    server.block_forever()
 }
 
 /// Runs the CLI: `args` are everything after the program name. Returns the
@@ -249,6 +294,12 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         rest.to_vec()
     };
     let flags = parse_flags(&flag_args)?;
+    // `serve` consumes the catalog (the server owns it for its lifetime)
+    // and never returns, so it dispatches before the borrowing service is
+    // built.
+    if command == "serve" {
+        return serve_command(data, &flags);
+    }
     let service = {
         let mut s = NavigatorService::new(&data.catalog);
         if let Some(degree) = &data.degree {
@@ -292,6 +343,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     goal_paths,
                     stats,
                     millis,
+                    ..
                 } => {
                     out.push_str(&format!("paths: {total_paths}\n"));
                     if req.goal.is_some() {
@@ -517,6 +569,31 @@ mod tests {
     fn run(args: &[&str]) -> Result<String, CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         run_cli(&args)
+    }
+
+    // `serve` with valid flags blocks forever by design, so only the flag
+    // validation (which runs before the listener binds) is testable here;
+    // the end-to-end path is covered by coursenav-server's loopback tests.
+    #[test]
+    fn serve_rejects_bad_flag_values() {
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--threads", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--cache-mb"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--port", "8080"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn usage_mentions_serve() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("serve"), "{out}");
     }
 
     #[test]

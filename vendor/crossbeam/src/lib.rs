@@ -1,0 +1,10 @@
+//! Offline stand-in for `crossbeam` with the workspace's API surface:
+//! `crossbeam::scope` (delegating to `std::thread::scope`) and
+//! `crossbeam::channel` (MPMC channels built on `Mutex`/`Condvar`; the
+//! bounded variant's `try_send` reports `Full`, which the HTTP server
+//! uses for load shedding).
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,87 @@
+//! Scoped threads with crossbeam's call shape (`scope(|s| ...)` returning
+//! `Result`, spawn closures receiving `&Scope`), implemented over
+//! `std::thread::scope`.
+
+use std::any::Any;
+
+/// Handle to a scope; lets spawned threads spawn siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which spawned threads may borrow from the
+/// enclosing environment; all are joined before `scope` returns.
+///
+/// Unlike upstream crossbeam, an unjoined panicking child propagates its
+/// panic here (std semantics) instead of surfacing in the returned
+/// `Result` — the workspace joins every handle, where the two behaviors
+/// agree.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_borrowing_workers_and_joins() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,90 @@
+//! `any::<T>()` — full-range strategies for primitives.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range generator for one primitive type.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats across a wide range of magnitudes; no NaN/inf, which
+        // workspace properties (orderings, sums) are not written to expect.
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> AnyPrim<f64> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Mostly ASCII with occasional wider code points.
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            (rng.below(95) as u8 + 0x20) as char
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrim<char>;
+    fn arbitrary() -> AnyPrim<char> {
+        AnyPrim(PhantomData)
+    }
+}

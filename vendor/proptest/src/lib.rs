@@ -1,0 +1,381 @@
+//! Offline stand-in for `proptest` with the API surface this workspace
+//! uses: the `proptest!`/`prop_assert*!`/`prop_oneof!` macros, `Strategy`
+//! with `prop_map`/`prop_flat_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! `any::<T>()`, range strategies, tuple strategies, and the
+//! `prop::collection`/`prop::option` helpers.
+//!
+//! Differences from upstream: cases are *generated* but not *shrunk* — a
+//! failure reports the deterministic per-test seed and case index instead
+//! of a minimized input. Case streams are deterministic per test name, so
+//! failures reproduce run over run.
+
+use std::fmt;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+/// Deterministic RNG driving generation (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % span
+    }
+}
+
+/// Test-runner configuration (subset of upstream's many knobs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum generation attempts consumed by `prop_filter` rejections
+    /// and explicit `TestCaseError::Reject`s before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The input is invalid for this property; generate another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl fmt::Display) -> TestCaseError {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    pub fn reject(msg: impl fmt::Display) -> TestCaseError {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one `proptest!`-declared test: runs `case` until `config.cases`
+/// successes, panicking on the first failure with enough context to
+/// reproduce (per-test seed + case index).
+#[doc(hidden)]
+pub fn __run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(name);
+    let mut rejects = 0u32;
+    let mut case_idx = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base_seed.wrapping_add(case_idx.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected inputs ({rejects}) — \
+                         strategy or filter is too narrow"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest `{name}` failed at case {case_idx} \
+                 (base seed {base_seed:#018x}): {msg}"
+            ),
+        }
+        case_idx += 1;
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test module needs, in one glob import.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestRng,
+    };
+
+    /// Module-style access to the strategy toolbox (`prop::collection::vec`
+    /// and friends), mirroring upstream's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::__run_proptest(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                        __l, __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                        __l,
+                        __r,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left != right` (both `{:?}`)",
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|n| n * 2)
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mapped strategies apply their function.
+        #[test]
+        fn mapped_values_hold_property(n in arb_even()) {
+            prop_assert!(n % 2 == 0, "odd value {}", n);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        /// Collections respect their size bounds; filters their predicate.
+        #[test]
+        fn sizes_and_filters(
+            v in prop::collection::vec(0u16..256, 0..40),
+            s in prop::collection::btree_set(0u16..6, 0..3),
+            odd in (0u32..100).prop_filter("odd only", |n| n % 2 == 1),
+            opt in prop::option::of(1usize..=3),
+        ) {
+            prop_assert!(v.len() < 40);
+            prop_assert!(s.len() < 3);
+            prop_assert!(odd % 2 == 1);
+            if let Some(x) = opt {
+                prop_assert!((1..=3).contains(&x));
+            }
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(v.iter().all(|&x| x < 256));
+        }
+
+        /// Recursive strategies terminate within their depth bound.
+        #[test]
+        fn recursion_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4, "depth {} too deep", depth(&t));
+        }
+
+        /// prop_oneof picks from every arm; weighted form compiles too.
+        #[test]
+        fn oneof_selects_arms(
+            x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)],
+            y in prop_oneof![3 => Just(0u8), 1 => Just(9u8)],
+        ) {
+            prop_assert!((1..=3).contains(&x));
+            prop_assert!(y == 0 || y == 9);
+        }
+
+        /// Flat-mapped strategies see the outer value.
+        #[test]
+        fn flat_map_links_values((len, v) in (1usize..8).prop_flat_map(|len| {
+            (Just(len), prop::collection::vec(any::<bool>(), len))
+        })) {
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        let strat = prop::collection::vec(0u32..1000, 0..10);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde` with the API surface this workspace uses.
+//!
+//! The upstream registry is unreachable in the build environment, so the
+//! workspace vendors a dependency-free serialization framework under the
+//! same crate name. Instead of serde's visitor architecture it uses a
+//! concrete [`Value`] tree as the data model: `Serialize` lowers a type to
+//! a `Value`, `Deserialize` raises one back. `serde_json` (also vendored)
+//! renders and parses `Value`s as JSON text. The derive macros in
+//! `serde_derive` target these traits and honor the container/field
+//! attributes the workspace relies on (`rename_all = "kebab-case"`,
+//! `default`, `try_from`/`into`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: the JSON value tree.
+///
+/// Objects preserve insertion order (a vector of pairs, not a map) so
+/// serialized output is deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(Number),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: signed, unsigned (beyond `i128`), or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I(i128),
+    U(u128),
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I(i) => write!(f, "{i}"),
+            Number::U(u) => write!(f, "{u}"),
+            Number::F(x) => {
+                if x.is_finite() {
+                    let s = format!("{x}");
+                    // `{}` renders 1.0 as "1"; keep a float marker so the
+                    // value parses back as a float, not an integer.
+                    if s.contains(['.', 'e', 'E']) {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/inf; degrade to null like lenient
+                    // encoders do.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::I(i)) => i64::try_from(*i).ok(),
+            Value::Num(Number::U(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::I(i)) => u64::try_from(*i).ok(),
+            Value::Num(Number::U(u)) => u64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::I(i)) => Some(*i as f64),
+            Value::Num(Number::U(u)) => Some(*u as f64),
+            Value::Num(Number::F(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Raise a value back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    Error::msg(format!("expected {expected}, found {}", got.type_name()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| unexpected("bool", v))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::I(*self as i128))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && f.is_finite() => {
+                        Ok(*f as $t)
+                    }
+                    _ => Err(unexpected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u128))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 && f.is_finite() => {
+                        Ok(*f as $t)
+                    }
+                    _ => Err(unexpected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, i128, isize);
+impl_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| unexpected("number", v))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| unexpected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = v.as_str().ok_or_else(|| unexpected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<HashSet<T>, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected array of length {want}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Renders a serialized map key as a JSON object key.
+fn key_to_string(v: Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Num(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!(
+            "cannot use {} as a map key",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Parses a JSON object key back into a map key type: first as a string,
+/// then as a number for integer-keyed maps.
+fn key_from_str<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(i) = s.parse::<i128>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::I(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Num(Number::F(f))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::msg(format!("invalid map key `{s}`")))
+}
+
+macro_rules! impl_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize + $($bound)+, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut pairs: Vec<(String, Value)> = self
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = key_to_string(k.to_value())
+                            .unwrap_or_else(|_| String::from("<unserializable key>"));
+                        (key, v.to_value())
+                    })
+                    .collect();
+                // Hash maps iterate in arbitrary order; sort for stable output.
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Object(pairs)
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_value(v: &Value) -> Result<$map<K, V>, Error> {
+                let obj = v.as_object().ok_or_else(|| unexpected("object", v))?;
+                obj.iter()
+                    .map(|(k, v)| Ok((key_from_str::<K>(k)?, V::from_value(v)?)))
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, Eq + Hash);
+
+// ---------------------------------------------------------------------------
+// Derive support
+// ---------------------------------------------------------------------------
+
+/// Derive helper: required-field lookup. Missing fields deserialize from
+/// `null`, which succeeds for `Option` fields (as `None`) and errors with a
+/// "missing field" message otherwise.
+pub fn __field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
+    for (k, v) in fields {
+        if k == name {
+            return T::from_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")));
+        }
+    }
+    T::from_value(&Value::Null).map_err(|_| Error::msg(format!("missing field `{name}`")))
+}
+
+/// Derive helper for `#[serde(default)]` fields.
+pub fn __field_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    for (k, v) in fields {
+        if k == name {
+            return T::from_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")));
+        }
+    }
+    Ok(T::default())
+}
+
+/// Derive helper for fields of containers with `#[serde(default)]`: the
+/// fallback is the corresponding field of the container's `Default` value.
+pub fn __field_or<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    fallback: T,
+) -> Result<T, Error> {
+    for (k, v) in fields {
+        if k == name {
+            return T::from_value(v).map_err(|e| Error::msg(format!("field `{name}`: {e}")));
+        }
+    }
+    Ok(fallback)
+}

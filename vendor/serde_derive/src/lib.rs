@@ -1,0 +1,701 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's `Value` data model. Written without `syn`/
+//! `quote` (unavailable offline): the input item is parsed by walking raw
+//! token trees — field *types* are skipped entirely, since the generated
+//! code lets inference pick the right `Deserialize` impl from the struct
+//! literal it constructs — and the output is assembled as a source string.
+//!
+//! Supported shapes: named/tuple/unit structs, enums with unit / newtype /
+//! tuple / struct variants (externally tagged, like upstream serde), plain
+//! type generics (`Expr<A>`). Supported attributes: container
+//! `rename_all = "kebab-case"` (fields on structs, variant names on enums),
+//! container `default`, container `try_from`/`into`, field `default`, and
+//! field `rename`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    default: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    attrs: ContainerAttrs,
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+}
+
+/// Parses leading `#[...]` attributes, feeding each `serde(...)` meta item
+/// (name, optional string value) to `apply`.
+fn parse_attrs(cur: &mut Cursor, mut apply: impl FnMut(&str, Option<&str>)) {
+    while cur.peek_punct('#') {
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        let is_serde =
+            matches!(inner.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        inner.next();
+        let metas = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => continue,
+        };
+        let mut m = Cursor::new(metas);
+        while let Some(tok) = m.next() {
+            let name = match tok {
+                TokenTree::Ident(i) => i.to_string(),
+                _ => continue,
+            };
+            let mut value = None;
+            if m.eat_punct('=') {
+                if let Some(TokenTree::Literal(lit)) = m.next() {
+                    let s = lit.to_string();
+                    value = Some(s.trim_matches('"').to_string());
+                }
+            }
+            apply(&name, value.as_deref());
+            m.eat_punct(',');
+        }
+    }
+}
+
+fn skip_visibility(cur: &mut Cursor) {
+    if matches!(cur.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        cur.next();
+        if matches!(cur.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            cur.next();
+        }
+    }
+}
+
+/// Collects the names of plain type parameters from `<...>`, skipping any
+/// bounds. Lifetimes and const parameters are not supported (no serialized
+/// type in this workspace uses them).
+fn parse_generics(cur: &mut Cursor) -> Vec<String> {
+    let mut out = Vec::new();
+    if !cur.eat_punct('<') {
+        return out;
+    }
+    let mut depth = 1usize;
+    let mut expect_name = true;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => expect_name = true,
+                '\'' => panic!("serde_derive: lifetime parameters are not supported"),
+                _ => {}
+            },
+            TokenTree::Ident(id) if expect_name && depth == 1 => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde_derive: const parameters are not supported");
+                }
+                out.push(s);
+                expect_name = false;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Skips a type in field position: everything up to a comma outside angle
+/// brackets. Parenthesized/bracketed sub-trees are single opaque groups, so
+/// only `<`/`>` depth needs tracking.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                cur.next();
+                return;
+            }
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        parse_attrs(&mut cur, |name, value| match name {
+            "default" => attrs.default = true,
+            "rename" => attrs.rename = value.map(str::to_string),
+            _ => {}
+        });
+        skip_visibility(&mut cur);
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        skip_type(&mut cur);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant: top-level comma-separated
+/// segments outside angle brackets.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        // Variant-level serde attributes are unused in this workspace; both
+        // they and ordinary attributes (`#[default]`, docs) are skipped.
+        parse_attrs(&mut cur, |_, _| {});
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.eat_punct('=') {
+            // Explicit discriminant: skip its expression.
+            while let Some(t) = cur.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    parse_attrs(&mut cur, |name, value| match name {
+        "rename_all" => attrs.rename_all = value.map(str::to_string),
+        "default" => attrs.default = true,
+        "try_from" => attrs.try_from = value.map(str::to_string),
+        "into" => attrs.into = value.map(str::to_string),
+        _ => {}
+    });
+    skip_visibility(&mut cur);
+    let kw = cur.expect_ident();
+    let name = cur.expect_ident();
+    let generics = parse_generics(&mut cur);
+    // Skip a `where` clause if present.
+    if matches!(cur.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        while let Some(t) = cur.peek() {
+            let stop = matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+                || matches!(t, TokenTree::Punct(p) if p.as_char() == ';');
+            if stop {
+                break;
+            }
+            cur.next();
+        }
+    }
+    let data = match kw.as_str() {
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        attrs,
+        name,
+        generics,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name mangling
+// ---------------------------------------------------------------------------
+
+fn camel_to_kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn field_key(field: &Field, rename_all: Option<&str>) -> String {
+    if let Some(r) = &field.attrs.rename {
+        return r.clone();
+    }
+    match rename_all {
+        Some("kebab-case") => field.name.replace('_', "-"),
+        _ => field.name.clone(),
+    }
+}
+
+fn variant_key(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("kebab-case") => camel_to_kebab(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        _ => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl` header pieces: (`impl<...>`, `Name<...>`), with each type
+/// parameter bounded by the trait being derived.
+fn impl_header(input: &Input, trait_name: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return ("impl".to_string(), input.name.clone());
+    }
+    let params: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| format!("{g}: ::serde::{trait_name}"))
+        .collect();
+    let args = input.generics.join(", ");
+    (
+        format!("impl<{}>", params.join(", ")),
+        format!("{}<{}>", input.name, args),
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (head, ty) = impl_header(input, "Serialize");
+    let name = &input.name;
+    let rename_all = input.attrs.rename_all.as_deref();
+
+    if let Some(into_ty) = &input.attrs.into {
+        return format!(
+            "{head} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             let __converted: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__converted)\n\
+             }}\n}}"
+        );
+    }
+
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let key = field_key(f, rename_all);
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "__obj.push((::std::string::String::from(\"{key}\"), \
+                     ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__obj)"
+            )
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let key = variant_key(vname, rename_all);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{key}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{key}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{key}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        // rename_all on an enum renames variants, not the
+                        // fields inside struct variants (matches upstream).
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{key}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "{head} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// The expression deserializing one named field, honoring `default` attrs.
+fn field_expr(f: &Field, key: &str, container_default: bool) -> String {
+    if container_default {
+        format!(
+            "::serde::__field_or(__fields, \"{key}\", __default.{})?",
+            f.name
+        )
+    } else if f.attrs.default {
+        format!("::serde::__field_default(__fields, \"{key}\")?")
+    } else {
+        format!("::serde::__field(__fields, \"{key}\")?")
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (head, ty) = impl_header(input, "Deserialize");
+    let name = &input.name;
+    let rename_all = input.attrs.rename_all.as_deref();
+
+    if let Some(try_ty) = &input.attrs.try_from {
+        return format!(
+            "{head} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             let __raw: {try_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::convert::TryFrom::try_from(__raw)\
+             .map_err(|__e| ::serde::Error::msg(::std::format!(\"{{}}\", __e)))\n\
+             }}\n}}"
+        );
+    }
+
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let key = field_key(f, rename_all);
+                inits.push_str(&format!(
+                    "{}: {},\n",
+                    f.name,
+                    field_expr(f, &key, input.attrs.default)
+                ));
+            }
+            let default_line = if input.attrs.default {
+                "let __default: Self = ::std::default::Default::default();\n"
+            } else {
+                ""
+            };
+            format!(
+                "let __fields = match __v {{\n\
+                 ::serde::Value::Object(__o) => __o,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected object for {name}\")),\n\
+                 }};\n\
+                 {default_line}\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = match __v {{\n\
+                 ::serde::Value::Array(__a) => __a,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected array for {name}\")),\n\
+                 }};\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let key = variant_key(vname, rename_all);
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __arr = match __val {{\n\
+                             ::serde::Value::Array(__a) => __a,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"expected array for variant `{key}`\")),\n\
+                             }};\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"wrong tuple length for variant `{key}`\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_expr(f, &f.name, false)))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __fields = match __val {{\n\
+                             ::serde::Value::Object(__f) => __f,\n\
+                             _ => return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"expected object for variant `{key}`\")),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __val) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tag_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected string or single-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "{head} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
