@@ -1,0 +1,84 @@
+//! Criterion benchmark for the serving hot path over a real loopback
+//! socket: cold cache misses (engine runs), warm hits (cache lookups),
+//! and an eight-client stampede on one cold key (singleflight coalescing
+//! — one engine run, seven coalesced waits).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use coursenav_navigator::{ExplorationRequest, GoalSpec};
+use coursenav_registrar::brandeis_cs;
+use coursenav_server::{Server, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// One `connection: close` HTTP exchange; returns the raw response text.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    response
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let data = brandeis_cs();
+    let mut req = ExplorationRequest::deadline_count(data.horizon.0, data.horizon.0 + 4, 3);
+    req.goal = Some(GoalSpec::Degree);
+    let json = req.to_json().unwrap();
+
+    let server = Server::start(
+        ServerConfig {
+            threads: 12,
+            default_budget_ms: None,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start bench server");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("serving_hot_path");
+    group.sample_size(10);
+
+    // Every iteration invalidates first, so each /explore runs the engine.
+    // (The invalidate round-trip is part of the measured loop; it is the
+    // same constant in the stampede benchmark below.)
+    group.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            exchange(addr, "POST", "/cache/invalidate", "");
+            exchange(addr, "POST", "/explore", &json)
+        })
+    });
+
+    // The steady state: the answer is cached, /explore is a lookup.
+    group.bench_function("warm_hit", |b| {
+        exchange(addr, "POST", "/explore", &json);
+        b.iter(|| exchange(addr, "POST", "/explore", &json))
+    });
+
+    // Eight concurrent clients, one cold key: singleflight runs the
+    // engine once and the other seven wait on the leader, so this should
+    // cost roughly one cold_miss plus scheduling — not eight.
+    group.bench_function("stampede_8x_cold", |b| {
+        b.iter(|| {
+            exchange(addr, "POST", "/cache/invalidate", "");
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let json = &json;
+                    scope.spawn(move || exchange(addr, "POST", "/explore", json));
+                }
+            });
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -24,7 +24,7 @@
 //!   reliability / weighted composites);
 //! - extensions called out in the paper's future work: selection and path
 //!   [`filter`]s, a memoized-DAG counting mode ([`dedup`]), and parallel
-//!   counting ([`parallel`]).
+//!   counting, collection, and top-k ([`parallel`]).
 
 #![warn(missing_docs)]
 

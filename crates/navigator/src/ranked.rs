@@ -6,12 +6,19 @@
 //! exploration when k paths have been generated."
 //!
 //! Implementation: a min-heap over frontier nodes keyed by accumulated path
-//! cost (ties broken by insertion order for determinism). Because every
-//! [`Ranking`] cost is non-negative, path costs are monotone along any
-//! path, so nodes pop in globally non-decreasing cost order and the first
-//! `k` goal nodes popped are exactly the top-k paths — the paper's Lemma 2.
-//! The search reuses the goal-driven pruning strategies, so hopeless
-//! branches never enter the heap.
+//! cost (ties broken by the node's lexicographic *tree rank* — the vector
+//! of sibling indices on the path from the root — for determinism).
+//! Because every [`Ranking`] cost is non-negative, path costs are monotone
+//! along any path, so nodes pop in globally non-decreasing cost order and
+//! the first `k` goal nodes popped are exactly the top-k paths — the
+//! paper's Lemma 2. The search reuses the goal-driven pruning strategies,
+//! so hopeless branches never enter the heap.
+//!
+//! The tree-rank tie-break (rather than global insertion FIFO) makes the
+//! order *composable*: the pop order restricted to any first-level subtree
+//! equals that subtree's own search order, so `parallel.rs` can search
+//! subtrees independently (seeded via [`Explorer::ranked_search_seeded`])
+//! and merge by (cost, child index) into the exact sequential answer.
 //!
 //! [`Explorer::top_k_by_enumeration`] is the brute-force baseline
 //! (enumerate all goal paths, sort, truncate), kept as the ablation
@@ -49,13 +56,16 @@ struct SearchNode {
     parent: Option<(u32, CourseSet)>,
 }
 
-/// Heap entry: minimal priority first, then FIFO by insertion sequence.
-/// `priority` is the accumulated cost `g` for plain best-first, or
-/// `g + h` when an A* heuristic is active; `cost` is always `g`.
+/// Heap entry: minimal priority first, ties broken by lexicographic tree
+/// rank. `priority` is the accumulated cost `g` for plain best-first, or
+/// `g + h` when an A* heuristic is active; `cost` is always `g`. `rank`
+/// is the sibling-index vector of the node's path from the search root,
+/// counting only selections that survive the filters (the emitted ones),
+/// so a node's rank is independent of how the frontier was scheduled.
 struct HeapEntry {
     priority: f64,
     cost: f64,
-    seq: u64,
+    rank: Vec<u32>,
     node: u32,
 }
 
@@ -74,7 +84,7 @@ impl Ord for HeapEntry {
             .priority
             .partial_cmp(&self.priority)
             .expect("costs are finite by Ranking's contract")
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.rank.cmp(&self.rank))
     }
 }
 
@@ -128,6 +138,22 @@ impl Explorer<'_> {
         k: usize,
         deadline: Option<Instant>,
     ) -> Result<(Vec<RankedPath>, ExploreStats, bool), ExploreError> {
+        self.ranked_search_seeded(ranking, heuristic, k, deadline, 0.0)
+    }
+
+    /// [`Explorer::ranked_search`] with the root's accumulated cost seeded
+    /// to `initial_cost` instead of `0.0`. This is how `parallel.rs`
+    /// searches a first-level subtree: seeding with `0.0 + edge_cost(root,
+    /// selection)` reproduces the sequential engine's left-fold cost
+    /// accumulation bit for bit, so merged answers stay byte-identical.
+    pub(crate) fn ranked_search_seeded(
+        &self,
+        ranking: &dyn Ranking,
+        heuristic: Option<&dyn crate::astar::RemainingCostHeuristic>,
+        k: usize,
+        deadline: Option<Instant>,
+        initial_cost: f64,
+    ) -> Result<(Vec<RankedPath>, ExploreStats, bool), ExploreError> {
         let Some(goal) = self.goal() else {
             return Err(ExploreError::InvalidRequest(
                 "top-k ranking requires a goal-driven exploration".into(),
@@ -154,11 +180,10 @@ impl Explorer<'_> {
             parent: None,
         }];
         let mut heap = BinaryHeap::new();
-        let mut seq = 0u64;
         heap.push(HeapEntry {
-            priority: h(self.start()),
-            cost: 0.0,
-            seq,
+            priority: initial_cost + h(self.start()),
+            cost: initial_cost,
+            rank: Vec::new(),
             node: 0,
         });
         let mut out: Vec<RankedPath> = Vec::with_capacity(k.min(1024));
@@ -201,6 +226,7 @@ impl Explorer<'_> {
                     } else {
                         SelectionIter::new(&options, self.max_per_semester())
                     };
+                    let mut sibling = 0u32;
                     for selection in iter {
                         if selection.len() < min_selection {
                             stats.pruned_time += 1;
@@ -223,12 +249,15 @@ impl Explorer<'_> {
                             status: child_status,
                             parent: Some((entry.node, selection)),
                         });
-                        seq += 1;
+                        let mut rank = Vec::with_capacity(entry.rank.len() + 1);
+                        rank.extend_from_slice(&entry.rank);
+                        rank.push(sibling);
+                        sibling += 1;
                         let child_status_ref = &arena[child as usize].status;
                         heap.push(HeapEntry {
                             priority: child_cost + h(child_status_ref),
                             cost: child_cost,
-                            seq,
+                            rank,
                             node: child,
                         });
                     }

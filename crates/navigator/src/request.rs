@@ -255,7 +255,11 @@ mod tests {
         let mut req = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
         req.completed = vec!["B".into(), "A".into(), "B".into()];
         req.avoid = vec!["Z".into(), "Z".into()];
-        req.goal = Some(GoalSpec::CompleteAll(vec!["D".into(), "C".into(), "D".into()]));
+        req.goal = Some(GoalSpec::CompleteAll(vec![
+            "D".into(),
+            "C".into(),
+            "D".into(),
+        ]));
         req.ranking = Some(RankingSpec::Weighted(vec![
             (3.0, RankingSpec::Workload),
             (0.0, RankingSpec::Reliability),

@@ -265,6 +265,24 @@ impl<'a> NavigatorService<'a> {
         req: &ExplorationRequest,
         deadline: Option<Instant>,
     ) -> Result<ExplorationResponse, ServiceError> {
+        self.run_until_with(req, deadline, 1)
+    }
+
+    /// [`NavigatorService::run_until`] with an engine parallelism degree:
+    /// `parallelism > 1` fans the first-level subtrees across that many
+    /// scoped worker threads (`Explorer::*_parallel_until`). Answers are
+    /// byte-identical to the sequential ones — same paths, same order,
+    /// bit-identical costs — so the serving layer can cache them under
+    /// the same canonical key regardless of how they were computed.
+    pub fn run_until_with(
+        &self,
+        req: &ExplorationRequest,
+        deadline: Option<Instant>,
+        parallelism: usize,
+    ) -> Result<ExplorationResponse, ServiceError> {
+        if parallelism > 1 {
+            return self.run_parallel(req, deadline, parallelism);
+        }
         let explorer = self.build_explorer(req)?;
         let t0 = Instant::now();
         // Amortizes `Instant::now` over leaf visits; leaves outnumber
@@ -333,6 +351,55 @@ impl<'a> NavigatorService<'a> {
                     .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
                 let ranking = self.resolve_ranking(spec)?;
                 let (paths, truncated) = explorer.top_k_until(ranking.as_ref(), k, deadline)?;
+                Ok(ExplorationResponse::Ranked {
+                    ranking: ranking.name().to_string(),
+                    paths,
+                    truncated,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+        }
+    }
+
+    /// The `parallelism > 1` arm of [`NavigatorService::run_until_with`]:
+    /// same request semantics, subtrees dealt across worker threads.
+    fn run_parallel(
+        &self,
+        req: &ExplorationRequest,
+        deadline: Option<Instant>,
+        parallelism: usize,
+    ) -> Result<ExplorationResponse, ServiceError> {
+        let explorer = self.build_explorer(req)?;
+        let t0 = Instant::now();
+        match req.output {
+            OutputMode::Count => {
+                let (counts, truncated) =
+                    explorer.count_paths_parallel_until(parallelism, deadline);
+                Ok(ExplorationResponse::Counts {
+                    total_paths: counts.total_paths,
+                    goal_paths: counts.goal_paths,
+                    stats: counts.stats,
+                    truncated,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::Collect { limit } => {
+                let (paths, truncated) =
+                    explorer.collect_paths_parallel_until(parallelism, limit, deadline);
+                Ok(ExplorationResponse::Paths {
+                    paths,
+                    truncated,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::TopK { k } => {
+                let spec = req
+                    .ranking
+                    .as_ref()
+                    .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
+                let ranking = self.resolve_ranking(spec)?;
+                let (paths, truncated) =
+                    explorer.top_k_parallel_until(ranking.as_ref(), k, parallelism, deadline)?;
                 Ok(ExplorationResponse::Ranked {
                     ranking: ranking.name().to_string(),
                     paths,

@@ -73,24 +73,44 @@ fn io_error(err: io::Error) -> ParseError {
     }
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+/// Finds the `\r\n\r\n` head terminator, scanning only from `from` —
+/// callers pass the length of the previously scanned prefix (minus the 3
+/// bytes a terminator could straddle), so a slow-trickle client costs
+/// O(n) total instead of O(n²) rescans.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| from + p + 4)
 }
 
 /// Reads and parses one request from `stream`. `max_body` caps the body;
 /// on [`ParseError::BodyTooLarge`] the caller should answer 413 and close
 /// (the unread body would otherwise desynchronize the connection).
 ///
+/// `buf` is the connection's carry buffer: bytes read past the end of this
+/// request (HTTP/1.1 pipelining batches several requests into one TCP
+/// segment) are left in it for the next call, which parses them before
+/// touching the socket again. On an error return the buffer holds whatever
+/// partial request had arrived — the caller uses that to distinguish an
+/// idle keep-alive timeout (empty: close silently) from a stalled
+/// mid-request client (non-empty: answer `408`).
+///
 /// Sends `HTTP/1.1 100 Continue` when the client asked for it — curl does
 /// this for POST bodies above its threshold, and without the interim
 /// response it stalls for a second before sending the body.
-pub fn read_request<S: Read + Write>(stream: &mut S, max_body: usize) -> Result<Request, ParseError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+    buf: &mut Vec<u8>,
+) -> Result<Request, ParseError> {
     let mut chunk = [0u8; 4096];
+    let mut scanned = 0usize;
     let head_end = loop {
-        if let Some(end) = find_head_end(&buf) {
+        if let Some(end) = find_head_end(buf, scanned) {
             break end;
         }
+        scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ParseError::HeadTooLarge);
         }
@@ -122,6 +142,11 @@ pub fn read_request<S: Read + Write>(stream: &mut S, max_body: usize) -> Result<
             "unsupported version {version:?}"
         )));
     }
+    // Own the request-line pieces now: the body loop below appends to
+    // (and finally drains) `buf`, which `head` borrows.
+    let method = method.to_string();
+    let target = target.to_string();
+    let http11 = version == "HTTP/1.1";
 
     let mut headers = Vec::new();
     for line in lines {
@@ -162,7 +187,7 @@ pub fn read_request<S: Read + Write>(stream: &mut S, max_body: usize) -> Result<
     let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
         Some(v) if v.contains("close") => false,
         Some(v) if v.contains("keep-alive") => true,
-        _ => version == "HTTP/1.1",
+        _ => http11,
     };
 
     if header("expect")
@@ -175,21 +200,17 @@ pub fn read_request<S: Read + Write>(stream: &mut S, max_body: usize) -> Result<
             .map_err(io_error)?;
     }
 
-    let mut body = buf[head_end..].to_vec();
-    while body.len() < content_length {
+    while buf.len() < head_end + content_length {
         let n = stream.read(&mut chunk).map_err(io_error)?;
         if n == 0 {
             return Err(ParseError::Malformed("truncated request body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
-    if body.len() > content_length {
-        // Pipelined extra bytes: this server answers one request per read,
-        // so trailing bytes beyond the declared body are a framing error.
-        return Err(ParseError::Malformed(
-            "bytes beyond the declared content-length".into(),
-        ));
-    }
+    // Consume exactly this request's bytes; anything beyond the declared
+    // body is the start of the next pipelined request and stays buffered.
+    let body = buf[head_end..head_end + content_length].to_vec();
+    buf.drain(..head_end + content_length);
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
@@ -197,7 +218,7 @@ pub fn read_request<S: Read + Write>(stream: &mut S, max_body: usize) -> Result<
     };
 
     Ok(Request {
-        method: method.to_string(),
+        method,
         path,
         query,
         headers,
@@ -321,10 +342,15 @@ mod tests {
         }
     }
 
+    /// One-shot parse with a throwaway carry buffer.
+    fn parse(s: &mut Mock, max_body: usize) -> Result<Request, ParseError> {
+        read_request(s, max_body, &mut Vec::new())
+    }
+
     #[test]
     fn parses_get_with_query_and_headers() {
         let mut s = Mock::new(b"GET /metrics?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n");
-        let req = read_request(&mut s, 1024).unwrap();
+        let req = parse(&mut s, 1024).unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
         assert_eq!(req.query.as_deref(), Some("verbose=1"));
@@ -337,18 +363,18 @@ mod tests {
     fn parses_post_body_split_across_reads() {
         let text = b"POST /explore HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
         let mut s = Mock::new(text);
-        let req = read_request(&mut s, 1024).unwrap();
+        let req = parse(&mut s, 1024).unwrap();
         assert_eq!(req.body, b"hello world");
     }
 
     #[test]
     fn connection_close_and_http10_disable_keep_alive() {
         let mut s = Mock::new(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
-        assert!(!read_request(&mut s, 0).unwrap().keep_alive);
+        assert!(!parse(&mut s, 0).unwrap().keep_alive);
         let mut s = Mock::new(b"GET / HTTP/1.0\r\n\r\n");
-        assert!(!read_request(&mut s, 0).unwrap().keep_alive);
+        assert!(!parse(&mut s, 0).unwrap().keep_alive);
         let mut s = Mock::new(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
-        assert!(read_request(&mut s, 0).unwrap().keep_alive);
+        assert!(parse(&mut s, 0).unwrap().keep_alive);
     }
 
     #[test]
@@ -363,7 +389,7 @@ mod tests {
         ] {
             let mut s = Mock::new(bad);
             assert!(
-                matches!(read_request(&mut s, 1024), Err(ParseError::Malformed(_))),
+                matches!(parse(&mut s, 1024), Err(ParseError::Malformed(_))),
                 "{:?}",
                 String::from_utf8_lossy(bad)
             );
@@ -373,7 +399,7 @@ mod tests {
     #[test]
     fn oversized_bodies_are_refused_before_reading_them() {
         let mut s = Mock::new(b"POST / HTTP/1.1\r\ncontent-length: 4096\r\n\r\n");
-        match read_request(&mut s, 64) {
+        match parse(&mut s, 64) {
             Err(ParseError::BodyTooLarge { declared, limit }) => {
                 assert_eq!(declared, 4096);
                 assert_eq!(limit, 64);
@@ -387,16 +413,14 @@ mod tests {
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
         raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 8));
         let mut s = Mock::new(&raw);
-        assert!(matches!(
-            read_request(&mut s, 0),
-            Err(ParseError::HeadTooLarge)
-        ));
+        assert!(matches!(parse(&mut s, 0), Err(ParseError::HeadTooLarge)));
     }
 
     #[test]
     fn expect_100_continue_is_acknowledged() {
-        let mut s = Mock::new(b"POST / HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\nok");
-        let req = read_request(&mut s, 16).unwrap();
+        let mut s =
+            Mock::new(b"POST / HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\nok");
+        let req = parse(&mut s, 16).unwrap();
         assert_eq!(req.body, b"ok");
         // The body was already buffered here, so no interim response is
         // required; a stalled client (empty buffer) would get one. Either
@@ -425,13 +449,84 @@ mod tests {
     fn eof_before_any_bytes_is_connection_closed() {
         let mut s = Mock::new(b"");
         assert!(matches!(
-            read_request(&mut s, 0),
+            parse(&mut s, 0),
             Err(ParseError::ConnectionClosed)
         ));
         let mut s = Mock::new(b"GET / HT");
+        assert!(matches!(parse(&mut s, 0), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back_from_one_segment() {
+        // Two requests in one TCP segment — legal HTTP/1.1 pipelining. The
+        // first parse consumes exactly its own bytes; the second parses
+        // entirely from the carry buffer (the Mock is at EOF by then).
+        let raw = b"POST /explore HTTP/1.1\r\ncontent-length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let mut s = Mock::new(raw);
+        let mut carry = Vec::new();
+        let first = read_request(&mut s, 1024, &mut carry).unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"hello");
+        assert!(!carry.is_empty(), "second request stays buffered");
+        let second = read_request(&mut s, 1024, &mut carry).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        assert!(carry.is_empty(), "nothing left over after the pair");
+    }
+
+    #[test]
+    fn pipelined_partial_second_request_survives_in_the_carry_buffer() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HT";
+        let mut s = Mock::new(raw);
+        let mut carry = Vec::new();
+        assert_eq!(read_request(&mut s, 0, &mut carry).unwrap().path, "/a");
+        assert_eq!(carry, b"GET /b HT");
+        // EOF with a partial head buffered is a truncation, not a clean close.
         assert!(matches!(
-            read_request(&mut s, 0),
+            read_request(&mut s, 0, &mut carry),
             Err(ParseError::Malformed(_))
         ));
+    }
+
+    /// Feeds the parser one byte per read — the adversarial slow-trickle
+    /// client the resumable head scan exists for.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Ok(_buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_request_parses_with_resumed_scanning() {
+        let raw = b"POST /explore HTTP/1.1\r\nx-pad: aaaaaaaaaaaaaaaaaaaaaaaa\r\ncontent-length: 3\r\n\r\nabc";
+        let mut s = Trickle {
+            data: raw.to_vec(),
+            pos: 0,
+        };
+        let mut carry = Vec::new();
+        let req = read_request(&mut s, 64, &mut carry).unwrap();
+        assert_eq!(req.path, "/explore");
+        assert_eq!(req.body, b"abc");
+        assert!(carry.is_empty());
     }
 }

@@ -15,6 +15,10 @@
 //!    complete (non-truncated) answers are cached.
 //! 3. **Bounded everything.** Fixed worker pool, bounded hand-off queue
 //!    with 503 load-shedding, capped request bodies, byte-budgeted cache.
+//! 4. **One engine run per answer.** Concurrent duplicates of a cold
+//!    request coalesce onto a single computation ([`singleflight`]); the
+//!    engine itself can fan first-level subtrees across cores
+//!    (`parallelism`) without changing a byte of the answer.
 //!
 //! Routes:
 //!
@@ -36,6 +40,7 @@ pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod singleflight;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -51,6 +56,7 @@ use cache::ResponseCache;
 use http::{ParseError, Request, Response};
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
+use singleflight::{Published, Role, Singleflight};
 
 /// Server tuning knobs. `Default` is sized for an interactive deployment.
 #[derive(Debug, Clone)]
@@ -70,6 +76,10 @@ pub struct ServerConfig {
     /// Wall-clock budget applied to explorations that do not carry their
     /// own `budget_ms`; `None` lets them run to completion.
     pub default_budget_ms: Option<u64>,
+    /// Engine worker threads per exploration: first-level subtrees are
+    /// dealt across this many scoped workers. `1` runs sequentially;
+    /// parallel answers are byte-identical to sequential ones.
+    pub parallelism: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +92,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             keep_alive: Duration::from_secs(5),
             default_budget_ms: Some(10_000),
+            parallelism: 1,
         }
     }
 }
@@ -92,7 +103,9 @@ struct AppState {
     data: RwLock<Arc<RegistrarData>>,
     cache: ResponseCache,
     metrics: Metrics,
+    flights: Singleflight,
     default_budget_ms: Option<u64>,
+    parallelism: usize,
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -112,7 +125,9 @@ impl Server {
             data: RwLock::new(Arc::new(data)),
             cache: ResponseCache::new(config.cache_mb.max(1) * (1 << 20)),
             metrics: Metrics::new(),
+            flights: Singleflight::new(),
             default_budget_ms: config.default_budget_ms,
+            parallelism: config.parallelism.max(1),
         });
 
         let handler = {
@@ -126,10 +141,23 @@ impl Server {
         let on_shed = {
             let state = Arc::clone(&state);
             Arc::new(move || {
-                state.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .connections_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                // A shed answers 503: count it into the 5xx class too, so
+                // `/metrics` holds `server_errors >= connections_shed` and
+                // overload dashboards see the failures.
+                state.metrics.count_status(503);
             })
         };
-        let pool = pool::spawn(listener, config.threads, config.queue_depth, handler, on_shed)?;
+        let pool = pool::spawn(
+            listener,
+            config.threads,
+            config.queue_depth,
+            handler,
+            on_shed,
+        )?;
         Ok(Server { pool, addr, state })
     }
 
@@ -167,7 +195,8 @@ impl Server {
 }
 
 /// One connection, start to finish: parse, route, respond, repeat while
-/// keep-alive holds.
+/// keep-alive holds. `carry` holds pipelined bytes that arrived beyond one
+/// request's framing; the next iteration parses them before reading more.
 fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, keep_alive: Duration) {
     state
         .metrics
@@ -175,14 +204,25 @@ fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, kee
         .fetch_add(1, Ordering::Relaxed);
     let _ = conn.set_read_timeout(Some(keep_alive));
     let _ = conn.set_nodelay(true);
+    let mut carry = Vec::with_capacity(1024);
     loop {
-        let (response, keep_open) = match http::read_request(&mut conn, max_body) {
+        let (response, keep_open) = match http::read_request(&mut conn, max_body, &mut carry) {
             Ok(request) => {
                 state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
                 let keep = request.keep_alive;
-                (dispatch_catching_panics(state, &request), keep)
+                let t0 = Instant::now();
+                let response = dispatch_catching_panics(state, &request);
+                state.metrics.observe_latency(&request.path, t0.elapsed());
+                (response, keep)
             }
-            Err(ParseError::ConnectionClosed) | Err(ParseError::TimedOut) => return,
+            // Idle between requests: close silently. But a timeout with a
+            // partial request head already buffered means the client
+            // stalled mid-request — tell it so before hanging up.
+            Err(ParseError::TimedOut) if carry.is_empty() => return,
+            Err(ParseError::TimedOut) => {
+                (Response::error(408, "timed out reading the request"), false)
+            }
+            Err(ParseError::ConnectionClosed) => return,
             Err(ParseError::Io(_)) => return,
             Err(ParseError::Malformed(msg)) => (Response::error(400, &msg), false),
             Err(ParseError::HeadTooLarge) => {
@@ -253,8 +293,16 @@ fn route(state: &AppState, request: &Request) -> Response {
     }
 }
 
-/// `POST /explore`: parse, canonicalize, consult the cache, run under a
-/// deadline, cache complete answers.
+/// Stamps the `x-cache` header that tells a client how its answer was
+/// produced: `hit` (response cache), `miss` (this worker ran the engine),
+/// or `coalesced` (another worker's in-flight computation answered it).
+fn with_x_cache(mut resp: Response, how: &str) -> Response {
+    resp.extra_headers.push(("x-cache".into(), how.into()));
+    resp
+}
+
+/// `POST /explore`: parse, canonicalize, consult the cache, coalesce
+/// concurrent duplicates onto one engine run, cache complete answers.
 fn explore(state: &AppState, request: &Request) -> Response {
     state
         .metrics
@@ -280,12 +328,79 @@ fn explore(state: &AppState, request: &Request) -> Response {
             .metrics
             .explore_cache_hits
             .fetch_add(1, Ordering::Relaxed);
-        let mut resp = Response::json(200, cached.to_vec());
-        resp.extra_headers.push(("x-cache".into(), "hit".into()));
-        return resp;
+        return with_x_cache(Response::json(200, cached.to_vec()), "hit");
     }
 
-    state.metrics.explore_computed.fetch_add(1, Ordering::Relaxed);
+    match state.flights.begin(&key) {
+        Role::Leader(leader) => {
+            // Double-check the cache: a previous leader may have published
+            // between our miss above and winning this flight.
+            if let Some(cached) = state.cache.get(&key) {
+                state
+                    .metrics
+                    .explore_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::json(200, cached.to_vec());
+                leader.publish(resp.clone());
+                return with_x_cache(resp, "hit");
+            }
+            state
+                .metrics
+                .explore_computed
+                .fetch_add(1, Ordering::Relaxed);
+            let (resp, cacheable) = compute_explore(state, &req);
+            // Cache *before* publish: once the flight retires, a racing
+            // request must either hit the cache or lead a fresh flight —
+            // never recompute what the leader just finished.
+            if cacheable {
+                state.cache.put(&key, &resp.body);
+            }
+            leader.publish(resp.clone());
+            with_x_cache(resp, "miss")
+        }
+        Role::Follower(follower) => {
+            let deadline = req
+                .budget_ms
+                .or(state.default_budget_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let t0 = Instant::now();
+            match follower.wait(deadline) {
+                Some(Published::Done(resp)) => {
+                    state
+                        .metrics
+                        .explore_coalesced
+                        .fetch_add(1, Ordering::Relaxed);
+                    state
+                        .metrics
+                        .explore_wait_ms
+                        .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    with_x_cache(resp, "coalesced")
+                }
+                // The leader abandoned (panicked), or our own budget ran
+                // out first: compute for ourselves. An already-expired
+                // deadline makes that a fast truncated partial — the
+                // follower never waits past its budget for someone else.
+                Some(Published::Abandoned) | None => {
+                    state
+                        .metrics
+                        .explore_computed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (resp, cacheable) = compute_explore(state, &req);
+                    if cacheable {
+                        state.cache.put(&key, &resp.body);
+                    }
+                    with_x_cache(resp, "miss")
+                }
+            }
+        }
+    }
+}
+
+/// Runs one canonical exploration under its deadline. Returns the wire
+/// response and whether it may be cached (only complete 200s are: a
+/// truncated answer reflects this request's deadline, not the
+/// exploration, and errors are cheap to re-derive).
+fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, bool) {
     let deadline = req
         .budget_ms
         .or(state.default_budget_ms)
@@ -300,7 +415,7 @@ fn explore(state: &AppState, request: &Request) -> Response {
         service = service.with_offering_model(offering);
     }
 
-    match service.run_until(&req, deadline) {
+    match service.run_until_with(req, deadline, state.parallelism) {
         Ok(response) => {
             if response.truncated() {
                 state
@@ -309,20 +424,11 @@ fn explore(state: &AppState, request: &Request) -> Response {
                     .fetch_add(1, Ordering::Relaxed);
             }
             match serde_json::to_string(&response) {
-                Ok(json) => {
-                    // Only complete answers are cacheable: a truncated one
-                    // reflects this request's deadline, not the exploration.
-                    if !response.truncated() {
-                        state.cache.put(&key, json.as_bytes());
-                    }
-                    let mut resp = Response::json(200, json);
-                    resp.extra_headers.push(("x-cache".into(), "miss".into()));
-                    resp
-                }
-                Err(e) => Response::error(500, &e.to_string()),
+                Ok(json) => (Response::json(200, json), !response.truncated()),
+                Err(e) => (Response::error(500, &e.to_string()), false),
             }
         }
-        Err(e) => Response::error(422, &e.to_string()),
+        Err(e) => (Response::error(422, &e.to_string()), false),
     }
 }
 

@@ -1,10 +1,93 @@
-//! Live serving metrics: lock-free counters, snapshotted to JSON by
-//! `GET /metrics`.
+//! Live serving metrics: lock-free counters and fixed-bucket latency
+//! histograms, snapshotted to JSON by `GET /metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+
+/// Routes with a dedicated latency histogram; requests that match none of
+/// the known paths land in `other`.
+pub const ROUTES: [&str; 6] = [
+    "explore",
+    "catalog",
+    "healthz",
+    "metrics",
+    "cache-invalidate",
+    "other",
+];
+
+/// Number of latency buckets: one sub-millisecond bucket, fifteen
+/// `[2^(i-1), 2^i)`-millisecond buckets, and one overflow bucket for
+/// everything at 2^15 ms (~33 s) and beyond.
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// Maps a latency in whole milliseconds to its log2 bucket.
+fn bucket_index(ms: u64) -> usize {
+    if ms == 0 {
+        0
+    } else {
+        (64 - ms.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The route label a request path is accounted under.
+pub fn route_label(path: &str) -> &'static str {
+    match path {
+        "/explore" => "explore",
+        "/catalog" => "catalog",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/cache/invalidate" => "cache-invalidate",
+        _ => "other",
+    }
+}
+
+/// A fixed-bucket log2-millisecond latency histogram. Lock-free: every
+/// field is an independent relaxed atomic, like the flat counters.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ms: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        self.buckets[bucket_index(ms)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, route: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            route: route.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ms: self.sum_ms.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
 
 /// Counter block shared by every worker. All increments are `Relaxed` —
 /// each counter is independent, and `/metrics` only needs a consistent
@@ -13,7 +96,9 @@ pub struct Metrics {
     started: Instant,
     /// Connections accepted and handed to a worker.
     pub connections_accepted: AtomicU64,
-    /// Connections refused with 503 because the queue was full.
+    /// Connections refused with 503 because the queue was full. Sheds are
+    /// also counted into `server_errors` (they answer 503), so the
+    /// overload dashboards see them: `server_errors >= connections_shed`.
     pub connections_shed: AtomicU64,
     /// Requests fully parsed and routed.
     pub requests_total: AtomicU64,
@@ -25,10 +110,18 @@ pub struct Metrics {
     pub explore_computed: AtomicU64,
     /// Explorations cut short by their wall-clock deadline.
     pub explore_truncated: AtomicU64,
+    /// Explorations answered by another worker's in-flight computation
+    /// (singleflight followers).
+    pub explore_coalesced: AtomicU64,
+    /// Cumulative milliseconds followers spent waiting on a leader.
+    pub explore_wait_ms: AtomicU64,
     /// Responses with a 4xx status.
     pub client_errors: AtomicU64,
-    /// Responses with a 5xx status (handler panics included).
+    /// Responses with a 5xx status (handler panics and shed connections
+    /// included).
     pub server_errors: AtomicU64,
+    /// Per-route latency histograms, indexed like [`ROUTES`].
+    latency: [Histogram; ROUTES.len()],
 }
 
 impl Metrics {
@@ -43,8 +136,11 @@ impl Metrics {
             explore_cache_hits: AtomicU64::new(0),
             explore_computed: AtomicU64::new(0),
             explore_truncated: AtomicU64::new(0),
+            explore_coalesced: AtomicU64::new(0),
+            explore_wait_ms: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| Histogram::new()),
         }
     }
 
@@ -55,6 +151,17 @@ impl Metrics {
             500..=599 => self.server_errors.fetch_add(1, Ordering::Relaxed),
             _ => 0,
         };
+    }
+
+    /// Records how long one request took to route and answer, under the
+    /// histogram of [`route_label`]`(path)`.
+    pub fn observe_latency(&self, path: &str, elapsed: Duration) {
+        let label = route_label(path);
+        let idx = ROUTES
+            .iter()
+            .position(|r| *r == label)
+            .expect("route_label returns a ROUTES member");
+        self.latency[idx].observe(elapsed);
     }
 
     /// A serializable point-in-time view, merged with the cache's stats.
@@ -69,8 +176,15 @@ impl Metrics {
             explore_cache_hits: load(&self.explore_cache_hits),
             explore_computed: load(&self.explore_computed),
             explore_truncated: load(&self.explore_truncated),
+            explore_coalesced: load(&self.explore_coalesced),
+            explore_wait_ms: load(&self.explore_wait_ms),
             client_errors: load(&self.client_errors),
             server_errors: load(&self.server_errors),
+            latency: ROUTES
+                .iter()
+                .enumerate()
+                .map(|(i, route)| self.latency[i].snapshot(route))
+                .collect(),
             cache,
         }
     }
@@ -80,6 +194,22 @@ impl Default for Metrics {
     fn default() -> Metrics {
         Metrics::new()
     }
+}
+
+/// One route's latency distribution as `GET /metrics` serializes it.
+#[derive(Debug, Clone, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct HistogramSnapshot {
+    /// The route this histogram covers (a [`ROUTES`] member).
+    pub route: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples in milliseconds (for mean latency).
+    pub sum_ms: u64,
+    /// Per-bucket sample counts. Bucket 0 holds sub-millisecond samples,
+    /// bucket `i ≥ 1` holds samples in `[2^(i-1), 2^i)` ms, and the last
+    /// bucket absorbs everything slower.
+    pub buckets: Vec<u64>,
 }
 
 /// What `GET /metrics` serializes.
@@ -102,10 +232,16 @@ pub struct MetricsSnapshot {
     pub explore_computed: u64,
     /// Explorations cut short by their wall-clock deadline.
     pub explore_truncated: u64,
+    /// Explorations answered by another worker's in-flight computation.
+    pub explore_coalesced: u64,
+    /// Cumulative milliseconds followers spent waiting on a leader.
+    pub explore_wait_ms: u64,
     /// Responses with a 4xx status.
     pub client_errors: u64,
-    /// Responses with a 5xx status.
+    /// Responses with a 5xx status (sheds included).
     pub server_errors: u64,
+    /// Per-route latency histograms.
+    pub latency: Vec<HistogramSnapshot>,
     /// Response-cache statistics.
     pub cache: CacheStats,
 }
@@ -132,6 +268,42 @@ mod tests {
         let m = Metrics::new();
         let json = serde_json::to_string(&m.snapshot(CacheStats::default())).unwrap();
         assert!(json.contains("\"explore-cache-hits\":0"), "{json}");
+        assert!(json.contains("\"explore-coalesced\":0"), "{json}");
+        assert!(json.contains("\"explore-wait-ms\":0"), "{json}");
         assert!(json.contains("\"cache\":{"), "{json}");
+        assert!(json.contains("\"latency\":["), "{json}");
+        assert!(json.contains("\"route\":\"explore\""), "{json}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_ms() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        // Everything from 2^15 ms up lands in the overflow bucket.
+        assert_eq!(bucket_index(1 << 15), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_is_recorded_under_the_right_route() {
+        let m = Metrics::new();
+        m.observe_latency("/explore", Duration::from_millis(5));
+        m.observe_latency("/explore", Duration::from_millis(900));
+        m.observe_latency("/nope", Duration::from_millis(1));
+        let snap = m.snapshot(CacheStats::default());
+        let explore = snap.latency.iter().find(|h| h.route == "explore").unwrap();
+        assert_eq!(explore.count, 2);
+        assert_eq!(explore.sum_ms, 905);
+        assert_eq!(explore.buckets[bucket_index(5)], 1);
+        assert_eq!(explore.buckets[bucket_index(900)], 1);
+        let other = snap.latency.iter().find(|h| h.route == "other").unwrap();
+        assert_eq!(other.count, 1);
+        let idle = snap.latency.iter().find(|h| h.route == "healthz").unwrap();
+        assert_eq!(idle.count, 0);
     }
 }

@@ -6,15 +6,16 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use coursenav_navigator::{
-    ExplorationRequest, GoalSpec, OutputMode, RankingSpec,
-};
+use coursenav_navigator::{ExplorationRequest, GoalSpec, OutputMode, RankingSpec};
 use coursenav_registrar::brandeis_cs;
 use coursenav_server::{Server, ServerConfig};
 
-/// A minimal blocking HTTP/1.1 client over one TcpStream.
+/// A minimal blocking HTTP/1.1 client over one TcpStream. `carry` holds
+/// bytes read past the current response so pipelined responses are split
+/// correctly.
 struct Client {
     stream: TcpStream,
+    carry: Vec<u8>,
 }
 
 struct ClientResponse {
@@ -38,7 +39,10 @@ impl Client {
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
-        Client { stream }
+        Client {
+            stream,
+            carry: Vec::new(),
+        }
     }
 
     fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
@@ -57,7 +61,7 @@ impl Client {
     }
 
     fn read_response(&mut self) -> ClientResponse {
-        let mut buf = Vec::new();
+        let mut buf = std::mem::take(&mut self.carry);
         let mut chunk = [0u8; 4096];
         let head_end = loop {
             if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -87,16 +91,17 @@ impl Client {
             .find(|(k, _)| k == "content-length")
             .map(|(_, v)| v.parse().unwrap())
             .unwrap_or(0);
-        let mut body = buf[head_end..].to_vec();
-        while body.len() < content_length {
+        while buf.len() < head_end + content_length {
             let n = self.stream.read(&mut chunk).expect("read response body");
             assert!(n > 0, "connection closed mid-body");
-            body.extend_from_slice(&chunk[..n]);
+            buf.extend_from_slice(&chunk[..n]);
         }
+        // Bytes past this response belong to the next (pipelined) one.
+        self.carry = buf.split_off(head_end + content_length);
         ClientResponse {
             status,
             headers,
-            body: String::from_utf8(body).unwrap(),
+            body: String::from_utf8(buf[head_end..].to_vec()).unwrap(),
         }
     }
 }
@@ -129,11 +134,19 @@ fn explore_answers_over_real_tcp() {
     let addr = server.local_addr();
 
     let mut client = Client::connect(addr);
-    let resp = client.send("POST", "/explore", Some(&count_request().to_json().unwrap()));
+    let resp = client.send(
+        "POST",
+        "/explore",
+        Some(&count_request().to_json().unwrap()),
+    );
     assert_eq!(resp.status, 200, "{}", resp.body);
     let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
     let counts = &value["counts"];
-    assert!(!counts.is_null(), "expected a counts response: {}", resp.body);
+    assert!(
+        !counts.is_null(),
+        "expected a counts response: {}",
+        resp.body
+    );
     assert!(counts["total_paths"].as_u64().unwrap_or(0) > 0);
     assert_eq!(resp.header("x-cache"), Some("miss"));
 
@@ -180,8 +193,7 @@ fn concurrent_clients_hit_the_canonicalization_cache() {
             .map(|req| {
                 scope.spawn(move || {
                     let mut client = Client::connect(addr);
-                    let resp =
-                        client.send("POST", "/explore", Some(&req.to_json().unwrap()));
+                    let resp = client.send("POST", "/explore", Some(&req.to_json().unwrap()));
                     assert_eq!(resp.status, 200, "{}", resp.body);
                     resp.body
                 })
@@ -208,12 +220,18 @@ fn concurrent_clients_hit_the_canonicalization_cache() {
     let metrics = fetch_metrics(addr);
     let hits = metrics["cache"]["hits"].as_u64().unwrap();
     let computed = metrics["explore-computed"].as_u64().unwrap();
-    assert!(hits > 0, "cache hit-rate must be observable: {metrics:?}");
+    let coalesced = metrics["explore-coalesced"].as_u64().unwrap();
+    assert!(
+        hits + coalesced > 0,
+        "deduplication must be observable: {metrics:?}"
+    );
     assert!(
         computed < 6,
         "canonicalization must fold spellings: computed {computed} of 6"
     );
-    assert_eq!(hits + computed, 6, "{metrics:?}");
+    // Every request either hit the cache, coalesced onto the in-flight
+    // computation, or computed; canonicalization maps all six onto one key.
+    assert_eq!(hits + computed + coalesced, 6, "{metrics:?}");
 
     server.shutdown();
 }
@@ -256,7 +274,14 @@ fn saturated_queue_sheds_with_503() {
         std::thread::sleep(Duration::from_millis(100));
         fetch_metrics(addr)
     };
-    assert!(metrics_after["connections-shed"].as_u64().unwrap() >= 1);
+    let sheds = metrics_after["connections-shed"].as_u64().unwrap();
+    assert!(sheds >= 1);
+    // A shed connection *received* a 503, so it must show up in the error
+    // counters too: `server_errors >= connections_shed`, always.
+    assert!(
+        metrics_after["server-errors"].as_u64().unwrap() >= sheds,
+        "shed connections must count as server errors: {metrics_after:?}"
+    );
 
     server.shutdown();
 }
@@ -303,7 +328,10 @@ fn malformed_and_unroutable_requests_get_4xx() {
     assert_eq!(resp.status, 413);
 
     let metrics = fetch_metrics(addr);
-    assert!(metrics["client-errors"].as_u64().unwrap() >= 5, "{metrics:?}");
+    assert!(
+        metrics["client-errors"].as_u64().unwrap() >= 5,
+        "{metrics:?}"
+    );
 
     server.shutdown();
 }
@@ -325,7 +353,11 @@ fn deadline_bounded_topk_returns_truncated_partial() {
     assert_eq!(resp.status, 200, "{}", resp.body);
     let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
     let ranked = &value["ranked"];
-    assert!(!ranked.is_null(), "expected a ranked response: {}", resp.body);
+    assert!(
+        !ranked.is_null(),
+        "expected a ranked response: {}",
+        resp.body
+    );
     assert_eq!(ranked["truncated"].as_bool(), Some(true));
     assert_eq!(
         ranked["paths"].as_array().map(|paths| paths.len()),
@@ -338,7 +370,10 @@ fn deadline_bounded_topk_returns_truncated_partial() {
     assert_eq!(resp.header("x-cache"), Some("miss"));
 
     let metrics = fetch_metrics(addr);
-    assert!(metrics["explore-truncated"].as_u64().unwrap() >= 2, "{metrics:?}");
+    assert!(
+        metrics["explore-truncated"].as_u64().unwrap() >= 2,
+        "{metrics:?}"
+    );
     assert_eq!(metrics["cache"]["entries"].as_u64(), Some(0), "{metrics:?}");
 
     // The identical exploration *without* a budget completes, is cached,
@@ -365,7 +400,9 @@ fn cache_invalidation_route_empties_the_cache() {
     let json = count_request().to_json().unwrap();
     assert_eq!(client.send("POST", "/explore", Some(&json)).status, 200);
     assert_eq!(
-        client.send("POST", "/explore", Some(&json)).header("x-cache"),
+        client
+            .send("POST", "/explore", Some(&json))
+            .header("x-cache"),
         Some("hit")
     );
 
@@ -374,9 +411,243 @@ fn cache_invalidation_route_empties_the_cache() {
     assert!(resp.body.contains("\"invalidated\":1"), "{}", resp.body);
 
     assert_eq!(
-        client.send("POST", "/explore", Some(&json)).header("x-cache"),
+        client
+            .send("POST", "/explore", Some(&json))
+            .header("x-cache"),
         Some("miss")
     );
 
     server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_share_one_connection() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    // Legal HTTP/1.1 pipelining: both requests land in one TCP write,
+    // before any response is read. The server must consume exactly one
+    // request per dispatch and carry the leftover bytes into the next
+    // keep-alive iteration instead of rejecting them as garbage.
+    let mut client = Client::connect(addr);
+    client
+        .stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: a\r\n\r\nGET /catalog HTTP/1.1\r\nhost: a\r\n\r\n",
+        )
+        .unwrap();
+    let first = client.read_response();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"ok\""));
+    let second = client.read_response();
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert!(second.body.contains("COSI"), "second pipelined response");
+
+    // A pipelined POST pair works too: head + body + next request at once.
+    let json = count_request().to_json().unwrap();
+    let post = format!(
+        "POST /explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{json}GET /healthz HTTP/1.1\r\nhost: a\r\n\r\n",
+        json.len()
+    );
+    client.stream.write_all(post.as_bytes()).unwrap();
+    let explore = client.read_response();
+    assert_eq!(explore.status, 200, "{}", explore.body);
+    assert_eq!(client.read_response().status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn partial_head_gets_408_but_idle_close_is_silent() {
+    let server = Server::start(
+        ServerConfig {
+            keep_alive: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Half a request line, then silence: the read deadline fires with
+    // bytes already buffered, so the client was mid-request and deserves
+    // to hear `408 Request Timeout` before the close.
+    let mut partial = Client::connect(addr);
+    partial.stream.write_all(b"GET /healthz HT").unwrap();
+    let resp = partial.read_response();
+    assert_eq!(resp.status, 408, "{}", resp.body);
+
+    // An idle keep-alive connection that never sent a byte is closed
+    // silently: EOF, not an unsolicited error response.
+    let mut idle = Client::connect(addr);
+    let mut chunk = [0u8; 64];
+    let n = idle
+        .stream
+        .read(&mut chunk)
+        .expect("clean EOF on idle close");
+    assert_eq!(n, 0, "idle timeout closes without writing");
+
+    server.shutdown();
+}
+
+#[test]
+fn stampede_of_identical_cold_requests_computes_once() {
+    let server = Server::start(
+        ServerConfig {
+            threads: 12,
+            default_budget_ms: None,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // A deliberately heavy request — `m = 5` takes on the order of a
+    // second in debug builds — so every one of the eight concurrent
+    // arrivals lands while the leader is still computing.
+    let data = brandeis_cs();
+    let mut req = ExplorationRequest::deadline_count(data.horizon.0, data.horizon.0 + 4, 5);
+    req.goal = Some(GoalSpec::Degree);
+    let json = req.to_json().unwrap();
+
+    const N: usize = 8;
+    let barrier = std::sync::Barrier::new(N);
+    let results: Vec<(u16, Option<String>, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr);
+                    barrier.wait();
+                    let resp = client.send("POST", "/explore", Some(&json));
+                    let cache = resp.header("x-cache").map(str::to_string);
+                    (resp.status, cache, resp.body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All 200, and followers share the leader's response *verbatim* —
+    // byte-identical bodies, timing metadata included.
+    for (status, _, body) in &results {
+        assert_eq!(*status, 200, "{body}");
+    }
+    for (_, _, body) in &results[1..] {
+        assert_eq!(body, &results[0].2, "followers reuse the leader's bytes");
+    }
+
+    let metrics = fetch_metrics(addr);
+    assert_eq!(
+        metrics["explore-computed"].as_u64(),
+        Some(1),
+        "exactly one engine run for {N} identical cold requests: {metrics:?}"
+    );
+    assert_eq!(
+        metrics["explore-coalesced"].as_u64(),
+        Some((N - 1) as u64),
+        "{metrics:?}"
+    );
+    let tally = |want: &str| {
+        results
+            .iter()
+            .filter(|(_, cache, _)| cache.as_deref() == Some(want))
+            .count()
+    };
+    assert_eq!(
+        (tally("miss"), tally("coalesced"), tally("hit")),
+        (1, N - 1, 0),
+        "one leader, seven followers, nobody raced past to the cache"
+    );
+
+    // The stampede is visible in the explore route's latency histogram.
+    let latency = metrics["latency"].as_array().unwrap();
+    let explore = latency
+        .iter()
+        .find(|h| h["route"].as_str() == Some("explore"))
+        .expect("per-route histogram for explore");
+    assert_eq!(explore["count"].as_u64(), Some(N as u64), "{metrics:?}");
+    assert!(
+        explore["buckets"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|b| b.as_u64().unwrap())
+            .sum::<u64>()
+            == N as u64,
+        "bucket sum equals observation count"
+    );
+
+    server.shutdown();
+}
+
+/// Replaces every `millis` field (timing metadata) with zero so response
+/// bodies can be compared for *semantic* byte-identity.
+fn zero_millis(value: &mut serde_json::Value) {
+    use serde_json::{Number, Value};
+    match value {
+        Value::Object(pairs) => {
+            for (key, v) in pairs.iter_mut() {
+                if key == "millis" {
+                    *v = Value::Num(Number::U(0));
+                } else {
+                    zero_millis(v);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                zero_millis(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn parallel_server_answers_are_byte_identical_to_sequential() {
+    let sequential = Server::start(ServerConfig::default(), brandeis_cs()).expect("start");
+    let parallel = Server::start(
+        ServerConfig {
+            parallelism: 4,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start");
+
+    let mut requests = vec![count_request()];
+    let mut collect = count_request();
+    collect.output = OutputMode::Collect { limit: 25 };
+    requests.push(collect);
+    for ranking in [
+        RankingSpec::Time,
+        RankingSpec::Weighted(vec![(1.0, RankingSpec::Time), (0.5, RankingSpec::Workload)]),
+    ] {
+        let mut topk = count_request();
+        topk.output = OutputMode::TopK { k: 10 };
+        topk.ranking = Some(ranking);
+        requests.push(topk);
+    }
+
+    for req in &requests {
+        let json = req.to_json().unwrap();
+        let seq = Client::connect(sequential.local_addr()).send("POST", "/explore", Some(&json));
+        let par = Client::connect(parallel.local_addr()).send("POST", "/explore", Some(&json));
+        assert_eq!(seq.status, 200, "{}", seq.body);
+        assert_eq!(par.status, 200, "{}", par.body);
+        let normalize = |body: &str| {
+            let mut value: serde_json::Value = serde_json::from_str(body).unwrap();
+            zero_millis(&mut value);
+            serde_json::to_string(&value).unwrap()
+        };
+        assert_eq!(
+            normalize(&seq.body),
+            normalize(&par.body),
+            "parallel and sequential engines must serialize identically for {json}"
+        );
+    }
+
+    sequential.shutdown();
+    parallel.shutdown();
 }

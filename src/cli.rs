@@ -33,6 +33,7 @@
 //!
 //! serve flags:
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
+//!   --parallelism <n>            engine worker threads per exploration
 //! ```
 
 use std::fmt;
@@ -107,6 +108,7 @@ struct Flags {
     addr: Option<String>,
     threads: Option<usize>,
     cache_mb: Option<usize>,
+    parallelism: Option<usize>,
 }
 
 fn split_codes(value: &str) -> Vec<String> {
@@ -135,6 +137,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         addr: None,
         threads: None,
         cache_mb: None,
+        parallelism: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -216,6 +219,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .map_err(|_| CliError::Usage("--cache-mb needs an integer".into()))?,
                 )
             }
+            "--parallelism" => {
+                flags.parallelism = Some(
+                    value("--parallelism")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--parallelism needs an integer".into()))?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -244,20 +254,28 @@ fn build_request(data: &RegistrarData, flags: &Flags) -> Result<ExplorationReque
     Ok(req)
 }
 
-/// `coursenav <catalog> serve [--addr .. --threads .. --cache-mb ..]`:
+/// `coursenav <catalog> serve [--addr .. --threads .. --cache-mb ..
+/// --parallelism ..]`:
 /// starts the HTTP serving layer over the loaded catalog and blocks until
 /// the process is killed. Prints the bound address first, so `--addr
 /// 127.0.0.1:0` (an ephemeral port) is usable in scripts.
 fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError> {
     let config = ServerConfig {
-        addr: flags.addr.clone().unwrap_or_else(|| "127.0.0.1:8080".into()),
+        addr: flags
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".into()),
         threads: flags.threads.unwrap_or(4),
         cache_mb: flags.cache_mb.unwrap_or(64),
+        parallelism: flags.parallelism.unwrap_or(1),
         ..ServerConfig::default()
     };
     let server =
         Server::start(config, data).map_err(|e| CliError::Io(format!("cannot serve: {e}")))?;
-    println!("coursenav-server listening on http://{}", server.local_addr());
+    println!(
+        "coursenav-server listening on http://{}",
+        server.local_addr()
+    );
     println!("routes: POST /explore, GET /catalog, GET /healthz, GET /metrics");
     server.block_forever()
 }
@@ -582,6 +600,10 @@ mod tests {
         ));
         assert!(matches!(
             run(&["builtin:brandeis", "serve", "--cache-mb"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--parallelism", "lots"]),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(

@@ -333,7 +333,9 @@ mod tests {
             .flat_map(|c| c.join().unwrap())
             .collect();
         all.sort_unstable();
-        let want: Vec<usize> = (0..4).flat_map(|p| (0..100).map(move |i| p * 100 + i)).collect();
+        let want: Vec<usize> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 100 + i))
+            .collect();
         assert_eq!(all, want);
     }
 

@@ -129,7 +129,8 @@ where
     let mut case_idx = 0u64;
     let mut passed = 0u32;
     while passed < config.cases {
-        let mut rng = TestRng::new(base_seed.wrapping_add(case_idx.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)));
+        let mut rng =
+            TestRng::new(base_seed.wrapping_add(case_idx.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)));
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {

@@ -219,7 +219,12 @@ pub mod rngs {
             }
             // A xoshiro state of all zeros is a fixed point; nudge it.
             if s == [0; 4] {
-                s = [0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 1];
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0xBF58476D1CE4E5B9,
+                    0x94D049BB133111EB,
+                    1,
+                ];
             }
             SmallRng { s }
         }

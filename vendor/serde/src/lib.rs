@@ -289,7 +289,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<String, Error> {
-        v.as_str().map(str::to_owned).ok_or_else(|| unexpected("string", v))
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| unexpected("string", v))
     }
 }
 

@@ -470,10 +470,7 @@ fn gen_serialize(input: &Input) -> String {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
-            format!(
-                "::serde::Value::Array(::std::vec![{}])",
-                items.join(", ")
-            )
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
         }
         Data::UnitStruct => "::serde::Value::Null".to_string(),
         Data::Enum(variants) => {
@@ -508,8 +505,7 @@ fn gen_serialize(input: &Input) -> String {
                     VariantKind::Struct(fields) => {
                         // rename_all on an enum renames variants, not the
                         // fields inside struct variants (matches upstream).
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let pushes: Vec<String> = fields
                             .iter()
                             .map(|f| {

@@ -357,9 +357,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(
-                                self.fail(format!("invalid escape `\\{}`", other as char))
-                            )
+                            return Err(self.fail(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -375,8 +373,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.fail("invalid unicode escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid unicode escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -434,7 +431,11 @@ mod tests {
             ("b".into(), Value::Num(Number::F(1.5))),
             (
                 "c".into(),
-                Value::Array(vec![Value::Null, Value::Bool(true), Value::Str("x\n\"".into())]),
+                Value::Array(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Str("x\n\"".into()),
+                ]),
             ),
         ]);
         let compact = to_string(&v).unwrap();
