@@ -6,10 +6,10 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use coursenav_navigator::{ExplorationRequest, GoalSpec};
+use coursenav_navigator::{ExplorationRequest, GoalSpec, OutputMode};
 use coursenav_registrar::brandeis_cs;
 use coursenav_server::{Server, ServerConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 /// One `connection: close` HTTP exchange; returns the raw response text.
 fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
@@ -45,20 +45,20 @@ fn bench_serving(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_hot_path");
     group.sample_size(10);
 
-    // Every iteration invalidates first, so each /explore runs the engine.
+    // Every iteration invalidates first, so each /v1/explore runs the engine.
     // (The invalidate round-trip is part of the measured loop; it is the
     // same constant in the stampede benchmark below.)
     group.bench_function("cold_miss", |b| {
         b.iter(|| {
-            exchange(addr, "POST", "/cache/invalidate", "");
-            exchange(addr, "POST", "/explore", &json)
+            exchange(addr, "POST", "/v1/cache/invalidate", "");
+            exchange(addr, "POST", "/v1/explore", &json)
         })
     });
 
-    // The steady state: the answer is cached, /explore is a lookup.
+    // The steady state: the answer is cached, /v1/explore is a lookup.
     group.bench_function("warm_hit", |b| {
-        exchange(addr, "POST", "/explore", &json);
-        b.iter(|| exchange(addr, "POST", "/explore", &json))
+        exchange(addr, "POST", "/v1/explore", &json);
+        b.iter(|| exchange(addr, "POST", "/v1/explore", &json))
     });
 
     // Eight concurrent clients, one cold key: singleflight runs the
@@ -66,18 +66,125 @@ fn bench_serving(c: &mut Criterion) {
     // cost roughly one cold_miss plus scheduling — not eight.
     group.bench_function("stampede_8x_cold", |b| {
         b.iter(|| {
-            exchange(addr, "POST", "/cache/invalidate", "");
+            exchange(addr, "POST", "/v1/cache/invalidate", "");
             std::thread::scope(|scope| {
                 for _ in 0..8 {
                     let json = &json;
-                    scope.spawn(move || exchange(addr, "POST", "/explore", json));
+                    scope.spawn(move || exchange(addr, "POST", "/v1/explore", json));
                 }
             });
         })
     });
 
+    // Resumable sessions: a truncated collect is never cached, so the
+    // unpaged run is a full engine exploration every time — the cold
+    // baseline. A warm page-2 resume restores the stored DFS frontier and
+    // explores (and serializes) only the unemitted suffix — 100 of 2000
+    // paths — so it must come in well under the cold run (< 25% is the
+    // acceptance bar). One extra semester of horizon makes the engine
+    // work dominate the wire overhead.
+    let mut collect_req = ExplorationRequest::deadline_count(data.horizon.0, data.horizon.0 + 5, 3);
+    collect_req.goal = Some(GoalSpec::Degree);
+    collect_req.output = OutputMode::Collect { limit: 2000 };
+    let full_json = collect_req.to_json().unwrap();
+
+    let mut client = KeepAlive::connect(addr);
+    group.bench_function("cold_full_collect", |b| {
+        b.iter(|| client.post("/v1/explore", &full_json))
+    });
+
+    let mut page1_req = collect_req.clone();
+    page1_req.page_size = Some(1900);
+    let page1_json = page1_req.to_json().unwrap();
+    // Setup and routine both talk over one connection; RefCell arbitrates
+    // the two closure captures (they never run concurrently).
+    let client = std::cell::RefCell::new(KeepAlive::connect(addr));
+    group.bench_function("warm_page2_resume", |b| {
+        b.iter_batched(
+            || {
+                // Page 1 (the expensive prefix) is setup, not measurement;
+                // its single-use token funds exactly one page-2 resume.
+                let response = client.borrow_mut().post("/v1/explore", &page1_json);
+                let token = extract_next_cursor(&response);
+                let mut page2 = page1_req.clone();
+                page2.cursor = Some(token);
+                page2.to_json().unwrap()
+            },
+            |page2_json| client.borrow_mut().post("/v1/explore", &page2_json),
+            BatchSize::PerIteration,
+        )
+    });
+
     group.finish();
     server.shutdown();
+}
+
+/// A persistent keep-alive connection: request framing identical to
+/// [`exchange`] minus `connection: close`, response framing by
+/// `content-length`. Fresh connections pay the acceptor's 10ms poll
+/// interval, which would swamp the engine-time comparison the resume
+/// benchmarks make; one long-lived connection pays it once.
+struct KeepAlive {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl KeepAlive {
+    fn connect(addr: SocketAddr) -> KeepAlive {
+        KeepAlive {
+            stream: TcpStream::connect(addr).expect("connect to bench server"),
+            carry: Vec::new(),
+        }
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> String {
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes()).unwrap();
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 65536];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "connection closed mid-head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end - 4]).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let content_length: usize = head
+            .split("\r\n")
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::to_string)
+            })
+            .expect("content-length header")
+            .trim()
+            .parse()
+            .unwrap();
+        while buf.len() < head_end + content_length {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        self.carry = buf.split_off(head_end + content_length);
+        String::from_utf8(buf.split_off(head_end)).unwrap()
+    }
+}
+
+/// Pulls the `next_cursor` token out of a raw page response.
+fn extract_next_cursor(response: &str) -> String {
+    let marker = "\"next_cursor\":\"";
+    let start = response
+        .find(marker)
+        .expect("a truncated page carries next_cursor")
+        + marker.len();
+    let end = start + response[start..].find('\"').expect("token is quoted");
+    response[start..end].to_string()
 }
 
 criterion_group!(benches, bench_serving);

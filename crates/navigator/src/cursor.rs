@@ -1,0 +1,200 @@
+//! Serializable exploration cursors.
+//!
+//! A cursor freezes a paused exploration so a later request — possibly in
+//! another process — can resume exactly where it stopped. The paper's
+//! premise is *interactive* exploration: the front end pulls a page of
+//! paths at a time and resumes later, so the paused state must cross the
+//! wire instead of living inside one iterator.
+//!
+//! Two layers:
+//!
+//! * [`StreamCursor`] snapshots a [`crate::stream::PathStream`]'s DFS
+//!   frontier: the selection made at each depth plus each frame's
+//!   selection-iterator position. Enrollment statuses are *not* stored —
+//!   they are replayed from the request's start node on resume, which keeps
+//!   cursors small (O(depth)) and lets resume validate every step.
+//! * [`ExplorationCursor`] wraps a frontier with everything a service-level
+//!   page needs: the canonical request fingerprint (so a cursor cannot be
+//!   replayed against a different request), cumulative counters, and
+//!   accumulated [`ExploreStats`].
+//!
+//! Cursors serialize to JSON via the workspace `serde`; the serving layer
+//! additionally wraps them in signed opaque tokens (see
+//! `coursenav-server`'s session store) so clients never see — and cannot
+//! forge — frontier internals.
+
+use coursenav_catalog::CourseSet;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::ExploreStats;
+
+/// Snapshot of a [`crate::expand::SelectionIter`]'s position.
+///
+/// Together with the option set it was built from (re-derived on resume
+/// from the node's enrollment status), this replays the iterator to the
+/// exact combination it would yield next.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionIterState {
+    /// Current k-combination as indices into the sorted option list;
+    /// strictly increasing, each less than the option count.
+    #[serde(default)]
+    pub indices: Vec<u32>,
+    /// Whether the empty selection is still pending.
+    #[serde(default)]
+    pub emit_empty: bool,
+    /// Whether enumeration already finished.
+    #[serde(default)]
+    pub done: bool,
+}
+
+/// One paused DFS frame: a partially-consumed expansion of a node.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameState {
+    /// Where the frame's selection iterator stopped.
+    #[serde(default)]
+    pub iter: SelectionIterState,
+    /// Minimum selection size the pruner imposed on this node.
+    #[serde(default)]
+    pub min_selection: u32,
+    /// Children already explored out of this node.
+    #[serde(default)]
+    pub emitted: u64,
+    /// Selections skipped for being below `min_selection`.
+    #[serde(default)]
+    pub floor_skipped: u64,
+}
+
+/// A paused [`crate::stream::PathStream`] frontier.
+///
+/// Invariant (checked on resume): either the stream is fresh
+/// (`fresh == true`, no frames, no selections), or exhausted (no frames,
+/// no selections, `fresh == false`), or mid-exploration with
+/// `frames.len() == selections.len() + 1`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamCursor {
+    /// The selection taken at each depth along the current DFS spine.
+    #[serde(default)]
+    pub selections: Vec<CourseSet>,
+    /// One frame per expanded node on the spine, root first.
+    #[serde(default)]
+    pub frames: Vec<FrameState>,
+    /// The root has not had its disposition checked yet.
+    #[serde(default)]
+    pub fresh: bool,
+    /// Statistics accumulated before the pause; the resumed stream keeps
+    /// adding to these, so totals at exhaustion match an uninterrupted run.
+    #[serde(default)]
+    pub stats: ExploreStats,
+}
+
+impl StreamCursor {
+    /// A cursor for a stream that was never started.
+    pub fn fresh() -> StreamCursor {
+        StreamCursor {
+            fresh: true,
+            ..StreamCursor::default()
+        }
+    }
+
+    /// True when the underlying stream had already finished.
+    pub fn is_exhausted(&self) -> bool {
+        !self.fresh && self.frames.is_empty()
+    }
+}
+
+/// Everything needed to resume a service-level exploration page.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationCursor {
+    /// Canonical request fingerprint ([`crate::ExplorationRequest::cache_key`]
+    /// of the originating request). Resume rejects a cursor whose
+    /// fingerprint does not match the accompanying request.
+    #[serde(default)]
+    pub fingerprint: String,
+    /// Paths emitted to the client so far (all output modes). For ranked
+    /// output this doubles as the number of goal pops to skip on resume.
+    #[serde(default)]
+    pub emitted: u64,
+    /// Cumulative leaf count (count output only).
+    #[serde(default)]
+    pub total_paths: u128,
+    /// Cumulative goal-path count (count output only).
+    #[serde(default)]
+    pub goal_paths: u128,
+    /// Paused DFS frontier for count/collect output; `None` for ranked
+    /// output, which resumes by replaying the deterministic best-first
+    /// search and skipping `emitted` goals.
+    #[serde(default)]
+    pub frontier: Option<StreamCursor>,
+}
+
+impl ExplorationCursor {
+    /// Serializes to compact JSON (the session store's at-rest format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a cursor always serializes")
+    }
+
+    /// Parses a cursor previously produced by [`ExplorationCursor::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<ExplorationCursor> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coursenav_catalog::CourseId;
+
+    fn ids(ns: &[u16]) -> CourseSet {
+        ns.iter().map(|&n| CourseId::new(n)).collect()
+    }
+
+    #[test]
+    fn cursor_round_trips_through_json() {
+        let cursor = ExplorationCursor {
+            fingerprint: "abc".into(),
+            emitted: 7,
+            total_paths: 1 << 70,
+            goal_paths: 12,
+            frontier: Some(StreamCursor {
+                selections: vec![ids(&[1, 3]), CourseSet::EMPTY],
+                frames: vec![
+                    FrameState {
+                        iter: SelectionIterState {
+                            indices: vec![0, 2],
+                            emit_empty: false,
+                            done: false,
+                        },
+                        min_selection: 1,
+                        emitted: 4,
+                        floor_skipped: 2,
+                    },
+                    FrameState::default(),
+                    FrameState::default(),
+                ],
+                fresh: false,
+                stats: ExploreStats {
+                    nodes_expanded: 5,
+                    edges_created: 9,
+                    pruned_time: 1,
+                    pruned_availability: 0,
+                },
+            }),
+        };
+        let json = cursor.to_json();
+        let back = ExplorationCursor::from_json(&json).expect("round trip");
+        assert_eq!(cursor, back);
+    }
+
+    #[test]
+    fn missing_fields_default_cleanly() {
+        let cursor = ExplorationCursor::from_json("{}").expect("defaults");
+        assert_eq!(cursor, ExplorationCursor::default());
+        assert!(cursor.frontier.is_none());
+    }
+
+    #[test]
+    fn fresh_and_exhausted_are_distinguished() {
+        assert!(!StreamCursor::fresh().is_exhausted());
+        assert!(StreamCursor::default().is_exhausted());
+    }
+}

@@ -15,6 +15,9 @@ pub enum ExploreError {
     },
     /// The exploration request is inconsistent (e.g. deadline before start).
     InvalidRequest(String),
+    /// A resume cursor does not describe a reachable frontier of this
+    /// exploration (tampered, truncated, or built against another request).
+    InvalidCursor(String),
 }
 
 impl fmt::Display for ExploreError {
@@ -27,6 +30,7 @@ impl fmt::Display for ExploreError {
                 )
             }
             ExploreError::InvalidRequest(msg) => write!(f, "invalid exploration request: {msg}"),
+            ExploreError::InvalidCursor(msg) => write!(f, "invalid exploration cursor: {msg}"),
         }
     }
 }

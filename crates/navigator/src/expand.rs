@@ -15,6 +15,8 @@
 use coursenav_catalog::{CourseId, CourseSet};
 use serde::{Deserialize, Serialize};
 
+use crate::cursor::SelectionIterState;
+
 /// When an exploration may advance a semester without taking any course.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case")]
@@ -79,6 +81,47 @@ impl SelectionIter {
             total += binom;
         }
         total
+    }
+
+    /// Snapshots the iterator's position for a resumable cursor.
+    pub(crate) fn state(&self) -> SelectionIterState {
+        SelectionIterState {
+            indices: self.indices.iter().map(|&i| i as u32).collect(),
+            emit_empty: self.emit_empty,
+            done: self.done,
+        }
+    }
+
+    /// Rebuilds an iterator from a snapshot taken by [`SelectionIter::state`]
+    /// over the same option set. Returns `None` when the snapshot is
+    /// inconsistent with `options` (indices out of bounds, not strictly
+    /// increasing, or more of them than `max_size` allows) — the caller
+    /// treats that as an invalid cursor, never a panic.
+    pub(crate) fn resume(
+        options: &CourseSet,
+        max_size: usize,
+        state: &SelectionIterState,
+    ) -> Option<SelectionIter> {
+        let options: Vec<CourseId> = options.iter().collect();
+        let indices: Vec<usize> = state.indices.iter().map(|&i| i as usize).collect();
+        if indices.len() > max_size || indices.len() > options.len() {
+            return None;
+        }
+        for (pos, &idx) in indices.iter().enumerate() {
+            if idx >= options.len() {
+                return None;
+            }
+            if pos > 0 && indices[pos - 1] >= idx {
+                return None;
+            }
+        }
+        Some(SelectionIter {
+            options,
+            indices,
+            max_size,
+            emit_empty: state.emit_empty,
+            done: state.done,
+        })
     }
 
     fn current_set(&self) -> CourseSet {
@@ -222,6 +265,45 @@ mod tests {
             assert!(!sel.is_empty());
             assert!(sel.len() <= 3);
         }
+    }
+
+    #[test]
+    fn snapshot_resume_continues_exactly() {
+        let options = ids(&[1, 2, 3, 4]);
+        let total = SelectionIter::total_count(4, 3, true) as usize;
+        for pause_after in 0..=total {
+            let mut iter = SelectionIter::with_empty(&options, 3);
+            for _ in 0..pause_after {
+                if iter.next().is_none() {
+                    break;
+                }
+            }
+            let resumed =
+                SelectionIter::resume(&options, 3, &iter.state()).expect("snapshot is valid");
+            let suffix: Vec<_> = resumed.collect();
+            let rest: Vec<_> = iter.collect();
+            assert_eq!(suffix, rest, "pause_after={pause_after}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_snapshots() {
+        let options = ids(&[1, 2, 3]);
+        let out_of_bounds = SelectionIterState {
+            indices: vec![0, 9],
+            ..SelectionIterState::default()
+        };
+        assert!(SelectionIter::resume(&options, 3, &out_of_bounds).is_none());
+        let not_increasing = SelectionIterState {
+            indices: vec![1, 1],
+            ..SelectionIterState::default()
+        };
+        assert!(SelectionIter::resume(&options, 3, &not_increasing).is_none());
+        let too_large = SelectionIterState {
+            indices: vec![0, 1, 2],
+            ..SelectionIterState::default()
+        };
+        assert!(SelectionIter::resume(&options, 2, &too_large).is_none());
     }
 
     #[test]

@@ -24,11 +24,15 @@
 //!   reliability / weighted composites);
 //! - extensions called out in the paper's future work: selection and path
 //!   [`filter`]s, a memoized-DAG counting mode ([`dedup`]), and parallel
-//!   counting, collection, and top-k ([`parallel`]).
+//!   counting, collection, and top-k ([`parallel`]);
+//! - resumable exploration sessions: serializable DFS-frontier cursors
+//!   ([`cursor`]) and page-at-a-time request servicing with exact
+//!   resume semantics ([`resume`]).
 
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod cursor;
 pub mod dedup;
 pub mod error;
 pub mod expand;
@@ -44,12 +48,14 @@ pub mod pruning;
 pub mod ranked;
 pub mod ranking;
 pub mod request;
+pub mod resume;
 pub mod service;
 pub mod stats;
 pub mod status;
 pub mod stream;
 
 pub use astar::{RemainingCostHeuristic, TimeHeuristic, WorkloadHeuristic, ZeroHeuristic};
+pub use cursor::{ExplorationCursor, FrameState, SelectionIterState, StreamCursor};
 pub use dedup::{StateDag, StateEdge, StateNode};
 pub use error::ExploreError;
 pub use expand::{SelectionIter, WaitPolicy};
@@ -64,7 +70,8 @@ pub use pruning::{PruneConfig, PruneDecision, PruneReason, PruneStats};
 pub use ranked::RankedPath;
 pub use ranking::{Ranking, ReliabilityRanking, TimeRanking, WeightedRanking, WorkloadRanking};
 pub use request::{ExplorationRequest, GoalSpec, OutputMode, RankingSpec};
-pub use service::{ExplorationResponse, NavigatorService, ServiceError};
+pub use resume::{PageOutcome, PageSink, StreamedItem};
+pub use service::{ExplorationResponse, NavigatorService, ServiceError, API_VERSION};
 pub use stats::{ExploreStats, PathCounts};
 pub use status::EnrollmentStatus;
 pub use stream::PathStream;

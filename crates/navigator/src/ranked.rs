@@ -154,6 +154,26 @@ impl Explorer<'_> {
         deadline: Option<Instant>,
         initial_cost: f64,
     ) -> Result<(Vec<RankedPath>, ExploreStats, bool), ExploreError> {
+        self.ranked_search_paged(ranking, heuristic, 0, k, deadline, initial_cost)
+    }
+
+    /// [`Explorer::ranked_search_seeded`] that additionally *skips* the
+    /// first `skip` goal paths before collecting up to `k`. Because the
+    /// best-first pop order is fully deterministic (cost, then tree rank),
+    /// replaying the search with a skip count resumes a paused top-k run:
+    /// page `n+1` is exactly the slice the unpaged search would have
+    /// produced after page `n`'s paths. The skipped prefix re-pops heap
+    /// entries but never reconstructs paths, so resume cost stays well
+    /// below a cold full collection.
+    pub(crate) fn ranked_search_paged(
+        &self,
+        ranking: &dyn Ranking,
+        heuristic: Option<&dyn crate::astar::RemainingCostHeuristic>,
+        skip: usize,
+        k: usize,
+        deadline: Option<Instant>,
+        initial_cost: f64,
+    ) -> Result<(Vec<RankedPath>, ExploreStats, bool), ExploreError> {
         let Some(goal) = self.goal() else {
             return Err(ExploreError::InvalidRequest(
                 "top-k ranking requires a goal-driven exploration".into(),
@@ -189,6 +209,7 @@ impl Explorer<'_> {
         let mut out: Vec<RankedPath> = Vec::with_capacity(k.min(1024));
         let mut truncated = false;
         let mut pops = 0u32;
+        let mut skipped = 0usize;
 
         while let Some(entry) = heap.pop() {
             if out.len() >= k {
@@ -208,10 +229,16 @@ impl Explorer<'_> {
             let status = arena[entry.node as usize].status;
             match self.disposition(&status, pruner.as_ref()) {
                 Disposition::Leaf(LeafKind::Goal) => {
-                    out.push(RankedPath {
-                        path: self.reconstruct(&arena, entry.node),
-                        cost: entry.cost,
-                    });
+                    if skipped < skip {
+                        // Already delivered by an earlier page: re-pop but
+                        // skip the (comparatively expensive) reconstruction.
+                        skipped += 1;
+                    } else {
+                        out.push(RankedPath {
+                            path: self.reconstruct(&arena, entry.node),
+                            cost: entry.cost,
+                        });
+                    }
                 }
                 Disposition::Leaf(_) => {} // non-goal leaf: discard
                 Disposition::Pruned(reason) => record_prune(&mut stats, reason),
@@ -364,6 +391,34 @@ mod tests {
         assert_eq!(top[0].cost, 2.0);
         assert_eq!(top[0].path.len(), 2);
         assert_eq!(top[0].path.courses_taken().len(), 3);
+    }
+
+    #[test]
+    fn paged_search_reproduces_unpaged_slices() {
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let (full, _, _) = e.ranked_search(&TimeRanking, None, 20, None).unwrap();
+        assert!(full.len() > 5);
+        for page_size in [1usize, 3, 7] {
+            let mut paged: Vec<RankedPath> = Vec::new();
+            while paged.len() < full.len() {
+                let (page, _, truncated) = e
+                    .ranked_search_paged(&TimeRanking, None, paged.len(), page_size, None, 0.0)
+                    .unwrap();
+                assert!(!truncated);
+                if page.is_empty() {
+                    break;
+                }
+                paged.extend(page);
+                if paged.len() >= 20 {
+                    break;
+                }
+            }
+            paged.truncate(full.len());
+            assert_eq!(paged, full, "page_size={page_size}");
+        }
     }
 
     #[test]

@@ -70,14 +70,44 @@ impl RankingSpec {
                         *weight /= max;
                     }
                 }
-                kept.sort_by(|a, b| {
-                    format!("{:?}", a.1)
-                        .cmp(&format!("{:?}", b.1))
-                        .then(a.0.total_cmp(&b.0))
-                });
+                kept.sort_by(|a, b| a.1.structural_cmp(&b.1).then(a.0.total_cmp(&b.0)));
                 RankingSpec::Weighted(kept)
             }
             other => other.clone(),
+        }
+    }
+
+    /// Position of each variant in the canonical sort order. The order
+    /// matches what the previous Debug-string comparison produced
+    /// (alphabetical: `Reliability < Time < Weighted < Workload`), so
+    /// canonical forms — and therefore cache keys — are unchanged.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            RankingSpec::Reliability => 0,
+            RankingSpec::Time => 1,
+            RankingSpec::Weighted(_) => 2,
+            RankingSpec::Workload => 3,
+        }
+    }
+
+    /// A total, structural ordering over ranking specs, used to sort the
+    /// components of a weighted ranking deterministically without
+    /// allocating Debug strings per comparison. Weighted specs compare by
+    /// their component lists lexicographically (inner spec first, then
+    /// weight via [`f64::total_cmp`]), shorter lists first on a tie.
+    fn structural_cmp(&self, other: &RankingSpec) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (RankingSpec::Weighted(a), RankingSpec::Weighted(b)) => {
+                for ((wa, sa), (wb, sb)) in a.iter().zip(b.iter()) {
+                    let ord = sa.structural_cmp(sb).then(wa.total_cmp(wb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => self.variant_rank().cmp(&other.variant_rank()),
         }
     }
 }
@@ -139,6 +169,17 @@ pub struct ExplorationRequest {
     /// response's `truncated` marker set; `None` runs to completion.
     #[serde(default)]
     pub budget_ms: Option<u64>,
+    /// Maximum paths (collect/top-k) or leaves (count) delivered in one
+    /// page. When the page fills before the exploration finishes, the
+    /// response carries a `next_cursor` resume token. `None` serves the
+    /// whole answer in one response.
+    #[serde(default)]
+    pub page_size: Option<usize>,
+    /// Opaque resume token from a previous truncated page (the serving
+    /// layer's signed handle for an [`crate::ExplorationCursor`]). `None`
+    /// starts a fresh exploration.
+    #[serde(default)]
+    pub cursor: Option<String>,
 }
 
 impl ExplorationRequest {
@@ -161,6 +202,8 @@ impl ExplorationRequest {
             ranking: None,
             output: OutputMode::Count,
             budget_ms: None,
+            page_size: None,
+            cursor: None,
         }
     }
 
@@ -199,10 +242,15 @@ impl ExplorationRequest {
     /// A deterministic cache key: the compact JSON of the canonical form,
     /// with the wall-clock budget masked out (the budget decides how long
     /// the service may spend, not what the complete answer is; truncated
-    /// responses must not be cached against it).
+    /// responses must not be cached against it). Paging fields are masked
+    /// too: a page is a *slice* of the same exploration, so every page of
+    /// a request shares its parent's identity — this doubles as the cursor
+    /// fingerprint that pins a resume token to its originating request.
     pub fn cache_key(&self) -> String {
         let mut canon = self.canonicalize();
         canon.budget_ms = None;
+        canon.page_size = None;
+        canon.cursor = None;
         serde_json::to_string(&canon).expect("a request always serializes")
     }
 
@@ -244,6 +292,8 @@ mod tests {
             ])),
             output: OutputMode::TopK { k: 10 },
             budget_ms: Some(250),
+            page_size: Some(25),
+            cursor: Some("cn1.deadbeef.feedface".into()),
         };
         let json = req.to_json().unwrap();
         let back = ExplorationRequest::from_json(&json).unwrap();
@@ -303,6 +353,46 @@ mod tests {
         let mut c = a.clone();
         c.max_per_semester = 4;
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn structural_sort_reproduces_debug_string_order() {
+        // The old implementation sorted weighted components by their Debug
+        // strings; the structural comparison must keep producing the same
+        // canonical forms so cache keys survive the change.
+        let spec = RankingSpec::Weighted(vec![
+            (1.0, RankingSpec::Workload),
+            (2.0, RankingSpec::Weighted(vec![(1.0, RankingSpec::Time)])),
+            (4.0, RankingSpec::Time),
+            (3.0, RankingSpec::Reliability),
+        ]);
+        assert_eq!(
+            spec.canonicalized(),
+            RankingSpec::Weighted(vec![
+                (0.75, RankingSpec::Reliability),
+                (1.0, RankingSpec::Time),
+                (0.5, RankingSpec::Weighted(vec![(1.0, RankingSpec::Time)])),
+                (0.25, RankingSpec::Workload),
+            ])
+        );
+        // Equal specs sort by weight; duplicates are preserved.
+        let ties = RankingSpec::Weighted(vec![(4.0, RankingSpec::Time), (2.0, RankingSpec::Time)]);
+        assert_eq!(
+            ties.canonicalized(),
+            RankingSpec::Weighted(vec![(0.5, RankingSpec::Time), (1.0, RankingSpec::Time),])
+        );
+        // Canonicalization stays idempotent under the new comparison.
+        let canon = spec.canonicalized();
+        assert_eq!(canon.canonicalized(), canon);
+    }
+
+    #[test]
+    fn paging_fields_do_not_change_the_cache_key() {
+        let a = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        let mut b = a.clone();
+        b.page_size = Some(10);
+        b.cursor = Some("cn1.0123456789abcdef.fedcba9876543210".into());
+        assert_eq!(a.cache_key(), b.cache_key());
     }
 
     #[test]

@@ -41,8 +41,38 @@ pub enum ServiceError {
     NoOfferingModelConfigured,
     /// `OutputMode::TopK` without a ranking, or a malformed weighted spec.
     BadRanking(String),
+    /// The request's resume cursor is malformed, forged, or belongs to a
+    /// different request.
+    InvalidCursor(String),
     /// The underlying exploration request was invalid.
     Explore(ExploreError),
+}
+
+impl ServiceError {
+    /// Stable kebab-case error code for the wire API. Codes are part of
+    /// the v1 contract: clients dispatch on them, so they never change
+    /// even when the human-readable message does.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownCourse(_) => "unknown-course",
+            ServiceError::BadGoalExpression(_) => "bad-goal-expression",
+            ServiceError::NoDegreeConfigured => "no-degree-configured",
+            ServiceError::NoOfferingModelConfigured => "no-offering-model-configured",
+            ServiceError::BadRanking(_) => "bad-ranking",
+            ServiceError::InvalidCursor(_) => "invalid-cursor",
+            ServiceError::Explore(ExploreError::BudgetExceeded { .. }) => "budget-exceeded",
+            ServiceError::Explore(ExploreError::InvalidRequest(_)) => "invalid-request",
+            ServiceError::Explore(ExploreError::InvalidCursor(_)) => "invalid-cursor",
+        }
+    }
+
+    /// Whether retrying the identical request could succeed. Service
+    /// errors are all deterministic request defects, so this is `false`
+    /// across the board today; it exists so the wire contract already
+    /// carries the bit when a retryable variant appears.
+    pub fn retryable(&self) -> bool {
+        false
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -57,6 +87,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "reliability ranking requires offering history")
             }
             ServiceError::BadRanking(msg) => write!(f, "bad ranking: {msg}"),
+            ServiceError::InvalidCursor(msg) => write!(f, "invalid cursor: {msg}"),
             ServiceError::Explore(err) => write!(f, "{err}"),
         }
     }
@@ -70,15 +101,21 @@ impl From<ExploreError> for ServiceError {
     }
 }
 
+/// The wire API version stamped into every [`ExplorationResponse`].
+pub const API_VERSION: u32 = 1;
+
 /// The service's answer, ready for the visualizer (serializable).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case")]
 pub enum ExplorationResponse {
     /// `OutputMode::Count` result.
     Counts {
-        /// Maximal paths explored.
+        /// Wire API version ([`API_VERSION`]).
+        #[serde(default)]
+        api_version: u32,
+        /// Maximal paths explored. Cumulative across resumed pages.
         total_paths: u128,
-        /// Goal-satisfying paths found.
+        /// Goal-satisfying paths found. Cumulative across resumed pages.
         goal_paths: u128,
         /// Exploration counters.
         stats: ExploreStats,
@@ -86,22 +123,36 @@ pub enum ExplorationResponse {
         /// (the counts are then lower bounds).
         #[serde(default)]
         truncated: bool,
+        /// Resume token for the next page, when the exploration stopped
+        /// early and a cursor was retained. Filled by the serving layer.
+        #[serde(default)]
+        next_cursor: Option<String>,
         /// Wall-clock time spent servicing the request.
         millis: u128,
     },
     /// `OutputMode::Collect` result: up to `limit` paths plus whether more
     /// exist beyond the limit.
     Paths {
+        /// Wire API version ([`API_VERSION`]).
+        #[serde(default)]
+        api_version: u32,
         /// The materialized paths (goal paths for goal-driven runs).
         paths: Vec<Path>,
-        /// Whether more paths exist beyond the requested limit, or the
-        /// wall-clock budget expired before the collection finished.
+        /// Whether more paths exist beyond the requested limit or page, or
+        /// the wall-clock budget expired before the collection finished.
         truncated: bool,
+        /// Resume token for the next page, when the exploration stopped
+        /// early and a cursor was retained. Filled by the serving layer.
+        #[serde(default)]
+        next_cursor: Option<String>,
         /// Wall-clock time spent servicing the request.
         millis: u128,
     },
     /// `OutputMode::TopK` result, lowest cost first.
     Ranked {
+        /// Wire API version ([`API_VERSION`]).
+        #[serde(default)]
+        api_version: u32,
         /// Name of the ranking that ordered the paths.
         ranking: String,
         /// The top-k paths, lowest cost first.
@@ -110,6 +161,10 @@ pub enum ExplorationResponse {
         /// found (the returned prefix is still best-first-correct).
         #[serde(default)]
         truncated: bool,
+        /// Resume token for the next page, when the exploration stopped
+        /// early and a cursor was retained. Filled by the serving layer.
+        #[serde(default)]
+        next_cursor: Option<String>,
         /// Wall-clock time spent servicing the request.
         millis: u128,
     },
@@ -117,12 +172,32 @@ pub enum ExplorationResponse {
 
 impl ExplorationResponse {
     /// The response's truncation marker: whether the exploration stopped
-    /// early (output limit reached or wall-clock budget expired).
+    /// early (output limit reached, page filled, or wall-clock budget
+    /// expired).
     pub fn truncated(&self) -> bool {
         match self {
             ExplorationResponse::Counts { truncated, .. }
             | ExplorationResponse::Paths { truncated, .. }
             | ExplorationResponse::Ranked { truncated, .. } => *truncated,
+        }
+    }
+
+    /// The resume token for the next page, if one was issued.
+    pub fn next_cursor(&self) -> Option<&str> {
+        match self {
+            ExplorationResponse::Counts { next_cursor, .. }
+            | ExplorationResponse::Paths { next_cursor, .. }
+            | ExplorationResponse::Ranked { next_cursor, .. } => next_cursor.as_deref(),
+        }
+    }
+
+    /// Sets the resume token (the serving layer calls this after storing
+    /// the page's cursor in its session store).
+    pub fn set_next_cursor(&mut self, token: Option<String>) {
+        match self {
+            ExplorationResponse::Counts { next_cursor, .. }
+            | ExplorationResponse::Paths { next_cursor, .. }
+            | ExplorationResponse::Ranked { next_cursor, .. } => *next_cursor = token,
         }
     }
 }
@@ -182,7 +257,10 @@ impl<'a> NavigatorService<'a> {
         }
     }
 
-    fn resolve_ranking(&self, spec: &RankingSpec) -> Result<Arc<dyn Ranking + 'a>, ServiceError> {
+    pub(crate) fn resolve_ranking(
+        &self,
+        spec: &RankingSpec,
+    ) -> Result<Arc<dyn Ranking + 'a>, ServiceError> {
         match spec {
             RankingSpec::Time => Ok(Arc::new(TimeRanking)),
             RankingSpec::Workload => Ok(Arc::new(WorkloadRanking)),
@@ -311,10 +389,12 @@ impl<'a> NavigatorService<'a> {
                     ControlFlow::Continue(())
                 });
                 Ok(ExplorationResponse::Counts {
+                    api_version: API_VERSION,
                     total_paths: counts.total_paths,
                     goal_paths: counts.goal_paths,
                     stats,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -339,8 +419,10 @@ impl<'a> NavigatorService<'a> {
                     ControlFlow::Continue(())
                 });
                 Ok(ExplorationResponse::Paths {
+                    api_version: API_VERSION,
                     paths,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -352,9 +434,11 @@ impl<'a> NavigatorService<'a> {
                 let ranking = self.resolve_ranking(spec)?;
                 let (paths, truncated) = explorer.top_k_until(ranking.as_ref(), k, deadline)?;
                 Ok(ExplorationResponse::Ranked {
+                    api_version: API_VERSION,
                     ranking: ranking.name().to_string(),
                     paths,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -376,10 +460,12 @@ impl<'a> NavigatorService<'a> {
                 let (counts, truncated) =
                     explorer.count_paths_parallel_until(parallelism, deadline);
                 Ok(ExplorationResponse::Counts {
+                    api_version: API_VERSION,
                     total_paths: counts.total_paths,
                     goal_paths: counts.goal_paths,
                     stats: counts.stats,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -387,8 +473,10 @@ impl<'a> NavigatorService<'a> {
                 let (paths, truncated) =
                     explorer.collect_paths_parallel_until(parallelism, limit, deadline);
                 Ok(ExplorationResponse::Paths {
+                    api_version: API_VERSION,
                     paths,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }
@@ -401,9 +489,11 @@ impl<'a> NavigatorService<'a> {
                 let (paths, truncated) =
                     explorer.top_k_parallel_until(ranking.as_ref(), k, parallelism, deadline)?;
                 Ok(ExplorationResponse::Ranked {
+                    api_version: API_VERSION,
                     ranking: ranking.name().to_string(),
                     paths,
                     truncated,
+                    next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
             }

@@ -12,6 +12,8 @@
 
 use coursenav_catalog::CourseSet;
 
+use crate::cursor::{FrameState, StreamCursor};
+use crate::error::ExploreError;
 use crate::expand::SelectionIter;
 use crate::explorer::{Disposition, Explorer};
 use crate::path::{LeafKind, Path};
@@ -62,6 +64,84 @@ impl<'c> Explorer<'c> {
             .filter(|(_, kind)| *kind == LeafKind::Goal)
             .map(|(path, _)| path)
     }
+
+    /// Rebuilds a [`PathStream`] from a frontier snapshot taken by
+    /// [`PathStream::cursor`] on a stream of this same exploration. The
+    /// resumed stream yields exactly the paths the paused one still had,
+    /// and its final [`PathStream::stats`] match an uninterrupted run.
+    ///
+    /// Every step of the snapshot is re-validated against the catalog (the
+    /// spine is replayed from the start node, never trusted), so a
+    /// tampered or foreign cursor yields [`ExploreError::InvalidCursor`]
+    /// rather than a panic or an impossible path.
+    pub fn resume_paths_iter(
+        &self,
+        cursor: &StreamCursor,
+    ) -> Result<PathStream<'_, 'c>, ExploreError> {
+        let invalid = |msg: &str| ExploreError::InvalidCursor(msg.to_string());
+        if cursor.fresh {
+            if !cursor.frames.is_empty() || !cursor.selections.is_empty() {
+                return Err(invalid("a fresh cursor cannot carry frontier state"));
+            }
+            let mut stream = self.paths_iter();
+            stream.stats = cursor.stats;
+            return Ok(stream);
+        }
+        if cursor.frames.is_empty() {
+            if !cursor.selections.is_empty() {
+                return Err(invalid("an exhausted cursor cannot carry selections"));
+            }
+            return Ok(PathStream {
+                explorer: self,
+                pruner: self.pruner(),
+                statuses: Vec::new(),
+                selections: Vec::new(),
+                frames: Vec::new(),
+                stats: cursor.stats,
+                fresh: false,
+            });
+        }
+        if cursor.selections.len() + 1 != cursor.frames.len() {
+            return Err(invalid("frontier depth does not match its selections"));
+        }
+        // Replay the DFS spine from the start node, validating each step.
+        let mut statuses = vec![*self.start()];
+        for selection in &cursor.selections {
+            let status = statuses.last().expect("spine starts nonempty");
+            if status.semester() >= self.deadline() {
+                return Err(invalid("frontier extends past the deadline"));
+            }
+            if selection.len() > self.max_per_semester() {
+                return Err(invalid("selection exceeds the per-semester cap"));
+            }
+            if !selection.is_subset(status.options()) {
+                return Err(invalid("selection is not drawn from the node's options"));
+            }
+            statuses.push(status.advance(self.catalog(), selection));
+        }
+        // Rebuild each frame's selection iterator over its node's options.
+        let mut frames = Vec::with_capacity(cursor.frames.len());
+        for (state, status) in cursor.frames.iter().zip(&statuses) {
+            let iter =
+                SelectionIter::resume(status.options(), self.max_per_semester(), &state.iter)
+                    .ok_or_else(|| invalid("selection-iterator state is inconsistent"))?;
+            frames.push(Frame {
+                iter,
+                min_selection: state.min_selection as usize,
+                emitted: state.emitted as usize,
+                floor_skipped: state.floor_skipped as usize,
+            });
+        }
+        Ok(PathStream {
+            explorer: self,
+            pruner: self.pruner(),
+            statuses,
+            selections: cursor.selections.clone(),
+            frames,
+            stats: cursor.stats,
+            fresh: false,
+        })
+    }
 }
 
 impl PathStream<'_, '_> {
@@ -69,6 +149,28 @@ impl PathStream<'_, '_> {
     /// is exhausted).
     pub fn stats(&self) -> &ExploreStats {
         &self.stats
+    }
+
+    /// Snapshots the paused DFS frontier (plus accumulated stats) so the
+    /// exploration can be resumed later — possibly in another process —
+    /// with [`Explorer::resume_paths_iter`]. Call between [`Iterator::next`]
+    /// calls; the snapshot is O(depth) regardless of how many paths remain.
+    pub fn cursor(&self) -> StreamCursor {
+        StreamCursor {
+            selections: self.selections.clone(),
+            frames: self
+                .frames
+                .iter()
+                .map(|f| FrameState {
+                    iter: f.iter.state(),
+                    min_selection: f.min_selection as u32,
+                    emitted: f.emitted as u64,
+                    floor_skipped: f.floor_skipped as u64,
+                })
+                .collect(),
+            fresh: self.fresh,
+            stats: self.stats,
+        }
     }
 
     fn current_path(&self) -> Path {
@@ -241,6 +343,81 @@ mod tests {
         let mut stream = e.paths_iter();
         for _ in stream.by_ref() {}
         assert_eq!(*stream.stats(), visitor_stats);
+    }
+
+    #[test]
+    fn snapshot_resume_yields_exact_suffix_everywhere() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start + 3, 2).unwrap();
+        let all: Vec<_> = e.paths_iter().collect();
+        let final_stats = {
+            let mut st = e.paths_iter();
+            for _ in st.by_ref() {}
+            *st.stats()
+        };
+        for k in 0..=all.len() {
+            let mut stream = e.paths_iter();
+            for _ in 0..k {
+                stream.next().expect("prefix within bounds");
+            }
+            // Round-trip the cursor through JSON, as the serving layer does.
+            let json = serde_json::to_string(&stream.cursor()).expect("cursor serializes");
+            let cursor: StreamCursor = serde_json::from_str(&json).expect("cursor parses");
+            let mut resumed = e.resume_paths_iter(&cursor).expect("cursor is valid");
+            let suffix: Vec<_> = resumed.by_ref().collect();
+            assert_eq!(suffix, all[k..].to_vec(), "k={k}");
+            assert_eq!(*resumed.stats(), final_stats, "k={k}");
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_matches_on_goal_runs_with_pruning() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let all: Vec<_> = e.paths_iter().collect();
+        assert!(all.len() > 10);
+        for k in (0..=all.len()).step_by(7) {
+            let mut stream = e.paths_iter();
+            for _ in 0..k {
+                stream.next().expect("prefix within bounds");
+            }
+            let resumed = e
+                .resume_paths_iter(&stream.cursor())
+                .expect("cursor is valid");
+            let suffix: Vec<_> = resumed.collect();
+            assert_eq!(suffix, all[k..].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn tampered_cursors_error_instead_of_panicking() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let e = Explorer::deadline_driven(&s.catalog, start, s.start + 3, 2).unwrap();
+        let mut stream = e.paths_iter();
+        for _ in 0..5 {
+            stream.next().expect("enough paths");
+        }
+        let good = stream.cursor();
+        assert!(!good.frames.is_empty(), "mid-stream cursor has a frontier");
+        assert!(e.resume_paths_iter(&good).is_ok());
+
+        let mut misaligned = good.clone();
+        misaligned.selections.push(CourseSet::EMPTY);
+        assert!(e.resume_paths_iter(&misaligned).is_err());
+
+        let mut bad_indices = good.clone();
+        if let Some(frame) = bad_indices.frames.first_mut() {
+            frame.iter.indices = vec![900, 901];
+        }
+        assert!(e.resume_paths_iter(&bad_indices).is_err());
+
+        let mut fresh_with_state = good.clone();
+        fresh_with_state.fresh = true;
+        assert!(e.resume_paths_iter(&fresh_with_state).is_err());
     }
 
     #[test]

@@ -69,6 +69,8 @@ fn arb_request() -> impl Strategy<Value = ExplorationRequest> {
                     ranking,
                     output,
                     budget_ms: None,
+                    page_size: None,
+                    cursor: None,
                 }
             },
         )

@@ -232,16 +232,36 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         204 => "No Content",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// The default machine-readable error code for a status, used when the
+/// handler has no more specific one (engine errors map their own codes).
+fn default_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad-request",
+        404 => "not-found",
+        405 => "method-not-allowed",
+        408 => "request-timeout",
+        410 => "gone",
+        413 => "payload-too-large",
+        422 => "unprocessable",
+        431 => "request-head-too-large",
+        500 => "internal",
+        503 => "overloaded",
+        _ => "error",
     }
 }
 
@@ -269,13 +289,33 @@ impl Response {
         }
     }
 
-    /// The standard error body: `{"error": "..."}`.
+    /// The standard typed error body with the status's default code:
+    /// `{"error":{"code":"...","message":"...","retryable":false}}`.
     pub fn error(status: u16, message: &str) -> Response {
+        // Only overload (503) and timeouts (408) are worth retrying
+        // verbatim; every other failure needs a changed request.
+        let retryable = matches!(status, 408 | 503);
+        Response::error_coded(status, default_code(status), message, retryable)
+    }
+
+    /// A typed error body with an explicit machine-readable `code` —
+    /// stable kebab-case identifiers clients can switch on, independent
+    /// of the human-readable message.
+    pub fn error_coded(status: u16, code: &str, message: &str, retryable: bool) -> Response {
         let body = serde_json::to_string(&serde_json::Value::Object(vec![(
             "error".to_string(),
-            serde_json::Value::Str(message.to_string()),
+            serde_json::Value::Object(vec![
+                ("code".to_string(), serde_json::Value::Str(code.to_string())),
+                (
+                    "message".to_string(),
+                    serde_json::Value::Str(message.to_string()),
+                ),
+                ("retryable".to_string(), serde_json::Value::Bool(retryable)),
+            ]),
         )]))
-        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        .unwrap_or_else(|_| {
+            "{\"error\":{\"code\":\"internal\",\"message\":\"\",\"retryable\":false}}".to_string()
+        });
         Response::json(status, body)
     }
 }
@@ -304,6 +344,53 @@ pub fn write_response<W: Write>(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Starts a `Transfer-Encoding: chunked` response: the streaming route's
+/// framing, where the body length is unknown until the exploration ends.
+/// Follow with any number of [`write_chunk`]s and one [`finish_chunks`].
+/// Chunked framing is self-delimiting, but the stream route still closes
+/// the connection afterwards, so the head says so.
+pub fn write_chunked_head<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one chunk (hex length, CRLF, payload, CRLF) and flushes it so
+/// the client sees each path the moment the engine yields it. Empty
+/// payloads are skipped — a zero-length chunk would terminate the body.
+pub fn write_chunk<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", payload.len())?;
+    stream.write_all(payload)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked body (the zero-length chunk, no trailers).
+pub fn finish_chunks<W: Write>(stream: &mut W) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 
@@ -442,7 +529,53 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("connection: close\r\n"));
-        assert!(text.contains("{\"error\":\"no such route\"}"));
+        assert!(text.contains(
+            "{\"error\":{\"code\":\"not-found\",\"message\":\"no such route\",\"retryable\":false}}"
+        ));
+    }
+
+    #[test]
+    fn error_bodies_are_typed_with_stable_codes() {
+        let resp = Response::error_coded(400, "invalid-cursor", "bad MAC", false);
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":{\"code\":\"invalid-cursor\",\"message\":\"bad MAC\",\"retryable\":false}}"
+        );
+        // Status-derived defaults: overload is retryable, client errors not.
+        let shed = Response::error(503, "queue full");
+        assert!(String::from_utf8(shed.body)
+            .unwrap()
+            .contains("\"code\":\"overloaded\",\"message\":\"queue full\",\"retryable\":true"));
+        let bad = Response::error(422, "nope");
+        assert!(String::from_utf8(bad.body)
+            .unwrap()
+            .contains("\"retryable\":false"));
+    }
+
+    #[test]
+    fn chunked_writer_frames_each_chunk_and_terminates() {
+        let mut out = Vec::new();
+        write_chunked_head(
+            &mut out,
+            200,
+            "application/x-ndjson",
+            &[("x-cache".into(), "bypass".into())],
+        )
+        .unwrap();
+        write_chunk(&mut out, b"{\"path\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"{\"done\":true}\n").unwrap();
+        finish_chunks(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("x-cache: bypass\r\n"));
+        assert!(!text.contains("content-length"));
+        let body = text.split_once("\r\n\r\n").unwrap().1;
+        assert_eq!(
+            body,
+            "b\r\n{\"path\":1}\n\r\ne\r\n{\"done\":true}\n\r\n0\r\n\r\n"
+        );
     }
 
     #[test]

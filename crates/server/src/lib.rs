@@ -20,15 +20,23 @@
 //!    engine itself can fan first-level subtrees across cores
 //!    (`parallelism`) without changing a byte of the answer.
 //!
-//! Routes:
+//! Routes (wire API v1; unprefixed spellings answer `308` redirects):
 //!
-//! | Route                    | Meaning                                      |
-//! |--------------------------|----------------------------------------------|
-//! | `POST /explore`          | JSON [`ExplorationRequest`] → [`ExplorationResponse`] |
-//! | `GET /catalog`           | the catalog as JSON                          |
-//! | `GET /healthz`           | liveness probe                               |
-//! | `GET /metrics`           | live counters ([`MetricsSnapshot`])          |
-//! | `POST /cache/invalidate` | drop every cached response                   |
+//! | Route                       | Meaning                                   |
+//! |-----------------------------|-------------------------------------------|
+//! | `POST /v1/explore`          | JSON [`ExplorationRequest`] → [`ExplorationResponse`]; `page_size`/`cursor` page it |
+//! | `POST /v1/explore/stream`   | the same exploration as chunked NDJSON, one path per line |
+//! | `GET /v1/catalog`           | the catalog as JSON                       |
+//! | `GET /v1/healthz`           | liveness probe                            |
+//! | `GET /v1/metrics`           | live counters ([`MetricsSnapshot`])       |
+//! | `POST /v1/cache/invalidate` | drop every cached response                |
+//!
+//! Paged explorations are *resumable sessions*: a truncated page carries
+//! `next_cursor`, an opaque signed token the [`session`] store resolves
+//! back to the engine's serialized DFS frontier. Resuming continues the
+//! exploration exactly where it paused — concatenated pages are
+//! byte-identical to one unpaged run. Paged requests bypass the response
+//! cache and singleflight (each page is single-use by construction).
 //!
 //! No async runtime, no HTTP framework: `std::net` sockets, a crossbeam
 //! channel, and parking_lot locks. See [`http`] for the wire protocol,
@@ -40,6 +48,7 @@ pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod session;
 pub mod singleflight;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,7 +57,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use coursenav_navigator::{ExplorationRequest, NavigatorService};
+use std::ops::ControlFlow;
+
+use coursenav_navigator::{
+    ExplorationCursor, ExplorationRequest, NavigatorService, ServiceError, StreamedItem,
+};
 use coursenav_registrar::{json::catalog_to_json, RegistrarData};
 use parking_lot::RwLock;
 
@@ -56,6 +69,7 @@ use cache::ResponseCache;
 use http::{ParseError, Request, Response};
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
+use session::{SessionError, SessionStore};
 use singleflight::{Published, Role, Singleflight};
 
 /// Server tuning knobs. `Default` is sized for an interactive deployment.
@@ -80,6 +94,11 @@ pub struct ServerConfig {
     /// dealt across this many scoped workers. `1` runs sequentially;
     /// parallel answers are byte-identical to sequential ones.
     pub parallelism: usize,
+    /// Live resumable sessions kept at once; beyond it, the least
+    /// recently minted cursor is evicted (its token answers 410).
+    pub session_capacity: usize,
+    /// How long an unclaimed cursor stays resumable.
+    pub session_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +112,8 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(5),
             default_budget_ms: Some(10_000),
             parallelism: 1,
+            session_capacity: 1024,
+            session_ttl: Duration::from_secs(300),
         }
     }
 }
@@ -104,6 +125,7 @@ struct AppState {
     cache: ResponseCache,
     metrics: Metrics,
     flights: Singleflight,
+    sessions: SessionStore,
     default_budget_ms: Option<u64>,
     parallelism: usize,
 }
@@ -126,6 +148,7 @@ impl Server {
             cache: ResponseCache::new(config.cache_mb.max(1) * (1 << 20)),
             metrics: Metrics::new(),
             flights: Singleflight::new(),
+            sessions: SessionStore::new(config.session_capacity, config.session_ttl),
             default_budget_ms: config.default_budget_ms,
             parallelism: config.parallelism.max(1),
         });
@@ -168,7 +191,9 @@ impl Server {
 
     /// A point-in-time metrics snapshot (what `GET /metrics` serves).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.state.metrics.snapshot(self.state.cache.stats())
+        self.state
+            .metrics
+            .snapshot(self.state.cache.stats(), self.state.sessions.stats())
     }
 
     /// Replaces the registrar data and invalidates every cached response —
@@ -209,6 +234,18 @@ fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, kee
         let (response, keep_open) = match http::read_request(&mut conn, max_body, &mut carry) {
             Ok(request) => {
                 state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                // Streaming bypasses the buffered request→response shape:
+                // the handler owns the socket and writes chunks as the
+                // engine yields paths. Always closes when done — chunked
+                // framing is self-delimiting, but a mid-stream abort has
+                // no other way to signal failure.
+                if request.method == "POST" && request.path == "/v1/explore/stream" {
+                    let t0 = Instant::now();
+                    let status = explore_stream_catching_panics(state, &mut conn, &request);
+                    state.metrics.observe_latency(&request.path, t0.elapsed());
+                    state.metrics.count_status(status);
+                    return;
+                }
                 let keep = request.keep_alive;
                 let t0 = Instant::now();
                 let response = dispatch_catching_panics(state, &request);
@@ -256,8 +293,31 @@ fn dispatch_catching_panics(state: &AppState, request: &Request) -> Response {
     }
 }
 
+/// Every endpoint's unversioned spelling, redirected to `/v1` for one
+/// deprecation cycle (the pre-`/v1` wire API).
+const UNPREFIXED_ALIASES: [&str; 6] = [
+    "/explore",
+    "/explore/stream",
+    "/catalog",
+    "/healthz",
+    "/metrics",
+    "/cache/invalidate",
+];
+
 fn route(state: &AppState, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    let Some(path) = request.path.strip_prefix("/v1") else {
+        // Unprefixed spellings of known endpoints answer a permanent
+        // redirect so pre-v1 clients learn the new home; everything else
+        // is a plain 404.
+        if UNPREFIXED_ALIASES.contains(&request.path.as_str()) {
+            let mut resp = Response::error(308, "moved to the /v1 API");
+            resp.extra_headers
+                .push(("location".into(), format!("/v1{}", request.path)));
+            return resp;
+        }
+        return Response::error(404, "no such route");
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/explore") => explore(state, request),
         ("GET", "/catalog") => {
             let data = Arc::clone(&state.data.read());
@@ -268,7 +328,9 @@ fn route(state: &AppState, request: &Request) -> Response {
         }
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => {
-            let snapshot = state.metrics.snapshot(state.cache.stats());
+            let snapshot = state
+                .metrics
+                .snapshot(state.cache.stats(), state.sessions.stats());
             match serde_json::to_string(&snapshot) {
                 Ok(json) => Response::json(200, json),
                 Err(e) => Response::error(500, &e.to_string()),
@@ -278,8 +340,10 @@ fn route(state: &AppState, request: &Request) -> Response {
             let dropped = state.cache.invalidate_all();
             Response::json(200, format!("{{\"invalidated\":{dropped}}}"))
         }
-        // Right path, wrong verb → 405 with the allowed method.
-        (_, "/explore") | (_, "/cache/invalidate") => {
+        // Right path, wrong verb → 405 with the allowed method. The
+        // stream route lands here too: its POST is intercepted before
+        // dispatch, so any method that reaches route() is wrong.
+        (_, "/explore") | (_, "/cache/invalidate") | (_, "/explore/stream") => {
             let mut resp = Response::error(405, "method not allowed");
             resp.extra_headers.push(("allow".into(), "POST".into()));
             resp
@@ -321,6 +385,13 @@ fn explore(state: &AppState, request: &Request) -> Response {
     // weighted ranking's reported costs depend on the weight scale. The
     // canonical scale (largest weight = 1) is the one the cache stores.
     let req = req.canonicalize();
+
+    // Paged requests are resumable sessions: each page is single-use (its
+    // cursor is consumed on resume), so neither the response cache nor
+    // singleflight applies.
+    if req.cursor.is_some() || req.page_size.is_some() {
+        return explore_paged(state, &req);
+    }
 
     let key = req.cache_key();
     if let Some(cached) = state.cache.get(&key) {
@@ -428,7 +499,274 @@ fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, boo
                 Err(e) => (Response::error(500, &e.to_string()), false),
             }
         }
-        Err(e) => (Response::error(422, &e.to_string()), false),
+        Err(e) => (engine_error(&e), false),
+    }
+}
+
+/// Maps an engine failure to its typed wire error: the stable kebab-case
+/// code from [`ServiceError::code`], under 400 for cursor problems (the
+/// client sent reusable garbage) and 422 otherwise (the request was
+/// well-formed but unservable).
+fn engine_error(e: &ServiceError) -> Response {
+    let status = if e.code() == "invalid-cursor" {
+        400
+    } else {
+        422
+    };
+    Response::error_coded(status, e.code(), &e.to_string(), e.retryable())
+}
+
+/// Resolves an opaque cursor token to the engine cursor it names,
+/// consuming the session. `Err` carries the ready-to-send refusal:
+/// 400 `invalid-cursor` for bad tokens, 410 `cursor-expired` for
+/// consumed/aged/evicted sessions.
+fn resolve_cursor(
+    state: &AppState,
+    token: Option<&str>,
+) -> Result<Option<ExplorationCursor>, Box<Response>> {
+    let Some(token) = token else {
+        return Ok(None);
+    };
+    let json = state.sessions.take(token).map_err(|e| {
+        let (status, code) = match e {
+            SessionError::Invalid => (400, "invalid-cursor"),
+            SessionError::Expired => (410, "cursor-expired"),
+        };
+        Box::new(Response::error_coded(status, code, &e.to_string(), false))
+    })?;
+    match ExplorationCursor::from_json(&json) {
+        Ok(cursor) => Ok(Some(cursor)),
+        // The store only holds JSON the engine minted, so this is a
+        // server-side defect, not client input — but refusing the token
+        // beats serving a wrong page.
+        Err(e) => Err(Box::new(Response::error_coded(
+            500,
+            "internal",
+            &format!("stored cursor failed to parse: {e}"),
+            false,
+        ))),
+    }
+}
+
+/// One page of a resumable exploration: resolve the token, run the engine
+/// up to `page_size` results, and mint the next token when the
+/// exploration pauses with more to deliver.
+fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
+    state.metrics.explore_paged.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .explore_computed
+        .fetch_add(1, Ordering::Relaxed);
+    let cursor = match resolve_cursor(state, req.cursor.as_deref()) {
+        Ok(cursor) => cursor,
+        Err(resp) => return *resp,
+    };
+    let deadline = req
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let data = Arc::clone(&state.data.read());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+    match service.run_page(req, cursor.as_ref(), deadline) {
+        Ok(mut outcome) => {
+            if outcome.response.truncated() {
+                state
+                    .metrics
+                    .explore_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
+            outcome.response.set_next_cursor(token);
+            match serde_json::to_string(&outcome.response) {
+                Ok(json) => with_x_cache(Response::json(200, json), "bypass"),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// [`explore_stream`] behind the same panic firewall as buffered routes.
+/// A panic after the chunked head is on the wire cannot be turned into an
+/// error response; dropping the connection mid-body is the signal.
+fn explore_stream_catching_panics(
+    state: &AppState,
+    conn: &mut TcpStream,
+    request: &Request,
+) -> u16 {
+    std::panic::catch_unwind(AssertUnwindSafe(|| explore_stream(state, conn, request)))
+        .unwrap_or(500)
+}
+
+/// Serializes one streamed line: `{"path":...}` or `{"ranked":...}`.
+fn stream_line(item: StreamedItem<'_>) -> Vec<u8> {
+    let value = match item {
+        StreamedItem::Path(p) => {
+            serde_json::Value::Object(vec![("path".to_string(), serde_json::to_value(p))])
+        }
+        StreamedItem::Ranked(r) => {
+            serde_json::Value::Object(vec![("ranked".to_string(), serde_json::to_value(r))])
+        }
+    };
+    let mut line = serde_json::to_string(&value)
+        .unwrap_or_default()
+        .into_bytes();
+    line.push(b'\n');
+    line
+}
+
+/// `POST /v1/explore/stream`: the same exploration (and the same
+/// resumable-session semantics) as `/v1/explore`, delivered as chunked
+/// NDJSON — one path per line the moment the engine yields it, then one
+/// final `{"done":<response>}` line whose `paths` are cleared (they were
+/// already streamed) and whose `next_cursor` carries the resume token.
+/// Returns the status to account under `/metrics`.
+fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+    state
+        .metrics
+        .explore_requests
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .explore_streamed
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .explore_computed
+        .fetch_add(1, Ordering::Relaxed);
+    // Before any chunk is written, failures are ordinary buffered
+    // responses on the same socket.
+    fn fail(conn: &mut TcpStream, resp: Response) -> u16 {
+        let status = resp.status;
+        let _ = http::write_response(conn, &resp, false);
+        status
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return fail(conn, Response::error(400, "body is not UTF-8")),
+    };
+    let req = match ExplorationRequest::from_json(body) {
+        Ok(req) => req,
+        Err(e) => {
+            return fail(
+                conn,
+                Response::error(400, &format!("bad exploration request: {e}")),
+            )
+        }
+    };
+    let req = req.canonicalize();
+    let cursor = match resolve_cursor(state, req.cursor.as_deref()) {
+        Ok(cursor) => cursor,
+        Err(resp) => return fail(conn, *resp),
+    };
+    let deadline = req
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let data = Arc::clone(&state.data.read());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+
+    // The chunked head goes out lazily, on the first streamed line: every
+    // error the engine can detect up front still gets a proper status.
+    let mut head_written = false;
+    let mut io_failed = false;
+    let result = {
+        let mut sink = |item: StreamedItem<'_>| -> ControlFlow<()> {
+            if !head_written {
+                if http::write_chunked_head(
+                    conn,
+                    200,
+                    "application/x-ndjson",
+                    &[("x-cache".to_string(), "bypass".to_string())],
+                )
+                .is_err()
+                {
+                    io_failed = true;
+                    return ControlFlow::Break(());
+                }
+                head_written = true;
+            }
+            if http::write_chunk(conn, &stream_line(item)).is_err() {
+                io_failed = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        };
+        service.run_page_with(&req, cursor.as_ref(), deadline, Some(&mut sink))
+    };
+    match result {
+        Ok(_) if io_failed => 200, // the client hung up mid-stream
+        Ok(mut outcome) => {
+            if outcome.response.truncated() {
+                state
+                    .metrics
+                    .explore_truncated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
+            outcome.response.set_next_cursor(token);
+            // The summary line: the response minus the already-streamed
+            // paths. The response serializes as {"<variant>": {fields}},
+            // so the `paths` field to clear sits one level down.
+            let mut done = serde_json::to_value(&outcome.response);
+            if let serde_json::Value::Object(variants) = &mut done {
+                for (_, body) in variants.iter_mut() {
+                    if let serde_json::Value::Object(fields) = body {
+                        for (key, value) in fields.iter_mut() {
+                            if key == "paths" {
+                                *value = serde_json::Value::Array(Vec::new());
+                            }
+                        }
+                    }
+                }
+            }
+            let envelope = serde_json::Value::Object(vec![("done".to_string(), done)]);
+            let mut line = serde_json::to_string(&envelope)
+                .unwrap_or_default()
+                .into_bytes();
+            line.push(b'\n');
+            if !head_written
+                && http::write_chunked_head(
+                    conn,
+                    200,
+                    "application/x-ndjson",
+                    &[("x-cache".to_string(), "bypass".to_string())],
+                )
+                .is_err()
+            {
+                return 200;
+            }
+            let _ = http::write_chunk(conn, &line);
+            let _ = http::finish_chunks(conn);
+            200
+        }
+        Err(e) => {
+            let resp = engine_error(&e);
+            if head_written {
+                // Mid-stream failure: the 200 head is already on the
+                // wire, so the typed error rides the last line instead.
+                let mut line = Vec::with_capacity(resp.body.len() + 1);
+                line.extend_from_slice(&resp.body);
+                line.push(b'\n');
+                let _ = http::write_chunk(conn, &line);
+                let _ = http::finish_chunks(conn);
+                resp.status
+            } else {
+                fail(conn, resp)
+            }
+        }
     }
 }
 

@@ -5,11 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::session::SessionStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
 /// the known paths land in `other`.
-pub const ROUTES: [&str; 6] = [
+pub const ROUTES: [&str; 7] = [
     "explore",
+    "explore-stream",
     "catalog",
     "healthz",
     "metrics",
@@ -33,12 +35,16 @@ fn bucket_index(ms: u64) -> usize {
 
 /// The route label a request path is accounted under.
 pub fn route_label(path: &str) -> &'static str {
+    // Unprefixed aliases only ever answer a 308 redirect, but they are
+    // accounted under the route they alias — the redirect latency belongs
+    // with the endpoint clients meant to hit.
     match path {
-        "/explore" => "explore",
-        "/catalog" => "catalog",
-        "/healthz" => "healthz",
-        "/metrics" => "metrics",
-        "/cache/invalidate" => "cache-invalidate",
+        "/v1/explore" | "/explore" => "explore",
+        "/v1/explore/stream" | "/explore/stream" => "explore-stream",
+        "/v1/catalog" | "/catalog" => "catalog",
+        "/v1/healthz" | "/healthz" => "healthz",
+        "/v1/metrics" | "/metrics" => "metrics",
+        "/v1/cache/invalidate" | "/cache/invalidate" => "cache-invalidate",
         _ => "other",
     }
 }
@@ -115,6 +121,11 @@ pub struct Metrics {
     pub explore_coalesced: AtomicU64,
     /// Cumulative milliseconds followers spent waiting on a leader.
     pub explore_wait_ms: AtomicU64,
+    /// Pages served to cursor-carrying or page-sized requests (the
+    /// resumable-session path, which bypasses the cache).
+    pub explore_paged: AtomicU64,
+    /// Explorations streamed as NDJSON over `POST /v1/explore/stream`.
+    pub explore_streamed: AtomicU64,
     /// Responses with a 4xx status.
     pub client_errors: AtomicU64,
     /// Responses with a 5xx status (handler panics and shed connections
@@ -138,6 +149,8 @@ impl Metrics {
             explore_truncated: AtomicU64::new(0),
             explore_coalesced: AtomicU64::new(0),
             explore_wait_ms: AtomicU64::new(0),
+            explore_paged: AtomicU64::new(0),
+            explore_streamed: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Histogram::new()),
@@ -164,8 +177,9 @@ impl Metrics {
         self.latency[idx].observe(elapsed);
     }
 
-    /// A serializable point-in-time view, merged with the cache's stats.
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    /// A serializable point-in-time view, merged with the cache's and
+    /// session store's stats.
+    pub fn snapshot(&self, cache: CacheStats, sessions: SessionStats) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -178,6 +192,8 @@ impl Metrics {
             explore_truncated: load(&self.explore_truncated),
             explore_coalesced: load(&self.explore_coalesced),
             explore_wait_ms: load(&self.explore_wait_ms),
+            explore_paged: load(&self.explore_paged),
+            explore_streamed: load(&self.explore_streamed),
             client_errors: load(&self.client_errors),
             server_errors: load(&self.server_errors),
             latency: ROUTES
@@ -186,6 +202,7 @@ impl Metrics {
                 .map(|(i, route)| self.latency[i].snapshot(route))
                 .collect(),
             cache,
+            sessions,
         }
     }
 }
@@ -236,6 +253,10 @@ pub struct MetricsSnapshot {
     pub explore_coalesced: u64,
     /// Cumulative milliseconds followers spent waiting on a leader.
     pub explore_wait_ms: u64,
+    /// Pages served on the resumable-session path.
+    pub explore_paged: u64,
+    /// Explorations streamed as NDJSON.
+    pub explore_streamed: u64,
     /// Responses with a 4xx status.
     pub client_errors: u64,
     /// Responses with a 5xx status (sheds included).
@@ -244,6 +265,8 @@ pub struct MetricsSnapshot {
     pub latency: Vec<HistogramSnapshot>,
     /// Response-cache statistics.
     pub cache: CacheStats,
+    /// Resumable-session store statistics.
+    pub sessions: SessionStats,
 }
 
 #[cfg(test)]
@@ -257,7 +280,7 @@ mod tests {
         m.count_status(200);
         m.count_status(404);
         m.count_status(500);
-        let snap = m.snapshot(CacheStats::default());
+        let snap = m.snapshot(CacheStats::default(), SessionStats::default());
         assert_eq!(snap.requests_total, 3);
         assert_eq!(snap.client_errors, 1);
         assert_eq!(snap.server_errors, 1);
@@ -266,11 +289,16 @@ mod tests {
     #[test]
     fn snapshot_serializes_with_kebab_keys() {
         let m = Metrics::new();
-        let json = serde_json::to_string(&m.snapshot(CacheStats::default())).unwrap();
+        let json =
+            serde_json::to_string(&m.snapshot(CacheStats::default(), SessionStats::default()))
+                .unwrap();
         assert!(json.contains("\"explore-cache-hits\":0"), "{json}");
         assert!(json.contains("\"explore-coalesced\":0"), "{json}");
         assert!(json.contains("\"explore-wait-ms\":0"), "{json}");
+        assert!(json.contains("\"explore-paged\":0"), "{json}");
+        assert!(json.contains("\"explore-streamed\":0"), "{json}");
         assert!(json.contains("\"cache\":{"), "{json}");
+        assert!(json.contains("\"sessions\":{"), "{json}");
         assert!(json.contains("\"latency\":["), "{json}");
         assert!(json.contains("\"route\":\"explore\""), "{json}");
     }
@@ -292,10 +320,12 @@ mod tests {
     #[test]
     fn latency_is_recorded_under_the_right_route() {
         let m = Metrics::new();
-        m.observe_latency("/explore", Duration::from_millis(5));
+        // Prefixed and unprefixed spellings account to the same route.
+        m.observe_latency("/v1/explore", Duration::from_millis(5));
         m.observe_latency("/explore", Duration::from_millis(900));
         m.observe_latency("/nope", Duration::from_millis(1));
-        let snap = m.snapshot(CacheStats::default());
+        m.observe_latency("/v1/explore/stream", Duration::from_millis(2));
+        let snap = m.snapshot(CacheStats::default(), SessionStats::default());
         let explore = snap.latency.iter().find(|h| h.route == "explore").unwrap();
         assert_eq!(explore.count, 2);
         assert_eq!(explore.sum_ms, 905);
@@ -303,6 +333,12 @@ mod tests {
         assert_eq!(explore.buckets[bucket_index(900)], 1);
         let other = snap.latency.iter().find(|h| h.route == "other").unwrap();
         assert_eq!(other.count, 1);
+        let stream = snap
+            .latency
+            .iter()
+            .find(|h| h.route == "explore-stream")
+            .unwrap();
+        assert_eq!(stream.count, 1);
         let idle = snap.latency.iter().find(|h| h.route == "healthz").unwrap();
         assert_eq!(idle.count, 0);
     }

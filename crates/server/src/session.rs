@@ -1,0 +1,408 @@
+//! Server-side store for resumable exploration sessions.
+//!
+//! A paged exploration ends each page with a serialized
+//! [`ExplorationCursor`](coursenav_navigator::ExplorationCursor). The
+//! frontier snapshot inside it is trusted state — it drives the engine's
+//! stack reconstruction — so it never leaves the server. Clients get an
+//! *opaque signed token* instead: `cn1.<id>.<mac>`, where the MAC is a
+//! SipHash-2-4 of the session id under a per-process secret key. A
+//! client cannot mint or alter a token without the key; a token whose MAC
+//! does not verify is rejected as [`SessionError::Invalid`] before the
+//! store is even consulted.
+//!
+//! Sessions have **take semantics**: resuming a page consumes its token
+//! (the next page carries a fresh one), so a replayed token answers
+//! [`SessionError::Expired`] — as does a token whose session aged out of
+//! the TTL or was evicted by the LRU capacity bound. The split matters to
+//! clients: `Invalid` (→ 400) means the token is garbage, `Expired`
+//! (→ 410) means it was once real but the session is gone.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Token prefix; bump it if the token format ever changes shape.
+const TOKEN_PREFIX: &str = "cn1";
+
+/// Why a token was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The token is malformed or its signature does not verify (→ 400).
+    Invalid,
+    /// The token was well-formed but its session is gone: already
+    /// consumed, aged out, or evicted (→ 410).
+    Expired,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Invalid => write!(f, "cursor token is invalid"),
+            SessionError::Expired => write!(f, "cursor session has expired"),
+        }
+    }
+}
+
+/// Point-in-time session-store statistics (serialized into `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct SessionStats {
+    /// Sessions minted (one per truncated page served).
+    pub created: u64,
+    /// Sessions resumed (tokens successfully taken).
+    pub resumed: u64,
+    /// Tokens rejected for bad format or signature.
+    pub invalid: u64,
+    /// Well-formed tokens whose session was gone (replay, TTL, eviction).
+    pub expired: u64,
+    /// Sessions dropped to make room or because their TTL lapsed.
+    pub evicted: u64,
+    /// Sessions currently live.
+    pub live: u64,
+}
+
+struct Entry {
+    cursor_json: String,
+    stamp: u64,
+    minted_at: Instant,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// Recency index: stamp → session id. Stamps are unique (one clock).
+    order: BTreeMap<u64, u64>,
+}
+
+/// Bounded, TTL-evicting store of live exploration cursors, addressed by
+/// signed opaque tokens.
+pub struct SessionStore {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ttl: Duration,
+    /// SipHash-2-4 key halves; per-process, so tokens do not survive a
+    /// restart (the sessions would not either).
+    key: (u64, u64),
+    /// Id/stamp source: ids are `splitmix64(seed + n)`, stamps are `n`.
+    seed: u64,
+    clock: AtomicU64,
+    created: AtomicU64,
+    resumed: AtomicU64,
+    invalid: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionStore {
+    /// A store holding at most `capacity` live sessions, each for at most
+    /// `ttl` after minting.
+    pub fn new(capacity: usize, ttl: Duration) -> SessionStore {
+        let seed = entropy();
+        SessionStore {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            ttl,
+            key: (
+                splitmix64(seed ^ 0x0073_6573_7369_6f6e), // "session"
+                splitmix64(seed ^ 0x0074_6f6b_656e),      // "token"
+            ),
+            seed,
+            clock: AtomicU64::new(0),
+            created: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `cursor_json` as a fresh session and returns its token.
+    pub fn mint(&self, cursor_json: String) -> String {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(
+            self.seed
+                .wrapping_add(stamp)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        let mut dropped = self.purge_expired(&mut inner, now);
+        while inner.map.len() >= self.capacity {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let victim = inner.order.remove(&oldest).expect("stamp just seen");
+            inner.map.remove(&victim);
+            dropped += 1;
+        }
+        inner.map.insert(
+            id,
+            Entry {
+                cursor_json,
+                stamp,
+                minted_at: now,
+            },
+        );
+        inner.order.insert(stamp, id);
+        drop(inner);
+        if dropped > 0 {
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        self.token_for(id)
+    }
+
+    /// Verifies `token` and consumes its session, returning the stored
+    /// cursor JSON. A consumed token cannot be taken twice.
+    pub fn take(&self, token: &str) -> Result<String, SessionError> {
+        let Some(id) = self.verify(token) else {
+            self.invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(SessionError::Invalid);
+        };
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        let dropped = self.purge_expired(&mut inner, now);
+        let taken = inner.map.remove(&id).map(|entry| {
+            inner.order.remove(&entry.stamp);
+            entry.cursor_json
+        });
+        drop(inner);
+        if dropped > 0 {
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        }
+        match taken {
+            Some(json) => {
+                self.resumed.fetch_add(1, Ordering::Relaxed);
+                Ok(json)
+            }
+            None => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                Err(SessionError::Expired)
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SessionStats {
+        let live = self.inner.lock().map.len() as u64;
+        SessionStats {
+            created: self.created.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            live,
+        }
+    }
+
+    fn token_for(&self, id: u64) -> String {
+        let mac = siphash24(self.key.0, self.key.1, &id.to_le_bytes());
+        format!("{TOKEN_PREFIX}.{id:016x}.{mac:016x}")
+    }
+
+    /// Parses and authenticates a token; `Some(id)` only when the MAC
+    /// verifies under this store's key.
+    fn verify(&self, token: &str) -> Option<u64> {
+        let rest = token.strip_prefix(TOKEN_PREFIX)?.strip_prefix('.')?;
+        let (id_hex, mac_hex) = rest.split_once('.')?;
+        if id_hex.len() != 16 || mac_hex.len() != 16 {
+            return None;
+        }
+        let id = u64::from_str_radix(id_hex, 16).ok()?;
+        let mac = u64::from_str_radix(mac_hex, 16).ok()?;
+        let expected = siphash24(self.key.0, self.key.1, &id.to_le_bytes());
+        (mac == expected).then_some(id)
+    }
+
+    /// Drops every session older than the TTL; returns how many.
+    fn purge_expired(&self, inner: &mut Inner, now: Instant) -> u64 {
+        let mut dropped = 0;
+        while let Some((&stamp, &id)) = inner.order.iter().next() {
+            let stale = inner
+                .map
+                .get(&id)
+                .is_none_or(|e| now.duration_since(e.minted_at) >= self.ttl);
+            if !stale {
+                // Order is insertion order and the TTL is fixed, so the
+                // oldest live entry bounds every other entry's age.
+                break;
+            }
+            inner.order.remove(&stamp);
+            if inner.map.remove(&id).is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+}
+
+/// Process-level entropy for the signing key and id stream. The vendored
+/// `rand` is deterministic by design (reproducible benchmarks), so the key
+/// comes from the wall clock, the pid, and ASLR instead.
+fn entropy() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    let stack = &nanos as *const u64 as u64;
+    splitmix64(nanos ^ (u64::from(std::process::id()) << 32) ^ stack.rotate_left(17))
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// SipHash-2-4 (Aumasson & Bernstein) over `data` under key `(k0, k1)`.
+fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    let mut v0 = k0 ^ 0x736f_6d65_7073_6575;
+    let mut v1 = k1 ^ 0x646f_7261_6e64_6f6d;
+    let mut v2 = k0 ^ 0x6c79_6765_6e65_7261;
+    let mut v3 = k1 ^ 0x7465_6462_7974_6573;
+
+    macro_rules! round {
+        () => {
+            v0 = v0.wrapping_add(v1);
+            v1 = v1.rotate_left(13);
+            v1 ^= v0;
+            v0 = v0.rotate_left(32);
+            v2 = v2.wrapping_add(v3);
+            v3 = v3.rotate_left(16);
+            v3 ^= v2;
+            v0 = v0.wrapping_add(v3);
+            v3 = v3.rotate_left(21);
+            v3 ^= v0;
+            v2 = v2.wrapping_add(v1);
+            v1 = v1.rotate_left(17);
+            v1 ^= v2;
+            v2 = v2.rotate_left(32);
+        };
+    }
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+        v3 ^= m;
+        round!();
+        round!();
+        v0 ^= m;
+    }
+    let tail = chunks.remainder();
+    let mut last = (data.len() as u64) << 56;
+    for (i, &b) in tail.iter().enumerate() {
+        last |= u64::from(b) << (8 * i);
+    }
+    v3 ^= last;
+    round!();
+    round!();
+    v0 ^= last;
+    v2 ^= 0xff;
+    round!();
+    round!();
+    round!();
+    round!();
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(capacity: usize) -> SessionStore {
+        SessionStore::new(capacity, Duration::from_secs(60))
+    }
+
+    #[test]
+    fn siphash24_matches_the_reference_vector() {
+        // The reference test vector from the SipHash paper (appendix A):
+        // key 00..0f, message 00..0e.
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24(k0, k1, &msg), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn mint_take_round_trips_and_consumes() {
+        let store = store(8);
+        let token = store.mint("{\"cursor\":1}".into());
+        assert!(token.starts_with("cn1."));
+        assert_eq!(store.take(&token).as_deref(), Ok("{\"cursor\":1}"));
+        // Take semantics: the same token replayed is gone, not invalid.
+        assert_eq!(store.take(&token), Err(SessionError::Expired));
+        let stats = store.stats();
+        assert_eq!((stats.created, stats.resumed, stats.expired), (1, 1, 1));
+        assert_eq!(stats.live, 0);
+    }
+
+    #[test]
+    fn tampered_and_malformed_tokens_are_invalid() {
+        let store = store(8);
+        let token = store.mint("{}".into());
+        // Flip one hex digit of the MAC.
+        let mut forged = token.clone();
+        let last = forged.pop().unwrap();
+        forged.push(if last == '0' { '1' } else { '0' });
+        assert_eq!(store.take(&forged), Err(SessionError::Invalid));
+        for junk in [
+            "",
+            "cn1",
+            "cn1..",
+            "cn1.zz.zz",
+            "cn2.0.0",
+            &token[..token.len() - 2],
+        ] {
+            assert_eq!(store.take(junk), Err(SessionError::Invalid), "{junk:?}");
+        }
+        // The genuine token still works after all the failed attempts.
+        assert_eq!(store.take(&token).as_deref(), Ok("{}"));
+        assert!(store.stats().invalid >= 6);
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_session() {
+        let store = store(2);
+        let first = store.mint("one".into());
+        let second = store.mint("two".into());
+        let third = store.mint("three".into());
+        assert_eq!(store.take(&first), Err(SessionError::Expired));
+        assert_eq!(store.take(&second).as_deref(), Ok("two"));
+        assert_eq!(store.take(&third).as_deref(), Ok("three"));
+        let stats = store.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.live, 0);
+    }
+
+    #[test]
+    fn ttl_expires_sessions() {
+        let store = SessionStore::new(8, Duration::from_millis(10));
+        let token = store.mint("stale".into());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(store.take(&token), Err(SessionError::Expired));
+        assert_eq!(store.stats().evicted, 1);
+        assert_eq!(store.stats().live, 0);
+    }
+
+    #[test]
+    fn tokens_from_another_store_do_not_verify() {
+        let a = store(8);
+        let b = store(8);
+        let token = a.mint("{}".into());
+        // A different process key means the MAC cannot verify.
+        assert_eq!(b.take(&token), Err(SessionError::Invalid));
+    }
+
+    #[test]
+    fn distinct_sessions_get_distinct_tokens() {
+        let store = store(64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50 {
+            assert!(seen.insert(store.mint(format!("{i}"))));
+        }
+    }
+}

@@ -86,6 +86,48 @@ impl Client {
                 (k.to_ascii_lowercase(), v.trim().to_string())
             })
             .collect();
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"));
+        if chunked {
+            // Decode chunked framing: hex size line, payload, CRLF, until
+            // the zero-length terminator chunk.
+            let mut body = Vec::new();
+            let mut pos = head_end;
+            loop {
+                let line_end = loop {
+                    if let Some(p) = buf[pos..].windows(2).position(|w| w == b"\r\n") {
+                        break pos + p;
+                    }
+                    let n = self.stream.read(&mut chunk).expect("read chunk size");
+                    assert!(n > 0, "connection closed mid-chunk");
+                    buf.extend_from_slice(&chunk[..n]);
+                };
+                let size = usize::from_str_radix(
+                    std::str::from_utf8(&buf[pos..line_end]).unwrap().trim(),
+                    16,
+                )
+                .expect("hex chunk size");
+                let data_start = line_end + 2;
+                while buf.len() < data_start + size + 2 {
+                    let n = self.stream.read(&mut chunk).expect("read chunk payload");
+                    assert!(n > 0, "connection closed mid-chunk");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                if size == 0 {
+                    pos = data_start + 2;
+                    break;
+                }
+                body.extend_from_slice(&buf[data_start..data_start + size]);
+                pos = data_start + size + 2;
+            }
+            self.carry = buf.split_off(pos);
+            return ClientResponse {
+                status,
+                headers,
+                body: String::from_utf8(body).unwrap(),
+            };
+        }
         let content_length: usize = headers
             .iter()
             .find(|(k, _)| k == "content-length")
@@ -123,7 +165,7 @@ fn count_request() -> ExplorationRequest {
 
 fn fetch_metrics(addr: std::net::SocketAddr) -> serde_json::Value {
     let mut client = Client::connect(addr);
-    let resp = client.send("GET", "/metrics", None);
+    let resp = client.send("GET", "/v1/metrics", None);
     assert_eq!(resp.status, 200);
     serde_json::from_str(&resp.body).expect("metrics is valid JSON")
 }
@@ -136,7 +178,7 @@ fn explore_answers_over_real_tcp() {
     let mut client = Client::connect(addr);
     let resp = client.send(
         "POST",
-        "/explore",
+        "/v1/explore",
         Some(&count_request().to_json().unwrap()),
     );
     assert_eq!(resp.status, 200, "{}", resp.body);
@@ -151,11 +193,11 @@ fn explore_answers_over_real_tcp() {
     assert_eq!(resp.header("x-cache"), Some("miss"));
 
     // Keep-alive: a second request rides the same connection.
-    let health = client.send("GET", "/healthz", None);
+    let health = client.send("GET", "/v1/healthz", None);
     assert_eq!(health.status, 200);
     assert!(health.body.contains("\"ok\""));
 
-    let catalog = client.send("GET", "/catalog", None);
+    let catalog = client.send("GET", "/v1/catalog", None);
     assert_eq!(catalog.status, 200);
     assert!(catalog.body.contains("COSI"), "catalog JSON lists courses");
 
@@ -193,7 +235,7 @@ fn concurrent_clients_hit_the_canonicalization_cache() {
             .map(|req| {
                 scope.spawn(move || {
                     let mut client = Client::connect(addr);
-                    let resp = client.send("POST", "/explore", Some(&req.to_json().unwrap()));
+                    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
                     assert_eq!(resp.status, 200, "{}", resp.body);
                     resp.body
                 })
@@ -253,7 +295,7 @@ fn saturated_queue_sheds_with_503() {
     // Occupy the single worker: a served response proves the worker owns
     // this connection's keep-alive loop.
     let mut busy = Client::connect(addr);
-    let resp = busy.send("GET", "/healthz", None);
+    let resp = busy.send("GET", "/v1/healthz", None);
     assert_eq!(resp.status, 200);
 
     // Fill the queue with a second (idle) connection...
@@ -303,28 +345,40 @@ fn malformed_and_unroutable_requests_get_4xx() {
     assert_eq!(resp.status, 400);
 
     // Valid HTTP, invalid JSON.
-    let resp = Client::connect(addr).send("POST", "/explore", Some("{not json"));
+    let resp = Client::connect(addr).send("POST", "/v1/explore", Some("{not json"));
     assert_eq!(resp.status, 400);
     assert!(resp.body.contains("bad exploration request"));
+    // Errors are typed: {"error":{"code":...,"message":...,"retryable":...}}.
+    assert!(
+        resp.body.contains("\"code\":\"bad-request\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"retryable\":false"), "{}", resp.body);
 
     // Valid JSON, invalid request (unknown course).
     let mut req = count_request();
     req.completed = vec!["GHOST 999".into()];
-    let resp = Client::connect(addr).send("POST", "/explore", Some(&req.to_json().unwrap()));
+    let resp = Client::connect(addr).send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
     assert_eq!(resp.status, 422);
     assert!(resp.body.contains("unknown course"));
+    assert!(
+        resp.body.contains("\"code\":\"unknown-course\""),
+        "{}",
+        resp.body
+    );
 
     // Unknown route and wrong method.
     let resp = Client::connect(addr).send("GET", "/nope", None);
     assert_eq!(resp.status, 404);
-    let resp = Client::connect(addr).send("GET", "/explore", None);
+    let resp = Client::connect(addr).send("GET", "/v1/explore", None);
     assert_eq!(resp.status, 405);
-    let resp = Client::connect(addr).send("POST", "/metrics", None);
+    let resp = Client::connect(addr).send("POST", "/v1/metrics", None);
     assert_eq!(resp.status, 405);
 
     // Oversized body.
     let huge = "x".repeat(8192);
-    let resp = Client::connect(addr).send("POST", "/explore", Some(&huge));
+    let resp = Client::connect(addr).send("POST", "/v1/explore", Some(&huge));
     assert_eq!(resp.status, 413);
 
     let metrics = fetch_metrics(addr);
@@ -349,7 +403,7 @@ fn deadline_bounded_topk_returns_truncated_partial() {
     let json = req.to_json().unwrap();
 
     let mut client = Client::connect(addr);
-    let resp = client.send("POST", "/explore", Some(&json));
+    let resp = client.send("POST", "/v1/explore", Some(&json));
     assert_eq!(resp.status, 200, "{}", resp.body);
     let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
     let ranked = &value["ranked"];
@@ -366,7 +420,7 @@ fn deadline_bounded_topk_returns_truncated_partial() {
     );
 
     // Truncated answers are never cached: the same request computes again.
-    let resp = client.send("POST", "/explore", Some(&json));
+    let resp = client.send("POST", "/v1/explore", Some(&json));
     assert_eq!(resp.header("x-cache"), Some("miss"));
 
     let metrics = fetch_metrics(addr);
@@ -380,12 +434,12 @@ fn deadline_bounded_topk_returns_truncated_partial() {
     // and subsequently hits.
     req.budget_ms = None;
     let json = req.to_json().unwrap();
-    let resp = client.send("POST", "/explore", Some(&json));
+    let resp = client.send("POST", "/v1/explore", Some(&json));
     assert_eq!(resp.status, 200);
     assert_eq!(resp.header("x-cache"), Some("miss"));
     let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
     assert_eq!(value["ranked"]["truncated"].as_bool(), Some(false));
-    let resp = client.send("POST", "/explore", Some(&json));
+    let resp = client.send("POST", "/v1/explore", Some(&json));
     assert_eq!(resp.header("x-cache"), Some("hit"));
 
     server.shutdown();
@@ -398,21 +452,21 @@ fn cache_invalidation_route_empties_the_cache() {
     let mut client = Client::connect(addr);
 
     let json = count_request().to_json().unwrap();
-    assert_eq!(client.send("POST", "/explore", Some(&json)).status, 200);
+    assert_eq!(client.send("POST", "/v1/explore", Some(&json)).status, 200);
     assert_eq!(
         client
-            .send("POST", "/explore", Some(&json))
+            .send("POST", "/v1/explore", Some(&json))
             .header("x-cache"),
         Some("hit")
     );
 
-    let resp = client.send("POST", "/cache/invalidate", None);
+    let resp = client.send("POST", "/v1/cache/invalidate", None);
     assert_eq!(resp.status, 200);
     assert!(resp.body.contains("\"invalidated\":1"), "{}", resp.body);
 
     assert_eq!(
         client
-            .send("POST", "/explore", Some(&json))
+            .send("POST", "/v1/explore", Some(&json))
             .header("x-cache"),
         Some("miss")
     );
@@ -433,7 +487,7 @@ fn pipelined_requests_share_one_connection() {
     client
         .stream
         .write_all(
-            b"GET /healthz HTTP/1.1\r\nhost: a\r\n\r\nGET /catalog HTTP/1.1\r\nhost: a\r\n\r\n",
+            b"GET /v1/healthz HTTP/1.1\r\nhost: a\r\n\r\nGET /v1/catalog HTTP/1.1\r\nhost: a\r\n\r\n",
         )
         .unwrap();
     let first = client.read_response();
@@ -446,7 +500,7 @@ fn pipelined_requests_share_one_connection() {
     // A pipelined POST pair works too: head + body + next request at once.
     let json = count_request().to_json().unwrap();
     let post = format!(
-        "POST /explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{json}GET /healthz HTTP/1.1\r\nhost: a\r\n\r\n",
+        "POST /v1/explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{json}GET /v1/healthz HTTP/1.1\r\nhost: a\r\n\r\n",
         json.len()
     );
     client.stream.write_all(post.as_bytes()).unwrap();
@@ -519,7 +573,7 @@ fn stampede_of_identical_cold_requests_computes_once() {
                 scope.spawn(|| {
                     let mut client = Client::connect(addr);
                     barrier.wait();
-                    let resp = client.send("POST", "/explore", Some(&json));
+                    let resp = client.send("POST", "/v1/explore", Some(&json));
                     let cache = resp.header("x-cache").map(str::to_string);
                     (resp.status, cache, resp.body)
                 })
@@ -632,8 +686,8 @@ fn parallel_server_answers_are_byte_identical_to_sequential() {
 
     for req in &requests {
         let json = req.to_json().unwrap();
-        let seq = Client::connect(sequential.local_addr()).send("POST", "/explore", Some(&json));
-        let par = Client::connect(parallel.local_addr()).send("POST", "/explore", Some(&json));
+        let seq = Client::connect(sequential.local_addr()).send("POST", "/v1/explore", Some(&json));
+        let par = Client::connect(parallel.local_addr()).send("POST", "/v1/explore", Some(&json));
         assert_eq!(seq.status, 200, "{}", seq.body);
         assert_eq!(par.status, 200, "{}", par.body);
         let normalize = |body: &str| {
@@ -650,4 +704,333 @@ fn parallel_server_answers_are_byte_identical_to_sequential() {
 
     sequential.shutdown();
     parallel.shutdown();
+}
+
+#[test]
+fn responses_carry_the_api_version() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    let resp = client.send(
+        "POST",
+        "/v1/explore",
+        Some(&count_request().to_json().unwrap()),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(
+        value["counts"]["api_version"].as_u64(),
+        Some(1),
+        "{}",
+        resp.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unprefixed_routes_redirect_permanently_to_v1() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    for (method, path) in [
+        ("GET", "/healthz"),
+        ("GET", "/catalog"),
+        ("GET", "/metrics"),
+        ("POST", "/explore"),
+        ("POST", "/explore/stream"),
+        ("POST", "/cache/invalidate"),
+    ] {
+        let resp = client.send(method, path, Some("{}"));
+        assert_eq!(resp.status, 308, "{method} {path}: {}", resp.body);
+        assert_eq!(
+            resp.header("location"),
+            Some(format!("/v1{path}").as_str()),
+            "{method} {path}"
+        );
+    }
+    // Following the redirect lands on the live endpoint; unknown paths
+    // stay plain 404s (no redirect guessing).
+    assert_eq!(client.send("GET", "/v1/healthz", None).status, 200);
+    assert_eq!(client.send("GET", "/nope", None).status, 404);
+    server.shutdown();
+}
+
+/// Fetches every page of `req` (which must already carry a `page_size`),
+/// asserting cache bypass and cursor-token shape along the way. Returns
+/// the concatenated `paths` arrays and the page count.
+fn fetch_all_pages(
+    client: &mut Client,
+    mut req: ExplorationRequest,
+) -> (Vec<serde_json::Value>, u64) {
+    let mut collected = Vec::new();
+    let mut pages = 0u64;
+    loop {
+        let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            resp.header("x-cache"),
+            Some("bypass"),
+            "paged requests bypass the response cache"
+        );
+        let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+        let page = &value["paths"];
+        assert_eq!(page["api_version"].as_u64(), Some(1));
+        for p in page["paths"].as_array().expect("paths array") {
+            collected.push(p.clone());
+        }
+        pages += 1;
+        assert!(pages < 100, "paging must terminate");
+        match page["next_cursor"].as_str() {
+            Some(token) => {
+                assert!(token.starts_with("cn1."), "opaque signed token: {token}");
+                assert_eq!(
+                    page["truncated"].as_bool(),
+                    Some(true),
+                    "a page with a successor is truncated"
+                );
+                req.cursor = Some(token.to_string());
+            }
+            None => return (collected, pages),
+        }
+    }
+}
+
+#[test]
+fn paged_explorations_resume_to_the_unpaged_answer() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    let mut req = count_request();
+    req.output = OutputMode::Collect { limit: 40 };
+    let unpaged = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(unpaged.status, 200, "{}", unpaged.body);
+    let unpaged_value: serde_json::Value = serde_json::from_str(&unpaged.body).unwrap();
+
+    req.page_size = Some(7);
+    let (collected, pages) = fetch_all_pages(&mut client, req);
+    assert!(pages >= 3, "40 paths at 7 per page need several pages");
+
+    // The concatenation is byte-identical to the unpaged paths array.
+    assert_eq!(
+        serde_json::to_string(&serde_json::Value::Array(collected)).unwrap(),
+        serde_json::to_string(&unpaged_value["paths"]["paths"]).unwrap(),
+        "concatenated pages must equal the unpaged answer"
+    );
+
+    let metrics = fetch_metrics(addr);
+    assert!(
+        metrics["explore-paged"].as_u64().unwrap() >= pages,
+        "{metrics:?}"
+    );
+    let sessions = &metrics["sessions"];
+    assert!(
+        sessions["created"].as_u64().unwrap() >= pages - 1,
+        "{metrics:?}"
+    );
+    assert!(
+        sessions["resumed"].as_u64().unwrap() >= pages - 1,
+        "{metrics:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tampered_and_replayed_cursors_get_typed_errors() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    let mut req = count_request();
+    req.output = OutputMode::Collect { limit: 40 };
+    req.page_size = Some(5);
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let value: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    let token = value["paths"]["next_cursor"]
+        .as_str()
+        .expect("a second page exists")
+        .to_string();
+
+    // A flipped MAC digit → 400 invalid-cursor, never a panic.
+    let mut forged = token.clone();
+    let last = forged.pop().unwrap();
+    forged.push(if last == '0' { '1' } else { '0' });
+    req.cursor = Some(forged);
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"invalid-cursor\""),
+        "{}",
+        resp.body
+    );
+
+    // Garbage is invalid too, on both the buffered and streaming routes.
+    req.cursor = Some("cn1.not-hex.not-hex".into());
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = client.send("POST", "/v1/explore/stream", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"invalid-cursor\""),
+        "{}",
+        resp.body
+    );
+
+    // The genuine token still resumes once (the stream consumed nothing)...
+    let mut client = Client::connect(addr);
+    req.cursor = Some(token);
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // ...but a replay finds the session consumed: 410 cursor-expired.
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 410, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"cursor-expired\""),
+        "{}",
+        resp.body
+    );
+
+    let metrics = fetch_metrics(addr);
+    let sessions = &metrics["sessions"];
+    assert!(sessions["invalid"].as_u64().unwrap() >= 3, "{metrics:?}");
+    assert!(sessions["expired"].as_u64().unwrap() >= 1, "{metrics:?}");
+    server.shutdown();
+}
+
+#[test]
+fn session_eviction_answers_410_for_the_evicted_cursor() {
+    // A one-session store: minting the second cursor evicts the first.
+    let server = Server::start(
+        ServerConfig {
+            session_capacity: 1,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+    let mut req = count_request();
+    req.output = OutputMode::Collect { limit: 40 };
+    req.page_size = Some(5);
+    let json = req.to_json().unwrap();
+
+    let first: serde_json::Value =
+        serde_json::from_str(&client.send("POST", "/v1/explore", Some(&json)).body).unwrap();
+    let second: serde_json::Value =
+        serde_json::from_str(&client.send("POST", "/v1/explore", Some(&json)).body).unwrap();
+    let token_a = first["paths"]["next_cursor"].as_str().unwrap().to_string();
+    let token_b = second["paths"]["next_cursor"].as_str().unwrap().to_string();
+
+    req.cursor = Some(token_a);
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 410, "evicted session is gone: {}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"cursor-expired\""),
+        "{}",
+        resp.body
+    );
+
+    req.cursor = Some(token_b);
+    let resp = client.send("POST", "/v1/explore", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 200, "the survivor resumes: {}", resp.body);
+
+    let metrics = fetch_metrics(addr);
+    assert!(
+        metrics["sessions"]["evicted"].as_u64().unwrap() >= 1,
+        "{metrics:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn streamed_exploration_delivers_ndjson_lines() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let mut req = count_request();
+    req.output = OutputMode::Collect { limit: 12 };
+    let json = req.to_json().unwrap();
+    let unpaged = Client::connect(addr).send("POST", "/v1/explore", Some(&json));
+    assert_eq!(unpaged.status, 200, "{}", unpaged.body);
+    let unpaged_value: serde_json::Value = serde_json::from_str(&unpaged.body).unwrap();
+
+    let mut client = Client::connect(addr);
+    let resp = client.send("POST", "/v1/explore/stream", Some(&json));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+
+    let lines: Vec<serde_json::Value> = resp
+        .body
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each line is standalone JSON"))
+        .collect();
+    let (done, path_lines) = lines.split_last().expect("at least the done line");
+    assert_eq!(path_lines.len(), 12, "one line per collected path");
+    let streamed: Vec<serde_json::Value> = path_lines.iter().map(|l| l["path"].clone()).collect();
+    assert_eq!(
+        serde_json::to_string(&serde_json::Value::Array(streamed)).unwrap(),
+        serde_json::to_string(&unpaged_value["paths"]["paths"]).unwrap(),
+        "streamed paths equal the buffered answer, in order"
+    );
+
+    let summary = &done["done"]["paths"];
+    assert_eq!(summary["api_version"].as_u64(), Some(1), "{done:?}");
+    assert_eq!(
+        summary["paths"].as_array().map(Vec::len),
+        Some(0),
+        "the done line omits already-streamed paths"
+    );
+    assert_eq!(summary["truncated"], unpaged_value["paths"]["truncated"]);
+
+    let metrics = fetch_metrics(addr);
+    assert!(
+        metrics["explore-streamed"].as_u64().unwrap() >= 1,
+        "{metrics:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn streamed_pages_resume_with_the_next_cursor() {
+    let server = start_default();
+    let addr = server.local_addr();
+
+    let mut req = count_request();
+    req.output = OutputMode::Collect { limit: 40 };
+    let json = req.to_json().unwrap();
+    let unpaged = Client::connect(addr).send("POST", "/v1/explore", Some(&json));
+    let unpaged_value: serde_json::Value = serde_json::from_str(&unpaged.body).unwrap();
+
+    // Stream page 1, resume the cursor on the buffered route: the two
+    // delivery modes share one session namespace.
+    req.page_size = Some(15);
+    let resp =
+        Client::connect(addr).send("POST", "/v1/explore/stream", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let lines: Vec<serde_json::Value> = resp
+        .body
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    let (done, path_lines) = lines.split_last().unwrap();
+    assert_eq!(path_lines.len(), 15);
+    let mut collected: Vec<serde_json::Value> =
+        path_lines.iter().map(|l| l["path"].clone()).collect();
+    let token = done["done"]["paths"]["next_cursor"]
+        .as_str()
+        .expect("a truncated stream page carries the resume token")
+        .to_string();
+
+    req.cursor = Some(token);
+    let (rest, _) = fetch_all_pages(&mut Client::connect(addr), req);
+    collected.extend(rest);
+    assert_eq!(
+        serde_json::to_string(&serde_json::Value::Array(collected)).unwrap(),
+        serde_json::to_string(&unpaged_value["paths"]["paths"]).unwrap(),
+        "stream page + buffered pages concatenate to the unpaged answer"
+    );
+    server.shutdown();
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Walk through the v1 wire API: versioned routes, typed errors,
+# cursor-paginated resumable sessions, and NDJSON streaming.
+#
+# Start a server first (any catalog works; the builtin one is enough):
+#
+#   cargo run --release -- builtin:brandeis serve --addr 127.0.0.1:8080
+#
+# then run this script. Requires curl and python3 (for JSON field
+# extraction; swap in jq if you have it).
+set -euo pipefail
+
+BASE="${1:-http://127.0.0.1:8080}"
+
+req() { # req <path> <body>
+  curl -sS -X POST "$BASE$1" -d "$2"
+}
+
+field() { # field <key>  -- pull a string/number field out of stdin JSON
+  python3 -c '
+import json, sys
+def walk(v, key):
+    if isinstance(v, dict):
+        if key in v:
+            return v[key]
+        for inner in v.values():
+            got = walk(inner, key)
+            if got is not None:
+                return got
+    return None
+print(walk(json.load(sys.stdin), sys.argv[1]) or "")' "$1"
+}
+
+echo "== 1. Version policy: unprefixed routes answer 308 with a Location header"
+curl -sS -o /dev/null -D - -X POST "$BASE/explore" -d '{}' | sed -n '1p;/^location/Ip'
+echo
+
+echo "== 2. Typed errors: stable kebab-case codes"
+req /v1/explore '{"start-semester": "Fall 2012", "deadline": "Fall 2014",
+                  "max-per-semester": 3, "goal": "degree",
+                  "completed": ["GHOST 999"], "output": "count"}'
+echo; echo
+
+BODY='{"start-semester": "Fall 2012", "deadline": "Fall 2014",
+       "max-per-semester": 3, "goal": "degree",
+       "output": {"collect": {"limit": 40}}, "page-size": 15}'
+
+echo "== 3. Paged exploration: follow next_cursor until it disappears"
+# A page is resumable iff it carries next_cursor. (truncated alone is not a
+# loop condition: the final page of a limit-capped collect is still
+# truncated=true relative to the full path set, exactly like the unpaged
+# route, but has no cursor.)
+page=1
+cursor=""
+while :; do
+  if [ -n "$cursor" ]; then
+    body=$(python3 -c '
+import json, sys
+req = json.loads(sys.argv[1]); req["cursor"] = sys.argv[2]
+print(json.dumps(req))' "$BODY" "$cursor")
+  else
+    body="$BODY"
+  fi
+  resp=$(req /v1/explore "$body")
+  cursor=$(printf '%s' "$resp" | field next_cursor)
+  truncated=$(printf '%s' "$resp" | field truncated)
+  echo "page $page: truncated=$truncated cursor=${cursor:-<none>}"
+  [ -n "$cursor" ] || break
+  page=$((page + 1))
+done
+echo
+
+echo "== 4. Streaming: the same page as NDJSON, one path per line"
+curl -sSN -X POST "$BASE/v1/explore/stream" -d "$BODY" | head -5
+echo "..."
+echo
+echo "The final {\"done\": ...} line carries the next_cursor; it resumes"
+echo "on either /v1/explore or /v1/explore/stream."

@@ -21,8 +21,9 @@
 //!   lint                         catalog quality checks
 //!   export                       normalized registrar text (or --json)
 //!   dot                          Graphviz export (--dag for the state DAG)
-//!   serve                        HTTP server (POST /explore, GET /catalog,
-//!                                GET /healthz, GET /metrics)
+//!   serve                        HTTP server (POST /v1/explore, POST
+//!                                /v1/explore/stream, GET /v1/catalog,
+//!                                GET /v1/healthz, GET /v1/metrics)
 //!
 //! common flags:
 //!   --start <sem>   --deadline <sem>   --m <n>
@@ -276,7 +277,9 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
         "coursenav-server listening on http://{}",
         server.local_addr()
     );
-    println!("routes: POST /explore, GET /catalog, GET /healthz, GET /metrics");
+    println!(
+        "routes: POST /v1/explore, POST /v1/explore/stream, GET /v1/catalog, GET /v1/healthz, GET /v1/metrics"
+    );
     server.block_forever()
 }
 
