@@ -15,7 +15,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (chaos suite)"
+# Fault-injection sites only exist behind the server's `chaos` feature;
+# plans are seeded, so the fault schedules are identical on every run.
+cargo test -q -p coursenav-server --features chaos --test chaos
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p coursenav-server --features chaos --all-targets -- -D warnings
 
 echo "CI OK"

@@ -254,6 +254,24 @@ impl ExplorationRequest {
         serde_json::to_string(&canon).expect("a request always serializes")
     }
 
+    /// Applies a serving-layer degradation clamp: the effective wall-clock
+    /// budget becomes `min(budget_ms, budget_cap_ms)` (a request without
+    /// its own budget gets the cap outright) and an explicit `page_size`
+    /// is capped at `page_cap`. Degradation tightens deadlines; it never
+    /// *introduces* paging, because an unpaged response has no cursor for
+    /// the client to resume from. Safe for cached routes: a clamped run
+    /// either completes (byte-identical to the unclamped answer) or
+    /// truncates (and truncated answers are never cached).
+    pub fn apply_degradation(&mut self, budget_cap_ms: u64, page_cap: usize) {
+        self.budget_ms = Some(
+            self.budget_ms
+                .map_or(budget_cap_ms, |b| b.min(budget_cap_ms)),
+        );
+        if let Some(page) = self.page_size {
+            self.page_size = Some(page.min(page_cap.max(1)));
+        }
+    }
+
     /// Serializes to JSON.
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string_pretty(self)
@@ -298,6 +316,31 @@ mod tests {
         let json = req.to_json().unwrap();
         let back = ExplorationRequest::from_json(&json).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn degradation_clamps_budget_and_page_size() {
+        let mut req = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        // No budget of its own: the cap becomes the budget.
+        req.apply_degradation(500, 10);
+        assert_eq!(req.budget_ms, Some(500));
+        assert_eq!(req.page_size, None, "degradation never introduces paging");
+        // A larger budget is clamped, a smaller one kept.
+        req.budget_ms = Some(9_000);
+        req.page_size = Some(50);
+        req.apply_degradation(500, 10);
+        assert_eq!(req.budget_ms, Some(500));
+        assert_eq!(req.page_size, Some(10));
+        req.budget_ms = Some(100);
+        req.page_size = Some(5);
+        req.apply_degradation(500, 10);
+        assert_eq!(req.budget_ms, Some(100));
+        assert_eq!(req.page_size, Some(5));
+        // The clamp must not perturb request identity for caching.
+        let mut a = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        let key = a.cache_key();
+        a.apply_degradation(250, 1);
+        assert_eq!(a.cache_key(), key);
     }
 
     #[test]

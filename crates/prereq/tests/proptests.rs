@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use coursenav_prereq::{min_extra_to_satisfy, parse_expr, Expr, MinSat};
+use coursenav_prereq::{min_extra_to_satisfy, parse_expr, Expr, MinSat, ParseError};
 use proptest::prelude::*;
 
 const NUM_ATOMS: u32 = 6;
@@ -52,6 +52,112 @@ fn brute_min_extra(expr: &Expr<u32>, completed: u32, obtainable: u32) -> MinSat 
     match best {
         Some(n) => MinSat::Needs(n),
         None => MinSat::Unreachable,
+    }
+}
+
+/// Resolver accepting bare numbers and "COSI <n>" names.
+fn digits(name: &str) -> Option<u32> {
+    name.trim().trim_start_matches("COSI ").trim().parse().ok()
+}
+
+/// Resolver that knows no courses at all: every name is unknown.
+fn reject(_: &str) -> Option<u32> {
+    None
+}
+
+/// Fragments covering every token class plus words the resolvers reject,
+/// joined in arbitrary order — most combinations are grammatically broken.
+fn arb_token_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("and"),
+            Just("or"),
+            Just(","),
+            Just(";"),
+            Just("("),
+            Just(")"),
+            Just("11"),
+            Just("42"),
+            Just("COSI"),
+            Just("none"),
+            Just("MATH"),
+            Just(""),
+        ]
+        .prop_map(str::to_string),
+        0..24,
+    )
+    .prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    /// The parser is total: arbitrary unicode yields `Ok` or a typed
+    /// [`ParseError`], never a panic — under both a permissive and an
+    /// all-rejecting resolver.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(
+        chars in prop::collection::vec(any::<char>(), 0..64),
+    ) {
+        let input: String = chars.into_iter().collect();
+        let _ = parse_expr(&input, digits);
+        let _ = parse_expr(&input, reject);
+    }
+
+    /// Malformed token soup produces typed errors whose positions point
+    /// inside the input, and whose Display rendering never panics.
+    #[test]
+    fn malformed_token_soup_yields_typed_errors(input in arb_token_soup()) {
+        for result in [parse_expr(&input, digits), parse_expr(&input, reject)] {
+            if let Err(err) = result {
+                match &err {
+                    ParseError::UnknownName { position, .. }
+                    | ParseError::Unexpected { position, .. }
+                    | ParseError::UnbalancedParen { position } => {
+                        // Every token consumes at least one input byte, so
+                        // a token index is always bounded by the length.
+                        prop_assert!(
+                            *position < input.len(),
+                            "token position {position} out of range for {input:?}"
+                        );
+                    }
+                    ParseError::UnexpectedEnd => {}
+                }
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Resolution failures surface precisely: when an input parses under a
+    /// permissive resolver but not under the rejecting one, the only
+    /// possible difference is an `UnknownName` report.
+    #[test]
+    fn rejecting_resolver_surfaces_unknown_names(input in arb_token_soup()) {
+        if parse_expr(&input, |_| Some(0u32)).is_ok() {
+            if let Err(err) = parse_expr(&input, reject) {
+                prop_assert!(
+                    matches!(err, ParseError::UnknownName { .. }),
+                    "grammar-valid input failed with {err} instead of UnknownName"
+                );
+            }
+        }
+    }
+
+    /// Truncating a well-formed expression at any char boundary fails
+    /// cleanly: the parser answers `Ok` or a typed error, never a panic.
+    #[test]
+    fn truncated_valid_expressions_fail_cleanly(expr in arb_expr(), cut in 0usize..512) {
+        let printed = expr.to_string();
+        if printed.contains("true") || printed.contains("false") {
+            return Ok(()); // constants are not part of the registrar grammar
+        }
+        let boundaries: Vec<usize> = printed
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([printed.len()])
+            .collect();
+        let idx = boundaries[cut % boundaries.len()];
+        if let Err(err) = parse_expr(&printed[..idx], digits) {
+            prop_assert!(!err.to_string().is_empty());
+        }
     }
 }
 

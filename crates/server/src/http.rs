@@ -298,6 +298,19 @@ impl Response {
         Response::error_coded(status, default_code(status), message, retryable)
     }
 
+    /// The circuit breaker's fast rejection: a typed
+    /// `{"error":{"code":"overloaded",...,"retryable":true}}` 503 carrying
+    /// `Retry-After` (whole seconds, rounded up so a client never retries
+    /// into a still-open breaker).
+    pub fn overloaded(retry_after: std::time::Duration) -> Response {
+        let secs = retry_after.as_secs() + u64::from(retry_after.subsec_nanos() > 0);
+        let mut resp =
+            Response::error_coded(503, "overloaded", "server is overloaded, retry later", true);
+        resp.extra_headers
+            .push(("retry-after".into(), secs.max(1).to_string()));
+        resp
+    }
+
     /// A typed error body with an explicit machine-readable `code` —
     /// stable kebab-case identifiers clients can switch on, independent
     /// of the human-readable message.
@@ -550,6 +563,24 @@ mod tests {
         assert!(String::from_utf8(bad.body)
             .unwrap()
             .contains("\"retryable\":false"));
+    }
+
+    #[test]
+    fn overloaded_rejection_carries_retry_after() {
+        let resp = Response::overloaded(std::time::Duration::from_millis(1400));
+        assert_eq!(resp.status, 503);
+        // 1.4 s rounds *up*: retrying at 1 s would hit the open breaker.
+        assert!(resp
+            .extra_headers
+            .contains(&("retry-after".to_string(), "2".to_string())));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+        assert!(body.contains("\"retryable\":true"), "{body}");
+        // A sub-second open period still tells the client to wait ≥ 1 s.
+        let resp = Response::overloaded(std::time::Duration::from_millis(80));
+        assert!(resp
+            .extra_headers
+            .contains(&("retry-after".to_string(), "1".to_string())));
     }
 
     #[test]

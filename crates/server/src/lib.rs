@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod http;
 pub mod metrics;
+pub mod overload;
 pub mod pool;
 pub mod session;
 pub mod singleflight;
@@ -69,8 +71,23 @@ use cache::ResponseCache;
 use http::{ParseError, Request, Response};
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
+use overload::{Admission, Overload};
+pub use overload::{OverloadConfig, OverloadSnapshot};
 use session::{SessionError, SessionStore};
 use singleflight::{Published, Role, Singleflight};
+
+/// Runs `$action` when the armed fault plan fires at `$site` — compiled
+/// out entirely (no branch, no plan lookup) without the `chaos` feature.
+#[cfg(feature = "chaos")]
+macro_rules! chaos {
+    ($state:expr, $site:expr, $action:block) => {
+        if $state.faults.fires($site) $action
+    };
+}
+#[cfg(not(feature = "chaos"))]
+macro_rules! chaos {
+    ($state:expr, $site:expr, $action:block) => {};
+}
 
 /// Server tuning knobs. `Default` is sized for an interactive deployment.
 #[derive(Debug, Clone)]
@@ -99,6 +116,12 @@ pub struct ServerConfig {
     pub session_capacity: usize,
     /// How long an unclaimed cursor stays resumable.
     pub session_ttl: Duration,
+    /// Degradation-ladder and circuit-breaker tuning.
+    pub overload: OverloadConfig,
+    /// The armed fault-injection plan (chaos builds only; the disarmed
+    /// default never fires).
+    #[cfg(feature = "chaos")]
+    pub faults: Arc<faults::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +137,9 @@ impl Default for ServerConfig {
             parallelism: 1,
             session_capacity: 1024,
             session_ttl: Duration::from_secs(300),
+            overload: OverloadConfig::default(),
+            #[cfg(feature = "chaos")]
+            faults: Arc::new(faults::FaultPlan::disabled()),
         }
     }
 }
@@ -126,8 +152,11 @@ struct AppState {
     metrics: Metrics,
     flights: Singleflight,
     sessions: SessionStore,
+    overload: Overload,
     default_budget_ms: Option<u64>,
     parallelism: usize,
+    #[cfg(feature = "chaos")]
+    faults: Arc<faults::FaultPlan>,
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -149,8 +178,11 @@ impl Server {
             metrics: Metrics::new(),
             flights: Singleflight::new(),
             sessions: SessionStore::new(config.session_capacity, config.session_ttl),
+            overload: Overload::new(config.overload.clone()),
             default_budget_ms: config.default_budget_ms,
             parallelism: config.parallelism.max(1),
+            #[cfg(feature = "chaos")]
+            faults: Arc::clone(&config.faults),
         });
 
         let handler = {
@@ -164,22 +196,24 @@ impl Server {
         let on_shed = {
             let state = Arc::clone(&state);
             Arc::new(move || {
+                // Sheds get their own counter, deliberately *not* folded
+                // into `server_errors`: a shed is load-control working as
+                // designed, and overload dashboards need it distinguishable
+                // from handler failures.
                 state
                     .metrics
                     .connections_shed
                     .fetch_add(1, Ordering::Relaxed);
-                // A shed answers 503: count it into the 5xx class too, so
-                // `/metrics` holds `server_errors >= connections_shed` and
-                // overload dashboards see the failures.
-                state.metrics.count_status(503);
             })
         };
+        let depth_gauge = state.overload.queue_gauge();
         let pool = pool::spawn(
             listener,
             config.threads,
             config.queue_depth,
             handler,
             on_shed,
+            depth_gauge,
         )?;
         Ok(Server { pool, addr, state })
     }
@@ -191,9 +225,11 @@ impl Server {
 
     /// A point-in-time metrics snapshot (what `GET /metrics` serves).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.state
-            .metrics
-            .snapshot(self.state.cache.stats(), self.state.sessions.stats())
+        self.state.metrics.snapshot(
+            self.state.cache.stats(),
+            self.state.sessions.stats(),
+            self.state.overload.snapshot(),
+        )
     }
 
     /// Replaces the registrar data and invalidates every cached response —
@@ -275,7 +311,24 @@ fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, kee
             ),
         };
         state.metrics.count_status(response.status);
+        chaos!(state, faults::FaultSite::ResetMidWrite, {
+            // A torn response: part of the status line, then a hard close.
+            // Count before shutting down: the moment the peer sees EOF the
+            // tear is observable, so the counter must already reflect it.
+            use std::io::Write as _;
+            state
+                .metrics
+                .connections_reset
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = conn.write_all(b"HTTP/1.1 ");
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+            return;
+        });
         if http::write_response(&mut conn, &response, keep_open).is_err() {
+            state
+                .metrics
+                .connections_reset
+                .fetch_add(1, Ordering::Relaxed);
             return;
         }
         if !keep_open {
@@ -328,9 +381,11 @@ fn route(state: &AppState, request: &Request) -> Response {
         }
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => {
-            let snapshot = state
-                .metrics
-                .snapshot(state.cache.stats(), state.sessions.stats());
+            let snapshot = state.metrics.snapshot(
+                state.cache.stats(),
+                state.sessions.stats(),
+                state.overload.snapshot(),
+            );
             match serde_json::to_string(&snapshot) {
                 Ok(json) => Response::json(200, json),
                 Err(e) => Response::error(500, &e.to_string()),
@@ -365,13 +420,49 @@ fn with_x_cache(mut resp: Response, how: &str) -> Response {
     resp
 }
 
-/// `POST /explore`: parse, canonicalize, consult the cache, coalesce
-/// concurrent duplicates onto one engine run, cache complete answers.
+/// Clamps a canonical request to the admitted degradation level: level 1
+/// gets the soft budget, level 2 the floor. The clamp shrinks `budget_ms`
+/// and caps `page_size`; it never loosens what the client asked for.
+fn degrade_request(state: &AppState, req: &mut ExplorationRequest, level: u8) {
+    let c = state.overload.config();
+    match level {
+        0 => {}
+        1 => req.apply_degradation(c.soft_budget_ms, c.degraded_page_size),
+        _ => req.apply_degradation(c.floor_budget_ms, c.degraded_page_size),
+    }
+}
+
+/// Stamps `x-degraded: <level>` on responses served below full fidelity.
+fn with_degraded(mut resp: Response, level: u8) -> Response {
+    if level > 0 {
+        resp.extra_headers
+            .push(("x-degraded".into(), level.to_string()));
+    }
+    resp
+}
+
+/// Stores a completed answer unless the armed fault plan drops the put —
+/// the cache-layer failure the chaos suite proves harmless (a dropped put
+/// costs a recompute, never a wrong answer).
+fn cache_put(state: &AppState, key: &str, body: &[u8]) {
+    chaos!(state, faults::FaultSite::DropCachePut, {
+        return;
+    });
+    state.cache.put(key, body);
+}
+
+/// `POST /explore`: admission control first (the breaker answers a fast
+/// typed 503 with `Retry-After` when open), then parse, canonicalize,
+/// degrade to the admitted level, and serve.
 fn explore(state: &AppState, request: &Request) -> Response {
     state
         .metrics
         .explore_requests
         .fetch_add(1, Ordering::Relaxed);
+    let (level, probe) = match state.overload.admit() {
+        Admission::Reject { retry_after } => return Response::overloaded(retry_after),
+        Admission::Go { level, probe } => (level, probe),
+    };
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -384,13 +475,25 @@ fn explore(state: &AppState, request: &Request) -> Response {
     // that share a cache key must produce byte-identical answers, and a
     // weighted ranking's reported costs depend on the weight scale. The
     // canonical scale (largest weight = 1) is the one the cache stores.
-    let req = req.canonicalize();
+    let mut req = req.canonicalize();
+    degrade_request(state, &mut req, level);
+    let t0 = Instant::now();
+    let resp = explore_admitted(state, &req);
+    state
+        .overload
+        .observe(t0.elapsed(), resp.status < 500, probe);
+    with_degraded(resp, level)
+}
 
+/// The cache/coalesce/compute pipeline for one admitted exploration:
+/// consult the cache, coalesce concurrent duplicates onto one engine run,
+/// cache complete answers.
+fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
     // Paged requests are resumable sessions: each page is single-use (its
     // cursor is consumed on resume), so neither the response cache nor
     // singleflight applies.
     if req.cursor.is_some() || req.page_size.is_some() {
-        return explore_paged(state, &req);
+        return explore_paged(state, req);
     }
 
     let key = req.cache_key();
@@ -419,12 +522,12 @@ fn explore(state: &AppState, request: &Request) -> Response {
                 .metrics
                 .explore_computed
                 .fetch_add(1, Ordering::Relaxed);
-            let (resp, cacheable) = compute_explore(state, &req);
+            let (resp, cacheable) = compute_explore(state, req);
             // Cache *before* publish: once the flight retires, a racing
             // request must either hit the cache or lead a fresh flight —
             // never recompute what the leader just finished.
             if cacheable {
-                state.cache.put(&key, &resp.body);
+                cache_put(state, &key, &resp.body);
             }
             leader.publish(resp.clone());
             with_x_cache(resp, "miss")
@@ -456,9 +559,9 @@ fn explore(state: &AppState, request: &Request) -> Response {
                         .metrics
                         .explore_computed
                         .fetch_add(1, Ordering::Relaxed);
-                    let (resp, cacheable) = compute_explore(state, &req);
+                    let (resp, cacheable) = compute_explore(state, req);
                     if cacheable {
-                        state.cache.put(&key, &resp.body);
+                        cache_put(state, &key, &resp.body);
                     }
                     with_x_cache(resp, "miss")
                 }
@@ -472,6 +575,12 @@ fn explore(state: &AppState, request: &Request) -> Response {
 /// truncated answer reflects this request's deadline, not the
 /// exploration, and errors are cheap to re-derive).
 fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, bool) {
+    chaos!(state, faults::FaultSite::PanicBeforeCompute, {
+        panic!("chaos: worker panic before compute");
+    });
+    chaos!(state, faults::FaultSite::ComputeDelay, {
+        std::thread::sleep(state.faults.delay);
+    });
     let deadline = req
         .budget_ms
         .or(state.default_budget_ms)
@@ -488,6 +597,9 @@ fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, boo
 
     match service.run_until_with(req, deadline, state.parallelism) {
         Ok(response) => {
+            chaos!(state, faults::FaultSite::PanicAfterCompute, {
+                panic!("chaos: worker panic after compute");
+            });
             if response.truncated() {
                 state
                     .metrics
@@ -581,6 +693,12 @@ fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
                     .explore_truncated
                     .fetch_add(1, Ordering::Relaxed);
             }
+            chaos!(state, faults::FaultSite::EvictSessions, {
+                // The session store blown away under the minting request's
+                // feet: every outstanding cursor must answer 410, never a
+                // wrong page.
+                state.sessions.evict_all();
+            });
             let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
             outcome.response.set_next_cursor(token);
             match serde_json::to_string(&outcome.response) {
@@ -636,6 +754,29 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
         .metrics
         .explore_streamed
         .fetch_add(1, Ordering::Relaxed);
+    let (level, probe) = match state.overload.admit() {
+        Admission::Reject { retry_after } => {
+            let resp = Response::overloaded(retry_after);
+            let status = resp.status;
+            let _ = http::write_response(conn, &resp, false);
+            return status;
+        }
+        Admission::Go { level, probe } => (level, probe),
+    };
+    let t0 = Instant::now();
+    let status = explore_stream_admitted(state, conn, request, level);
+    state.overload.observe(t0.elapsed(), status < 500, probe);
+    status
+}
+
+/// The streaming pipeline for one admitted exploration, degraded to
+/// `level`.
+fn explore_stream_admitted(
+    state: &AppState,
+    conn: &mut TcpStream,
+    request: &Request,
+    level: u8,
+) -> u16 {
     state
         .metrics
         .explore_computed
@@ -660,7 +801,8 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
             )
         }
     };
-    let req = req.canonicalize();
+    let mut req = req.canonicalize();
+    degrade_request(state, &mut req, level);
     let cursor = match resolve_cursor(state, req.cursor.as_deref()) {
         Ok(cursor) => cursor,
         Err(resp) => return fail(conn, *resp),
@@ -680,18 +822,17 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
 
     // The chunked head goes out lazily, on the first streamed line: every
     // error the engine can detect up front still gets a proper status.
+    let mut head_headers = vec![("x-cache".to_string(), "bypass".to_string())];
+    if level > 0 {
+        head_headers.push(("x-degraded".to_string(), level.to_string()));
+    }
     let mut head_written = false;
     let mut io_failed = false;
     let result = {
         let mut sink = |item: StreamedItem<'_>| -> ControlFlow<()> {
             if !head_written {
-                if http::write_chunked_head(
-                    conn,
-                    200,
-                    "application/x-ndjson",
-                    &[("x-cache".to_string(), "bypass".to_string())],
-                )
-                .is_err()
+                if http::write_chunked_head(conn, 200, "application/x-ndjson", &head_headers)
+                    .is_err()
                 {
                     io_failed = true;
                     return ControlFlow::Break(());
@@ -707,7 +848,15 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
         service.run_page_with(&req, cursor.as_ref(), deadline, Some(&mut sink))
     };
     match result {
-        Ok(_) if io_failed => 200, // the client hung up mid-stream
+        Ok(_) if io_failed => {
+            // The client hung up (or stalled past its write timeout)
+            // mid-stream: account the torn connection, not a server error.
+            state
+                .metrics
+                .connections_reset
+                .fetch_add(1, Ordering::Relaxed);
+            200
+        }
         Ok(mut outcome) => {
             if outcome.response.truncated() {
                 state
@@ -715,6 +864,9 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
                     .explore_truncated
                     .fetch_add(1, Ordering::Relaxed);
             }
+            chaos!(state, faults::FaultSite::EvictSessions, {
+                state.sessions.evict_all();
+            });
             let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
             outcome.response.set_next_cursor(token);
             // The summary line: the response minus the already-streamed
@@ -738,13 +890,8 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
                 .into_bytes();
             line.push(b'\n');
             if !head_written
-                && http::write_chunked_head(
-                    conn,
-                    200,
-                    "application/x-ndjson",
-                    &[("x-cache".to_string(), "bypass".to_string())],
-                )
-                .is_err()
+                && http::write_chunked_head(conn, 200, "application/x-ndjson", &head_headers)
+                    .is_err()
             {
                 return 200;
             }

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::overload::OverloadSnapshot;
 use crate::session::SessionStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
@@ -102,10 +103,15 @@ pub struct Metrics {
     started: Instant,
     /// Connections accepted and handed to a worker.
     pub connections_accepted: AtomicU64,
-    /// Connections refused with 503 because the queue was full. Sheds are
-    /// also counted into `server_errors` (they answer 503), so the
-    /// overload dashboards see them: `server_errors >= connections_shed`.
+    /// Connections refused with 503 because the queue was full
+    /// (shed-at-accept). Deliberately *not* folded into `server_errors`:
+    /// a shed is load-control doing its job, not a handler failure, and
+    /// overload dashboards need the two distinguishable.
     pub connections_shed: AtomicU64,
+    /// Connections that dropped mid-response (the peer vanished or a
+    /// chaos-injected reset fired while bytes were in flight). Distinct
+    /// from sheds: the request was admitted and partially answered.
+    pub connections_reset: AtomicU64,
     /// Requests fully parsed and routed.
     pub requests_total: AtomicU64,
     /// `POST /explore` requests served (cache hits included).
@@ -142,6 +148,7 @@ impl Metrics {
             started: Instant::now(),
             connections_accepted: AtomicU64::new(0),
             connections_shed: AtomicU64::new(0),
+            connections_reset: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
             explore_requests: AtomicU64::new(0),
             explore_cache_hits: AtomicU64::new(0),
@@ -177,14 +184,20 @@ impl Metrics {
         self.latency[idx].observe(elapsed);
     }
 
-    /// A serializable point-in-time view, merged with the cache's and
-    /// session store's stats.
-    pub fn snapshot(&self, cache: CacheStats, sessions: SessionStats) -> MetricsSnapshot {
+    /// A serializable point-in-time view, merged with the cache's,
+    /// session store's, and overload controller's stats.
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        sessions: SessionStats,
+        overload: OverloadSnapshot,
+    ) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             connections_accepted: load(&self.connections_accepted),
             connections_shed: load(&self.connections_shed),
+            connections_reset: load(&self.connections_reset),
             requests_total: load(&self.requests_total),
             explore_requests: load(&self.explore_requests),
             explore_cache_hits: load(&self.explore_cache_hits),
@@ -203,6 +216,7 @@ impl Metrics {
                 .collect(),
             cache,
             sessions,
+            overload,
         }
     }
 }
@@ -237,8 +251,11 @@ pub struct MetricsSnapshot {
     pub uptime_ms: u64,
     /// Connections accepted and handed to a worker.
     pub connections_accepted: u64,
-    /// Connections refused with 503 because the queue was full.
+    /// Connections refused with 503 because the queue was full
+    /// (shed-at-accept; not counted into `server_errors`).
     pub connections_shed: u64,
+    /// Connections dropped mid-response (peer reset or injected fault).
+    pub connections_reset: u64,
     /// Requests fully parsed and routed.
     pub requests_total: u64,
     /// `POST /explore` requests served (cache hits included).
@@ -259,7 +276,8 @@ pub struct MetricsSnapshot {
     pub explore_streamed: u64,
     /// Responses with a 4xx status.
     pub client_errors: u64,
-    /// Responses with a 5xx status (sheds included).
+    /// Responses with a 5xx status a handler produced (sheds and resets
+    /// are tracked separately).
     pub server_errors: u64,
     /// Per-route latency histograms.
     pub latency: Vec<HistogramSnapshot>,
@@ -267,6 +285,8 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     /// Resumable-session store statistics.
     pub sessions: SessionStats,
+    /// Degradation-ladder and circuit-breaker state.
+    pub overload: OverloadSnapshot,
 }
 
 #[cfg(test)]
@@ -280,7 +300,11 @@ mod tests {
         m.count_status(200);
         m.count_status(404);
         m.count_status(500);
-        let snap = m.snapshot(CacheStats::default(), SessionStats::default());
+        let snap = m.snapshot(
+            CacheStats::default(),
+            SessionStats::default(),
+            OverloadSnapshot::default(),
+        );
         assert_eq!(snap.requests_total, 3);
         assert_eq!(snap.client_errors, 1);
         assert_eq!(snap.server_errors, 1);
@@ -289,9 +313,12 @@ mod tests {
     #[test]
     fn snapshot_serializes_with_kebab_keys() {
         let m = Metrics::new();
-        let json =
-            serde_json::to_string(&m.snapshot(CacheStats::default(), SessionStats::default()))
-                .unwrap();
+        let json = serde_json::to_string(&m.snapshot(
+            CacheStats::default(),
+            SessionStats::default(),
+            OverloadSnapshot::default(),
+        ))
+        .unwrap();
         assert!(json.contains("\"explore-cache-hits\":0"), "{json}");
         assert!(json.contains("\"explore-coalesced\":0"), "{json}");
         assert!(json.contains("\"explore-wait-ms\":0"), "{json}");
@@ -299,6 +326,9 @@ mod tests {
         assert!(json.contains("\"explore-streamed\":0"), "{json}");
         assert!(json.contains("\"cache\":{"), "{json}");
         assert!(json.contains("\"sessions\":{"), "{json}");
+        assert!(json.contains("\"overload\":{"), "{json}");
+        assert!(json.contains("\"breaker\":\"closed\""), "{json}");
+        assert!(json.contains("\"connections-reset\":0"), "{json}");
         assert!(json.contains("\"latency\":["), "{json}");
         assert!(json.contains("\"route\":\"explore\""), "{json}");
     }
@@ -325,7 +355,11 @@ mod tests {
         m.observe_latency("/explore", Duration::from_millis(900));
         m.observe_latency("/nope", Duration::from_millis(1));
         m.observe_latency("/v1/explore/stream", Duration::from_millis(2));
-        let snap = m.snapshot(CacheStats::default(), SessionStats::default());
+        let snap = m.snapshot(
+            CacheStats::default(),
+            SessionStats::default(),
+            OverloadSnapshot::default(),
+        );
         let explore = snap.latency.iter().find(|h| h.route == "explore").unwrap();
         assert_eq!(explore.count, 2);
         assert_eq!(explore.sum_ms, 905);

@@ -1,0 +1,467 @@
+//! Overload-adaptive degradation and the circuit breaker.
+//!
+//! The paper's interactivity contract (answers inside a wall-clock budget)
+//! only holds while the server has headroom. This module watches two load
+//! signals — the accept queue's depth (connections waiting for a worker)
+//! and an EWMA of recent explore latencies — and maps them onto a
+//! *degradation ladder* every exploration route consults before running
+//! the engine:
+//!
+//! | Level | Trigger                                   | Effect |
+//! |-------|-------------------------------------------|--------|
+//! | 0     | queue below `degrade_queue`, latency ok   | full fidelity |
+//! | 1     | queue ≥ `degrade_queue` *or* EWMA above `latency_target` | effective `budget_ms` clamped to `soft_budget_ms`, `page_size` capped — top-k and collect answers switch to truncated partials when the clamp bites |
+//! | 2     | queue ≥ midpoint of degrade/break, or a half-open probe | budget clamped to `floor_budget_ms` — fast truncated answers only |
+//! | open  | queue ≥ `break_queue` for `trip_after` consecutive admissions | breaker trips: fast typed `503 overloaded` with `Retry-After`, no engine work at all |
+//!
+//! Degraded responses carry an `x-degraded: <level>` header so clients and
+//! dashboards can see fidelity loss. Degradation never corrupts the cache:
+//! a clamped budget either finishes (same bytes as the undegraded answer)
+//! or truncates (truncated answers are never cached).
+//!
+//! **Breaker state machine** (classic three-state, with hysteresis):
+//! `Closed` trips to `Open` after `trip_after` consecutive admissions that
+//! observe the queue at or beyond `break_queue`; `Open` rejects everything
+//! for `open_for`, then admits *probes* in `HalfOpen`; `recover_probes`
+//! consecutive healthy probes close it, while any probe that observes the
+//! queue still saturated re-opens it for another full `open_for`. The
+//! consecutive-counts on both edges are the hysteresis: a single
+//! borderline sample neither trips nor recovers the breaker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Tuning for the degradation ladder and breaker. `Default` is sized for
+/// the default [`crate::ServerConfig`] (4 workers, 64-deep queue).
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Queue depth at which level-1 degradation starts.
+    pub degrade_queue: usize,
+    /// Queue depth that counts toward tripping the breaker.
+    pub break_queue: usize,
+    /// Consecutive over-`break_queue` admissions that trip the breaker.
+    pub trip_after: u32,
+    /// Level-1 clamp on the effective exploration budget.
+    pub soft_budget_ms: u64,
+    /// Level-2 clamp on the effective exploration budget.
+    pub floor_budget_ms: u64,
+    /// Cap on `page_size` while degraded.
+    pub degraded_page_size: usize,
+    /// How long a tripped breaker rejects before admitting probes.
+    pub open_for: Duration,
+    /// Consecutive healthy probes required to close from half-open.
+    pub recover_probes: u32,
+    /// EWMA explore latency above which level-1 degradation starts even
+    /// with an empty queue.
+    pub latency_target: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            degrade_queue: 8,
+            break_queue: 32,
+            trip_after: 3,
+            soft_budget_ms: 2_000,
+            floor_budget_ms: 250,
+            degraded_page_size: 100,
+            open_for: Duration::from_secs(1),
+            recover_probes: 3,
+            latency_target: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Breaker position, as exposed on `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Serving normally; counts consecutive saturated admissions.
+    Closed { over: u32 },
+    /// Rejecting everything until the deadline.
+    Open { until: Instant },
+    /// Admitting degraded probes; counts consecutive healthy ones.
+    HalfOpen { healthy: u32 },
+}
+
+/// What [`Overload::admit`] decided for one exploration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve it, degraded to `level` (0 = full fidelity).
+    Go {
+        /// Degradation ladder rung: 0, 1, or 2.
+        level: u8,
+        /// Whether this request is a half-open breaker probe (its outcome
+        /// decides recovery).
+        probe: bool,
+    },
+    /// Breaker is open: answer a fast typed 503.
+    Reject {
+        /// Suggested client backoff (the breaker's remaining open time).
+        retry_after: Duration,
+    },
+}
+
+/// The shared overload controller. One per server; every exploration
+/// route calls [`Overload::admit`] before touching the engine and
+/// [`Overload::observe`] after answering.
+pub struct Overload {
+    config: OverloadConfig,
+    /// Connections accepted but not yet claimed by a worker (the acceptor
+    /// increments, the claiming worker decrements; shared with the pool).
+    queue_depth: Arc<AtomicU64>,
+    /// EWMA of explore latency in milliseconds (α = 1/8, fixed-point ×8).
+    ewma_ms_x8: AtomicU64,
+    breaker: Mutex<Breaker>,
+    degraded: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_rejections: AtomicU64,
+}
+
+impl Overload {
+    /// A controller in the closed, unloaded state.
+    pub fn new(config: OverloadConfig) -> Overload {
+        Overload {
+            config,
+            queue_depth: Arc::new(AtomicU64::new(0)),
+            ewma_ms_x8: AtomicU64::new(0),
+            breaker: Mutex::new(Breaker::Closed { over: 0 }),
+            degraded: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The acceptor's queue-depth gauge (shared with [`crate::pool`]).
+    pub fn queue_gauge(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.queue_depth)
+    }
+
+    /// The controller's tuning (the serving layer reads the clamp values).
+    pub fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Current latency EWMA in whole milliseconds.
+    pub fn ewma_ms(&self) -> u64 {
+        self.ewma_ms_x8.load(Ordering::Relaxed) / 8
+    }
+
+    /// The ladder rung the current load maps to, breaker aside.
+    fn ladder_level(&self, depth: u64) -> u8 {
+        let c = &self.config;
+        let hard = ((c.degrade_queue + c.break_queue) / 2) as u64;
+        if depth >= hard {
+            2
+        } else if depth >= c.degrade_queue as u64
+            || self.ewma_ms() > c.latency_target.as_millis() as u64
+        {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Admission control for one exploration request: consult the breaker,
+    /// then map load onto a degradation level. Counts rejections and
+    /// degraded admissions.
+    pub fn admit(&self) -> Admission {
+        let depth = self.queue_depth();
+        let saturated = depth >= self.config.break_queue as u64;
+        let now = Instant::now();
+        let mut breaker = self.breaker.lock();
+        let admission = match *breaker {
+            Breaker::Open { until } if now < until => Admission::Reject {
+                retry_after: until - now,
+            },
+            Breaker::Open { .. } => {
+                // Open period served: admit a degraded probe.
+                *breaker = Breaker::HalfOpen { healthy: 0 };
+                Admission::Go {
+                    level: 2,
+                    probe: true,
+                }
+            }
+            Breaker::HalfOpen { .. } if saturated => {
+                *breaker = Breaker::Open {
+                    until: now + self.config.open_for,
+                };
+                self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                Admission::Reject {
+                    retry_after: self.config.open_for,
+                }
+            }
+            Breaker::HalfOpen { .. } => Admission::Go {
+                level: 2,
+                probe: true,
+            },
+            Breaker::Closed { over } if saturated => {
+                let over = over + 1;
+                if over >= self.config.trip_after {
+                    *breaker = Breaker::Open {
+                        until: now + self.config.open_for,
+                    };
+                    self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    Admission::Reject {
+                        retry_after: self.config.open_for,
+                    }
+                } else {
+                    *breaker = Breaker::Closed { over };
+                    Admission::Go {
+                        level: 2,
+                        probe: false,
+                    }
+                }
+            }
+            Breaker::Closed { .. } => {
+                *breaker = Breaker::Closed { over: 0 };
+                Admission::Go {
+                    level: self.ladder_level(depth),
+                    probe: false,
+                }
+            }
+        };
+        drop(breaker);
+        match admission {
+            Admission::Reject { .. } => {
+                self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Go { level, .. } if level > 0 => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Go { .. } => {}
+        }
+        admission
+    }
+
+    /// Records one finished exploration: feeds the latency EWMA and, for
+    /// half-open probes, drives recovery — `recover_probes` consecutive
+    /// healthy probes close the breaker (hysteresis), one failed probe
+    /// re-opens it.
+    pub fn observe(&self, elapsed: Duration, ok: bool, probe: bool) {
+        let ms = elapsed.as_millis() as u64;
+        // ewma += (sample - ewma) / 8, in ×8 fixed point. Load/store races
+        // lose a sample at worst; the signal is advisory.
+        let old = self.ewma_ms_x8.load(Ordering::Relaxed);
+        let new = old - old / 8 + ms;
+        self.ewma_ms_x8.store(new, Ordering::Relaxed);
+
+        if !probe {
+            return;
+        }
+        let mut breaker = self.breaker.lock();
+        if let Breaker::HalfOpen { healthy } = *breaker {
+            let healthy_probe = ok && elapsed <= self.config.latency_target;
+            if !healthy_probe {
+                *breaker = Breaker::Open {
+                    until: Instant::now() + self.config.open_for,
+                };
+                self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            } else if healthy + 1 >= self.config.recover_probes {
+                *breaker = Breaker::Closed { over: 0 };
+            } else {
+                *breaker = Breaker::HalfOpen {
+                    healthy: healthy + 1,
+                };
+            }
+        }
+    }
+
+    /// Point-in-time view for `/metrics`.
+    pub fn snapshot(&self) -> OverloadSnapshot {
+        let breaker = match *self.breaker.lock() {
+            Breaker::Closed { .. } => "closed",
+            Breaker::Open { .. } => "open",
+            Breaker::HalfOpen { .. } => "half-open",
+        };
+        OverloadSnapshot {
+            breaker: breaker.to_string(),
+            queue_depth: self.queue_depth(),
+            ewma_ms: self.ewma_ms(),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Overload state as `GET /metrics` serializes it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct OverloadSnapshot {
+    /// Breaker position: `closed`, `open`, or `half-open`.
+    pub breaker: String,
+    /// Connections accepted but not yet claimed by a worker.
+    pub queue_depth: u64,
+    /// EWMA of recent explore latencies, milliseconds.
+    pub ewma_ms: u64,
+    /// Explorations served at a degraded level (≥ 1).
+    pub degraded: u64,
+    /// Times the breaker tripped open.
+    pub breaker_opens: u64,
+    /// Requests rejected with a fast 503 while the breaker was open.
+    pub breaker_rejections: u64,
+}
+
+impl Default for OverloadSnapshot {
+    fn default() -> OverloadSnapshot {
+        Overload::new(OverloadConfig::default()).snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> OverloadConfig {
+        OverloadConfig {
+            degrade_queue: 2,
+            break_queue: 4,
+            trip_after: 2,
+            open_for: Duration::from_millis(40),
+            recover_probes: 2,
+            latency_target: Duration::from_millis(500),
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn unloaded_admissions_are_full_fidelity() {
+        let o = Overload::new(quick());
+        for _ in 0..10 {
+            assert_eq!(
+                o.admit(),
+                Admission::Go {
+                    level: 0,
+                    probe: false
+                }
+            );
+        }
+        assert_eq!(o.snapshot().degraded, 0);
+        assert_eq!(o.snapshot().breaker, "closed");
+    }
+
+    #[test]
+    fn queue_depth_climbs_the_ladder() {
+        let o = Overload::new(quick());
+        o.queue_gauge().store(2, Ordering::Relaxed);
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 1,
+                probe: false
+            }
+        );
+        o.queue_gauge().store(3, Ordering::Relaxed);
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 2,
+                probe: false
+            }
+        );
+        assert_eq!(o.snapshot().degraded, 2);
+    }
+
+    #[test]
+    fn slow_ewma_degrades_without_queue_pressure() {
+        let o = Overload::new(quick());
+        for _ in 0..50 {
+            o.observe(Duration::from_secs(3), true, false);
+        }
+        assert!(o.ewma_ms() > 500, "EWMA converges: {}", o.ewma_ms());
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 1,
+                probe: false
+            }
+        );
+    }
+
+    #[test]
+    fn breaker_trips_rejects_and_recovers_with_hysteresis() {
+        let o = Overload::new(quick());
+        o.queue_gauge().store(4, Ordering::Relaxed);
+        // First saturated admission still serves (trip_after = 2)...
+        assert!(matches!(o.admit(), Admission::Go { level: 2, .. }));
+        // ...the second trips the breaker.
+        let Admission::Reject { retry_after } = o.admit() else {
+            panic!("breaker must trip on the second saturated admission");
+        };
+        assert!(retry_after <= Duration::from_millis(40));
+        assert_eq!(o.snapshot().breaker, "open");
+        assert!(matches!(o.admit(), Admission::Reject { .. }));
+        assert_eq!(o.snapshot().breaker_rejections, 2);
+
+        // Open period over, queue drained: probes flow, degraded to 2.
+        std::thread::sleep(Duration::from_millis(50));
+        o.queue_gauge().store(0, Ordering::Relaxed);
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 2,
+                probe: true
+            }
+        );
+        assert_eq!(o.snapshot().breaker, "half-open");
+        // One healthy probe is not enough (recover_probes = 2)...
+        o.observe(Duration::from_millis(5), true, true);
+        assert_eq!(o.snapshot().breaker, "half-open");
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 2,
+                probe: true
+            }
+        );
+        // ...the second closes it.
+        o.observe(Duration::from_millis(5), true, true);
+        assert_eq!(o.snapshot().breaker, "closed");
+        assert_eq!(
+            o.admit(),
+            Admission::Go {
+                level: 0,
+                probe: false
+            }
+        );
+        assert_eq!(o.snapshot().breaker_opens, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let o = Overload::new(quick());
+        o.queue_gauge().store(4, Ordering::Relaxed);
+        o.admit();
+        o.admit(); // trips
+        std::thread::sleep(Duration::from_millis(50));
+        o.queue_gauge().store(0, Ordering::Relaxed);
+        assert!(matches!(o.admit(), Admission::Go { probe: true, .. }));
+        // The probe comes back unhealthy: re-open for a full period.
+        o.observe(Duration::from_secs(2), true, true);
+        assert_eq!(o.snapshot().breaker, "open");
+        assert!(matches!(o.admit(), Admission::Reject { .. }));
+        assert_eq!(o.snapshot().breaker_opens, 2);
+    }
+
+    #[test]
+    fn saturated_probe_admission_reopens_immediately() {
+        let o = Overload::new(quick());
+        o.queue_gauge().store(4, Ordering::Relaxed);
+        o.admit();
+        o.admit(); // trips
+        std::thread::sleep(Duration::from_millis(50));
+        // Still saturated when the open period lapses: the first arrival
+        // flips to half-open (probe), the next sees saturation and re-opens.
+        assert!(matches!(o.admit(), Admission::Go { probe: true, .. }));
+        assert!(matches!(o.admit(), Admission::Reject { .. }));
+        assert_eq!(o.snapshot().breaker, "open");
+    }
+}

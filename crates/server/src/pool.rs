@@ -15,7 +15,7 @@
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,13 +39,17 @@ pub type ConnectionHandler = dyn Fn(TcpStream) + Send + Sync;
 ///
 /// `queue_depth` bounds connections accepted but not yet claimed by a
 /// worker; beyond it the acceptor sheds with 503. `on_shed` observes every
-/// shed (metrics).
+/// shed (metrics). `depth_gauge` tracks connections sitting in the queue:
+/// the acceptor increments it *before* the hand-off, the claiming worker
+/// decrements it — so the gauge never under-reads, and the overload
+/// controller sees queue pressure the moment it builds.
 pub fn spawn(
     listener: TcpListener,
     threads: usize,
     queue_depth: usize,
     handler: Arc<ConnectionHandler>,
     on_shed: Arc<dyn Fn() + Send + Sync>,
+    depth_gauge: Arc<AtomicU64>,
 ) -> std::io::Result<Pool> {
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -55,10 +59,12 @@ pub fn spawn(
         .map(|i| {
             let receiver = receiver.clone();
             let handler = Arc::clone(&handler);
+            let depth_gauge = Arc::clone(&depth_gauge);
             std::thread::Builder::new()
                 .name(format!("coursenav-worker-{i}"))
                 .spawn(move || {
                     while let Ok(conn) = receiver.recv() {
+                        depth_gauge.fetch_sub(1, Ordering::Relaxed);
                         handler(conn);
                     }
                 })
@@ -75,14 +81,18 @@ pub fn spawn(
                 // the channel and lets the workers drain and stop.
                 while !shutdown.load(Ordering::Acquire) {
                     match listener.accept() {
-                        Ok((conn, _peer)) => match sender.try_send(conn) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(conn)) => {
-                                shed(conn);
-                                on_shed();
+                        Ok((conn, _peer)) => {
+                            depth_gauge.fetch_add(1, Ordering::Relaxed);
+                            match sender.try_send(conn) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(conn)) => {
+                                    depth_gauge.fetch_sub(1, Ordering::Relaxed);
+                                    shed(conn);
+                                    on_shed();
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
-                            Err(TrySendError::Disconnected(_)) => break,
-                        },
+                        }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(ACCEPT_POLL);
                         }

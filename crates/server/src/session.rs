@@ -184,6 +184,21 @@ impl SessionStore {
         }
     }
 
+    /// Drops every live session (operational flush; the chaos suite uses
+    /// it to simulate a full/restarted store). Outstanding tokens answer
+    /// [`SessionError::Expired`] afterwards. Returns how many were dropped.
+    pub fn evict_all(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let dropped = inner.map.len() as u64;
+        inner.map.clear();
+        inner.order.clear();
+        drop(inner);
+        if dropped > 0 {
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> SessionStats {
         let live = self.inner.lock().map.len() as u64;

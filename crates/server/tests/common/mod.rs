@@ -1,0 +1,152 @@
+//! Shared loopback helpers for the overload and chaos suites: a lenient
+//! one-shot HTTP client that survives torn connections instead of
+//! panicking on them (fault injection makes those a legal outcome).
+
+// Each test binary compiles its own copy of this module and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response off the wire.
+pub struct WireResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the body arrived whole (full content-length, or a chunked
+    /// stream that reached its terminal chunk). A torn write mid-body
+    /// parses as `complete: false`.
+    pub complete: bool,
+}
+
+impl WireResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Sends one `connection: close` request over a fresh connection and reads
+/// to EOF. Returns `None` when the connection closed (or was reset) before
+/// a complete response head — the signature of a shed-at-accept race or an
+/// injected mid-write reset.
+pub fn roundtrip(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Option<WireResponse> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let _ = stream.set_nodelay(true);
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: loopback\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break, // reset / timeout: parse whatever arrived
+        }
+    }
+    parse_response(&raw)
+}
+
+/// Parses a full connection's worth of bytes into a response, leniently.
+pub fn parse_response(raw: &[u8]) -> Option<WireResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&raw[..head_end - 4]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.contains("chunked"));
+    if chunked {
+        let (body, complete) = decode_chunked(&raw[head_end..]);
+        return Some(WireResponse {
+            status,
+            headers,
+            body,
+            complete,
+        });
+    }
+    let declared: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let got = raw.len() - head_end;
+    Some(WireResponse {
+        status,
+        headers,
+        body: raw[head_end..head_end + declared.min(got)].to_vec(),
+        complete: got >= declared,
+    })
+}
+
+/// Decodes chunked framing as far as the bytes go; `complete` only when
+/// the zero-length terminator chunk was seen.
+fn decode_chunked(mut rest: &[u8]) -> (Vec<u8>, bool) {
+    let mut body = Vec::new();
+    loop {
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return (body, false);
+        };
+        let Ok(size) = std::str::from_utf8(&rest[..line_end])
+            .map(str::trim)
+            .map_err(|_| ())
+            .and_then(|s| usize::from_str_radix(s, 16).map_err(|_| ()))
+        else {
+            return (body, false);
+        };
+        if size == 0 {
+            return (body, true);
+        }
+        let data_start = line_end + 2;
+        if rest.len() < data_start + size + 2 {
+            return (body, false);
+        }
+        body.extend_from_slice(&rest[data_start..data_start + size]);
+        rest = &rest[data_start + size + 2..];
+    }
+}
+
+/// `GET /v1/metrics` as parsed JSON (the route is exempt from admission
+/// control, so it answers even while the breaker is open).
+pub fn fetch_metrics(addr: SocketAddr) -> serde_json::Value {
+    let resp = roundtrip(addr, "GET", "/v1/metrics", None).expect("metrics answers");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    serde_json::from_str(resp.text()).expect("metrics is valid JSON")
+}
+
+/// The standard small-but-feasible exploration the loopback suites use:
+/// 98 degree paths at `m = 3`, milliseconds of engine time in debug.
+pub fn count_request() -> coursenav_navigator::ExplorationRequest {
+    let data = coursenav_registrar::brandeis_cs();
+    let mut req = coursenav_navigator::ExplorationRequest::deadline_count(
+        data.horizon.0,
+        data.horizon.0 + 4,
+        3,
+    );
+    req.goal = Some(coursenav_navigator::GoalSpec::Degree);
+    req
+}
