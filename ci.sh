@@ -15,6 +15,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> bench5 smoke (memoized vs un-memoized equivalence)"
+# The shallow configuration only; asserts memoized answers are
+# byte-identical to plain ones. Prints rows, writes no file — the
+# committed BENCH_5.json comes from a full (non-smoke) run.
+cargo run -q -p coursenav-bench --release --bin bench5 -- --smoke
+
 echo "==> cargo test (chaos suite)"
 # Fault-injection sites only exist behind the server's `chaos` feature;
 # plans are seeded, so the fault schedules are identical on every run.

@@ -176,7 +176,7 @@ mod tests {
                     nodes_expanded: 5,
                     edges_created: 9,
                     pruned_time: 1,
-                    pruned_availability: 0,
+                    ..ExploreStats::default()
                 },
             }),
         };

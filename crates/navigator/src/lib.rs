@@ -25,6 +25,10 @@
 //! - extensions called out in the paper's future work: selection and path
 //!   [`filter`]s, a memoized-DAG counting mode ([`dedup`]), and parallel
 //!   counting, collection, and top-k ([`parallel`]);
+//! - a status-keyed transposition table ([`memo`]) that folds the
+//!   exploration tree into a DAG: per-subtree counts, suffix sets, and
+//!   (for decomposable rankings) top-k summaries, shared across parallel
+//!   workers and — via the serving layer — across requests;
 //! - resumable exploration sessions: serializable DFS-frontier cursors
 //!   ([`cursor`]) and page-at-a-time request servicing with exact
 //!   resume semantics ([`resume`]).
@@ -41,6 +45,7 @@ pub mod filter;
 pub mod goal;
 pub mod graph;
 pub mod impact;
+pub mod memo;
 pub mod parallel;
 pub mod pareto;
 pub mod path;
@@ -63,6 +68,7 @@ pub use explorer::Explorer;
 pub use goal::Goal;
 pub use graph::{EdgeId, LearningGraph, NodeId};
 pub use impact::SelectionImpact;
+pub use memo::{ranking_signature, InsertGate, MemoStats, TranspositionTable};
 pub use pareto::ParetoPath;
 pub use path::LeafKind;
 pub use path::{Path, PathVisit};

@@ -39,7 +39,7 @@ use crate::stats::{ExploreStats, PathCounts};
 use crate::status::EnrollmentStatus;
 
 /// How the root expanded, mirroring the sequential engine's first step.
-enum RootExpansion {
+pub(crate) enum RootExpansion {
     /// The root itself is a leaf: the exploration is one trivial path.
     Leaf(LeafKind),
     /// The root was pruned: no paths at all.
@@ -59,7 +59,7 @@ enum RootExpansion {
 impl<'a> Explorer<'a> {
     /// Expands the root exactly like the sequential engine, keeping each
     /// surviving selection alongside the child status it leads to.
-    fn expand_root(&self) -> RootExpansion {
+    pub(crate) fn expand_root(&self) -> RootExpansion {
         let pruner = self.pruner();
         let mut stats = ExploreStats::default();
         let (min_selection, include_empty) = match self.disposition(self.start(), pruner.as_ref()) {
@@ -107,7 +107,7 @@ impl<'a> Explorer<'a> {
     /// Deals `items` round-robin to at most `threads` scoped workers and
     /// returns `run`'s results reassembled in item order — the merge
     /// order every parallel mode relies on for determinism.
-    fn deal_subtrees<I, T, F>(&self, items: Vec<I>, threads: usize, run: F) -> Vec<T>
+    pub(crate) fn deal_subtrees<I, T, F>(&self, items: Vec<I>, threads: usize, run: F) -> Vec<T>
     where
         I: Send,
         T: Send,
@@ -150,7 +150,7 @@ impl<'a> Explorer<'a> {
     }
 
     /// The root as a single trivial path (the `start == leaf` case).
-    fn trivial_path(&self) -> Path {
+    pub(crate) fn trivial_path(&self) -> Path {
         Path::new(vec![*self.start()], Vec::new())
     }
 

@@ -77,6 +77,25 @@ impl RankingSpec {
         }
     }
 
+    /// Whether this spec resolves to a suffix-decomposable ranking (see
+    /// [`crate::Ranking::decomposable`]): constant positive edge cost, so
+    /// cached top-k suffix summaries in the transposition table stay
+    /// byte-identical to the un-memoized best-first search. Mirrors the
+    /// resolved rankings: `Time` is decomposable, `Workload`/`Reliability`
+    /// are not, and a `Weighted` combination is decomposable when every
+    /// component is and at least one weight is positive.
+    pub fn decomposable(&self) -> bool {
+        match self {
+            RankingSpec::Time => true,
+            RankingSpec::Workload | RankingSpec::Reliability => false,
+            RankingSpec::Weighted(parts) => {
+                !parts.is_empty()
+                    && parts.iter().all(|(_, inner)| inner.decomposable())
+                    && parts.iter().any(|(weight, _)| *weight > 0.0)
+            }
+        }
+    }
+
     /// Position of each variant in the canonical sort order. The order
     /// matches what the previous Debug-string comparison produced
     /// (alphabetical: `Reliability < Time < Weighted < Workload`), so
@@ -248,6 +267,27 @@ impl ExplorationRequest {
     /// fingerprint that pins a resume token to its originating request.
     pub fn cache_key(&self) -> String {
         let mut canon = self.canonicalize();
+        canon.budget_ms = None;
+        canon.page_size = None;
+        canon.cursor = None;
+        serde_json::to_string(&canon).expect("a request always serializes")
+    }
+
+    /// The transposition-table sharing key: the compact JSON of the
+    /// canonical form with every field that does *not* change subtree
+    /// results masked out. A subtree rooted at an enrollment status is
+    /// fully determined by the catalog (the server scopes tables to a
+    /// catalog epoch), the deadline, `max_per_semester`, the goal, the
+    /// avoid/workload filters, the wait policy, and the pruning config —
+    /// so the start semester, completed set, output mode, ranking, budget,
+    /// and paging are all masked. Requests from different students (or the
+    /// same student asking for counts vs. paths) therefore share one memo.
+    pub fn memo_key(&self) -> String {
+        let mut canon = self.canonicalize();
+        canon.start_semester = canon.deadline;
+        canon.completed.clear();
+        canon.output = OutputMode::Count;
+        canon.ranking = None;
         canon.budget_ms = None;
         canon.page_size = None;
         canon.cursor = None;
@@ -436,6 +476,48 @@ mod tests {
         b.page_size = Some(10);
         b.cursor = Some("cn1.0123456789abcdef.fedcba9876543210".into());
         assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn memo_key_masks_start_state_and_output() {
+        let mut a = ExplorationRequest::degree_paths(fall(2012), fall(2015), 3, OutputMode::Count);
+        let mut b = a.clone();
+        b.start_semester = fall(2013);
+        b.completed = vec!["COSI 10A".into()];
+        b.output = OutputMode::TopK { k: 5 };
+        b.ranking = Some(RankingSpec::Time);
+        b.budget_ms = Some(10);
+        b.page_size = Some(2);
+        assert_eq!(a.memo_key(), b.memo_key(), "start state and output masked");
+        assert_ne!(a.cache_key(), b.cache_key());
+
+        // Subtree-relevant knobs must split the key.
+        let mut c = a.clone();
+        c.pruning = PruneConfig::time_only();
+        assert_ne!(a.memo_key(), c.memo_key());
+        let mut d = a.clone();
+        d.deadline = fall(2016);
+        assert_ne!(a.memo_key(), d.memo_key());
+        let mut e = a.clone();
+        e.avoid = vec!["COSI 2A".into()];
+        assert_ne!(a.memo_key(), e.memo_key());
+        a.wait_policy = WaitPolicy::Never;
+        assert_ne!(a.memo_key(), b.memo_key());
+    }
+
+    #[test]
+    fn spec_decomposability_mirrors_resolved_rankings() {
+        assert!(RankingSpec::Time.decomposable());
+        assert!(!RankingSpec::Workload.decomposable());
+        assert!(!RankingSpec::Reliability.decomposable());
+        assert!(RankingSpec::Weighted(vec![(2.0, RankingSpec::Time)]).decomposable());
+        assert!(!RankingSpec::Weighted(vec![
+            (1.0, RankingSpec::Time),
+            (0.5, RankingSpec::Workload)
+        ])
+        .decomposable());
+        assert!(!RankingSpec::Weighted(vec![(0.0, RankingSpec::Time)]).decomposable());
+        assert!(!RankingSpec::Weighted(vec![]).decomposable());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use crate::cursor::ExplorationCursor;
+use crate::memo::{ranking_signature, TranspositionTable};
 use crate::path::{LeafKind, Path};
 use crate::ranked::RankedPath;
 use crate::request::{ExplorationRequest, OutputMode};
@@ -102,6 +103,207 @@ impl NavigatorService<'_> {
                 self.ranked_page(req, cursor, deadline, sink, &fingerprint, k)
             }
         }
+    }
+
+    /// [`NavigatorService::run_page`] through a transposition table.
+    /// Counting pages answer memoized subtrees in bulk (a page may then
+    /// overshoot its nominal size — a bulk hit delivers a whole subtree's
+    /// leaves at once — but the accumulated totals, final statistics, and
+    /// cursors stay exact). Ranked pages under a decomposable ranking are
+    /// sliced out of the memoized top-k; anything else — collect output,
+    /// non-decomposable rankings, `table == None` — behaves exactly like
+    /// [`NavigatorService::run_page`].
+    pub fn run_page_memo(
+        &self,
+        req: &ExplorationRequest,
+        cursor: Option<&ExplorationCursor>,
+        deadline: Option<Instant>,
+        sink: Option<&mut PageSink<'_>>,
+        table: Option<&TranspositionTable>,
+    ) -> Result<PageOutcome, ServiceError> {
+        let Some(table) = table else {
+            return self.run_page_with(req, cursor, deadline, sink);
+        };
+        let fingerprint = req.cache_key();
+        if let Some(cur) = cursor {
+            if cur.fingerprint != fingerprint {
+                return Err(ServiceError::InvalidCursor(
+                    "cursor belongs to a different request".into(),
+                ));
+            }
+        }
+        match req.output {
+            // Count pages stream no per-path items, so the sink is moot.
+            OutputMode::Count => self.count_page_memo(req, cursor, deadline, &fingerprint, table),
+            OutputMode::Collect { limit } => {
+                self.collect_page(req, cursor, deadline, sink, &fingerprint, limit)
+            }
+            OutputMode::TopK { k } => {
+                let decomposable = req
+                    .ranking
+                    .as_ref()
+                    .map(|spec| spec.decomposable())
+                    .unwrap_or(false);
+                if decomposable {
+                    self.ranked_page_memo(req, cursor, deadline, sink, &fingerprint, k, table)
+                } else {
+                    self.ranked_page(req, cursor, deadline, sink, &fingerprint, k)
+                }
+            }
+        }
+    }
+
+    fn count_page_memo(
+        &self,
+        req: &ExplorationRequest,
+        cursor: Option<&ExplorationCursor>,
+        deadline: Option<Instant>,
+        fingerprint: &str,
+        table: &TranspositionTable,
+    ) -> Result<PageOutcome, ServiceError> {
+        let explorer = self.build_explorer(req)?;
+        let t0 = Instant::now();
+        let (mut stream, mut total_paths, mut goal_paths, emitted_before) = match cursor {
+            Some(cur) => {
+                let frontier = cur.frontier.as_ref().ok_or_else(|| {
+                    ServiceError::InvalidCursor("count cursor is missing its frontier".into())
+                })?;
+                (
+                    explorer.resume_count_paths_iter_memo(frontier, table)?,
+                    cur.total_paths,
+                    cur.goal_paths,
+                    cur.emitted,
+                )
+            }
+            None => (explorer.count_paths_iter_memo(table), 0, 0, 0),
+        };
+        let page_cap = req.page_size.unwrap_or(usize::MAX).max(1);
+        let mut expired = expiry_check(deadline);
+        let mut leaves_this_page = 0usize;
+        let mut truncated = false;
+        let mut next = None;
+        loop {
+            if leaves_this_page >= page_cap || expired() {
+                // Snapshot *before* pulling further so no leaf is counted
+                // twice or lost across the page boundary. Bulk hits leave
+                // the frontier exactly as if the subtree's last child had
+                // just finished, so the cursor stays valid.
+                truncated = true;
+                next = Some(ExplorationCursor {
+                    fingerprint: fingerprint.to_string(),
+                    emitted: emitted_before + leaves_this_page as u64,
+                    total_paths,
+                    goal_paths,
+                    frontier: Some(stream.cursor()),
+                });
+                break;
+            }
+            let item = stream.next();
+            // Bulk-answered leaves count toward the page like yielded ones
+            // (after the final `None` too: a memoized root answers whole).
+            let (bulk_total, bulk_goal) = stream.take_bulk();
+            total_paths += bulk_total;
+            goal_paths += bulk_goal;
+            leaves_this_page =
+                leaves_this_page.saturating_add(bulk_total.min(u128::from(u32::MAX)) as usize);
+            match item {
+                None => break,
+                Some((_, kind)) => {
+                    total_paths += 1;
+                    if kind == LeafKind::Goal {
+                        goal_paths += 1;
+                    }
+                    leaves_this_page += 1;
+                }
+            }
+        }
+        Ok(PageOutcome {
+            response: ExplorationResponse::Counts {
+                api_version: API_VERSION,
+                total_paths,
+                goal_paths,
+                stats: *stream.stats(),
+                truncated,
+                next_cursor: None,
+                millis: t0.elapsed().as_millis(),
+            },
+            cursor: next,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ranked_page_memo(
+        &self,
+        req: &ExplorationRequest,
+        cursor: Option<&ExplorationCursor>,
+        deadline: Option<Instant>,
+        sink: Option<&mut PageSink<'_>>,
+        fingerprint: &str,
+        k: usize,
+        table: &TranspositionTable,
+    ) -> Result<PageOutcome, ServiceError> {
+        let spec = req
+            .ranking
+            .as_ref()
+            .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
+        let ranking = self.resolve_ranking(spec)?;
+        let explorer = self.build_explorer(req)?;
+        let t0 = Instant::now();
+        let emitted_before = match cursor {
+            Some(cur) => {
+                if cur.emitted > k as u64 {
+                    return Err(ServiceError::InvalidCursor(
+                        "cursor claims more paths than k".into(),
+                    ));
+                }
+                cur.emitted as usize
+            }
+            None => 0,
+        };
+        let sig = ranking_signature(spec);
+        let Some((all, _work)) =
+            explorer.top_k_memo_until(ranking.as_ref(), sig, k, table, deadline)?
+        else {
+            // Deadline expired mid-DP: fall back to the un-memoized paged
+            // search, which returns the true best-so-far prefix.
+            return self.ranked_page(req, cursor, deadline, sink, fingerprint, k);
+        };
+        let remaining = k - emitted_before;
+        let page_cap = req
+            .page_size
+            .map(|p| p.max(1))
+            .unwrap_or(remaining)
+            .min(remaining);
+        let lo = all.len().min(emitted_before);
+        let hi = all.len().min(emitted_before + page_cap);
+        let paths: Vec<RankedPath> = all[lo..hi].to_vec();
+        if let Some(sink) = sink {
+            for ranked in &paths {
+                if sink(StreamedItem::Ranked(ranked)).is_break() {
+                    break;
+                }
+            }
+        }
+        let emitted_total = emitted_before + paths.len();
+        let more = emitted_total < all.len();
+        let next = more.then(|| ExplorationCursor {
+            fingerprint: fingerprint.to_string(),
+            emitted: emitted_total as u64,
+            total_paths: 0,
+            goal_paths: 0,
+            frontier: None,
+        });
+        Ok(PageOutcome {
+            response: ExplorationResponse::Ranked {
+                api_version: API_VERSION,
+                ranking: ranking.name().to_string(),
+                paths,
+                truncated: more,
+                next_cursor: None,
+                millis: t0.elapsed().as_millis(),
+            },
+            cursor: next,
+        })
     }
 
     fn count_page(

@@ -20,6 +20,7 @@ use crate::error::ExploreError;
 use crate::explorer::Explorer;
 use crate::filter::{AvoidCourses, MaxSemesterWorkload};
 use crate::goal::Goal;
+use crate::memo::{ranking_signature, TranspositionTable};
 use crate::path::{LeafKind, Path};
 use crate::ranked::RankedPath;
 use crate::ranking::{Ranking, ReliabilityRanking, TimeRanking, WeightedRanking, WorkloadRanking};
@@ -441,6 +442,93 @@ impl<'a> NavigatorService<'a> {
                     next_cursor: None,
                     millis: t0.elapsed().as_millis(),
                 })
+            }
+        }
+    }
+
+    /// [`NavigatorService::run_until_with`] through a transposition table:
+    /// whole subtrees already in `table` are answered from it instead of
+    /// being re-explored, and newly-explored subtrees are inserted for the
+    /// next run. Responses are byte-identical to the un-memoized ones —
+    /// same counts, same paths, same order, same *logical* statistics
+    /// (memo hits replay the cached subtree's counters, so the §5.2
+    /// pruning breakdown is stable warm or cold).
+    ///
+    /// Routing: `table == None` is exactly
+    /// [`NavigatorService::run_until_with`]. Count output uses the
+    /// memoized counter (parallel workers share the table when
+    /// `parallelism > 1`). Collect output uses the memoized sequential
+    /// enumerator (suffix splicing; the output limit bounds its work).
+    /// Top-k uses cached suffix summaries only under a *decomposable*
+    /// ranking ([`RankingSpec::decomposable`]) and falls back to the
+    /// un-memoized best-first search otherwise — or when the deadline
+    /// expires mid-computation, so a deadline-bound response is always a
+    /// correct best-first prefix.
+    pub fn run_until_memo(
+        &self,
+        req: &ExplorationRequest,
+        deadline: Option<Instant>,
+        parallelism: usize,
+        table: Option<&TranspositionTable>,
+    ) -> Result<ExplorationResponse, ServiceError> {
+        let Some(table) = table else {
+            return self.run_until_with(req, deadline, parallelism);
+        };
+        let explorer = self.build_explorer(req)?;
+        let t0 = Instant::now();
+        match req.output {
+            OutputMode::Count => {
+                let (counts, _work, truncated) = if parallelism > 1 {
+                    explorer.count_paths_parallel_memo_until(parallelism, deadline, table)
+                } else {
+                    explorer.count_paths_memo_until(table, deadline)
+                };
+                Ok(ExplorationResponse::Counts {
+                    api_version: API_VERSION,
+                    total_paths: counts.total_paths,
+                    goal_paths: counts.goal_paths,
+                    stats: counts.stats,
+                    truncated,
+                    next_cursor: None,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::Collect { limit } => {
+                let (paths, _work, truncated) =
+                    explorer.collect_paths_memo_until(table, limit, deadline);
+                Ok(ExplorationResponse::Paths {
+                    api_version: API_VERSION,
+                    paths,
+                    truncated,
+                    next_cursor: None,
+                    millis: t0.elapsed().as_millis(),
+                })
+            }
+            OutputMode::TopK { k } => {
+                let spec = req
+                    .ranking
+                    .as_ref()
+                    .ok_or_else(|| ServiceError::BadRanking("top-k requires a ranking".into()))?;
+                if spec.decomposable() {
+                    let ranking = self.resolve_ranking(spec)?;
+                    let sig = ranking_signature(spec);
+                    if let Some((paths, _work)) =
+                        explorer.top_k_memo_until(ranking.as_ref(), sig, k, table, deadline)?
+                    {
+                        return Ok(ExplorationResponse::Ranked {
+                            api_version: API_VERSION,
+                            ranking: ranking.name().to_string(),
+                            paths,
+                            truncated: false,
+                            next_cursor: None,
+                            millis: t0.elapsed().as_millis(),
+                        });
+                    }
+                }
+                // Non-decomposable ranking, or the deadline expired before
+                // the memoized computation finished: the un-memoized search
+                // is the byte-identical (and best-so-far-correct) answer.
+                self.run_until_with(req, deadline, parallelism)
             }
         }
     }

@@ -19,6 +19,22 @@ pub struct ExploreStats {
     pub pruned_time: u64,
     /// Nodes cut by the course-availability strategy (§4.2.2).
     pub pruned_availability: u64,
+    /// Subtrees answered from the transposition table instead of being
+    /// re-explored. Always zero in the *logical* (tree-equivalent) stats
+    /// attached to responses — a memo hit replays the cached subtree's
+    /// counters so warm and cold runs report identical breakdowns — and
+    /// non-zero only in the *work* stats returned by the memoized entry
+    /// points in [`crate::memo`].
+    #[serde(default)]
+    pub memo_hits: u64,
+    /// Transposition-table lookups that missed (work stats only; see
+    /// [`ExploreStats::memo_hits`]).
+    #[serde(default)]
+    pub memo_misses: u64,
+    /// Entries evicted from the transposition table while this run held it
+    /// (work stats only; see [`ExploreStats::memo_hits`]).
+    #[serde(default)]
+    pub memo_evictions: u64,
 }
 
 impl ExploreStats {
@@ -33,6 +49,23 @@ impl ExploreStats {
         self.edges_created += other.edges_created;
         self.pruned_time += other.pruned_time;
         self.pruned_availability += other.pruned_availability;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_evictions += other.memo_evictions;
+    }
+
+    /// The counters accumulated since `base` was captured (used by the
+    /// memo-aware path stream to attribute work to a single subtree).
+    pub(crate) fn since(&self, base: &ExploreStats) -> ExploreStats {
+        ExploreStats {
+            nodes_expanded: self.nodes_expanded - base.nodes_expanded,
+            edges_created: self.edges_created - base.edges_created,
+            pruned_time: self.pruned_time - base.pruned_time,
+            pruned_availability: self.pruned_availability - base.pruned_availability,
+            memo_hits: self.memo_hits - base.memo_hits,
+            memo_misses: self.memo_misses - base.memo_misses,
+            memo_evictions: self.memo_evictions - base.memo_evictions,
+        }
     }
 }
 
@@ -60,6 +93,9 @@ mod tests {
             edges_created: 2,
             pruned_time: 3,
             pruned_availability: 4,
+            memo_hits: 5,
+            memo_misses: 6,
+            memo_evictions: 7,
         };
         a.merge(&a.clone());
         assert_eq!(a.nodes_expanded, 2);
@@ -67,5 +103,9 @@ mod tests {
         assert_eq!(a.pruned_time, 6);
         assert_eq!(a.pruned_availability, 8);
         assert_eq!(a.pruned_total(), 14);
+        assert_eq!(a.memo_hits, 10);
+        assert_eq!(a.memo_misses, 12);
+        assert_eq!(a.memo_evictions, 14);
+        assert_eq!(a.since(&a.clone()), ExploreStats::default());
     }
 }

@@ -16,10 +16,21 @@ use crate::cursor::{FrameState, StreamCursor};
 use crate::error::ExploreError;
 use crate::expand::SelectionIter;
 use crate::explorer::{Disposition, Explorer};
+use crate::memo::TranspositionTable;
 use crate::path::{LeafKind, Path};
 use crate::pruning::{record_prune, Pruner};
 use crate::stats::ExploreStats;
 use crate::status::EnrollmentStatus;
+
+/// Counters captured when a frame is pushed *by this stream* (not rebuilt
+/// from a cursor), so the subtree's totals can be attributed to its node
+/// when the frame pops and inserted into the transposition table.
+#[derive(Clone, Copy)]
+struct FrameBase {
+    total: u128,
+    goal: u128,
+    stats: ExploreStats,
+}
 
 /// One DFS frame: an expanded node's remaining selections.
 struct Frame {
@@ -27,6 +38,10 @@ struct Frame {
     min_selection: usize,
     emitted: usize,
     floor_skipped: usize,
+    /// `Some` only for frames this stream pushed itself while memoizing;
+    /// cursor-rebuilt frames were partially consumed before we saw them,
+    /// so their subtrees can never be cached.
+    base: Option<FrameBase>,
 }
 
 /// A pull-based stream of learning paths. Create with
@@ -40,6 +55,18 @@ pub struct PathStream<'e, 'c> {
     stats: ExploreStats,
     /// The root still needs its disposition check.
     fresh: bool,
+    /// Transposition table for *counting* streams (see
+    /// [`Explorer::count_paths_iter_memo`]). `None` for plain streams.
+    table: Option<&'e TranspositionTable>,
+    /// Memo hit/miss/eviction counters for this stream (work stats).
+    work: ExploreStats,
+    /// All leaves accounted so far, yielded or bulk-answered.
+    total_seen: u128,
+    goal_seen: u128,
+    /// Leaves answered from the table since the last
+    /// [`PathStream::take_bulk`] — never yielded as items.
+    bulk_total: u128,
+    bulk_goal: u128,
 }
 
 impl<'c> Explorer<'c> {
@@ -55,7 +82,46 @@ impl<'c> Explorer<'c> {
             frames: Vec::new(),
             stats: ExploreStats::default(),
             fresh: true,
+            table: None,
+            work: ExploreStats::default(),
+            total_seen: 0,
+            goal_seen: 0,
+            bulk_total: 0,
+            bulk_goal: 0,
         }
+    }
+
+    /// A *counting* stream through `table`: identical to
+    /// [`Explorer::paths_iter`] except that whole subtrees already in the
+    /// transposition table are answered in bulk — their logical statistics
+    /// merge into [`PathStream::stats`] and their leaf counts accumulate
+    /// for [`PathStream::take_bulk`] instead of being yielded as items —
+    /// and fully-consumed fresh subtrees are inserted on the way out.
+    /// Cursors stay valid (a bulk hit looks exactly like a completed
+    /// child), but yielded items skip memoized subtrees, so this stream is
+    /// only suitable for counting, not for collecting paths.
+    pub(crate) fn count_paths_iter_memo<'e>(
+        &'e self,
+        table: &'e TranspositionTable,
+    ) -> PathStream<'e, 'c> {
+        let mut stream = self.paths_iter();
+        stream.table = Some(table);
+        stream
+    }
+
+    /// Resumes a *counting* stream (see
+    /// [`Explorer::count_paths_iter_memo`]) from a frontier snapshot.
+    /// Frames rebuilt from the cursor are never inserted into the table
+    /// (their subtrees were partially consumed before the pause), but
+    /// lookups and inserts resume for everything explored from here on.
+    pub(crate) fn resume_count_paths_iter_memo<'e>(
+        &'e self,
+        cursor: &StreamCursor,
+        table: &'e TranspositionTable,
+    ) -> Result<PathStream<'e, 'c>, ExploreError> {
+        let mut stream = self.resume_paths_iter(cursor)?;
+        stream.table = Some(table);
+        Ok(stream)
     }
 
     /// Lazily iterates only the goal-satisfying paths.
@@ -99,6 +165,12 @@ impl<'c> Explorer<'c> {
                 frames: Vec::new(),
                 stats: cursor.stats,
                 fresh: false,
+                table: None,
+                work: ExploreStats::default(),
+                total_seen: 0,
+                goal_seen: 0,
+                bulk_total: 0,
+                bulk_goal: 0,
             });
         }
         if cursor.selections.len() + 1 != cursor.frames.len() {
@@ -130,6 +202,7 @@ impl<'c> Explorer<'c> {
                 min_selection: state.min_selection as usize,
                 emitted: state.emitted as usize,
                 floor_skipped: state.floor_skipped as usize,
+                base: None,
             });
         }
         Ok(PathStream {
@@ -140,6 +213,12 @@ impl<'c> Explorer<'c> {
             frames,
             stats: cursor.stats,
             fresh: false,
+            table: None,
+            work: ExploreStats::default(),
+            total_seen: 0,
+            goal_seen: 0,
+            bulk_total: 0,
+            bulk_goal: 0,
         })
     }
 }
@@ -184,6 +263,10 @@ impl PathStream<'_, '_> {
         let status = *self.statuses.last().expect("stack is never empty");
         match self.explorer.disposition(&status, self.pruner.as_ref()) {
             Disposition::Leaf(kind) => {
+                self.total_seen += 1;
+                if kind == LeafKind::Goal {
+                    self.goal_seen += 1;
+                }
                 let path = self.current_path();
                 self.backtrack();
                 Some((path, kind))
@@ -197,6 +280,27 @@ impl PathStream<'_, '_> {
                 min_selection,
                 include_empty,
             } => {
+                if let Some(table) = self.table {
+                    if let Some((total, goal, logical)) = table.get_count(&status.state_key()) {
+                        // The whole subtree answers in bulk: replay its
+                        // logical counters and step past it exactly as if
+                        // its last child had just finished.
+                        self.work.memo_hits += 1;
+                        self.stats.merge(&logical);
+                        self.total_seen += total;
+                        self.goal_seen += goal;
+                        self.bulk_total += total;
+                        self.bulk_goal += goal;
+                        self.backtrack();
+                        return None;
+                    }
+                    self.work.memo_misses += 1;
+                }
+                let base = self.table.map(|_| FrameBase {
+                    total: self.total_seen,
+                    goal: self.goal_seen,
+                    stats: self.stats,
+                });
                 self.stats.nodes_expanded += 1;
                 let options = *status.options();
                 let iter = if include_empty {
@@ -209,10 +313,30 @@ impl PathStream<'_, '_> {
                     min_selection,
                     emitted: 0,
                     floor_skipped: 0,
+                    base,
                 });
                 None
             }
         }
+    }
+
+    /// Drains the leaf counts answered from the transposition table since
+    /// the last call (counting streams only; always zero otherwise).
+    /// These leaves were never yielded as items, so a counting consumer
+    /// must add them to its totals after every [`Iterator::next`] call —
+    /// including the final `None`, which a bulk-answered root produces
+    /// immediately.
+    pub(crate) fn take_bulk(&mut self) -> (u128, u128) {
+        let bulk = (self.bulk_total, self.bulk_goal);
+        self.bulk_total = 0;
+        self.bulk_goal = 0;
+        bulk
+    }
+
+    /// Memo hit/miss/eviction counters accumulated by this stream (work
+    /// stats — never part of the response's logical statistics).
+    pub fn memo_work(&self) -> ExploreStats {
+        self.work
     }
 
     /// Pops the just-finished node (leaf or pruned) off the path stack.
@@ -268,6 +392,20 @@ impl Iterator for PathStream<'_, '_> {
                     // Frame exhausted: maybe a filtered-to-death dead end.
                     let frame = self.frames.pop().expect("checked above");
                     let dead_end = frame.emitted == 0 && frame.floor_skipped == 0;
+                    if dead_end {
+                        self.total_seen += 1;
+                    }
+                    if let (Some(table), Some(base)) = (self.table, frame.base) {
+                        // Fully consumed fresh subtree: everything seen
+                        // since the frame was pushed belongs to this node.
+                        let status = self.statuses.last().expect("frame implies a node");
+                        self.work.memo_evictions += table.put_count(
+                            status.state_key(),
+                            self.total_seen - base.total,
+                            self.goal_seen - base.goal,
+                            self.stats.since(&base.stats),
+                        );
+                    }
                     if dead_end {
                         let path = self.current_path();
                         self.backtrack();
@@ -418,6 +556,93 @@ mod tests {
         let mut fresh_with_state = good.clone();
         fresh_with_state.fresh = true;
         assert!(e.resume_paths_iter(&fresh_with_state).is_err());
+    }
+
+    #[test]
+    fn counting_stream_with_memo_matches_plain_counts() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let plain = e.count_paths();
+        let table = TranspositionTable::new(1 << 16);
+        for round in 0..2 {
+            let mut stream = e.count_paths_iter_memo(&table);
+            let mut total = 0u128;
+            let mut goal_n = 0u128;
+            loop {
+                let item = stream.next();
+                let (bt, bg) = stream.take_bulk();
+                total += bt;
+                goal_n += bg;
+                match item {
+                    Some((_, kind)) => {
+                        total += 1;
+                        goal_n += u128::from(kind == LeafKind::Goal);
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(total, plain.total_paths, "round {round}");
+            assert_eq!(goal_n, plain.goal_paths, "round {round}");
+            assert_eq!(*stream.stats(), plain.stats, "round {round}");
+            if round == 1 {
+                assert!(stream.memo_work().memo_hits > 0, "warm round hits");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_stream_cursor_survives_memo_bulk_hits() {
+        let s = setting();
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let plain = e.count_paths();
+        let table = TranspositionTable::new(1 << 16);
+        // Warm the table so the paged run below takes bulk hits.
+        {
+            let mut warm = e.count_paths_iter_memo(&table);
+            while warm.next().is_some() {}
+            warm.take_bulk();
+        }
+        // Page through with a fresh memoized stream, snapshotting the
+        // cursor every few pulls and resuming from its JSON round-trip.
+        let mut total = 0u128;
+        let mut goal_n = 0u128;
+        let mut stream = e.count_paths_iter_memo(&table);
+        let mut last_stats;
+        loop {
+            let mut done = false;
+            for _ in 0..3 {
+                let item = stream.next();
+                let (bt, bg) = stream.take_bulk();
+                total += bt;
+                goal_n += bg;
+                match item {
+                    Some((_, kind)) => {
+                        total += 1;
+                        goal_n += u128::from(kind == LeafKind::Goal);
+                    }
+                    None => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            last_stats = *stream.stats();
+            if done {
+                break;
+            }
+            let json = serde_json::to_string(&stream.cursor()).expect("cursor serializes");
+            let cursor: StreamCursor = serde_json::from_str(&json).expect("cursor parses");
+            stream = e
+                .resume_count_paths_iter_memo(&cursor, &table)
+                .expect("cursor stays valid across bulk hits");
+        }
+        assert_eq!(total, plain.total_paths);
+        assert_eq!(goal_n, plain.goal_paths);
+        assert_eq!(last_stats, plain.stats);
     }
 
     #[test]

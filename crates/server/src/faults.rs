@@ -22,6 +22,7 @@
 //! | `DropCachePut`        | a cacheable response is silently not cached    |
 //! | `EvictSessions`       | the session store is force-emptied (mid-page)  |
 //! | `ResetMidWrite`       | the connection drops after a partial response  |
+//! | `MemoInsertDropped`   | a transposition-table store is silently skipped |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -41,16 +42,21 @@ pub enum FaultSite {
     EvictSessions,
     /// Abort the connection after writing a partial response head.
     ResetMidWrite,
+    /// Skip a transposition-table insert (the memo layer's analogue of
+    /// [`FaultSite::DropCachePut`]: the subtree is recomputed, never
+    /// answered wrong).
+    MemoInsertDropped,
 }
 
 /// Every site, in counter-index order.
-pub const SITES: [FaultSite; 6] = [
+pub const SITES: [FaultSite; 7] = [
     FaultSite::PanicBeforeCompute,
     FaultSite::PanicAfterCompute,
     FaultSite::ComputeDelay,
     FaultSite::DropCachePut,
     FaultSite::EvictSessions,
     FaultSite::ResetMidWrite,
+    FaultSite::MemoInsertDropped,
 ];
 
 /// A seeded, per-site fault schedule. See the module docs.

@@ -12,7 +12,11 @@
 //! 2. **Effective caching.** Responses are cached under the request's
 //!    *canonical* form ([`ExplorationRequest::cache_key`]) — reordered
 //!    course lists and rescaled ranking weights hit the same entry. Only
-//!    complete (non-truncated) answers are cached.
+//!    complete (non-truncated) answers are cached. One level deeper, the
+//!    [`memo`] registry keeps the engine's transposition tables alive
+//!    *across* requests: explorations that differ only in output mode,
+//!    ranking, budget, or paging share memoized subtrees
+//!    ([`ExplorationRequest::memo_key`]).
 //! 3. **Bounded everything.** Fixed worker pool, bounded hand-off queue
 //!    with 503 load-shedding, capped request bodies, byte-budgeted cache.
 //! 4. **One engine run per answer.** Concurrent duplicates of a cold
@@ -47,6 +51,7 @@
 pub mod cache;
 pub mod faults;
 pub mod http;
+pub mod memo;
 pub mod metrics;
 pub mod overload;
 pub mod pool;
@@ -69,6 +74,8 @@ use parking_lot::RwLock;
 
 use cache::ResponseCache;
 use http::{ParseError, Request, Response};
+use memo::MemoRegistry;
+pub use memo::MemoRegistrySnapshot;
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
 use overload::{Admission, Overload};
@@ -111,6 +118,10 @@ pub struct ServerConfig {
     /// dealt across this many scoped workers. `1` runs sequentially;
     /// parallel answers are byte-identical to sequential ones.
     pub parallelism: usize,
+    /// Per-table cap on the cross-request transposition tables that let
+    /// different requests over the same exploration tree share subtree
+    /// work ([`memo::MemoRegistry`]). `0` disables memoization.
+    pub memo_entries: usize,
     /// Live resumable sessions kept at once; beyond it, the least
     /// recently minted cursor is evicted (its token answers 410).
     pub session_capacity: usize,
@@ -135,6 +146,7 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(5),
             default_budget_ms: Some(10_000),
             parallelism: 1,
+            memo_entries: 1 << 16,
             session_capacity: 1024,
             session_ttl: Duration::from_secs(300),
             overload: OverloadConfig::default(),
@@ -149,6 +161,7 @@ impl Default for ServerConfig {
 struct AppState {
     data: RwLock<Arc<RegistrarData>>,
     cache: ResponseCache,
+    memo: MemoRegistry,
     metrics: Metrics,
     flights: Singleflight,
     sessions: SessionStore,
@@ -172,9 +185,22 @@ impl Server {
     pub fn start(config: ServerConfig, data: RegistrarData) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        #[allow(unused_mut)]
+        let mut memo = MemoRegistry::new(config.memo_entries);
+        #[cfg(feature = "chaos")]
+        {
+            // Route every table's inserts through the armed fault plan:
+            // when `MemoInsertDropped` fires, the store is skipped and the
+            // subtree simply gets recomputed next time.
+            let faults = Arc::clone(&config.faults);
+            memo.set_insert_gate(Arc::new(move || {
+                !faults.fires(faults::FaultSite::MemoInsertDropped)
+            }));
+        }
         let state = Arc::new(AppState {
             data: RwLock::new(Arc::new(data)),
             cache: ResponseCache::new(config.cache_mb.max(1) * (1 << 20)),
+            memo,
             metrics: Metrics::new(),
             flights: Singleflight::new(),
             sessions: SessionStore::new(config.session_capacity, config.session_ttl),
@@ -227,16 +253,18 @@ impl Server {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.state.metrics.snapshot(
             self.state.cache.stats(),
+            self.state.memo.snapshot(),
             self.state.sessions.stats(),
             self.state.overload.snapshot(),
         )
     }
 
-    /// Replaces the registrar data and invalidates every cached response —
-    /// the catalog-reload path. In-flight requests finish against the data
-    /// they started with.
+    /// Replaces the registrar data and invalidates every cached response
+    /// and memoized subtree — the catalog-reload path. In-flight requests
+    /// finish against the data (and tables) they started with.
     pub fn swap_catalog(&self, data: RegistrarData) -> u64 {
         *self.state.data.write() = Arc::new(data);
+        self.state.memo.invalidate_all();
         self.state.cache.invalidate_all()
     }
 
@@ -383,6 +411,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", "/metrics") => {
             let snapshot = state.metrics.snapshot(
                 state.cache.stats(),
+                state.memo.snapshot(),
                 state.sessions.stats(),
                 state.overload.snapshot(),
             );
@@ -392,6 +421,9 @@ fn route(state: &AppState, request: &Request) -> Response {
             }
         }
         ("POST", "/cache/invalidate") => {
+            // The memo registry holds derived exploration state just like
+            // the response cache; an explicit invalidation clears both.
+            state.memo.invalidate_all();
             let dropped = state.cache.invalidate_all();
             Response::json(200, format!("{{\"invalidated\":{dropped}}}"))
         }
@@ -595,7 +627,10 @@ fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, boo
         service = service.with_offering_model(offering);
     }
 
-    match service.run_until_with(req, deadline, state.parallelism) {
+    // Different requests over the same exploration tree share one
+    // transposition table; the engine consults and warms it as it runs.
+    let table = state.memo.table_for(&req.memo_key());
+    match service.run_until_memo(req, deadline, state.parallelism, table.as_deref()) {
         Ok(response) => {
             chaos!(state, faults::FaultSite::PanicAfterCompute, {
                 panic!("chaos: worker panic after compute");
@@ -685,7 +720,8 @@ fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
     if let Some(offering) = &data.offering {
         service = service.with_offering_model(offering);
     }
-    match service.run_page(req, cursor.as_ref(), deadline) {
+    let table = state.memo.table_for(&req.memo_key());
+    match service.run_page_memo(req, cursor.as_ref(), deadline, None, table.as_deref()) {
         Ok(mut outcome) => {
             if outcome.response.truncated() {
                 state
@@ -845,7 +881,14 @@ fn explore_stream_admitted(
             }
             ControlFlow::Continue(())
         };
-        service.run_page_with(&req, cursor.as_ref(), deadline, Some(&mut sink))
+        let table = state.memo.table_for(&req.memo_key());
+        service.run_page_memo(
+            &req,
+            cursor.as_ref(),
+            deadline,
+            Some(&mut sink),
+            table.as_deref(),
+        )
     };
     match result {
         Ok(_) if io_failed => {

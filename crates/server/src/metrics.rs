@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::memo::MemoRegistrySnapshot;
 use crate::overload::OverloadSnapshot;
 use crate::session::SessionStats;
 
@@ -185,10 +186,11 @@ impl Metrics {
     }
 
     /// A serializable point-in-time view, merged with the cache's,
-    /// session store's, and overload controller's stats.
+    /// memo registry's, session store's, and overload controller's stats.
     pub fn snapshot(
         &self,
         cache: CacheStats,
+        memo: MemoRegistrySnapshot,
         sessions: SessionStats,
         overload: OverloadSnapshot,
     ) -> MetricsSnapshot {
@@ -215,6 +217,7 @@ impl Metrics {
                 .map(|(i, route)| self.latency[i].snapshot(route))
                 .collect(),
             cache,
+            memo,
             sessions,
             overload,
         }
@@ -283,6 +286,8 @@ pub struct MetricsSnapshot {
     pub latency: Vec<HistogramSnapshot>,
     /// Response-cache statistics.
     pub cache: CacheStats,
+    /// Cross-request transposition-table statistics.
+    pub memo: MemoRegistrySnapshot,
     /// Resumable-session store statistics.
     pub sessions: SessionStats,
     /// Degradation-ladder and circuit-breaker state.
@@ -302,6 +307,7 @@ mod tests {
         m.count_status(500);
         let snap = m.snapshot(
             CacheStats::default(),
+            MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
         );
@@ -315,6 +321,7 @@ mod tests {
         let m = Metrics::new();
         let json = serde_json::to_string(&m.snapshot(
             CacheStats::default(),
+            MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
         ))
@@ -325,6 +332,8 @@ mod tests {
         assert!(json.contains("\"explore-paged\":0"), "{json}");
         assert!(json.contains("\"explore-streamed\":0"), "{json}");
         assert!(json.contains("\"cache\":{"), "{json}");
+        assert!(json.contains("\"memo\":{"), "{json}");
+        assert!(json.contains("\"tables-dropped\":0"), "{json}");
         assert!(json.contains("\"sessions\":{"), "{json}");
         assert!(json.contains("\"overload\":{"), "{json}");
         assert!(json.contains("\"breaker\":\"closed\""), "{json}");
@@ -357,6 +366,7 @@ mod tests {
         m.observe_latency("/v1/explore/stream", Duration::from_millis(2));
         let snap = m.snapshot(
             CacheStats::default(),
+            MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
         );

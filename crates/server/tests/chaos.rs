@@ -100,9 +100,18 @@ fn normalized(body: &str) -> String {
 }
 
 /// The fault-free reference answer for `json` (computed on a pristine
-/// server), normalized for comparison against chaos-run responses.
+/// server with memoization disabled — the ground truth no transposition
+/// table ever touched), normalized for comparison against chaos-run
+/// responses.
 fn reference_answer(json: &str) -> String {
-    let server = Server::start(ServerConfig::default(), brandeis_cs()).expect("reference server");
+    let server = Server::start(
+        ServerConfig {
+            memo_entries: 0,
+            ..ServerConfig::default()
+        },
+        brandeis_cs(),
+    )
+    .expect("reference server");
     let resp = roundtrip(server.local_addr(), "POST", "/v1/explore", Some(json))
         .expect("reference answer");
     assert_eq!(resp.status, 200, "{}", resp.text());
@@ -124,6 +133,7 @@ fn fault_schedules_are_deterministic_and_seed_sensitive() {
             .with(FaultSite::DropCachePut, 300)
             .with(FaultSite::EvictSessions, 250)
             .with(FaultSite::ResetMidWrite, 100)
+            .with(FaultSite::MemoInsertDropped, 350)
     };
     let (a, b, c) = (mk(0xC0FFEE), mk(0xC0FFEE), mk(0xBEEF));
     for site in SITES {
@@ -151,6 +161,7 @@ fn storm_with_every_fault_armed_keeps_the_invariants() {
             .with(FaultSite::DropCachePut, 300)
             .with(FaultSite::EvictSessions, 250)
             .with(FaultSite::ResetMidWrite, 100)
+            .with(FaultSite::MemoInsertDropped, 350)
             .with_delay(Duration::from_millis(5));
         let server = chaos_server(plan);
         let addr = server.local_addr();
@@ -213,6 +224,114 @@ fn storm_with_every_fault_armed_keeps_the_invariants() {
             torn.load(std::sync::atomic::Ordering::Relaxed),
         );
         server.shutdown(); // watchdog catches a hang here = leaked pool
+    });
+}
+
+#[test]
+fn memo_drop_storm_answers_never_depend_on_table_contents() {
+    with_watchdog("memo storm", Duration::from_secs(90), || {
+        // Half of all transposition-table stores silently vanish, against
+        // a table sized below the storm's working set of subtree entries
+        // so per-shard eviction stays active the whole run. The memo is
+        // pure optimization: whatever arbitrary subset of subtrees the
+        // table happens to retain, every answer must equal the memo-free
+        // ground truth.
+        let plan = Arc::new(FaultPlan::new(0xD1A6).with(FaultSite::MemoInsertDropped, 500));
+        let server = Server::start(
+            ServerConfig {
+                threads: 4,
+                memo_entries: 64,
+                faults: Arc::clone(&plan),
+                ..ServerConfig::default()
+            },
+            brandeis_cs(),
+        )
+        .expect("start memo-chaos server");
+        let addr = server.local_addr();
+
+        // Every variant canonicalizes to the same `memo_key` (output
+        // mode, k, limit, and paging are masked), so all of them share
+        // one table — and varying the shape gives each its own
+        // response-cache key, forcing fresh engine runs through the
+        // battered memo instead of repeat-serving cached bytes. The
+        // paged counts go further: pages bypass the cache and
+        // singleflight entirely, so every one of them re-walks the exact
+        // same statuses and hits whatever inserts survived the drops
+        // (page_size exceeds the path count, so each completes in one
+        // page, byte-identical to the unpaged answer).
+        let mut variants = vec![count_request().to_json().unwrap()];
+        for page_size in [90_000usize, 100_000] {
+            let mut req = count_request();
+            req.page_size = Some(page_size);
+            variants.push(req.to_json().unwrap());
+        }
+        for k in [1usize, 3, 7, 12] {
+            let mut req = count_request();
+            req.output = OutputMode::TopK { k };
+            req.ranking = Some(RankingSpec::Time);
+            variants.push(req.to_json().unwrap());
+        }
+        for limit in [5usize, 20, 120] {
+            let mut req = count_request();
+            req.output = OutputMode::Collect { limit };
+            variants.push(req.to_json().unwrap());
+        }
+        let references: Vec<String> = variants.iter().map(|v| reference_answer(v)).collect();
+
+        const CLIENTS: usize = 6;
+        const ROUNDS: usize = 3;
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let (variants, references) = (&variants, &references);
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        for step in 0..variants.len() {
+                            // Stagger the order per client so different
+                            // shapes race each other over the table.
+                            let i = (step + client + round) % variants.len();
+                            let resp = roundtrip(addr, "POST", "/v1/explore", Some(&variants[i]))
+                                .expect("no reset site armed: responses arrive whole");
+                            assert!(resp.complete, "torn without a reset fault");
+                            assert_eq!(resp.status, 200, "{}", resp.text());
+                            assert_eq!(
+                                normalized(resp.text()),
+                                references[i],
+                                "an answer depended on what the memo retained"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+
+        let snapshot = server.metrics();
+        let memo = &snapshot.memo;
+        assert!(
+            plan.arrivals(FaultSite::MemoInsertDropped) > 0,
+            "the drop site was never consulted — the memo path did not run"
+        );
+        assert!(memo.misses > 0, "the storm never probed the table");
+        assert!(
+            memo.hits > 0,
+            "surviving inserts must still pay off across request shapes"
+        );
+        assert!(
+            memo.inserts < memo.misses,
+            "with half the stores dropped, inserts ({}) must trail misses ({})",
+            memo.inserts,
+            memo.misses
+        );
+        assert_eq!(
+            memo.tables, 1,
+            "count, top-k, and collect over one tree share one table"
+        );
+        assert!(
+            memo.entries <= memo.capacity,
+            "the table leaked past its cap: {} entries > {} capacity",
+            memo.entries,
+            memo.capacity
+        );
+        server.shutdown();
     });
 }
 

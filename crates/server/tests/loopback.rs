@@ -482,6 +482,70 @@ fn cache_invalidation_route_empties_the_cache() {
 }
 
 #[test]
+fn cross_request_memo_sharing_shows_on_metrics() {
+    let server = start_default();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr);
+
+    // Three requests that agree on everything that shapes the
+    // exploration tree but differ in output/paging — one memo_key, three
+    // cache keys — so they share one transposition table and the later
+    // runs hit subtrees the first one stored.
+    let count_json = count_request().to_json().unwrap();
+    assert_eq!(
+        client.send("POST", "/v1/explore", Some(&count_json)).status,
+        200
+    );
+    let ranked_json = {
+        let mut req = count_request();
+        req.output = OutputMode::TopK { k: 5 };
+        req.ranking = Some(RankingSpec::Time);
+        req.to_json().unwrap()
+    };
+    assert_eq!(
+        client
+            .send("POST", "/v1/explore", Some(&ranked_json))
+            .status,
+        200
+    );
+    // Pages bypass the response cache, so this re-walks the counted
+    // statuses against the now-warm table (one oversized page: the body
+    // is the unpaged answer).
+    let paged_json = {
+        let mut req = count_request();
+        req.page_size = Some(100_000);
+        req.to_json().unwrap()
+    };
+    let paged = client.send("POST", "/v1/explore", Some(&paged_json));
+    assert_eq!(paged.status, 200, "{}", paged.body);
+
+    let memo = &fetch_metrics(addr)["memo"];
+    assert_eq!(memo["enabled"], serde_json::Value::Bool(true));
+    assert_eq!(memo["tables"].as_u64(), Some(1), "one shared table");
+    assert!(
+        memo["hits"].as_u64().unwrap() > 0,
+        "the warm re-walk must hit stored subtrees: {memo:?}"
+    );
+    assert!(memo["misses"].as_u64().unwrap() > 0);
+    let entries = memo["entries"].as_u64().unwrap();
+    assert!(entries > 0 && entries <= memo["capacity"].as_u64().unwrap());
+
+    // Invalidation drops the tables whole but keeps the lifetime
+    // counters — a reload must not silently zero the metrics story.
+    assert_eq!(
+        client.send("POST", "/v1/cache/invalidate", None).status,
+        200
+    );
+    let memo = &fetch_metrics(addr)["memo"];
+    assert_eq!(memo["tables"].as_u64(), Some(0));
+    assert!(memo["tables-dropped"].as_u64().unwrap() >= 1);
+    assert!(memo["hits"].as_u64().unwrap() > 0, "retired hits survive");
+    assert_eq!(memo["entries"].as_u64(), Some(0));
+
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_requests_share_one_connection() {
     let server = start_default();
     let addr = server.local_addr();

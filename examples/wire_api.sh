@@ -71,7 +71,9 @@ done
 echo
 
 echo "== 4. Streaming: the same page as NDJSON, one path per line"
-curl -sSN -X POST "$BASE/v1/explore/stream" -d "$BODY" | head -5
+# sed drains the stream to EOF (unlike head, which would close the pipe
+# mid-stream and kill curl with SIGPIPE under pipefail)
+curl -sSN -X POST "$BASE/v1/explore/stream" -d "$BODY" | sed -n '1,5p'
 echo "..."
 echo
 echo "The final {\"done\": ...} line carries the next_cursor; it resumes"

@@ -35,6 +35,7 @@
 //! serve flags:
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
 //!   --parallelism <n>            engine worker threads per exploration
+//!   --memo-entries <n>           per-table transposition cap (0 disables)
 //! ```
 
 use std::fmt;
@@ -110,6 +111,7 @@ struct Flags {
     threads: Option<usize>,
     cache_mb: Option<usize>,
     parallelism: Option<usize>,
+    memo_entries: Option<usize>,
 }
 
 fn split_codes(value: &str) -> Vec<String> {
@@ -139,6 +141,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         threads: None,
         cache_mb: None,
         parallelism: None,
+        memo_entries: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -227,6 +230,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .map_err(|_| CliError::Usage("--parallelism needs an integer".into()))?,
                 )
             }
+            "--memo-entries" => {
+                flags.memo_entries = Some(
+                    value("--memo-entries")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--memo-entries needs an integer".into()))?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -256,7 +266,7 @@ fn build_request(data: &RegistrarData, flags: &Flags) -> Result<ExplorationReque
 }
 
 /// `coursenav <catalog> serve [--addr .. --threads .. --cache-mb ..
-/// --parallelism ..]`:
+/// --parallelism .. --memo-entries ..]`:
 /// starts the HTTP serving layer over the loaded catalog and blocks until
 /// the process is killed. Prints the bound address first, so `--addr
 /// 127.0.0.1:0` (an ephemeral port) is usable in scripts.
@@ -269,6 +279,9 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
         threads: flags.threads.unwrap_or(4),
         cache_mb: flags.cache_mb.unwrap_or(64),
         parallelism: flags.parallelism.unwrap_or(1),
+        memo_entries: flags
+            .memo_entries
+            .unwrap_or(ServerConfig::default().memo_entries),
         ..ServerConfig::default()
     };
     let server =
@@ -607,6 +620,10 @@ mod tests {
         ));
         assert!(matches!(
             run(&["builtin:brandeis", "serve", "--parallelism", "lots"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--memo-entries", "unbounded"]),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(

@@ -1,0 +1,101 @@
+//! Statistic-accounting regression for the transposition table against
+//! the recorded Table 1 numbers (`results_table1.txt`).
+//!
+//! The invariant under test: a memo hit merges the *logical* statistics
+//! the subtree would have produced had it been explored — it never
+//! re-counts `nodes_expanded` or the `pruned_*` counters as fresh work,
+//! and never loses them either. Consequently the §5.2 pruning breakdown
+//! (the paper's "82% time-based / 18% availability-based" claim, realized
+//! here as the recorded per-strategy counts) is bit-identical whether the
+//! table is absent, cold, or fully warm.
+
+use coursenavigator::navigator::{
+    EnrollmentStatus, Explorer, Goal, PruneConfig, TranspositionTable,
+};
+use coursenavigator::registrar::brandeis_cs;
+
+fn table1_explorer(
+    semesters: i32,
+) -> (
+    coursenavigator::registrar::RegistrarData,
+    coursenavigator::catalog::Semester,
+) {
+    let data = brandeis_cs();
+    let deadline = data.horizon.0 + semesters;
+    (data, deadline)
+}
+
+/// The recorded 4-semester Table 1 row: 608 explored paths, 98 goal
+/// paths, 162 pruned nodes — reproduced exactly by unmemoized, cold
+/// memoized, and warm memoized counting.
+#[test]
+fn table1_breakdown_is_stable_warm_or_cold() {
+    let (data, deadline) = table1_explorer(4);
+    let degree = data.degree.clone().unwrap();
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    let explorer = Explorer::goal_driven(&data.catalog, start, deadline, 3, Goal::degree(degree))
+        .unwrap()
+        .with_prune(PruneConfig::all());
+
+    let plain = explorer.count_paths();
+    assert_eq!(plain.total_paths, 608, "recorded Table 1: explored paths");
+    assert_eq!(plain.goal_paths, 98, "recorded Table 1: goal paths");
+    assert_eq!(
+        plain.stats.pruned_total(),
+        162,
+        "recorded Table 1: pruned nodes"
+    );
+
+    let table = TranspositionTable::new(1 << 16);
+    let (cold, _cold_work) = explorer.count_paths_memo(&table);
+    let (warm, warm_work) = explorer.count_paths_memo(&table);
+
+    // Byte-identical logical accounting in all three runs: a memo hit
+    // merges the cached subtree's deltas instead of re-expanding (or
+    // worse, double-counting) the subtree.
+    assert_eq!(plain, cold, "cold table must not perturb the statistics");
+    assert_eq!(plain, warm, "warm table must not perturb the statistics");
+    assert_eq!(
+        cold.stats.pruned_time, plain.stats.pruned_time,
+        "per-strategy pruning split survives memoization"
+    );
+    assert_eq!(
+        cold.stats.pruned_availability,
+        plain.stats.pruned_availability
+    );
+
+    // The warm run did no real exploration at all — everything logical
+    // came out of the table.
+    assert_eq!(warm_work.nodes_expanded, 0, "warm run re-expands nothing");
+    assert!(warm_work.memo_hits > 0);
+}
+
+/// The same stability one level deeper, where the tree actually
+/// transposes: the 5-semester row folds thousands of duplicate subtrees,
+/// and the recorded per-strategy pruning counts still come out exact.
+#[test]
+#[ignore = "explores 3.18M paths; run with --ignored (or via bench5) for the deep row"]
+fn table1_deep_row_breakdown_is_stable() {
+    let (data, deadline) = table1_explorer(5);
+    let degree = data.degree.clone().unwrap();
+    let start = EnrollmentStatus::fresh(&data.catalog, data.horizon.0);
+    let explorer = Explorer::goal_driven(&data.catalog, start, deadline, 3, Goal::degree(degree))
+        .unwrap()
+        .with_prune(PruneConfig::all());
+
+    let plain = explorer.count_paths();
+    assert_eq!(plain.total_paths, 3_180_719);
+    assert_eq!(plain.goal_paths, 1_037_851);
+    assert_eq!(plain.stats.pruned_time, 36_941);
+    assert_eq!(plain.stats.pruned_availability, 50_447);
+
+    let table = TranspositionTable::new(1 << 20);
+    let (cold, cold_work) = explorer.count_paths_memo(&table);
+    assert_eq!(plain, cold);
+    assert!(
+        cold_work.nodes_expanded < plain.stats.nodes_expanded,
+        "the 5-semester tree transposes: {} expansions memoized vs {}",
+        cold_work.nodes_expanded,
+        plain.stats.nodes_expanded
+    );
+}
