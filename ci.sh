@@ -21,6 +21,17 @@ echo "==> bench5 smoke (memoized vs un-memoized equivalence)"
 # committed BENCH_5.json comes from a full (non-smoke) run.
 cargo run -q -p coursenav-bench --release --bin bench5 -- --smoke
 
+echo "==> bench6 smoke (tenant isolation at 8 resident tenants)"
+# Registers eight tenants, sweeps cold/warm, hot-swaps one, and asserts
+# exactly that tenant went cold; also checks that the committed
+# BENCH_6.json artifact is well-formed JSON with the expected row shape.
+cargo run -q -p coursenav-bench --release --bin bench6 -- --smoke
+
+echo "==> cargo test (tenant isolation suite)"
+# Loopback proof that swapping tenant A invalidates A's cache, memo
+# tables, and cursors while B keeps answering from its warm partition.
+cargo test -q -p coursenav-server --test tenants
+
 echo "==> cargo test (chaos suite)"
 # Fault-injection sites only exist behind the server's `chaos` feature;
 # plans are seeded, so the fault schedules are identical on every run.

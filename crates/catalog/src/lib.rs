@@ -38,4 +38,7 @@ pub use error::CatalogError;
 pub use offering::OfferingModel;
 pub use semester::{Semester, Term};
 pub use set::CourseSet;
-pub use synthetic::{PatternWeights, SyntheticCatalog, SyntheticConfig};
+pub use synthetic::{
+    DepartmentCatalog, InstitutionConfig, PatternWeights, SyntheticCatalog, SyntheticConfig,
+    SyntheticInstitution,
+};

@@ -390,6 +390,448 @@ impl SyntheticCatalog {
     }
 }
 
+/// Parameters of the multi-department institution generator.
+///
+/// Where [`SyntheticConfig`] reproduces one department's catalog at the
+/// paper's scale (38 courses), this scales the same construction to a whole
+/// institution: dozens of departments, thousands of courses, and
+/// cross-department prerequisites. Each department still projects into its
+/// own ≤[`CourseSet::CAPACITY`]-course serving catalog (the engine's bitmap
+/// bound): a department's catalog holds its own courses plus copies of the
+/// neighbouring-department intro courses its prerequisites reference.
+#[derive(Debug, Clone)]
+pub struct InstitutionConfig {
+    /// RNG seed; equal configs generate identical institutions.
+    pub seed: u64,
+    /// Number of departments. Department `d` is named `D{d:02}`.
+    pub departments: usize,
+    /// Courses per department. With the borrowed neighbour intros this must
+    /// stay within [`CourseSet::CAPACITY`].
+    pub courses_per_department: usize,
+    /// Leading no-prereq courses per department, offered every semester.
+    pub n_intro: usize,
+    /// Mandatory core courses in each department's degree.
+    pub n_core: usize,
+    /// Electives each department's degree requires.
+    pub elective_k: usize,
+    /// First semester covered by the generated schedules.
+    pub start: Semester,
+    /// Number of semesters of generated schedule starting at `start`.
+    /// Must exceed `2 * n_layers` so every prerequisite layer fits a
+    /// takeable offering window (see `plan_department`).
+    pub schedule_semesters: usize,
+    /// Released (probability-1.0) semesters for the reliability model.
+    pub released_semesters: usize,
+    /// Years of simulated offering history feeding the reliability model.
+    pub history_years: usize,
+    /// Offering-pattern mix for non-intro courses.
+    pub pattern_weights: PatternWeights,
+    /// Prerequisite layers the non-intro courses spread over.
+    pub n_layers: usize,
+    /// Percent (0–100) of advanced courses that take one extra
+    /// cross-department prerequisite on a neighbouring department's intro
+    /// course.
+    pub cross_prereq_pct: u8,
+}
+
+impl Default for InstitutionConfig {
+    /// The ROADMAP's "hundreds of institutions" scale target in one
+    /// instance: 42 departments × 120 courses = 5040 courses.
+    fn default() -> InstitutionConfig {
+        InstitutionConfig {
+            seed: 0x1157_17B7,
+            departments: 42,
+            courses_per_department: 120,
+            n_intro: 6,
+            n_core: 7,
+            elective_k: 5,
+            start: Semester::new(2012, Term::Fall),
+            schedule_semesters: 8,
+            released_semesters: 2,
+            history_years: 4,
+            pattern_weights: PatternWeights::DENSE,
+            n_layers: 3,
+            cross_prereq_pct: 25,
+        }
+    }
+}
+
+impl InstitutionConfig {
+    /// A small instance for unit tests: 4 departments of 16 courses.
+    pub fn small() -> InstitutionConfig {
+        InstitutionConfig {
+            departments: 4,
+            courses_per_department: 16,
+            n_intro: 3,
+            n_core: 3,
+            elective_k: 2,
+            ..InstitutionConfig::default()
+        }
+    }
+
+    /// The canonical name of department `d` (`D00`, `D01`, …) — also the
+    /// tenant name the server registers the department's catalog under.
+    pub fn department_name(d: usize) -> String {
+        format!("D{d:02}")
+    }
+}
+
+/// One department's self-contained serving bundle: its courses plus the
+/// borrowed neighbour intros, a department degree, and a reliability model
+/// covering every course in the projection.
+#[derive(Debug, Clone)]
+pub struct DepartmentCatalog {
+    /// Department name (`D{d:02}`); doubles as the serving tenant name.
+    pub name: String,
+    /// The department's projected catalog (own courses first, then any
+    /// referenced neighbour intro courses).
+    pub catalog: Catalog,
+    /// The department degree (core + electives, own courses only).
+    pub degree: DegreeRequirement,
+    /// Offering-reliability model over the whole projection.
+    pub offering: OfferingModel,
+    /// First semester with a generated schedule.
+    pub start: Semester,
+    /// Last semester with a generated schedule.
+    pub end: Semester,
+}
+
+/// A generated institution: one [`DepartmentCatalog`] per department.
+#[derive(Debug, Clone)]
+pub struct SyntheticInstitution {
+    /// The departments, in index order (`D00` first).
+    pub departments: Vec<DepartmentCatalog>,
+    /// Distinct courses across the institution (borrowed intro copies are
+    /// not double-counted).
+    pub total_courses: usize,
+}
+
+/// Everything `plan_department` decides before catalog assembly.
+struct DeptPlan {
+    dept: usize,
+    patterns: Vec<Pattern>,
+    prereqs: Vec<Expr<CourseCode>>,
+    offered: Vec<BTreeSet<Semester>>,
+    workloads: Vec<f64>,
+    core_indices: Vec<usize>,
+    /// `(neighbour department, intro index)` pairs referenced by
+    /// cross-department prerequisites, sorted and deduplicated.
+    borrowed: Vec<(usize, usize)>,
+}
+
+/// The course code of department `d`'s `i`-th course (`D07 100`-style).
+fn institution_code(d: usize, i: usize) -> CourseCode {
+    CourseCode::new(&format!(
+        "{} {}",
+        InstitutionConfig::department_name(d),
+        100 + i
+    ))
+}
+
+/// Deterministic workload of an intro course, shared between its home
+/// department and every department that borrows it — so the borrowed copy
+/// is byte-identical to the original.
+fn intro_workload(seed: u64, d: usize, i: usize) -> f64 {
+    let mix = seed ^ (((d as u64) << 32) | i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let w: f64 = StdRng::seed_from_u64(mix).gen_range(6.0..9.0);
+    (w * 10.0).round() / 10.0
+}
+
+/// Department `d`'s private RNG stream.
+fn dept_rng(seed: u64, d: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ (d as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17),
+    )
+}
+
+fn plan_department(config: &InstitutionConfig, d: usize) -> DeptPlan {
+    let mut rng = dept_rng(config.seed, d);
+    let n = config.courses_per_department;
+    let n_intro = config.n_intro;
+    let n_layers = config.n_layers.max(1);
+    let layer_of = move |i: usize| -> usize {
+        if i < n_intro {
+            0
+        } else if n == n_intro {
+            1
+        } else {
+            1 + (i - n_intro) * n_layers / (n - n_intro).max(1)
+        }
+    };
+
+    // Offering patterns, as in the single-department generator.
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = if layer_of(i) == 0 {
+            Pattern::EverySemester
+        } else {
+            let w = config.pattern_weights;
+            let roll = rng.gen_range(0..100u32);
+            if roll < u32::from(w.every_semester) {
+                Pattern::EverySemester
+            } else if roll < u32::from(w.every_semester) + u32::from(w.annual_fall) {
+                Pattern::AnnualFall
+            } else if roll
+                < u32::from(w.every_semester)
+                    + u32::from(w.annual_fall)
+                    + u32::from(w.annual_spring)
+            {
+                Pattern::AnnualSpring
+            } else {
+                Pattern::Irregular
+            }
+        };
+        patterns.push(p);
+    }
+
+    // Core: intro anchors plus the lowest-index advanced courses.
+    let mut core_indices: Vec<usize> = Vec::with_capacity(config.n_core);
+    core_indices.extend((0..n_intro.min(2)).take(config.n_core));
+    let mut next_advanced = n_intro;
+    while core_indices.len() < config.n_core && next_advanced < n {
+        core_indices.push(next_advanced);
+        next_advanced += 1;
+    }
+    for &i in &core_indices {
+        if patterns[i] == Pattern::Irregular {
+            patterns[i] = if rng.gen_bool(0.5) {
+                Pattern::AnnualFall
+            } else {
+                Pattern::AnnualSpring
+            };
+        }
+    }
+
+    // Prerequisites: 1–2 in-department conjuncts from strictly lower
+    // layers, plus (for `cross_prereq_pct` of advanced courses) one
+    // neighbouring-department intro course. Restricting cross-department
+    // references to intro courses keeps each projection's closure small —
+    // a borrowed intro has no prerequisites of its own to chase.
+    let mut prereqs: Vec<Expr<CourseCode>> = Vec::with_capacity(n);
+    let mut borrowed: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for i in 0..n {
+        if layer_of(i) == 0 {
+            prereqs.push(Expr::True);
+            continue;
+        }
+        let candidates: Vec<usize> = (0..i).filter(|&j| layer_of(j) < layer_of(i)).collect();
+        let n_conjuncts = if candidates.len() >= 2 && rng.gen_bool(0.45) {
+            2
+        } else {
+            1
+        };
+        let mut chosen = candidates.clone();
+        chosen.shuffle(&mut rng);
+        let mut expr = Expr::True;
+        let mut used = 0usize;
+        let mut iter = chosen.into_iter();
+        while used < n_conjuncts {
+            let Some(a) = iter.next() else { break };
+            let conjunct = if rng.gen_bool(0.3) {
+                match iter.next() {
+                    Some(b) => {
+                        Expr::Atom(institution_code(d, a)).or(Expr::Atom(institution_code(d, b)))
+                    }
+                    None => Expr::Atom(institution_code(d, a)),
+                }
+            } else {
+                Expr::Atom(institution_code(d, a))
+            };
+            expr = expr.and(conjunct);
+            used += 1;
+        }
+        if config.departments > 1 && rng.gen_range(0..100u32) < u32::from(config.cross_prereq_pct) {
+            let nb = if d == 0 {
+                1
+            } else if d == config.departments - 1 || rng.gen_bool(0.5) {
+                d - 1
+            } else {
+                d + 1
+            };
+            let j = rng.gen_range(0..n_intro);
+            borrowed.insert((nb, j));
+            expr = expr.and(Expr::Atom(institution_code(nb, j)));
+        }
+        prereqs.push(expr);
+    }
+
+    // Schedules, made lint-clean by construction: a layer-k course whose
+    // pattern produced no offering in semester window [2k-1, 2k] gets one
+    // injected at position 2k. By induction every layer-k course is then
+    // takeable by the end of position 2k in the greedy eligibility closure
+    // (annual patterns always hit a two-semester window), so no course is
+    // `NeverOffered` or `UnreachableInHorizon` and every department degree
+    // stays satisfiable within the horizon.
+    let semesters: Vec<Semester> = config
+        .start
+        .through(config.start + (config.schedule_semesters as i32 - 1))
+        .collect();
+    let mut offered: Vec<BTreeSet<Semester>> = Vec::with_capacity(n);
+    let mut workloads: Vec<f64> = Vec::with_capacity(n);
+    for (i, pattern) in patterns.iter().enumerate() {
+        let layer = layer_of(i);
+        let mut sems: BTreeSet<Semester> = semesters
+            .iter()
+            .copied()
+            .filter(|&s| pattern.offered_in(s, &mut rng))
+            .collect();
+        if layer > 0 {
+            let window = [semesters[2 * layer - 1], semesters[2 * layer]];
+            if !window.iter().any(|s| sems.contains(s)) {
+                sems.insert(window[1]);
+            }
+        }
+        offered.push(sems);
+        let workload: f64 = match layer {
+            0 => intro_workload(config.seed, d, i),
+            1 => rng.gen_range(8.0..12.0),
+            2 => rng.gen_range(10.0..14.0),
+            _ => rng.gen_range(12.0..16.0),
+        };
+        workloads.push((workload * 10.0).round() / 10.0);
+    }
+
+    DeptPlan {
+        dept: d,
+        patterns,
+        prereqs,
+        offered,
+        workloads,
+        core_indices,
+        borrowed: borrowed.into_iter().collect(),
+    }
+}
+
+fn assemble_department(
+    config: &InstitutionConfig,
+    plan: &DeptPlan,
+) -> Result<DepartmentCatalog, CatalogError> {
+    let d = plan.dept;
+    let n = config.courses_per_department;
+    let horizon_end = config.start + (config.schedule_semesters as i32 - 1);
+    let full_schedule: BTreeSet<Semester> = config.start.through(horizon_end).collect();
+
+    let mut builder = CatalogBuilder::new();
+    for i in 0..n {
+        builder.add_course(
+            CourseSpec::new(
+                institution_code(d, i).as_str(),
+                format!(
+                    "{} Course {}",
+                    InstitutionConfig::department_name(d),
+                    100 + i
+                ),
+            )
+            .prereq(plan.prereqs[i].clone())
+            .offered(plan.offered[i].iter().copied())
+            .workload(plan.workloads[i]),
+        );
+    }
+    // Borrowed neighbour intros, appended after the department's own
+    // courses so own-course ids stay 0..n.
+    for &(nb, j) in &plan.borrowed {
+        builder.add_course(
+            CourseSpec::new(
+                institution_code(nb, j).as_str(),
+                format!(
+                    "{} Course {}",
+                    InstitutionConfig::department_name(nb),
+                    100 + j
+                ),
+            )
+            .prereq(Expr::True)
+            .offered(full_schedule.iter().copied())
+            .workload(intro_workload(config.seed, nb, j)),
+        );
+    }
+    let catalog = builder.build()?;
+
+    let core: CourseSet = plan
+        .core_indices
+        .iter()
+        .map(|&i| CourseId::new(i as u16))
+        .collect();
+    let n_intro = config.n_intro;
+    let electives: CourseSet = (0..n)
+        .filter(|&i| i >= n_intro && !plan.core_indices.contains(&i))
+        .map(|i| CourseId::new(i as u16))
+        .collect();
+    let degree = DegreeRequirement::with_core(core).elective(config.elective_k, electives);
+
+    // Reliability model over the whole projection (borrowed intros
+    // included — the server prices every course it can serve).
+    let released_through = config.start + (config.released_semesters as i32 - 1);
+    let mut offering = OfferingModel::new(released_through, 0.5);
+    let mut rng = dept_rng(config.seed ^ 0x0FF3_41D6, d);
+    let history_start = config.start + (-(2 * config.history_years as i32));
+    for i in 0..catalog.len() {
+        let pattern = if i < n {
+            plan.patterns[i]
+        } else {
+            Pattern::EverySemester
+        };
+        let id = CourseId::new(i as u16);
+        for sem in history_start.through(config.start.prev()) {
+            let was_offered = rng.gen_bool(pattern.base_prob(sem.term()));
+            offering.record(id, sem.term(), was_offered);
+        }
+    }
+
+    Ok(DepartmentCatalog {
+        name: InstitutionConfig::department_name(d),
+        catalog,
+        degree,
+        offering,
+        start: config.start,
+        end: horizon_end,
+    })
+}
+
+impl SyntheticInstitution {
+    /// Generates an institution from the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is internally inconsistent (see the
+    /// asserts in [`SyntheticInstitution::try_generate`]).
+    pub fn generate(config: &InstitutionConfig) -> SyntheticInstitution {
+        Self::try_generate(config).expect("institution generation produces valid catalogs")
+    }
+
+    /// Fallible variant of [`SyntheticInstitution::generate`].
+    pub fn try_generate(config: &InstitutionConfig) -> Result<SyntheticInstitution, CatalogError> {
+        assert!(config.departments >= 1, "need at least one department");
+        assert!(config.n_intro >= 1, "need at least one intro course");
+        assert!(
+            config.courses_per_department >= config.n_intro,
+            "courses_per_department must cover the intro block"
+        );
+        assert!(
+            config.n_core <= config.courses_per_department,
+            "more core courses than courses"
+        );
+        assert!(
+            config.courses_per_department + 2 * config.n_intro <= CourseSet::CAPACITY,
+            "a department projection (own courses + both neighbours' intros) \
+             must fit the {}-course serving capacity",
+            CourseSet::CAPACITY
+        );
+        assert!(
+            config.schedule_semesters > 2 * config.n_layers.max(1),
+            "schedule must be longer than 2 * n_layers for every layer to \
+             stay takeable"
+        );
+        let departments = (0..config.departments)
+            .map(|d| assemble_department(config, &plan_department(config, d)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SyntheticInstitution {
+            departments,
+            total_courses: config.departments * config.courses_per_department,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +917,86 @@ mod tests {
         let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
         assert_eq!(synth.catalog.len(), 12);
         assert_eq!(synth.degree.total_slots(), 5);
+    }
+
+    #[test]
+    fn institution_default_reaches_5k_courses() {
+        let config = InstitutionConfig::default();
+        let inst = SyntheticInstitution::generate(&config);
+        assert_eq!(inst.departments.len(), 42);
+        assert_eq!(inst.total_courses, 5040);
+        for dept in &inst.departments {
+            assert!(dept.catalog.len() >= config.courses_per_department);
+            assert!(dept.catalog.len() <= CourseSet::CAPACITY);
+        }
+    }
+
+    #[test]
+    fn institution_generation_is_deterministic() {
+        let a = SyntheticInstitution::generate(&InstitutionConfig::small());
+        let b = SyntheticInstitution::generate(&InstitutionConfig::small());
+        for (da, db) in a.departments.iter().zip(&b.departments) {
+            assert_eq!(da.name, db.name);
+            for (ca, cb) in da.catalog.courses().zip(db.catalog.courses()) {
+                assert_eq!(ca.code(), cb.code());
+                assert_eq!(ca.prereq(), cb.prereq());
+                assert_eq!(ca.offered(), cb.offered());
+                assert_eq!(ca.workload(), cb.workload());
+            }
+        }
+    }
+
+    #[test]
+    fn institution_has_cross_department_prereqs() {
+        let inst = SyntheticInstitution::generate(&InstitutionConfig::small());
+        let crossing = inst.departments.iter().any(|dept| {
+            dept.catalog.courses().any(|course| {
+                course.prereq().atoms().into_iter().any(|id| {
+                    !dept
+                        .catalog
+                        .course(id)
+                        .code()
+                        .as_str()
+                        .starts_with(&dept.name)
+                })
+            })
+        });
+        assert!(crossing, "expected at least one cross-department prereq");
+    }
+
+    #[test]
+    fn borrowed_intros_match_their_home_copies() {
+        let inst = SyntheticInstitution::generate(&InstitutionConfig::small());
+        for dept in &inst.departments {
+            for course in dept.catalog.courses() {
+                let code = course.code();
+                if code.as_str().starts_with(&dept.name) {
+                    continue;
+                }
+                let home = inst
+                    .departments
+                    .iter()
+                    .find(|other| code.as_str().starts_with(&other.name))
+                    .expect("borrowed course has a home department");
+                let original = home.catalog.get(code).expect("home offers the course");
+                assert_eq!(course.offered(), original.offered());
+                assert_eq!(course.workload(), original.workload());
+                assert_eq!(course.prereq(), &Expr::True);
+            }
+        }
+    }
+
+    #[test]
+    fn every_department_degree_is_completable_in_horizon() {
+        let inst = SyntheticInstitution::generate(&InstitutionConfig::small());
+        for dept in &inst.departments {
+            let offered = dept.catalog.offered_between(dept.start, dept.end);
+            assert!(
+                dept.degree.satisfied(&offered),
+                "{}: degree not completable within the horizon",
+                dept.name
+            );
+        }
     }
 
     #[test]

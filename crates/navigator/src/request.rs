@@ -199,6 +199,18 @@ pub struct ExplorationRequest {
     /// starts a fresh exploration.
     #[serde(default)]
     pub cursor: Option<String>,
+    /// Which named catalog this request addresses in a multi-tenant
+    /// deployment. `None` resolves server-side (the `x-tenant` header,
+    /// then the default tenant). Masked from both [`cache_key`] and
+    /// [`memo_key`]: tenants get *separate* cache and memo instances, so
+    /// the keys themselves stay tenant-free — which also keeps cursor
+    /// fingerprints and default-tenant behaviour identical to a
+    /// single-tenant deployment.
+    ///
+    /// [`cache_key`]: ExplorationRequest::cache_key
+    /// [`memo_key`]: ExplorationRequest::memo_key
+    #[serde(default)]
+    pub tenant: Option<String>,
 }
 
 impl ExplorationRequest {
@@ -223,6 +235,7 @@ impl ExplorationRequest {
             budget_ms: None,
             page_size: None,
             cursor: None,
+            tenant: None,
         }
     }
 
@@ -270,6 +283,7 @@ impl ExplorationRequest {
         canon.budget_ms = None;
         canon.page_size = None;
         canon.cursor = None;
+        canon.tenant = None;
         serde_json::to_string(&canon).expect("a request always serializes")
     }
 
@@ -291,6 +305,7 @@ impl ExplorationRequest {
         canon.budget_ms = None;
         canon.page_size = None;
         canon.cursor = None;
+        canon.tenant = None;
         serde_json::to_string(&canon).expect("a request always serializes")
     }
 
@@ -352,6 +367,7 @@ mod tests {
             budget_ms: Some(250),
             page_size: Some(25),
             cursor: Some("cn1.deadbeef.feedface".into()),
+            tenant: Some("brandeis".into()),
         };
         let json = req.to_json().unwrap();
         let back = ExplorationRequest::from_json(&json).unwrap();
@@ -467,6 +483,19 @@ mod tests {
         // Canonicalization stays idempotent under the new comparison.
         let canon = spec.canonicalized();
         assert_eq!(canon.canonicalized(), canon);
+    }
+
+    #[test]
+    fn tenant_does_not_change_cache_or_memo_keys() {
+        // Tenants get separate cache/memo instances server-side, so the
+        // keys stay tenant-free — the default tenant's keys (and cursor
+        // fingerprints) are identical to a pre-multi-tenant deployment's.
+        let a = ExplorationRequest::deadline_count(fall(2012), fall(2015), 3);
+        let mut b = a.clone();
+        b.tenant = Some("brandeis".into());
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.memo_key(), b.memo_key());
+        assert_ne!(a, b, "the field itself still round-trips");
     }
 
     #[test]

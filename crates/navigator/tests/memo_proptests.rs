@@ -79,6 +79,7 @@ fn arb_request() -> impl Strategy<Value = ExplorationRequest> {
                     budget_ms: None,
                     page_size: None,
                     cursor: None,
+                    tenant: None,
                 }
             },
         )

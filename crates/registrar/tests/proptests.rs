@@ -1,9 +1,11 @@
-//! Property-based tests for the registrar parsers and writer.
+//! Property-based tests for the registrar parsers and writer, plus the
+//! lint contract of the synthetic institution generator.
 
 use std::collections::BTreeSet;
 
 use coursenav_catalog::{
-    Catalog, CatalogBuilder, CourseCode, CourseSet, CourseSpec, DegreeRequirement, Semester, Term,
+    Catalog, CatalogBuilder, CourseCode, CourseSet, CourseSpec, DegreeRequirement,
+    InstitutionConfig, Semester, SyntheticInstitution, Term,
 };
 use coursenav_prereq::Expr;
 use coursenav_registrar::{parse_registrar_file, write_registrar_file};
@@ -123,5 +125,63 @@ proptest! {
             catalog.eligible(&completed, sem),
             back.catalog.eligible(&completed, sem)
         );
+    }
+}
+
+/// The hard lint classes: findings that make exploration silently wrong
+/// (a course no path can contain, a degree no path can finish). The
+/// generator may produce `Orphaned`/`PrereqOfferedTooLate` advisories —
+/// real catalogs have those too — but never these.
+fn hard_warnings(warnings: &[coursenav_registrar::lint::LintWarning]) -> Vec<String> {
+    use coursenav_registrar::lint::LintWarning;
+    warnings
+        .iter()
+        .filter(|w| {
+            matches!(
+                w,
+                LintWarning::NeverOffered { .. }
+                    | LintWarning::UnreachableInHorizon { .. }
+                    | LintWarning::DegreeUnsatisfiableInHorizon { .. }
+            )
+        })
+        .map(|w| w.to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every department of a synthetic institution — any seed, any
+    /// department count, cross-department prerequisites included — lints
+    /// hard-clean over its own schedule horizon. This is the contract the
+    /// multi-tenant serving path relies on: a generated tenant catalog is
+    /// always explorable as registered.
+    #[test]
+    fn synthetic_institutions_lint_hard_clean(
+        seed in any::<u64>(),
+        departments in 1usize..7,
+        cross_prereq_pct in 0u8..=60,
+    ) {
+        let config = InstitutionConfig {
+            seed,
+            departments,
+            cross_prereq_pct,
+            ..InstitutionConfig::small()
+        };
+        let institution = SyntheticInstitution::generate(&config);
+        prop_assert_eq!(institution.departments.len(), departments);
+        for dept in &institution.departments {
+            let warnings = coursenav_registrar::lint::lint(
+                &dept.catalog,
+                Some(&dept.degree),
+                (dept.start, dept.end),
+            );
+            let hard = hard_warnings(&warnings);
+            prop_assert!(
+                hard.is_empty(),
+                "department {} of seed {seed} has hard lint findings: {hard:?}",
+                dept.name
+            );
+        }
     }
 }

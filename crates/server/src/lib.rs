@@ -33,7 +33,20 @@
 //! | `GET /v1/catalog`           | the catalog as JSON                       |
 //! | `GET /v1/healthz`           | liveness probe                            |
 //! | `GET /v1/metrics`           | live counters ([`MetricsSnapshot`])       |
-//! | `POST /v1/cache/invalidate` | drop every cached response                |
+//! | `POST /v1/cache/invalidate` | *deprecated*: drop every tenant's cached state |
+//! | `GET /v1/catalogs`          | registered tenants and their epochs       |
+//! | `PUT /v1/catalogs/{tenant}` | register or hot-swap a tenant's catalog   |
+//! | `POST /v1/catalogs/{tenant}/invalidate` | drop one tenant's cached state |
+//!
+//! **Multi-tenancy.** The server holds named catalogs in a
+//! [`registry::CatalogRegistry`]; each tenant serves at a monotonic epoch
+//! and owns its own response cache and memo tables, so swapping one
+//! tenant's catalog never cools another's. Requests pick their tenant via
+//! the request's `tenant` field or the `x-tenant` header; both absent
+//! resolves [`registry::DEFAULT_TENANT`], which preserves single-catalog
+//! behaviour byte for byte. Session tokens and singleflight keys carry
+//! the `tenant@epoch` scope, so a cursor minted before a swap answers the
+//! usual 410 `cursor-expired` after it.
 //!
 //! Paged explorations are *resumable sessions*: a truncated page carries
 //! `next_cursor`, an opaque signed token the [`session`] store resolves
@@ -55,6 +68,7 @@ pub mod memo;
 pub mod metrics;
 pub mod overload;
 pub mod pool;
+pub mod registry;
 pub mod session;
 pub mod singleflight;
 
@@ -69,17 +83,16 @@ use std::ops::ControlFlow;
 use coursenav_navigator::{
     ExplorationCursor, ExplorationRequest, NavigatorService, ServiceError, StreamedItem,
 };
-use coursenav_registrar::{json::catalog_to_json, RegistrarData};
-use parking_lot::RwLock;
+use coursenav_registrar::{json::catalog_to_json, parse_registrar_file, RegistrarData};
 
-use cache::ResponseCache;
 use http::{ParseError, Request, Response};
-use memo::MemoRegistry;
 pub use memo::MemoRegistrySnapshot;
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
 use overload::{Admission, Overload};
 pub use overload::{OverloadConfig, OverloadSnapshot};
+use registry::{CatalogRegistry, RegistryError, Tenant, DEFAULT_TENANT};
+pub use registry::{Registered, TenantInfo, TenantSnapshot};
 use session::{SessionError, SessionStore};
 use singleflight::{Published, Role, Singleflight};
 
@@ -103,7 +116,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (each owns one connection at a time).
     pub threads: usize,
-    /// Response-cache budget in mebibytes.
+    /// Response-cache budget in mebibytes, *per tenant partition* (the
+    /// budget is a cap, not an allocation — an idle tenant's cache costs
+    /// nothing).
     pub cache_mb: usize,
     /// Accepted-but-unclaimed connection queue; beyond it, 503.
     pub queue_depth: usize,
@@ -127,6 +142,10 @@ pub struct ServerConfig {
     pub session_capacity: usize,
     /// How long an unclaimed cursor stays resumable.
     pub session_ttl: Duration,
+    /// Most tenants the registry accepts (the default tenant included);
+    /// registering beyond it answers 409. Swaps of existing tenants are
+    /// always admitted.
+    pub max_tenants: usize,
     /// Degradation-ladder and circuit-breaker tuning.
     pub overload: OverloadConfig,
     /// The armed fault-injection plan (chaos builds only; the disarmed
@@ -149,6 +168,7 @@ impl Default for ServerConfig {
             memo_entries: 1 << 16,
             session_capacity: 1024,
             session_ttl: Duration::from_secs(300),
+            max_tenants: 256,
             overload: OverloadConfig::default(),
             #[cfg(feature = "chaos")]
             faults: Arc::new(faults::FaultPlan::disabled()),
@@ -156,12 +176,10 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared server state: the registrar data behind a swap lock, the
-/// response cache, and the metric counters.
+/// Shared server state: the tenant registry (every catalog and its
+/// partitioned caches) plus the cross-tenant serving machinery.
 struct AppState {
-    data: RwLock<Arc<RegistrarData>>,
-    cache: ResponseCache,
-    memo: MemoRegistry,
+    registry: CatalogRegistry,
     metrics: Metrics,
     flights: Singleflight,
     sessions: SessionStore,
@@ -185,22 +203,26 @@ impl Server {
     pub fn start(config: ServerConfig, data: RegistrarData) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        #[allow(unused_mut)]
-        let mut memo = MemoRegistry::new(config.memo_entries);
+        // Route every partition's memo inserts through the armed fault
+        // plan: when `MemoInsertDropped` fires, the store is skipped and
+        // the subtree simply gets recomputed next time.
         #[cfg(feature = "chaos")]
-        {
-            // Route every table's inserts through the armed fault plan:
-            // when `MemoInsertDropped` fires, the store is skipped and the
-            // subtree simply gets recomputed next time.
+        let gate: Option<coursenav_navigator::InsertGate> = {
             let faults = Arc::clone(&config.faults);
-            memo.set_insert_gate(Arc::new(move || {
+            Some(Arc::new(move || {
                 !faults.fires(faults::FaultSite::MemoInsertDropped)
-            }));
-        }
+            }))
+        };
+        #[cfg(not(feature = "chaos"))]
+        let gate: Option<coursenav_navigator::InsertGate> = None;
         let state = Arc::new(AppState {
-            data: RwLock::new(Arc::new(data)),
-            cache: ResponseCache::new(config.cache_mb.max(1) * (1 << 20)),
-            memo,
+            registry: CatalogRegistry::new(
+                data,
+                config.cache_mb.max(1) * (1 << 20),
+                config.memo_entries,
+                config.max_tenants,
+                gate,
+            ),
             metrics: Metrics::new(),
             flights: Singleflight::new(),
             sessions: SessionStore::new(config.session_capacity, config.session_ttl),
@@ -230,6 +252,14 @@ impl Server {
                     .metrics
                     .connections_shed
                     .fetch_add(1, Ordering::Relaxed);
+                // The advertised retry-after: the breaker's remaining
+                // cooldown when it is open (rounded up), else the minimum.
+                state
+                    .overload
+                    .remaining_open()
+                    .map(|d| d.as_secs() + u64::from(d.subsec_nanos() > 0))
+                    .unwrap_or(1)
+                    .max(1)
             })
         };
         let depth_gauge = state.overload.queue_gauge();
@@ -251,21 +281,35 @@ impl Server {
 
     /// A point-in-time metrics snapshot (what `GET /metrics` serves).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.state.metrics.snapshot(
-            self.state.cache.stats(),
-            self.state.memo.snapshot(),
-            self.state.sessions.stats(),
-            self.state.overload.snapshot(),
-        )
+        full_snapshot(&self.state)
     }
 
-    /// Replaces the registrar data and invalidates every cached response
-    /// and memoized subtree — the catalog-reload path. In-flight requests
-    /// finish against the data (and tables) they started with.
+    /// Replaces the **default tenant's** catalog — the single-catalog
+    /// reload path. The swap bumps the tenant's epoch and retires its
+    /// caches and memo tables; in-flight requests finish against the
+    /// partition they resolved. Returns the cached responses retired.
     pub fn swap_catalog(&self, data: RegistrarData) -> u64 {
-        *self.state.data.write() = Arc::new(data);
-        self.state.memo.invalidate_all();
-        self.state.cache.invalidate_all()
+        self.state
+            .registry
+            .register(DEFAULT_TENANT, data)
+            .expect("the default tenant always exists")
+            .dropped_entries
+    }
+
+    /// Registers (or hot-swaps) a tenant catalog programmatically — the
+    /// in-process spelling of `PUT /v1/catalogs/{tenant}`.
+    pub fn register_tenant(
+        &self,
+        name: &str,
+        data: RegistrarData,
+    ) -> Result<Registered, registry::RegistryError> {
+        self.state.registry.register(name, data)
+    }
+
+    /// Registered tenants and their epochs (the in-process spelling of
+    /// `GET /v1/catalogs`).
+    pub fn tenants(&self) -> Vec<TenantInfo> {
+        self.state.registry.list()
     }
 
     /// Graceful shutdown: stop accepting, drain the queue, join every
@@ -398,34 +442,43 @@ fn route(state: &AppState, request: &Request) -> Response {
         }
         return Response::error(404, "no such route");
     };
+    // Tenant-admin routes carry the tenant name in the path.
+    if let Some(rest) = path.strip_prefix("/catalogs/") {
+        return catalogs_admin(state, request, rest);
+    }
     match (request.method.as_str(), path) {
         ("POST", "/explore") => explore(state, request),
         ("GET", "/catalog") => {
-            let data = Arc::clone(&state.data.read());
-            match catalog_to_json(&data.catalog) {
+            let tenant = match resolve_tenant(state, request, None) {
+                Ok(tenant) => tenant,
+                Err(resp) => return *resp,
+            };
+            match catalog_to_json(&tenant.data().catalog) {
                 Ok(json) => Response::json(200, json),
                 Err(e) => Response::error(500, &e.to_string()),
             }
         }
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => {
-            let snapshot = state.metrics.snapshot(
-                state.cache.stats(),
-                state.memo.snapshot(),
-                state.sessions.stats(),
-                state.overload.snapshot(),
-            );
+            let snapshot = full_snapshot(state);
             match serde_json::to_string(&snapshot) {
                 Ok(json) => Response::json(200, json),
                 Err(e) => Response::error(500, &e.to_string()),
             }
         }
+        ("GET", "/catalogs") => match serde_json::to_string(&state.registry.list()) {
+            Ok(json) => Response::json(200, format!("{{\"tenants\":{json}}}")),
+            Err(e) => Response::error(500, &e.to_string()),
+        },
         ("POST", "/cache/invalidate") => {
-            // The memo registry holds derived exploration state just like
-            // the response cache; an explicit invalidation clears both.
-            state.memo.invalidate_all();
-            let dropped = state.cache.invalidate_all();
-            Response::json(200, format!("{{\"invalidated\":{dropped}}}"))
+            // Deprecated global alias: one sweep over *every* tenant's
+            // response cache and memo tables. Per-tenant invalidation
+            // lives at `POST /v1/catalogs/{tenant}/invalidate`.
+            let dropped = state.registry.invalidate_all_tenants();
+            Response::json(
+                200,
+                format!("{{\"invalidated\":{dropped},\"deprecated\":true}}"),
+            )
         }
         // Right path, wrong verb → 405 with the allowed method. The
         // stream route lands here too: its POST is intercepted before
@@ -435,13 +488,114 @@ fn route(state: &AppState, request: &Request) -> Response {
             resp.extra_headers.push(("allow".into(), "POST".into()));
             resp
         }
-        (_, "/catalog") | (_, "/healthz") | (_, "/metrics") => {
+        (_, "/catalog") | (_, "/healthz") | (_, "/metrics") | (_, "/catalogs") => {
             let mut resp = Response::error(405, "method not allowed");
             resp.extra_headers.push(("allow".into(), "GET".into()));
             resp
         }
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `/v1/catalogs/{tenant}` and `/v1/catalogs/{tenant}/invalidate`: the
+/// tenant-admin surface. `rest` is everything after `/v1/catalogs/`.
+fn catalogs_admin(state: &AppState, request: &Request, rest: &str) -> Response {
+    if let Some(name) = rest.strip_suffix("/invalidate") {
+        if request.method != "POST" {
+            let mut resp = Response::error(405, "method not allowed");
+            resp.extra_headers.push(("allow".into(), "POST".into()));
+            return resp;
+        }
+        return match state.registry.invalidate_tenant(name) {
+            Ok(dropped) => Response::json(
+                200,
+                format!("{{\"tenant\":\"{name}\",\"invalidated\":{dropped}}}"),
+            ),
+            Err(e) => registry_error(&e),
+        };
+    }
+    let name = rest;
+    if name.is_empty() || name.contains('/') {
+        return Response::error(404, "no such route");
+    }
+    if request.method != "PUT" {
+        let mut resp = Response::error(405, "method not allowed");
+        resp.extra_headers.push(("allow".into(), "PUT".into()));
+        return resp;
+    }
+    // Refuse unusable names before doing any body work.
+    if let Err(e) = CatalogRegistry::validate_name(name) {
+        return registry_error(&e);
+    }
+    // The body is a registrar catalog file — the same text format the CLI
+    // loads from disk — so an operator can `curl -T dept.cnav`.
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let data = match parse_registrar_file(body) {
+        Ok(data) => data,
+        Err(e) => return Response::error(400, &format!("bad catalog file: {e}")),
+    };
+    match state.registry.register(name, data) {
+        Ok(outcome) => Response::json(
+            200,
+            format!(
+                "{{\"tenant\":\"{name}\",\"epoch\":{},\"swapped\":{},\"invalidated\":{}}}",
+                outcome.epoch, outcome.swapped, outcome.dropped_entries
+            ),
+        ),
+        Err(e) => registry_error(&e),
+    }
+}
+
+/// Maps a registry refusal to its typed wire error: 404 `unknown-tenant`
+/// (nothing registered under that name), 400 `invalid-tenant` (the name
+/// itself is unusable), 409 `tenant-limit` (the registry is full).
+fn registry_error(e: &RegistryError) -> Response {
+    let (status, code) = match e {
+        RegistryError::UnknownTenant { .. } => (404, "unknown-tenant"),
+        RegistryError::InvalidName { .. } => (400, "invalid-tenant"),
+        RegistryError::Full { .. } => (409, "tenant-limit"),
+    };
+    Response::error_coded(status, code, &e.to_string(), false)
+}
+
+/// Resolves the tenant a request addresses: the request body's `tenant`
+/// field wins, then the `x-tenant` header, then [`DEFAULT_TENANT`] — so
+/// clients that never mention tenants keep their pre-registry behaviour
+/// byte for byte. `Err` carries the ready-to-send 404 `unknown-tenant`.
+fn resolve_tenant(
+    state: &AppState,
+    request: &Request,
+    from_body: Option<&str>,
+) -> Result<Arc<Tenant>, Box<Response>> {
+    let name = from_body
+        .or_else(|| request.header("x-tenant"))
+        .unwrap_or(DEFAULT_TENANT);
+    state.registry.get(name).ok_or_else(|| {
+        Box::new(Response::error_coded(
+            404,
+            "unknown-tenant",
+            &format!("no catalog registered for tenant `{name}`"),
+            false,
+        ))
+    })
+}
+
+/// The full `/v1/metrics` payload: process counters plus the registry's
+/// aggregated (and per-tenant) cache/memo state.
+fn full_snapshot(state: &AppState) -> MetricsSnapshot {
+    let (cache, memo) = state.registry.aggregate();
+    state.metrics.snapshot(
+        cache,
+        memo,
+        state.sessions.stats(),
+        state.overload.snapshot(),
+        state.registry.tenants_snapshot(),
+        state.registry.tenant_invalidations(),
+        state.registry.global_invalidations(),
+    )
 }
 
 /// Stamps the `x-cache` header that tells a client how its answer was
@@ -473,14 +627,16 @@ fn with_degraded(mut resp: Response, level: u8) -> Response {
     resp
 }
 
-/// Stores a completed answer unless the armed fault plan drops the put —
-/// the cache-layer failure the chaos suite proves harmless (a dropped put
-/// costs a recompute, never a wrong answer).
-fn cache_put(state: &AppState, key: &str, body: &[u8]) {
+/// Stores a completed answer in the tenant's partition unless the armed
+/// fault plan drops the put — the cache-layer failure the chaos suite
+/// proves harmless (a dropped put costs a recompute, never a wrong
+/// answer).
+fn cache_put(state: &AppState, tenant: &Tenant, key: &str, body: &[u8]) {
     chaos!(state, faults::FaultSite::DropCachePut, {
         return;
     });
-    state.cache.put(key, body);
+    let _ = state; // chaos-only parameter in non-chaos builds
+    tenant.cache().put(key, body);
 }
 
 /// `POST /explore`: admission control first (the breaker answers a fast
@@ -508,9 +664,13 @@ fn explore(state: &AppState, request: &Request) -> Response {
     // weighted ranking's reported costs depend on the weight scale. The
     // canonical scale (largest weight = 1) is the one the cache stores.
     let mut req = req.canonicalize();
+    let tenant = match resolve_tenant(state, request, req.tenant.as_deref()) {
+        Ok(tenant) => tenant,
+        Err(resp) => return *resp,
+    };
     degrade_request(state, &mut req, level);
     let t0 = Instant::now();
-    let resp = explore_admitted(state, &req);
+    let resp = explore_admitted(state, &tenant, &req);
     state
         .overload
         .observe(t0.elapsed(), resp.status < 500, probe);
@@ -520,16 +680,16 @@ fn explore(state: &AppState, request: &Request) -> Response {
 /// The cache/coalesce/compute pipeline for one admitted exploration:
 /// consult the cache, coalesce concurrent duplicates onto one engine run,
 /// cache complete answers.
-fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
+fn explore_admitted(state: &AppState, tenant: &Tenant, req: &ExplorationRequest) -> Response {
     // Paged requests are resumable sessions: each page is single-use (its
     // cursor is consumed on resume), so neither the response cache nor
     // singleflight applies.
     if req.cursor.is_some() || req.page_size.is_some() {
-        return explore_paged(state, req);
+        return explore_paged(state, tenant, req);
     }
 
     let key = req.cache_key();
-    if let Some(cached) = state.cache.get(&key) {
+    if let Some(cached) = tenant.cache().get(&key) {
         state
             .metrics
             .explore_cache_hits
@@ -537,11 +697,15 @@ fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
         return with_x_cache(Response::json(200, cached.to_vec()), "hit");
     }
 
-    match state.flights.begin(&key) {
+    // Flights coalesce within one (tenant, epoch) only: the same request
+    // against a freshly swapped catalog is *different work*, and must not
+    // ride a computation started against the old epoch.
+    let flight_key = format!("{}\n{key}", tenant.scope());
+    match state.flights.begin(&flight_key) {
         Role::Leader(leader) => {
             // Double-check the cache: a previous leader may have published
             // between our miss above and winning this flight.
-            if let Some(cached) = state.cache.get(&key) {
+            if let Some(cached) = tenant.cache().get(&key) {
                 state
                     .metrics
                     .explore_cache_hits
@@ -554,12 +718,12 @@ fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
                 .metrics
                 .explore_computed
                 .fetch_add(1, Ordering::Relaxed);
-            let (resp, cacheable) = compute_explore(state, req);
+            let (resp, cacheable) = compute_explore(state, tenant, req);
             // Cache *before* publish: once the flight retires, a racing
             // request must either hit the cache or lead a fresh flight —
             // never recompute what the leader just finished.
             if cacheable {
-                cache_put(state, &key, &resp.body);
+                cache_put(state, tenant, &key, &resp.body);
             }
             leader.publish(resp.clone());
             with_x_cache(resp, "miss")
@@ -591,9 +755,9 @@ fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
                         .metrics
                         .explore_computed
                         .fetch_add(1, Ordering::Relaxed);
-                    let (resp, cacheable) = compute_explore(state, req);
+                    let (resp, cacheable) = compute_explore(state, tenant, req);
                     if cacheable {
-                        cache_put(state, &key, &resp.body);
+                        cache_put(state, tenant, &key, &resp.body);
                     }
                     with_x_cache(resp, "miss")
                 }
@@ -606,7 +770,11 @@ fn explore_admitted(state: &AppState, req: &ExplorationRequest) -> Response {
 /// response and whether it may be cached (only complete 200s are: a
 /// truncated answer reflects this request's deadline, not the
 /// exploration, and errors are cheap to re-derive).
-fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, bool) {
+fn compute_explore(
+    state: &AppState,
+    tenant: &Tenant,
+    req: &ExplorationRequest,
+) -> (Response, bool) {
     chaos!(state, faults::FaultSite::PanicBeforeCompute, {
         panic!("chaos: worker panic before compute");
     });
@@ -618,7 +786,7 @@ fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, boo
         .or(state.default_budget_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
 
-    let data = Arc::clone(&state.data.read());
+    let data = Arc::clone(tenant.data());
     let mut service = NavigatorService::new(&data.catalog);
     if let Some(degree) = &data.degree {
         service = service.with_degree(degree);
@@ -628,8 +796,9 @@ fn compute_explore(state: &AppState, req: &ExplorationRequest) -> (Response, boo
     }
 
     // Different requests over the same exploration tree share one
-    // transposition table; the engine consults and warms it as it runs.
-    let table = state.memo.table_for(&req.memo_key());
+    // transposition table *within the tenant's partition*; the engine
+    // consults and warms it as it runs.
+    let table = tenant.memo().table_for(&req.memo_key());
     match service.run_until_memo(req, deadline, state.parallelism, table.as_deref()) {
         Ok(response) => {
             chaos!(state, faults::FaultSite::PanicAfterCompute, {
@@ -664,17 +833,21 @@ fn engine_error(e: &ServiceError) -> Response {
 }
 
 /// Resolves an opaque cursor token to the engine cursor it names,
-/// consuming the session. `Err` carries the ready-to-send refusal:
-/// 400 `invalid-cursor` for bad tokens, 410 `cursor-expired` for
-/// consumed/aged/evicted sessions.
+/// consuming the session. `scope` is the resolving tenant's
+/// `tenant@epoch`: a token minted under any other scope — another tenant,
+/// or this tenant before a catalog swap — answers 410 `cursor-expired`,
+/// exactly as if it had aged out. `Err` carries the ready-to-send
+/// refusal: 400 `invalid-cursor` for bad tokens, 410 `cursor-expired`
+/// for consumed/aged/evicted/out-of-scope sessions.
 fn resolve_cursor(
     state: &AppState,
+    scope: &str,
     token: Option<&str>,
 ) -> Result<Option<ExplorationCursor>, Box<Response>> {
     let Some(token) = token else {
         return Ok(None);
     };
-    let json = state.sessions.take(token).map_err(|e| {
+    let json = state.sessions.take_scoped(token, scope).map_err(|e| {
         let (status, code) = match e {
             SessionError::Invalid => (400, "invalid-cursor"),
             SessionError::Expired => (410, "cursor-expired"),
@@ -698,13 +871,14 @@ fn resolve_cursor(
 /// One page of a resumable exploration: resolve the token, run the engine
 /// up to `page_size` results, and mint the next token when the
 /// exploration pauses with more to deliver.
-fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
+fn explore_paged(state: &AppState, tenant: &Tenant, req: &ExplorationRequest) -> Response {
     state.metrics.explore_paged.fetch_add(1, Ordering::Relaxed);
     state
         .metrics
         .explore_computed
         .fetch_add(1, Ordering::Relaxed);
-    let cursor = match resolve_cursor(state, req.cursor.as_deref()) {
+    let scope = tenant.scope();
+    let cursor = match resolve_cursor(state, &scope, req.cursor.as_deref()) {
         Ok(cursor) => cursor,
         Err(resp) => return *resp,
     };
@@ -712,7 +886,7 @@ fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
         .budget_ms
         .or(state.default_budget_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let data = Arc::clone(&state.data.read());
+    let data = Arc::clone(tenant.data());
     let mut service = NavigatorService::new(&data.catalog);
     if let Some(degree) = &data.degree {
         service = service.with_degree(degree);
@@ -720,7 +894,7 @@ fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
     if let Some(offering) = &data.offering {
         service = service.with_offering_model(offering);
     }
-    let table = state.memo.table_for(&req.memo_key());
+    let table = tenant.memo().table_for(&req.memo_key());
     match service.run_page_memo(req, cursor.as_ref(), deadline, None, table.as_deref()) {
         Ok(mut outcome) => {
             if outcome.response.truncated() {
@@ -735,7 +909,9 @@ fn explore_paged(state: &AppState, req: &ExplorationRequest) -> Response {
                 // wrong page.
                 state.sessions.evict_all();
             });
-            let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
+            let token = outcome
+                .cursor
+                .map(|c| state.sessions.mint_scoped(c.to_json(), &scope));
             outcome.response.set_next_cursor(token);
             match serde_json::to_string(&outcome.response) {
                 Ok(json) => with_x_cache(Response::json(200, json), "bypass"),
@@ -838,8 +1014,13 @@ fn explore_stream_admitted(
         }
     };
     let mut req = req.canonicalize();
+    let tenant = match resolve_tenant(state, request, req.tenant.as_deref()) {
+        Ok(tenant) => tenant,
+        Err(resp) => return fail(conn, *resp),
+    };
     degrade_request(state, &mut req, level);
-    let cursor = match resolve_cursor(state, req.cursor.as_deref()) {
+    let scope = tenant.scope();
+    let cursor = match resolve_cursor(state, &scope, req.cursor.as_deref()) {
         Ok(cursor) => cursor,
         Err(resp) => return fail(conn, *resp),
     };
@@ -847,7 +1028,7 @@ fn explore_stream_admitted(
         .budget_ms
         .or(state.default_budget_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let data = Arc::clone(&state.data.read());
+    let data = Arc::clone(tenant.data());
     let mut service = NavigatorService::new(&data.catalog);
     if let Some(degree) = &data.degree {
         service = service.with_degree(degree);
@@ -881,7 +1062,7 @@ fn explore_stream_admitted(
             }
             ControlFlow::Continue(())
         };
-        let table = state.memo.table_for(&req.memo_key());
+        let table = tenant.memo().table_for(&req.memo_key());
         service.run_page_memo(
             &req,
             cursor.as_ref(),
@@ -910,7 +1091,9 @@ fn explore_stream_admitted(
             chaos!(state, faults::FaultSite::EvictSessions, {
                 state.sessions.evict_all();
             });
-            let token = outcome.cursor.map(|c| state.sessions.mint(c.to_json()));
+            let token = outcome
+                .cursor
+                .map(|c| state.sessions.mint_scoped(c.to_json(), &scope));
             outcome.response.set_next_cursor(token);
             // The summary line: the response minus the already-streamed
             // paths. The response serializes as {"<variant>": {fields}},
@@ -978,11 +1161,16 @@ mod tests {
     }
 
     #[test]
-    fn swap_catalog_invalidates_the_cache() {
+    fn swap_catalog_invalidates_the_default_tenant() {
         let server = tiny_server(ServerConfig::default());
-        server.state.cache.put("k", b"v");
+        let tenant = server.state.registry.get(DEFAULT_TENANT).expect("default");
+        tenant.cache().put("k", b"v");
         assert_eq!(server.swap_catalog(brandeis_cs()), 1);
         assert_eq!(server.metrics().cache.entries, 0);
+        // The swap bumped the default tenant's epoch past the seed's 1.
+        let infos = server.tenants();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].epoch, 2);
         server.shutdown();
     }
 }

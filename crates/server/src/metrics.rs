@@ -7,14 +7,16 @@ use std::time::{Duration, Instant};
 use crate::cache::CacheStats;
 use crate::memo::MemoRegistrySnapshot;
 use crate::overload::OverloadSnapshot;
+use crate::registry::TenantSnapshot;
 use crate::session::SessionStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
 /// the known paths land in `other`.
-pub const ROUTES: [&str; 7] = [
+pub const ROUTES: [&str; 8] = [
     "explore",
     "explore-stream",
     "catalog",
+    "catalogs",
     "healthz",
     "metrics",
     "cache-invalidate",
@@ -47,6 +49,9 @@ pub fn route_label(path: &str) -> &'static str {
         "/v1/healthz" | "/healthz" => "healthz",
         "/v1/metrics" | "/metrics" => "metrics",
         "/v1/cache/invalidate" | "/cache/invalidate" => "cache-invalidate",
+        // The tenant admin family: GET /v1/catalogs, PUT
+        // /v1/catalogs/{tenant}, POST /v1/catalogs/{tenant}/invalidate.
+        p if p == "/v1/catalogs" || p.starts_with("/v1/catalogs/") => "catalogs",
         _ => "other",
     }
 }
@@ -185,14 +190,19 @@ impl Metrics {
         self.latency[idx].observe(elapsed);
     }
 
-    /// A serializable point-in-time view, merged with the cache's,
-    /// memo registry's, session store's, and overload controller's stats.
+    /// A serializable point-in-time view, merged with the registry's
+    /// aggregated cache/memo stats, the per-tenant breakdowns, and the
+    /// session store's and overload controller's stats.
+    #[allow(clippy::too_many_arguments)] // one call site, in Server::metrics
     pub fn snapshot(
         &self,
         cache: CacheStats,
         memo: MemoRegistrySnapshot,
         sessions: SessionStats,
         overload: OverloadSnapshot,
+        tenants: Vec<TenantSnapshot>,
+        invalidate_tenant_requests: u64,
+        invalidate_global_requests: u64,
     ) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -220,6 +230,9 @@ impl Metrics {
             memo,
             sessions,
             overload,
+            tenants,
+            invalidate_tenant_requests,
+            invalidate_global_requests,
         }
     }
 }
@@ -284,14 +297,22 @@ pub struct MetricsSnapshot {
     pub server_errors: u64,
     /// Per-route latency histograms.
     pub latency: Vec<HistogramSnapshot>,
-    /// Response-cache statistics.
+    /// Response-cache statistics, aggregated across every tenant (retired
+    /// epochs included, so the totals never go backwards on a swap).
     pub cache: CacheStats,
-    /// Cross-request transposition-table statistics.
+    /// Cross-request transposition-table statistics, aggregated the same
+    /// way.
     pub memo: MemoRegistrySnapshot,
     /// Resumable-session store statistics.
     pub sessions: SessionStats,
     /// Degradation-ladder and circuit-breaker state.
     pub overload: OverloadSnapshot,
+    /// Per-tenant cache/memo breakdowns, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Per-tenant `POST /v1/catalogs/{tenant}/invalidate` calls served.
+    pub invalidate_tenant_requests: u64,
+    /// Deprecated global `POST /v1/cache/invalidate` calls served.
+    pub invalidate_global_requests: u64,
 }
 
 #[cfg(test)]
@@ -310,6 +331,9 @@ mod tests {
             MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
+            Vec::new(),
+            0,
+            0,
         );
         assert_eq!(snap.requests_total, 3);
         assert_eq!(snap.client_errors, 1);
@@ -324,6 +348,9 @@ mod tests {
             MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
+            Vec::new(),
+            0,
+            0,
         ))
         .unwrap();
         assert!(json.contains("\"explore-cache-hits\":0"), "{json}");
@@ -369,6 +396,9 @@ mod tests {
             MemoRegistrySnapshot::default(),
             SessionStats::default(),
             OverloadSnapshot::default(),
+            Vec::new(),
+            0,
+            0,
         );
         let explore = snap.latency.iter().find(|h| h.route == "explore").unwrap();
         assert_eq!(explore.count, 2);

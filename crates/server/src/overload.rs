@@ -190,12 +190,11 @@ impl Overload {
                 }
             }
             Breaker::HalfOpen { .. } if saturated => {
-                *breaker = Breaker::Open {
-                    until: now + self.config.open_for,
-                };
+                let until = now + self.config.open_for;
+                *breaker = Breaker::Open { until };
                 self.breaker_opens.fetch_add(1, Ordering::Relaxed);
                 Admission::Reject {
-                    retry_after: self.config.open_for,
+                    retry_after: until - now,
                 }
             }
             Breaker::HalfOpen { .. } => Admission::Go {
@@ -205,12 +204,11 @@ impl Overload {
             Breaker::Closed { over } if saturated => {
                 let over = over + 1;
                 if over >= self.config.trip_after {
-                    *breaker = Breaker::Open {
-                        until: now + self.config.open_for,
-                    };
+                    let until = now + self.config.open_for;
+                    *breaker = Breaker::Open { until };
                     self.breaker_opens.fetch_add(1, Ordering::Relaxed);
                     Admission::Reject {
-                        retry_after: self.config.open_for,
+                        retry_after: until - now,
                     }
                 } else {
                     *breaker = Breaker::Closed { over };
@@ -271,6 +269,17 @@ impl Overload {
                     healthy: healthy + 1,
                 };
             }
+        }
+    }
+
+    /// How much of the breaker's open window remains, if it is currently
+    /// open. The acceptor's shed path uses this to advertise a
+    /// `retry-after` that matches the actual cooldown instead of a
+    /// constant.
+    pub fn remaining_open(&self) -> Option<Duration> {
+        match *self.breaker.lock() {
+            Breaker::Open { until } => Some(until.saturating_duration_since(Instant::now())),
+            _ => None,
         }
     }
 
@@ -433,6 +442,35 @@ mod tests {
             }
         );
         assert_eq!(o.snapshot().breaker_opens, 1);
+    }
+
+    #[test]
+    fn retry_after_tracks_the_remaining_cooldown() {
+        let o = Overload::new(quick());
+        o.queue_gauge().store(4, Ordering::Relaxed);
+        o.admit();
+        let Admission::Reject {
+            retry_after: at_trip,
+        } = o.admit()
+        else {
+            panic!("breaker must trip");
+        };
+        assert!(o.remaining_open().is_some());
+        // Part-way through the open window, both the admission path and
+        // the shed path report the remaining wait, not the full period.
+        std::thread::sleep(Duration::from_millis(20));
+        let Admission::Reject { retry_after: later } = o.admit() else {
+            panic!("breaker still open");
+        };
+        assert!(later < at_trip, "{later:?} !< {at_trip:?}");
+        assert!(later <= Duration::from_millis(25));
+        let remaining = o.remaining_open().expect("still open");
+        assert!(remaining <= Duration::from_millis(25));
+        // Once the window lapses, there is no cooldown to advertise.
+        std::thread::sleep(Duration::from_millis(30));
+        o.queue_gauge().store(0, Ordering::Relaxed);
+        assert!(matches!(o.admit(), Admission::Go { probe: true, .. }));
+        assert_eq!(o.remaining_open(), None);
     }
 
     #[test]

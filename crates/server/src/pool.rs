@@ -39,7 +39,10 @@ pub type ConnectionHandler = dyn Fn(TcpStream) + Send + Sync;
 ///
 /// `queue_depth` bounds connections accepted but not yet claimed by a
 /// worker; beyond it the acceptor sheds with 503. `on_shed` observes every
-/// shed (metrics). `depth_gauge` tracks connections sitting in the queue:
+/// shed (metrics) and returns the `retry-after` seconds to advertise —
+/// derived from the breaker's remaining cooldown when it is open, so shed
+/// clients back off for the actual wait instead of a fixed guess.
+/// `depth_gauge` tracks connections sitting in the queue:
 /// the acceptor increments it *before* the hand-off, the claiming worker
 /// decrements it — so the gauge never under-reads, and the overload
 /// controller sees queue pressure the moment it builds.
@@ -48,7 +51,7 @@ pub fn spawn(
     threads: usize,
     queue_depth: usize,
     handler: Arc<ConnectionHandler>,
-    on_shed: Arc<dyn Fn() + Send + Sync>,
+    on_shed: Arc<dyn Fn() -> u64 + Send + Sync>,
     depth_gauge: Arc<AtomicU64>,
 ) -> std::io::Result<Pool> {
     listener.set_nonblocking(true)?;
@@ -87,8 +90,7 @@ pub fn spawn(
                                 Ok(()) => {}
                                 Err(TrySendError::Full(conn)) => {
                                     depth_gauge.fetch_sub(1, Ordering::Relaxed);
-                                    shed(conn);
-                                    on_shed();
+                                    shed(conn, on_shed());
                                 }
                                 Err(TrySendError::Disconnected(_)) => break,
                             }
@@ -110,14 +112,15 @@ pub fn spawn(
     })
 }
 
-/// The load-shedding response: minimal, fixed, written without blocking
-/// the accept loop for long.
-fn shed(mut conn: TcpStream) {
+/// The load-shedding response: minimal, written without blocking the
+/// accept loop for long. `retry_after` comes from the `on_shed` callback.
+fn shed(mut conn: TcpStream, retry_after: u64) {
     let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
     let body = b"{\"error\":\"server saturated, retry later\"}";
     let head = format!(
-        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: 1\r\nconnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+        retry_after.max(1),
     );
     let _ = conn.write_all(head.as_bytes());
     let _ = conn.write_all(body);

@@ -65,6 +65,11 @@ pub struct SessionStats {
 
 struct Entry {
     cursor_json: String,
+    /// The serving scope (`tenant@epoch`) the cursor was minted against.
+    /// A token taken under any other scope answers `Expired`: after a
+    /// tenant catalog swap the old epoch's frontier snapshots reference
+    /// course ids from a catalog that no longer serves.
+    scope: String,
     stamp: u64,
     minted_at: Instant,
 }
@@ -118,8 +123,17 @@ impl SessionStore {
         }
     }
 
-    /// Stores `cursor_json` as a fresh session and returns its token.
+    /// Stores `cursor_json` as a fresh unscoped session and returns its
+    /// token. Equivalent to [`SessionStore::mint_scoped`] with an empty
+    /// scope.
     pub fn mint(&self, cursor_json: String) -> String {
+        self.mint_scoped(cursor_json, "")
+    }
+
+    /// Stores `cursor_json` as a fresh session bound to `scope`
+    /// (canonically `tenant@epoch`) and returns its token. The token only
+    /// resumes under the same scope — see [`SessionStore::take_scoped`].
+    pub fn mint_scoped(&self, cursor_json: String, scope: &str) -> String {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let id = splitmix64(
             self.seed
@@ -141,6 +155,7 @@ impl SessionStore {
             id,
             Entry {
                 cursor_json,
+                scope: scope.to_string(),
                 stamp,
                 minted_at: now,
             },
@@ -154,9 +169,18 @@ impl SessionStore {
         self.token_for(id)
     }
 
-    /// Verifies `token` and consumes its session, returning the stored
-    /// cursor JSON. A consumed token cannot be taken twice.
+    /// Verifies `token` and consumes its unscoped session, returning the
+    /// stored cursor JSON. A consumed token cannot be taken twice.
     pub fn take(&self, token: &str) -> Result<String, SessionError> {
+        self.take_scoped(token, "")
+    }
+
+    /// Verifies `token` and consumes its session, returning the stored
+    /// cursor JSON — but only when the session was minted under
+    /// `expected_scope`. A scope mismatch still consumes the session and
+    /// answers [`SessionError::Expired`]: the token was once real, but the
+    /// epoch it was minted against no longer serves.
+    pub fn take_scoped(&self, token: &str, expected_scope: &str) -> Result<String, SessionError> {
         let Some(id) = self.verify(token) else {
             self.invalid.fetch_add(1, Ordering::Relaxed);
             return Err(SessionError::Invalid);
@@ -164,20 +188,19 @@ impl SessionStore {
         let now = Instant::now();
         let mut inner = self.inner.lock();
         let dropped = self.purge_expired(&mut inner, now);
-        let taken = inner.map.remove(&id).map(|entry| {
+        let taken = inner.map.remove(&id).inspect(|entry| {
             inner.order.remove(&entry.stamp);
-            entry.cursor_json
         });
         drop(inner);
         if dropped > 0 {
             self.evicted.fetch_add(dropped, Ordering::Relaxed);
         }
         match taken {
-            Some(json) => {
+            Some(entry) if entry.scope == expected_scope => {
                 self.resumed.fetch_add(1, Ordering::Relaxed);
-                Ok(json)
+                Ok(entry.cursor_json)
             }
-            None => {
+            _ => {
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 Err(SessionError::Expired)
             }
@@ -410,6 +433,51 @@ mod tests {
         let token = a.mint("{}".into());
         // A different process key means the MAC cannot verify.
         assert_eq!(b.take(&token), Err(SessionError::Invalid));
+    }
+
+    #[test]
+    fn scoped_tokens_resume_only_under_their_own_scope() {
+        let store = store(8);
+        let token = store.mint_scoped("{\"page\":2}".into(), "alpha@3");
+        // Wrong tenant, wrong epoch, and unscoped all answer Expired —
+        // the token was real, but that serving scope is gone.
+        let stale = store.mint_scoped("{}".into(), "alpha@3");
+        assert_eq!(
+            store.take_scoped(&stale, "alpha@4"),
+            Err(SessionError::Expired)
+        );
+        let other = store.mint_scoped("{}".into(), "alpha@3");
+        assert_eq!(
+            store.take_scoped(&other, "beta@3"),
+            Err(SessionError::Expired)
+        );
+        assert_eq!(
+            store.take_scoped(&token, "alpha@3").as_deref(),
+            Ok("{\"page\":2}")
+        );
+        // A scope mismatch consumes the session: retrying with the right
+        // scope afterwards is too late.
+        let consumed = store.mint_scoped("{}".into(), "alpha@3");
+        assert_eq!(
+            store.take_scoped(&consumed, "alpha@4"),
+            Err(SessionError::Expired)
+        );
+        assert_eq!(
+            store.take_scoped(&consumed, "alpha@3"),
+            Err(SessionError::Expired)
+        );
+    }
+
+    #[test]
+    fn unscoped_mint_and_scoped_mint_do_not_cross() {
+        let store = store(8);
+        let unscoped = store.mint("{}".into());
+        assert_eq!(
+            store.take_scoped(&unscoped, "t@1"),
+            Err(SessionError::Expired)
+        );
+        let scoped = store.mint_scoped("{}".into(), "t@1");
+        assert_eq!(store.take(&scoped), Err(SessionError::Expired));
     }
 
     #[test]

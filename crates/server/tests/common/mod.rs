@@ -44,16 +44,30 @@ pub fn roundtrip(
     path: &str,
     body: Option<&str>,
 ) -> Option<WireResponse> {
+    roundtrip_with_headers(addr, method, path, &[], body)
+}
+
+/// [`roundtrip`] with extra request headers — how the multi-tenant tests
+/// address a tenant (`x-tenant: <name>`) without touching the body.
+pub fn roundtrip_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Option<WireResponse> {
     let mut stream = TcpStream::connect(addr).ok()?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let _ = stream.set_nodelay(true);
     let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nhost: loopback\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nhost: loopback\r\nconnection: close\r\n");
+    for (name, value) in extra_headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
     stream.write_all(request.as_bytes()).ok()?;
     let mut raw = Vec::new();
     let mut chunk = [0u8; 4096];

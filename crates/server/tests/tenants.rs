@@ -1,0 +1,358 @@
+//! Multi-tenant loopback tests: the `/v1/catalogs` admin surface and the
+//! isolation contract — swapping one tenant's catalog invalidates *that*
+//! tenant's cache, memo tables, and sessions while every other tenant
+//! keeps serving warm, and requests that never mention a tenant behave
+//! exactly as they did before the registry existed.
+
+mod common;
+
+use coursenav_catalog::{InstitutionConfig, SyntheticInstitution};
+use coursenav_navigator::{ExplorationRequest, GoalSpec, OutputMode};
+use coursenav_registrar::writer::write_registrar_file;
+use coursenav_server::{Server, ServerConfig};
+
+use common::{count_request, fetch_metrics, roundtrip, roundtrip_with_headers};
+
+/// A two-department synthetic institution: department files are the PUT
+/// bodies, department horizons drive the exploration requests.
+fn two_departments() -> SyntheticInstitution {
+    let config = InstitutionConfig {
+        departments: 2,
+        ..InstitutionConfig::small()
+    };
+    SyntheticInstitution::generate(&config)
+}
+
+/// The registrar-file body registering department `d`.
+fn department_file(institution: &SyntheticInstitution, d: usize) -> String {
+    let dept = &institution.departments[d];
+    write_registrar_file(&dept.catalog, Some(&dept.degree), (dept.start, dept.end))
+}
+
+/// A small complete exploration over department `d`'s horizon.
+fn department_request(institution: &SyntheticInstitution, d: usize) -> ExplorationRequest {
+    let dept = &institution.departments[d];
+    let mut req = ExplorationRequest::deadline_count(dept.start, dept.start + 4, 3);
+    req.goal = Some(GoalSpec::Degree);
+    req
+}
+
+/// The paged spelling: collected paths, small pages, so a resumable
+/// cursor is minted against the tenant's current epoch.
+fn department_paged_request(institution: &SyntheticInstitution, d: usize) -> ExplorationRequest {
+    let mut req = department_request(institution, d);
+    req.output = OutputMode::Collect { limit: 40 };
+    req.page_size = Some(5);
+    req
+}
+
+/// One tenant's row out of the `tenants` block of `/v1/metrics`.
+fn tenant_row(metrics: &serde_json::Value, name: &str) -> serde_json::Value {
+    metrics["tenants"]
+        .as_array()
+        .expect("metrics carries a tenants block")
+        .iter()
+        .find(|row| row["name"].as_str() == Some(name))
+        .unwrap_or_else(|| panic!("tenant {name} missing from metrics"))
+        .clone()
+}
+
+#[test]
+fn admin_surface_registers_lists_and_refuses() {
+    let server = Server::start(ServerConfig::default(), coursenav_registrar::brandeis_cs())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let institution = two_departments();
+
+    // Registering a new tenant lands at epoch 1, not swapped.
+    let put = roundtrip(
+        addr,
+        "PUT",
+        "/v1/catalogs/a",
+        Some(&department_file(&institution, 0)),
+    )
+    .expect("PUT answers");
+    assert_eq!(put.status, 200, "{}", put.text());
+    let body: serde_json::Value = serde_json::from_str(put.text()).unwrap();
+    assert_eq!(body["tenant"].as_str(), Some("a"));
+    assert_eq!(body["epoch"].as_u64(), Some(1));
+    assert_eq!(body["swapped"].as_bool(), Some(false));
+
+    // Re-registering the same tenant is a swap: epoch bumps.
+    let put = roundtrip(
+        addr,
+        "PUT",
+        "/v1/catalogs/a",
+        Some(&department_file(&institution, 0)),
+    )
+    .expect("PUT answers");
+    let body: serde_json::Value = serde_json::from_str(put.text()).unwrap();
+    assert_eq!(body["epoch"].as_u64(), Some(2));
+    assert_eq!(body["swapped"].as_bool(), Some(true));
+
+    // The listing is sorted and includes the default tenant.
+    let list = roundtrip(addr, "GET", "/v1/catalogs", None).expect("GET answers");
+    assert_eq!(list.status, 200);
+    let body: serde_json::Value = serde_json::from_str(list.text()).unwrap();
+    let names: Vec<&str> = body["tenants"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|row| row["name"].as_str().unwrap())
+        .collect();
+    assert_eq!(names, vec!["a", "default"]);
+
+    // Addressing an unregistered tenant is a typed 404.
+    let miss = roundtrip_with_headers(
+        addr,
+        "POST",
+        "/v1/explore",
+        &[("x-tenant", "nope")],
+        Some(&count_request().to_json().unwrap()),
+    )
+    .expect("explore answers");
+    assert_eq!(miss.status, 404, "{}", miss.text());
+    assert!(miss.text().contains("unknown-tenant"), "{}", miss.text());
+
+    // A bad name is refused before any parsing happens.
+    let bad = roundtrip(addr, "PUT", "/v1/catalogs/no%20good", Some("x")).expect("PUT answers");
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("invalid-tenant"), "{}", bad.text());
+
+    // A body that is not a registrar file is a plain 400.
+    let garbage =
+        roundtrip(addr, "PUT", "/v1/catalogs/c", Some("not a catalog")).expect("PUT answers");
+    assert_eq!(garbage.status, 400, "{}", garbage.text());
+
+    // Wrong verbs advertise the right one.
+    let wrong = roundtrip(addr, "POST", "/v1/catalogs/a", None).expect("answers");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("allow"), Some("PUT"));
+    let wrong = roundtrip(addr, "GET", "/v1/catalogs/a/invalidate", None).expect("answers");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("allow"), Some("POST"));
+
+    server.shutdown();
+}
+
+#[test]
+fn swapping_one_tenant_leaves_the_others_warm() {
+    let server = Server::start(ServerConfig::default(), coursenav_registrar::brandeis_cs())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let institution = two_departments();
+
+    // The pre-registry baseline: a default-tenant answer, cached.
+    let default_json = count_request().to_json().unwrap();
+    let baseline = roundtrip(addr, "POST", "/v1/explore", Some(&default_json)).expect("explore");
+    assert_eq!(baseline.status, 200, "{}", baseline.text());
+    assert_eq!(baseline.header("x-cache"), Some("miss"));
+
+    for (name, d) in [("a", 0), ("b", 1)] {
+        let put = roundtrip(
+            addr,
+            "PUT",
+            &format!("/v1/catalogs/{name}"),
+            Some(&department_file(&institution, d)),
+        )
+        .expect("PUT answers");
+        assert_eq!(put.status, 200, "{}", put.text());
+    }
+
+    // Warm both tenants: a cold miss, then a response-cache hit, and a
+    // paged request per tenant to mint a resumable cursor (pages bypass
+    // the response cache, so they both warm and *prove* the memo tables).
+    let mut cursors = Vec::new();
+    for (name, d) in [("a", 0), ("b", 1)] {
+        let req_json = department_request(&institution, d).to_json().unwrap();
+        let first = roundtrip_with_headers(
+            addr,
+            "POST",
+            "/v1/explore",
+            &[("x-tenant", name)],
+            Some(&req_json),
+        )
+        .expect("explore answers");
+        assert_eq!(first.status, 200, "{}", first.text());
+        assert_eq!(first.header("x-cache"), Some("miss"));
+        let again = roundtrip_with_headers(
+            addr,
+            "POST",
+            "/v1/explore",
+            &[("x-tenant", name)],
+            Some(&req_json),
+        )
+        .expect("explore answers");
+        assert_eq!(again.header("x-cache"), Some("hit"));
+        assert_eq!(again.body, first.body, "a cache hit is byte-identical");
+
+        let paged = department_paged_request(&institution, d);
+        let page = roundtrip_with_headers(
+            addr,
+            "POST",
+            "/v1/explore",
+            &[("x-tenant", name)],
+            Some(&paged.to_json().unwrap()),
+        )
+        .expect("paged explore answers");
+        assert_eq!(page.status, 200, "{}", page.text());
+        let body: serde_json::Value = serde_json::from_str(page.text()).unwrap();
+        let cursor = body["paths"]["next_cursor"]
+            .as_str()
+            .expect("page 1 of a multi-path exploration carries a cursor")
+            .to_string();
+        cursors.push((name, cursor));
+    }
+
+    let warm = fetch_metrics(addr);
+    let warm_b_memo_hits = tenant_row(&warm, "b")["memo"]["hits"].as_u64().unwrap();
+    let warm_b_cache_hits = tenant_row(&warm, "b")["cache"]["hits"].as_u64().unwrap();
+
+    // Swap tenant `a`.
+    let swap = roundtrip(
+        addr,
+        "PUT",
+        "/v1/catalogs/a",
+        Some(&department_file(&institution, 0)),
+    )
+    .expect("PUT answers");
+    assert_eq!(swap.status, 200, "{}", swap.text());
+    let body: serde_json::Value = serde_json::from_str(swap.text()).unwrap();
+    assert_eq!(body["swapped"].as_bool(), Some(true));
+
+    // `a`'s cursor was minted against the retired epoch: 410, expired.
+    let (_, a_cursor) = cursors.iter().find(|(n, _)| *n == "a").unwrap();
+    let mut resume_a = department_paged_request(&institution, 0);
+    resume_a.cursor = Some(a_cursor.clone());
+    let refused = roundtrip_with_headers(
+        addr,
+        "POST",
+        "/v1/explore",
+        &[("x-tenant", "a")],
+        Some(&resume_a.to_json().unwrap()),
+    )
+    .expect("explore answers");
+    assert_eq!(refused.status, 410, "{}", refused.text());
+    assert!(
+        refused.text().contains("cursor-expired"),
+        "{}",
+        refused.text()
+    );
+
+    // `a`'s response cache is cold again.
+    let a_json = department_request(&institution, 0).to_json().unwrap();
+    let cold = roundtrip_with_headers(
+        addr,
+        "POST",
+        "/v1/explore",
+        &[("x-tenant", "a")],
+        Some(&a_json),
+    )
+    .expect("explore answers");
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+
+    // `b`'s cursor still resumes, its cache still hits, and its *memo
+    // tables* still answer: a fresh paged run over the same tree takes
+    // memo hits instead of recomputing.
+    let (_, b_cursor) = cursors.iter().find(|(n, _)| *n == "b").unwrap();
+    let mut resume_b = department_paged_request(&institution, 1);
+    resume_b.cursor = Some(b_cursor.clone());
+    let resumed = roundtrip_with_headers(
+        addr,
+        "POST",
+        "/v1/explore",
+        &[("x-tenant", "b")],
+        Some(&resume_b.to_json().unwrap()),
+    )
+    .expect("explore answers");
+    assert_eq!(resumed.status, 200, "{}", resumed.text());
+
+    let b_json = department_request(&institution, 1).to_json().unwrap();
+    let warm_hit = roundtrip_with_headers(
+        addr,
+        "POST",
+        "/v1/explore",
+        &[("x-tenant", "b")],
+        Some(&b_json),
+    )
+    .expect("explore answers");
+    assert_eq!(warm_hit.header("x-cache"), Some("hit"));
+
+    let after = fetch_metrics(addr);
+    assert!(
+        tenant_row(&after, "b")["cache"]["hits"].as_u64().unwrap() > warm_b_cache_hits,
+        "b's response cache kept serving across a's swap"
+    );
+    assert!(
+        tenant_row(&after, "b")["memo"]["hits"].as_u64().unwrap() >= warm_b_memo_hits,
+        "b's memo tables survived a's swap"
+    );
+    assert_eq!(
+        tenant_row(&after, "b")["memo"]["tables-dropped"].as_u64(),
+        Some(0),
+        "no table of b's was dropped by a's swap"
+    );
+    assert!(
+        tenant_row(&after, "a")["memo"]["tables-dropped"]
+            .as_u64()
+            .unwrap()
+            > 0,
+        "a's swap retired its memo tables"
+    );
+    assert_eq!(tenant_row(&after, "a")["epoch"].as_u64(), Some(2));
+    assert_eq!(tenant_row(&after, "b")["epoch"].as_u64(), Some(1));
+
+    // The default tenant never noticed: the baseline request still hits
+    // its untouched cache, byte for byte.
+    let still = roundtrip(addr, "POST", "/v1/explore", Some(&default_json)).expect("explore");
+    assert_eq!(still.header("x-cache"), Some("hit"));
+    assert_eq!(still.body, baseline.body);
+
+    server.shutdown();
+}
+
+#[test]
+fn invalidation_routes_are_counted_separately() {
+    let server = Server::start(ServerConfig::default(), coursenav_registrar::brandeis_cs())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Warm the default tenant so the flushes have something to drop.
+    let json = count_request().to_json().unwrap();
+    let first = roundtrip(addr, "POST", "/v1/explore", Some(&json)).expect("explore");
+    assert_eq!(first.status, 200, "{}", first.text());
+
+    // Per-tenant invalidation: flushes without an epoch bump.
+    let per = roundtrip(addr, "POST", "/v1/catalogs/default/invalidate", None)
+        .expect("invalidate answers");
+    assert_eq!(per.status, 200, "{}", per.text());
+    let body: serde_json::Value = serde_json::from_str(per.text()).unwrap();
+    assert_eq!(body["tenant"].as_str(), Some("default"));
+    assert_eq!(body["invalidated"].as_u64(), Some(1));
+
+    let cold = roundtrip(addr, "POST", "/v1/explore", Some(&json)).expect("explore");
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+
+    // The deprecated global alias still answers — and says so.
+    let global = roundtrip(addr, "POST", "/v1/cache/invalidate", None).expect("alias answers");
+    assert_eq!(global.status, 200, "{}", global.text());
+    let body: serde_json::Value = serde_json::from_str(global.text()).unwrap();
+    assert_eq!(body["deprecated"].as_bool(), Some(true));
+
+    // Unknown tenants refuse with the typed 404.
+    let miss =
+        roundtrip(addr, "POST", "/v1/catalogs/nope/invalidate", None).expect("invalidate answers");
+    assert_eq!(miss.status, 404, "{}", miss.text());
+    assert!(miss.text().contains("unknown-tenant"), "{}", miss.text());
+
+    // Both routes are accounted independently on /v1/metrics; the failed
+    // per-tenant call was never counted as served.
+    let metrics = fetch_metrics(addr);
+    assert_eq!(metrics["invalidate-tenant-requests"].as_u64(), Some(1));
+    assert_eq!(metrics["invalidate-global-requests"].as_u64(), Some(1));
+    // The per-tenant epoch did not move: invalidation is a flush, not a
+    // swap.
+    assert_eq!(tenant_row(&metrics, "default")["epoch"].as_u64(), Some(1));
+
+    server.shutdown();
+}

@@ -23,7 +23,8 @@
 //!   dot                          Graphviz export (--dag for the state DAG)
 //!   serve                        HTTP server (POST /v1/explore, POST
 //!                                /v1/explore/stream, GET /v1/catalog,
-//!                                GET /v1/healthz, GET /v1/metrics)
+//!                                GET /v1/healthz, GET /v1/metrics, plus
+//!                                the /v1/catalogs tenant admin routes)
 //!
 //! common flags:
 //!   --start <sem>   --deadline <sem>   --m <n>
@@ -36,6 +37,10 @@
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
 //!   --parallelism <n>            engine worker threads per exploration
 //!   --memo-entries <n>           per-table transposition cap (0 disables)
+//!   --catalog-dir <dir>          register every <dir>/*.cnav file as a
+//!                                tenant (tenant name = file stem); the
+//!                                positional catalog stays the default
+//!                                tenant
 //! ```
 
 use std::fmt;
@@ -112,6 +117,7 @@ struct Flags {
     cache_mb: Option<usize>,
     parallelism: Option<usize>,
     memo_entries: Option<usize>,
+    catalog_dir: Option<String>,
 }
 
 fn split_codes(value: &str) -> Vec<String> {
@@ -142,6 +148,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         cache_mb: None,
         parallelism: None,
         memo_entries: None,
+        catalog_dir: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -237,6 +244,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .map_err(|_| CliError::Usage("--memo-entries needs an integer".into()))?,
                 )
             }
+            "--catalog-dir" => flags.catalog_dir = Some(value("--catalog-dir")?.clone()),
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -265,12 +273,50 @@ fn build_request(data: &RegistrarData, flags: &Flags) -> Result<ExplorationReque
     Ok(req)
 }
 
+/// Loads every `*.cnav` file in `dir` as a named tenant catalog, sorted by
+/// file name so registration order is deterministic. The tenant name is the
+/// file stem, validated against the registry's naming rules up front —
+/// a bad directory fails the command before the listener ever binds.
+fn load_catalog_dir(dir: &str) -> Result<Vec<(String, RegistrarData)>, CliError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| CliError::Io(format!("cannot read {dir}: {e}")))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "cnav").unwrap_or(false))
+        .collect();
+    paths.sort();
+    let mut tenants = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| CliError::Usage(format!("{} has no usable file stem", path.display())))?
+            .to_string();
+        coursenav_server::registry::CatalogRegistry::validate_name(&name)
+            .map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let data = parse_registrar_file(&text)
+            .map_err(|e| CliError::Parse(format!("{}: {e}", path.display())))?;
+        tenants.push((name, data));
+    }
+    Ok(tenants)
+}
+
 /// `coursenav <catalog> serve [--addr .. --threads .. --cache-mb ..
-/// --parallelism .. --memo-entries ..]`:
+/// --parallelism .. --memo-entries .. --catalog-dir ..]`:
 /// starts the HTTP serving layer over the loaded catalog and blocks until
 /// the process is killed. Prints the bound address first, so `--addr
-/// 127.0.0.1:0` (an ephemeral port) is usable in scripts.
+/// 127.0.0.1:0` (an ephemeral port) is usable in scripts. With
+/// `--catalog-dir`, every `*.cnav` file in the directory becomes a resident
+/// tenant next to the default one.
 fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError> {
+    // Parse tenant catalogs before binding, so bad input fails the command
+    // instead of a half-started server.
+    let tenants = match &flags.catalog_dir {
+        Some(dir) => load_catalog_dir(dir)?,
+        None => Vec::new(),
+    };
     let config = ServerConfig {
         addr: flags
             .addr
@@ -286,12 +332,20 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
     };
     let server =
         Server::start(config, data).map_err(|e| CliError::Io(format!("cannot serve: {e}")))?;
+    for (name, data) in tenants {
+        server
+            .register_tenant(&name, data)
+            .map_err(|e| CliError::Usage(format!("--catalog-dir tenant {name:?}: {e}")))?;
+        println!("registered tenant {name:?}");
+    }
     println!(
         "coursenav-server listening on http://{}",
         server.local_addr()
     );
     println!(
-        "routes: POST /v1/explore, POST /v1/explore/stream, GET /v1/catalog, GET /v1/healthz, GET /v1/metrics"
+        "routes: POST /v1/explore, POST /v1/explore/stream, GET /v1/catalog, GET /v1/healthz, \
+         GET /v1/metrics, GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
+         POST /v1/catalogs/{{tenant}}/invalidate"
     );
     server.block_forever()
 }
@@ -630,6 +684,66 @@ mod tests {
             run(&["builtin:brandeis", "serve", "--port", "8080"]),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--catalog-dir"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    // `--catalog-dir` parses every tenant file before the listener binds,
+    // so all the failure paths return without blocking.
+    #[test]
+    fn serve_validates_the_catalog_dir_before_binding() {
+        assert!(matches!(
+            run(&[
+                "builtin:brandeis",
+                "serve",
+                "--catalog-dir",
+                "/nonexistent/tenants"
+            ]),
+            Err(CliError::Io(_))
+        ));
+
+        let dir = std::env::temp_dir().join(format!("coursenav-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.cnav"), "not a registrar file").unwrap();
+        let result = run(&[
+            "builtin:brandeis",
+            "serve",
+            "--catalog-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(matches!(result, Err(CliError::Parse(_))), "{result:?}");
+
+        std::fs::remove_file(dir.join("broken.cnav")).unwrap();
+        std::fs::write(dir.join("bad name.cnav"), "irrelevant").unwrap();
+        let result = run(&[
+            "builtin:brandeis",
+            "serve",
+            "--catalog-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(matches!(result, Err(CliError::Usage(_))), "{result:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_dir_loads_cnav_files_sorted_by_stem() {
+        let dir = std::env::temp_dir().join(format!("coursenav-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = write_registrar_file(
+            &brandeis_cs().catalog,
+            brandeis_cs().degree.as_ref(),
+            brandeis_cs().horizon,
+        );
+        std::fs::write(dir.join("b-dept.cnav"), &text).unwrap();
+        std::fs::write(dir.join("a-dept.cnav"), &text).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a catalog").unwrap();
+        let tenants = load_catalog_dir(dir.to_str().unwrap()).unwrap();
+        let names: Vec<&str> = tenants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a-dept", "b-dept"]);
+        assert_eq!(tenants[0].1.catalog.len(), 38);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
