@@ -27,6 +27,18 @@ echo "==> bench6 smoke (tenant isolation at 8 resident tenants)"
 # BENCH_6.json artifact is well-formed JSON with the expected row shape.
 cargo run -q -p coursenav-bench --release --bin bench6 -- --smoke
 
+echo "==> bench7 smoke (snapshot/restore of warm serving state)"
+# Cold-builds a warm primary, snapshots it, restores a replica, and
+# asserts the warm root query answers from the restored table (memo
+# hits, zero misses); also checks that the committed BENCH_7.json
+# artifact is well-formed JSON with the expected row shape.
+cargo run -q -p coursenav-bench --release --bin bench7 -- --smoke
+
+echo "==> cargo test (snapshot restore suite)"
+# Warm-replica loopback proof: byte-identical answers off the restored
+# state, sessions resuming across the restart, decoder totality.
+cargo test -q -p coursenav-server --test snapshot_restore --test snapshot_proptests
+
 echo "==> cargo test (tenant isolation suite)"
 # Loopback proof that swapping tenant A invalidates A's cache, memo
 # tables, and cursors while B keeps answering from its warm partition.

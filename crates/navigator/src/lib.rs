@@ -68,7 +68,10 @@ pub use explorer::Explorer;
 pub use goal::Goal;
 pub use graph::{EdgeId, LearningGraph, NodeId};
 pub use impact::SelectionImpact;
-pub use memo::{ranking_signature, InsertGate, MemoStats, TranspositionTable};
+pub use memo::{
+    ranking_signature, InsertGate, MemoStats, PortableEntry, PortableSuffix, StateKey,
+    TranspositionTable,
+};
 pub use pareto::ParetoPath;
 pub use path::LeafKind;
 pub use path::{Path, PathVisit};

@@ -423,6 +423,158 @@ impl TranspositionTable {
         self.inserts.fetch_add(1, Ordering::Relaxed);
         evicted
     }
+
+    /// Every resident entry as a [`PortableEntry`], oldest stamp first —
+    /// the serving layer's snapshot export. Re-importing in this order
+    /// preserves the entries' relative recency (and therefore which
+    /// quartile a later eviction pass would shed first).
+    pub fn export_entries(&self) -> Vec<PortableEntry> {
+        let mut stamped: Vec<(u64, PortableEntry)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock poisoned");
+            for (key, e) in &shard.count {
+                stamped.push((
+                    e.stamp,
+                    PortableEntry::Count {
+                        key: *key,
+                        total: e.total,
+                        goal: e.goal,
+                        logical: e.logical,
+                    },
+                ));
+            }
+            for (key, e) in &shard.suffix {
+                stamped.push((
+                    e.stamp,
+                    PortableEntry::Suffixes {
+                        key: *key,
+                        total: e.total,
+                        goal: e.goal,
+                        logical: e.logical,
+                        suffixes: e
+                            .suffixes
+                            .iter()
+                            .map(|s| PortableSuffix {
+                                selections: s.selections.clone(),
+                                kind: s.kind,
+                            })
+                            .collect(),
+                    },
+                ));
+            }
+            for ((key, sig, k), e) in &shard.ranked {
+                stamped.push((
+                    e.stamp,
+                    PortableEntry::Ranked {
+                        key: *key,
+                        sig: *sig,
+                        k: *k,
+                        items: e.items.iter().map(|r| r.selections.clone()).collect(),
+                    },
+                ));
+            }
+        }
+        stamped.sort_by_key(|(stamp, _)| *stamp);
+        stamped.into_iter().map(|(_, entry)| entry).collect()
+    }
+
+    /// Routes `entries` back through the normal insert path (gate, cap
+    /// enforcement, fresh stamps in iteration order) — the restore side of
+    /// [`TranspositionTable::export_entries`]. An imported entry is
+    /// indistinguishable from a freshly computed one, so correctness still
+    /// never depends on how many survive. Returns how many entries were
+    /// offered to the table.
+    pub fn import_entries(&self, entries: impl IntoIterator<Item = PortableEntry>) -> u64 {
+        let mut offered = 0u64;
+        for entry in entries {
+            match entry {
+                PortableEntry::Count {
+                    key,
+                    total,
+                    goal,
+                    logical,
+                } => {
+                    self.put_count(key, total, goal, logical);
+                }
+                PortableEntry::Suffixes {
+                    key,
+                    total,
+                    goal,
+                    logical,
+                    suffixes,
+                } => {
+                    let suffixes: Vec<Suffix> = suffixes
+                        .into_iter()
+                        .map(|s| Suffix {
+                            selections: s.selections,
+                            kind: s.kind,
+                        })
+                        .collect();
+                    self.put_suffixes(key, Arc::new(suffixes), total, goal, logical);
+                }
+                PortableEntry::Ranked { key, sig, k, items } => {
+                    let items: Vec<RankedSuffix> = items
+                        .into_iter()
+                        .map(|selections| RankedSuffix { selections })
+                        .collect();
+                    self.put_ranked(key, sig, k as usize, Arc::new(items));
+                }
+            }
+            offered += 1;
+        }
+        offered
+    }
+}
+
+/// One memo entry decoupled from the table's private internals — the unit
+/// the serving layer's snapshot format serializes. Mirrors the three
+/// cached result kinds (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortableEntry {
+    /// A `(total, goal)` path count plus the subtree's logical stats delta.
+    Count {
+        /// The memoized subtree's status key.
+        key: StateKey,
+        /// Total complete paths below the status.
+        total: u128,
+        /// Goal-satisfying paths below the status.
+        goal: u128,
+        /// The subtree's logical [`ExploreStats`] delta.
+        logical: ExploreStats,
+    },
+    /// A complete suffix set with its counts.
+    Suffixes {
+        /// The memoized subtree's status key.
+        key: StateKey,
+        /// Total complete paths below the status.
+        total: u128,
+        /// Goal-satisfying paths below the status.
+        goal: u128,
+        /// The subtree's logical [`ExploreStats`] delta.
+        logical: ExploreStats,
+        /// Every maximal suffix, in depth-first order.
+        suffixes: Vec<PortableSuffix>,
+    },
+    /// A top-`k` summary under ranking signature `sig`.
+    Ranked {
+        /// The memoized subtree's status key.
+        key: StateKey,
+        /// The ranking signature (see [`ranking_signature`]).
+        sig: u64,
+        /// The `k` the summary was computed for.
+        k: u64,
+        /// Each candidate's per-semester selections, best-first.
+        items: Vec<Vec<CourseSet>>,
+    },
+}
+
+/// One maximal suffix inside [`PortableEntry::Suffixes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortableSuffix {
+    /// Per-semester selections from the memoized status to the leaf.
+    pub selections: Vec<CourseSet>,
+    /// How the leaf terminated.
+    pub kind: LeafKind,
 }
 
 /// A stable 64-bit fingerprint of a ranking spec's canonical form, used
@@ -1204,6 +1356,51 @@ mod tests {
         let a = RankingSpec::Weighted(vec![(2.0, RankingSpec::Time)]);
         let b = RankingSpec::Weighted(vec![(1.0, RankingSpec::Time), (0.0, RankingSpec::Workload)]);
         assert_eq!(ranking_signature(&a), ranking_signature(&b));
+    }
+
+    #[test]
+    fn exported_entries_rebuild_an_equivalent_table() {
+        let synth = synth();
+        let e = goal_explorer(&synth, 4);
+        let plain = e.count_paths();
+        let table = TranspositionTable::new(1 << 16);
+        e.count_paths_memo(&table);
+        e.collect_paths_memo_until(&table, usize::MAX, None);
+        let sig = ranking_signature(&RankingSpec::Time);
+        e.top_k_memo_until(&TimeRanking, sig, 5, &table, None)
+            .unwrap()
+            .expect("no deadline, no fallback");
+
+        let exported = table.export_entries();
+        assert_eq!(exported.len(), table.len(), "every entry exports");
+        // Stamps were exported oldest-first, so a re-import preserves
+        // relative recency; a fresh table warmed purely from the export
+        // answers the root query without expanding a single node, with
+        // logical stats (and therefore serialized responses) identical.
+        let restored = TranspositionTable::new(1 << 16);
+        assert_eq!(
+            restored.import_entries(exported.clone()),
+            table.len() as u64
+        );
+        let (counts, work) = e.count_paths_memo(&restored);
+        assert_eq!(counts, plain, "restored answers are byte-identical");
+        assert_eq!(work.nodes_expanded, 0, "zero re-expansion from restore");
+        assert!(work.memo_hits >= 1);
+        let (paths, _, _) = e.collect_paths_memo_until(&restored, usize::MAX, None);
+        assert_eq!(paths, e.collect_goal_paths());
+        let (ranked, _) = e
+            .top_k_memo_until(&TimeRanking, sig, 5, &restored, None)
+            .unwrap()
+            .expect("no deadline, no fallback");
+        let (plain_ranked, _) = e.top_k_until(&TimeRanking, 5, None).unwrap();
+        assert_eq!(ranked, plain_ranked);
+        // A second export round-trips to the same entry multiset.
+        let mut again = restored.export_entries();
+        let mut first = exported;
+        let sort_key = |entry: &PortableEntry| format!("{entry:?}");
+        again.sort_by_key(&sort_key);
+        first.sort_by_key(&sort_key);
+        assert_eq!(again, first);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | `EvictSessions`       | the session store is force-emptied (mid-page)  |
 //! | `ResetMidWrite`       | the connection drops after a partial response  |
 //! | `MemoInsertDropped`   | a transposition-table store is silently skipped |
+//! | `SnapshotWriteTorn`   | a snapshot write stops halfway through its temp file |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -46,10 +47,14 @@ pub enum FaultSite {
     /// [`FaultSite::DropCachePut`]: the subtree is recomputed, never
     /// answered wrong).
     MemoInsertDropped,
+    /// Tear a snapshot write halfway through its temp file (a crash
+    /// mid-write). The rename never happens, so the previous complete
+    /// snapshot — or a cold start — is what a restart sees.
+    SnapshotWriteTorn,
 }
 
 /// Every site, in counter-index order.
-pub const SITES: [FaultSite; 7] = [
+pub const SITES: [FaultSite; 8] = [
     FaultSite::PanicBeforeCompute,
     FaultSite::PanicAfterCompute,
     FaultSite::ComputeDelay,
@@ -57,6 +62,7 @@ pub const SITES: [FaultSite; 7] = [
     FaultSite::EvictSessions,
     FaultSite::ResetMidWrite,
     FaultSite::MemoInsertDropped,
+    FaultSite::SnapshotWriteTorn,
 ];
 
 /// A seeded, per-site fault schedule. See the module docs.

@@ -37,6 +37,18 @@
 //! | `GET /v1/catalogs`          | registered tenants and their epochs       |
 //! | `PUT /v1/catalogs/{tenant}` | register or hot-swap a tenant's catalog   |
 //! | `POST /v1/catalogs/{tenant}/invalidate` | drop one tenant's cached state |
+//! | `POST /v1/snapshot`         | write a snapshot of warm state right now  |
+//!
+//! **Durability.** With a snapshot directory configured
+//! ([`ServerConfig::snapshot_dir`]), a background thread periodically
+//! writes every tenant's warm state — transposition tables and resumable
+//! sessions — to an atomic, checksummed snapshot file ([`snapshot`]);
+//! [`Server::warm_from`] loads one at startup so a restarted replica
+//! answers its first queries from memo instead of re-exploring. Restored
+//! state is behaviorally invisible: answers are byte-identical to a cold
+//! recompute, and a snapshot that fails validation (or mismatches the
+//! serving catalog) is rejected whole — the server starts cold, never
+//! half-loaded.
 //!
 //! **Multi-tenancy.** The server holds named catalogs in a
 //! [`registry::CatalogRegistry`]; each tenant serves at a monotonic epoch
@@ -71,10 +83,12 @@ pub mod pool;
 pub mod registry;
 pub mod session;
 pub mod singleflight;
+pub mod snapshot;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -95,6 +109,7 @@ use registry::{CatalogRegistry, RegistryError, Tenant, DEFAULT_TENANT};
 pub use registry::{Registered, TenantInfo, TenantSnapshot};
 use session::{SessionError, SessionStore};
 use singleflight::{Published, Role, Singleflight};
+pub use snapshot::{RestoreError, RestoreReport, SnapshotStats};
 
 /// Runs `$action` when the armed fault plan fires at `$site` — compiled
 /// out entirely (no branch, no plan lookup) without the `chaos` feature.
@@ -146,6 +161,13 @@ pub struct ServerConfig {
     /// registering beyond it answers 409. Swaps of existing tenants are
     /// always admitted.
     pub max_tenants: usize,
+    /// Where the background snapshotter writes its atomic snapshot file
+    /// (and where `POST /v1/snapshot` lands). `None` disables durable
+    /// snapshots entirely.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Cadence of the background snapshotter (ignored when
+    /// [`ServerConfig::snapshot_dir`] is `None`).
+    pub snapshot_every: Duration,
     /// Degradation-ladder and circuit-breaker tuning.
     pub overload: OverloadConfig,
     /// The armed fault-injection plan (chaos builds only; the disarmed
@@ -169,6 +191,8 @@ impl Default for ServerConfig {
             session_capacity: 1024,
             session_ttl: Duration::from_secs(300),
             max_tenants: 256,
+            snapshot_dir: None,
+            snapshot_every: Duration::from_secs(60),
             overload: OverloadConfig::default(),
             #[cfg(feature = "chaos")]
             faults: Arc::new(faults::FaultPlan::disabled()),
@@ -184,10 +208,64 @@ struct AppState {
     flights: Singleflight,
     sessions: SessionStore,
     overload: Overload,
+    snapshots: SnapshotState,
     default_budget_ms: Option<u64>,
     parallelism: usize,
     #[cfg(feature = "chaos")]
     faults: Arc<faults::FaultPlan>,
+}
+
+/// Durable-snapshot configuration and counters (the `snapshot` block on
+/// `/v1/metrics`). Counters are independent relaxed atomics, like
+/// [`Metrics`].
+struct SnapshotState {
+    /// Where snapshots land; `None` disables the feature.
+    dir: Option<PathBuf>,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    last_write_bytes: AtomicU64,
+    last_write_ms: AtomicU64,
+    restored_tenants: AtomicU64,
+    rejected_tenants: AtomicU64,
+    restored_entries: AtomicU64,
+    restored_sessions: AtomicU64,
+}
+
+impl SnapshotState {
+    fn new(dir: Option<PathBuf>) -> SnapshotState {
+        SnapshotState {
+            dir,
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            last_write_bytes: AtomicU64::new(0),
+            last_write_ms: AtomicU64::new(0),
+            restored_tenants: AtomicU64::new(0),
+            rejected_tenants: AtomicU64::new(0),
+            restored_entries: AtomicU64::new(0),
+            restored_sessions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> SnapshotStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        SnapshotStats {
+            enabled: self.dir.is_some(),
+            writes: load(&self.writes),
+            write_errors: load(&self.write_errors),
+            last_write_bytes: load(&self.last_write_bytes),
+            last_write_ms: load(&self.last_write_ms),
+            restored_tenants: load(&self.restored_tenants),
+            rejected_tenants: load(&self.rejected_tenants),
+            restored_entries: load(&self.restored_entries),
+            restored_sessions: load(&self.restored_sessions),
+        }
+    }
+}
+
+/// The background snapshotter thread plus its stop signal.
+struct Snapshotter {
+    stop: Arc<(parking_lot::Mutex<bool>, parking_lot::Condvar)>,
+    handle: std::thread::JoinHandle<()>,
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -195,6 +273,7 @@ pub struct Server {
     pool: pool::Pool,
     addr: SocketAddr,
     state: Arc<AppState>,
+    snapshotter: Option<Snapshotter>,
 }
 
 impl Server {
@@ -227,6 +306,7 @@ impl Server {
             flights: Singleflight::new(),
             sessions: SessionStore::new(config.session_capacity, config.session_ttl),
             overload: Overload::new(config.overload.clone()),
+            snapshots: SnapshotState::new(config.snapshot_dir.clone()),
             default_budget_ms: config.default_budget_ms,
             parallelism: config.parallelism.max(1),
             #[cfg(feature = "chaos")]
@@ -271,7 +351,36 @@ impl Server {
             on_shed,
             depth_gauge,
         )?;
-        Ok(Server { pool, addr, state })
+        // The periodic snapshotter: one thread, woken early by shutdown.
+        // It writes on each tick; the first snapshot lands one period in
+        // (startup state is exactly what `--warm-from` just restored).
+        let snapshotter = config.snapshot_dir.is_some().then(|| {
+            let stop = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+            let thread_stop = Arc::clone(&stop);
+            let thread_state = Arc::clone(&state);
+            let every = config.snapshot_every.max(Duration::from_millis(10));
+            let handle = std::thread::Builder::new()
+                .name("snapshotter".into())
+                .spawn(move || {
+                    let (lock, cv) = &*thread_stop;
+                    let mut stopped = lock.lock();
+                    loop {
+                        cv.wait_for(&mut stopped, every);
+                        if *stopped {
+                            return;
+                        }
+                        let _ = write_snapshot_now(&thread_state);
+                    }
+                })
+                .expect("spawn snapshotter thread");
+            Snapshotter { stop, handle }
+        });
+        Ok(Server {
+            pool,
+            addr,
+            state,
+            snapshotter,
+        })
     }
 
     /// The bound address (resolves port 0).
@@ -312,9 +421,86 @@ impl Server {
         self.state.registry.list()
     }
 
+    /// Writes a snapshot of every tenant's warm state right now — the
+    /// in-process spelling of `POST /v1/snapshot`. Returns the final file
+    /// path and its size in bytes; `ErrorKind::Unsupported` when no
+    /// snapshot directory is configured.
+    pub fn write_snapshot(&self) -> std::io::Result<(PathBuf, u64)> {
+        write_snapshot_now(&self.state)
+    }
+
+    /// Loads the snapshot in `dir` (if any) and warms this server's
+    /// serving state from it: memo tables for every tenant whose
+    /// catalog fingerprint and epoch still match, plus the resumable
+    /// sessions scoped to those partitions. A missing file is a normal
+    /// cold start (`loaded: false`), not an error; a corrupt file rejects
+    /// whole. Call before taking traffic — restored state is behaviorally
+    /// invisible, but restoring mid-flight would race the snapshotter.
+    pub fn warm_from(&self, dir: &Path) -> Result<RestoreReport, RestoreError> {
+        let bytes = match std::fs::read(dir.join(snapshot::SNAPSHOT_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RestoreReport::default());
+            }
+            Err(e) => return Err(RestoreError::Io(e.to_string())),
+        };
+        let snap = snapshot::decode(&bytes).map_err(|e| RestoreError::Corrupt(e.to_string()))?;
+        let mut report = RestoreReport {
+            loaded: true,
+            ..RestoreReport::default()
+        };
+        // Per-tenant acceptance: a partition restores whole or not at all.
+        // Accepted scopes gate the session import below — a session's
+        // cursor references memoized state that must have come along.
+        let mut restored_scopes = Vec::new();
+        for tenant in snap.tenants {
+            match self.state.registry.restore_partition(
+                &tenant.name,
+                tenant.epoch,
+                tenant.fingerprint,
+            ) {
+                Ok(partition) => {
+                    report.tenants_restored += 1;
+                    restored_scopes.push(partition.scope());
+                    for table in tenant.tables {
+                        report.entries_restored += partition
+                            .memo()
+                            .import_table(&table.memo_key, table.entries);
+                    }
+                }
+                Err(_) => report.tenants_rejected += 1,
+            }
+        }
+        let mut sessions = snap.sessions;
+        sessions
+            .entries
+            .retain(|rec| restored_scopes.contains(&rec.scope));
+        if !sessions.entries.is_empty() {
+            report.sessions_restored = self.state.sessions.import(sessions);
+        }
+        let s = &self.state.snapshots;
+        s.restored_tenants
+            .fetch_add(report.tenants_restored, Ordering::Relaxed);
+        s.rejected_tenants
+            .fetch_add(report.tenants_rejected, Ordering::Relaxed);
+        s.restored_entries
+            .fetch_add(report.entries_restored, Ordering::Relaxed);
+        s.restored_sessions
+            .fetch_add(report.sessions_restored, Ordering::Relaxed);
+        Ok(report)
+    }
+
     /// Graceful shutdown: stop accepting, drain the queue, join every
-    /// thread.
+    /// thread (the snapshotter first, so no write races the teardown).
     pub fn shutdown(mut self) {
+        if let Some(snapshotter) = self.snapshotter.take() {
+            {
+                let (lock, cv) = &*snapshotter.stop;
+                *lock.lock() = true;
+                cv.notify_all();
+            }
+            let _ = snapshotter.handle.join();
+        }
         self.pool.shutdown();
     }
 
@@ -470,6 +656,28 @@ fn route(state: &AppState, request: &Request) -> Response {
             Ok(json) => Response::json(200, format!("{{\"tenants\":{json}}}")),
             Err(e) => Response::error(500, &e.to_string()),
         },
+        ("POST", "/snapshot") => {
+            // The admin trigger: flush warm state to disk right now (a
+            // deploy about to restart does this instead of waiting out the
+            // cadence). 409 when the server runs without a snapshot dir.
+            match write_snapshot_now(state) {
+                Ok((path, bytes)) => Response::json(
+                    200,
+                    format!(
+                        "{{\"path\":{},\"bytes\":{bytes}}}",
+                        serde_json::to_string(&path.display().to_string())
+                            .unwrap_or_else(|_| "\"\"".into())
+                    ),
+                ),
+                Err(e) if e.kind() == std::io::ErrorKind::Unsupported => Response::error_coded(
+                    409,
+                    "snapshot-disabled",
+                    "no snapshot directory configured",
+                    false,
+                ),
+                Err(e) => Response::error_coded(500, "snapshot-failed", &e.to_string(), true),
+            }
+        }
         ("POST", "/cache/invalidate") => {
             // Deprecated global alias: one sweep over *every* tenant's
             // response cache and memo tables. Per-tenant invalidation
@@ -483,7 +691,7 @@ fn route(state: &AppState, request: &Request) -> Response {
         // Right path, wrong verb → 405 with the allowed method. The
         // stream route lands here too: its POST is intercepted before
         // dispatch, so any method that reaches route() is wrong.
-        (_, "/explore") | (_, "/cache/invalidate") | (_, "/explore/stream") => {
+        (_, "/explore") | (_, "/cache/invalidate") | (_, "/explore/stream") | (_, "/snapshot") => {
             let mut resp = Response::error(405, "method not allowed");
             resp.extra_headers.push(("allow".into(), "POST".into()));
             resp
@@ -593,9 +801,74 @@ fn full_snapshot(state: &AppState) -> MetricsSnapshot {
         state.sessions.stats(),
         state.overload.snapshot(),
         state.registry.tenants_snapshot(),
+        state.snapshots.stats(),
         state.registry.tenant_invalidations(),
         state.registry.global_invalidations(),
     )
+}
+
+/// Collects every tenant partition's warm state plus the session store
+/// into one serializable [`snapshot::SnapshotFile`].
+fn collect_snapshot(state: &AppState) -> snapshot::SnapshotFile {
+    let tenants = state
+        .registry
+        .partitions()
+        .into_iter()
+        .map(|partition| snapshot::TenantRecord {
+            name: partition.name().to_string(),
+            epoch: partition.epoch(),
+            fingerprint: snapshot::catalog_fingerprint(partition.data()),
+            tables: partition
+                .memo()
+                .export_tables()
+                .into_iter()
+                .map(|(memo_key, entries)| snapshot::TableRecord { memo_key, entries })
+                .collect(),
+        })
+        .collect();
+    snapshot::SnapshotFile {
+        tenants,
+        sessions: state.sessions.export(),
+    }
+}
+
+/// Encodes and atomically writes one snapshot, keeping the counters on
+/// [`SnapshotState`] truthful either way. `ErrorKind::Unsupported` when no
+/// snapshot directory is configured.
+fn write_snapshot_now(state: &AppState) -> std::io::Result<(PathBuf, u64)> {
+    let Some(dir) = state.snapshots.dir.clone() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "no snapshot directory configured",
+        ));
+    };
+    let t0 = Instant::now();
+    let bytes = snapshot::encode(&collect_snapshot(state));
+    // The chaos tear: persist half the temp file, then fail — exactly the
+    // on-disk state a mid-write crash leaves. The rename never happens, so
+    // a restart sees the previous complete snapshot or none.
+    #[cfg(feature = "chaos")]
+    let tear = state
+        .faults
+        .fires(faults::FaultSite::SnapshotWriteTorn)
+        .then_some(bytes.len() / 2);
+    #[cfg(not(feature = "chaos"))]
+    let tear = None;
+    match snapshot::write_atomic(&dir, &bytes, tear) {
+        Ok(path) => {
+            let s = &state.snapshots;
+            s.writes.fetch_add(1, Ordering::Relaxed);
+            s.last_write_bytes
+                .store(bytes.len() as u64, Ordering::Relaxed);
+            s.last_write_ms
+                .store(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+            Ok((path, bytes.len() as u64))
+        }
+        Err(e) => {
+            state.snapshots.write_errors.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
 }
 
 /// Stamps the `x-cache` header that tells a client how its answer was

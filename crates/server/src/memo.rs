@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use coursenav_navigator::{InsertGate, TranspositionTable};
+use coursenav_navigator::{InsertGate, PortableEntry, TranspositionTable};
 use parking_lot::Mutex;
 
 /// Live tables the registry keeps at once; the least recently used table
@@ -181,6 +181,31 @@ impl MemoRegistry {
         retired.inserts += s.inserts;
     }
 
+    /// Every live table's entries keyed by memo key, key-sorted (entries
+    /// oldest-stamp first within each table) — the memo half of a serving
+    /// partition's snapshot. Does not touch recency stamps.
+    pub fn export_tables(&self) -> Vec<(String, Vec<PortableEntry>)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(String, Vec<PortableEntry>)> = inner
+            .tables
+            .iter()
+            .map(|(key, slot)| (key.clone(), slot.table.export_entries()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Routes `entries` into the table serving `memo_key` (creating it
+    /// through the normal LRU path). Returns entries offered; `0` when
+    /// memoization is disabled — restore is a warm-up, never a
+    /// requirement.
+    pub fn import_table(&self, memo_key: &str, entries: Vec<PortableEntry>) -> u64 {
+        match self.table_for(memo_key) {
+            Some(table) => table.import_entries(entries),
+            None => 0,
+        }
+    }
+
     /// Aggregate counters across live tables plus retired totals.
     pub fn snapshot(&self) -> MemoRegistrySnapshot {
         let inner = self.inner.lock();
@@ -264,6 +289,29 @@ mod tests {
         // The next request for the same key starts cold.
         let fresh = reg.table_for("k").unwrap();
         assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn exported_tables_reimport_through_the_lru_path() {
+        let reg = MemoRegistry::new(16);
+        reg.table_for("a").unwrap().put_probe_entry(1);
+        reg.table_for("b").unwrap().put_probe_entry(2);
+        let exported = reg.export_tables();
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].0, "a", "exports are key-sorted");
+        let fresh = MemoRegistry::new(16);
+        let mut offered = 0;
+        for (key, entries) in exported {
+            offered += fresh.import_table(&key, entries);
+        }
+        assert_eq!(offered, 2);
+        let snap = fresh.snapshot();
+        assert_eq!(snap.tables, 2);
+        assert_eq!(snap.entries, 2);
+        // A disabled registry declines the import — restore is a warm-up,
+        // never a requirement.
+        let disabled = MemoRegistry::new(0);
+        assert_eq!(disabled.import_table("a", Vec::new()), 0);
     }
 
     #[test]

@@ -9,10 +9,11 @@ use crate::memo::MemoRegistrySnapshot;
 use crate::overload::OverloadSnapshot;
 use crate::registry::TenantSnapshot;
 use crate::session::SessionStats;
+use crate::snapshot::SnapshotStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
 /// the known paths land in `other`.
-pub const ROUTES: [&str; 8] = [
+pub const ROUTES: [&str; 9] = [
     "explore",
     "explore-stream",
     "catalog",
@@ -20,6 +21,7 @@ pub const ROUTES: [&str; 8] = [
     "healthz",
     "metrics",
     "cache-invalidate",
+    "snapshot",
     "other",
 ];
 
@@ -49,6 +51,7 @@ pub fn route_label(path: &str) -> &'static str {
         "/v1/healthz" | "/healthz" => "healthz",
         "/v1/metrics" | "/metrics" => "metrics",
         "/v1/cache/invalidate" | "/cache/invalidate" => "cache-invalidate",
+        "/v1/snapshot" => "snapshot",
         // The tenant admin family: GET /v1/catalogs, PUT
         // /v1/catalogs/{tenant}, POST /v1/catalogs/{tenant}/invalidate.
         p if p == "/v1/catalogs" || p.starts_with("/v1/catalogs/") => "catalogs",
@@ -201,6 +204,7 @@ impl Metrics {
         sessions: SessionStats,
         overload: OverloadSnapshot,
         tenants: Vec<TenantSnapshot>,
+        snapshot: SnapshotStats,
         invalidate_tenant_requests: u64,
         invalidate_global_requests: u64,
     ) -> MetricsSnapshot {
@@ -231,6 +235,7 @@ impl Metrics {
             sessions,
             overload,
             tenants,
+            snapshot,
             invalidate_tenant_requests,
             invalidate_global_requests,
         }
@@ -309,6 +314,8 @@ pub struct MetricsSnapshot {
     pub overload: OverloadSnapshot,
     /// Per-tenant cache/memo breakdowns, sorted by tenant name.
     pub tenants: Vec<TenantSnapshot>,
+    /// Durable snapshot/restore counters.
+    pub snapshot: SnapshotStats,
     /// Per-tenant `POST /v1/catalogs/{tenant}/invalidate` calls served.
     pub invalidate_tenant_requests: u64,
     /// Deprecated global `POST /v1/cache/invalidate` calls served.
@@ -332,6 +339,7 @@ mod tests {
             SessionStats::default(),
             OverloadSnapshot::default(),
             Vec::new(),
+            SnapshotStats::default(),
             0,
             0,
         );
@@ -349,6 +357,7 @@ mod tests {
             SessionStats::default(),
             OverloadSnapshot::default(),
             Vec::new(),
+            SnapshotStats::default(),
             0,
             0,
         ))
@@ -397,6 +406,7 @@ mod tests {
             SessionStats::default(),
             OverloadSnapshot::default(),
             Vec::new(),
+            SnapshotStats::default(),
             0,
             0,
         );

@@ -77,6 +77,41 @@ impl fmt::Display for RegistryError {
     }
 }
 
+/// Why a snapshot's tenant partition was refused by
+/// [`CatalogRegistry::restore_partition`]. Refusal is always whole-tenant:
+/// a partition is adopted completely or not at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreRefusal {
+    /// The snapshot names a tenant this registry does not serve.
+    UnknownTenant,
+    /// The registered catalog's fingerprint differs from the one the
+    /// snapshot state was computed against.
+    FingerprintMismatch,
+    /// The registry already serves a *newer* epoch than the snapshot
+    /// captured — the snapshot is stale.
+    StaleEpoch {
+        /// The epoch currently serving.
+        current: u64,
+        /// The epoch the snapshot captured.
+        snapshot: u64,
+    },
+}
+
+impl fmt::Display for RestoreRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreRefusal::UnknownTenant => write!(f, "tenant is not registered"),
+            RestoreRefusal::FingerprintMismatch => {
+                write!(f, "catalog fingerprint does not match")
+            }
+            RestoreRefusal::StaleEpoch { current, snapshot } => write!(
+                f,
+                "snapshot epoch {snapshot} is older than serving epoch {current}"
+            ),
+        }
+    }
+}
+
 /// One `(tenant, epoch)` serving partition: the catalog data plus the
 /// caches derived from it. Immutable once published; a swap builds a new
 /// one.
@@ -414,6 +449,64 @@ impl CatalogRegistry {
         (cache, memo)
     }
 
+    /// Every live partition, name-sorted — what the background
+    /// snapshotter walks when serializing warm state.
+    pub fn partitions(&self) -> Vec<Arc<Tenant>> {
+        let mut rows: Vec<Arc<Tenant>> = self
+            .tenants
+            .read()
+            .values()
+            .map(|slot| Arc::clone(&slot.current))
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Accepts or refuses a snapshot's `(epoch, fingerprint)` claim for
+    /// `name`, returning the partition restored state should be imported
+    /// into. The decision is whole-tenant — nothing is half-loaded:
+    ///
+    /// - the tenant must be registered and its catalog's
+    ///   [`catalog_fingerprint`](crate::snapshot::catalog_fingerprint)
+    ///   must match the snapshot's (memo entries only mean something under
+    ///   the catalog that minted them);
+    /// - a serving epoch **equal** to the snapshot's reuses the live
+    ///   partition;
+    /// - a serving epoch **older** (a restart re-registered at epoch 1
+    ///   while the snapshot saw later swaps) fast-forwards: a fresh
+    ///   partition at the snapshot's epoch swaps in, so restored session
+    ///   scopes (`tenant@epoch`) resume correctly. The fast-forward is not
+    ///   counted as a catalog swap — the catalog did not change;
+    /// - a serving epoch **newer** refuses the snapshot as stale.
+    pub fn restore_partition(
+        &self,
+        name: &str,
+        epoch: u64,
+        fingerprint: u64,
+    ) -> Result<Arc<Tenant>, RestoreRefusal> {
+        let mut tenants = self.tenants.write();
+        let slot = tenants.get_mut(name).ok_or(RestoreRefusal::UnknownTenant)?;
+        if crate::snapshot::catalog_fingerprint(&slot.current.data) != fingerprint {
+            return Err(RestoreRefusal::FingerprintMismatch);
+        }
+        let current = slot.current.epoch;
+        if current == epoch {
+            return Ok(Arc::clone(&slot.current));
+        }
+        if current > epoch {
+            return Err(RestoreRefusal::StaleEpoch {
+                current,
+                snapshot: epoch,
+            });
+        }
+        let data = (*slot.current.data).clone();
+        let next = self.partition(name, epoch, data);
+        let old = std::mem::replace(&mut slot.current, next);
+        fold_cache(&mut slot.retired_cache, &old.cache.stats(), true);
+        fold_memo(&mut slot.retired_memo, &old.memo.snapshot(), true);
+        Ok(Arc::clone(&slot.current))
+    }
+
     /// `POST /v1/catalogs/{tenant}/invalidate` calls served.
     pub fn tenant_invalidations(&self) -> u64 {
         self.tenant_invalidations.load(Ordering::Relaxed)
@@ -574,6 +667,40 @@ mod tests {
         assert_eq!(r.invalidate_all_tenants(), 2);
         assert_eq!(r.tenant_invalidations(), 1);
         assert_eq!(r.global_invalidations(), 1);
+    }
+
+    #[test]
+    fn restore_partition_adopts_matching_epochs_and_fast_forwards() {
+        let r = registry(8);
+        let fp = crate::snapshot::catalog_fingerprint(&brandeis_cs());
+        // Equal epoch: the live partition is reused as-is.
+        let live = r.get(DEFAULT_TENANT).unwrap();
+        let same = r.restore_partition(DEFAULT_TENANT, 1, fp).unwrap();
+        assert!(Arc::ptr_eq(&live, &same));
+        // Snapshot ahead of a freshly re-registered tenant: fast-forward
+        // to the snapshot's epoch so restored session scopes resume.
+        let ahead = r.restore_partition(DEFAULT_TENANT, 4, fp).unwrap();
+        assert_eq!(ahead.scope(), "default@4");
+        assert_eq!(r.list()[0].swaps, 0, "a fast-forward is not a swap");
+        // Snapshot behind the serving epoch: stale, refused whole.
+        assert_eq!(
+            r.restore_partition(DEFAULT_TENANT, 2, fp).err().unwrap(),
+            RestoreRefusal::StaleEpoch {
+                current: 4,
+                snapshot: 2
+            }
+        );
+        // Unknown tenants and foreign catalogs are refused whole.
+        assert_eq!(
+            r.restore_partition("ghost", 1, fp).err().unwrap(),
+            RestoreRefusal::UnknownTenant
+        );
+        assert_eq!(
+            r.restore_partition(DEFAULT_TENANT, 4, fp ^ 1)
+                .err()
+                .unwrap(),
+            RestoreRefusal::FingerprintMismatch
+        );
     }
 
     #[test]

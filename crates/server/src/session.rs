@@ -16,6 +16,15 @@
 //! the TTL or was evicted by the LRU capacity bound. The split matters to
 //! clients: `Invalid` (→ 400) means the token is garbage, `Expired`
 //! (→ 410) means it was once real but the session is gone.
+//!
+//! TTL bookkeeping runs on a **serializable monotonic offset**: every
+//! entry records `expires_ms`, milliseconds since the store's own `base`
+//! instant, never a raw [`Instant`]. That makes the whole store portable
+//! through [`SessionStore::export`] / [`SessionStore::import`] — a session
+//! restored halfway through its TTL keeps only its *remaining* TTL, and a
+//! restored store adopts the exporter's signing key and id stream so
+//! outstanding client tokens keep verifying and future tokens cannot
+//! collide with exported ones.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,10 +66,52 @@ pub struct SessionStats {
     pub invalid: u64,
     /// Well-formed tokens whose session was gone (replay, TTL, eviction).
     pub expired: u64,
-    /// Sessions dropped to make room or because their TTL lapsed.
+    /// **Deprecated** (kept as `evicted-capacity + expired-ttl` for one
+    /// release): the old conflated drop counter. Dashboards should move to
+    /// the split counters; this key disappears next release.
     pub evicted: u64,
+    /// Sessions dropped to make room under the capacity bound (or by an
+    /// operational `evict_all` flush) — "store too small".
+    pub evicted_capacity: u64,
+    /// Sessions dropped because their TTL lapsed — "clients too slow".
+    pub expired_ttl: u64,
     /// Sessions currently live.
     pub live: u64,
+}
+
+/// One live session as exported by [`SessionStore::export`]: everything
+/// needed to revive it in another store, with TTL expressed as *remaining*
+/// milliseconds (monotonic-clock origins do not survive a process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The session id the client's token authenticates.
+    pub id: u64,
+    /// Recency stamp (mint order under the exporting store's clock).
+    pub stamp: u64,
+    /// Milliseconds of TTL the session had left at export time (> 0; fully
+    /// aged sessions are not exported).
+    pub remaining_ms: u64,
+    /// The serving scope (`tenant@epoch`) the cursor was minted against.
+    pub scope: String,
+    /// The serialized cursor itself.
+    pub cursor_json: String,
+}
+
+/// A portable image of the live session store: the signing key, the id
+/// stream, the mint clock, and every unexpired session (oldest first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionExport {
+    /// SipHash-2-4 key halves — adopted on import so outstanding tokens
+    /// keep verifying.
+    pub key: (u64, u64),
+    /// Id-stream seed — adopted on import so future ids stay collision-free
+    /// with exported ones.
+    pub seed: u64,
+    /// Next mint stamp; the importing store's clock is advanced to at
+    /// least this.
+    pub clock: u64,
+    /// Live sessions, oldest stamp first.
+    pub entries: Vec<SessionRecord>,
 }
 
 struct Entry {
@@ -71,14 +122,22 @@ struct Entry {
     /// course ids from a catalog that no longer serves.
     scope: String,
     stamp: u64,
-    minted_at: Instant,
+    /// Expiry deadline as milliseconds since the store's `base` instant —
+    /// a serializable stand-in for `Instant` (see module docs). Stored as
+    /// the deadline rather than the mint time so an imported session's
+    /// *remaining* TTL survives even when it predates this store's base.
+    expires_ms: u64,
 }
 
-#[derive(Default)]
 struct Inner {
     map: HashMap<u64, Entry>,
     /// Recency index: stamp → session id. Stamps are unique (one clock).
     order: BTreeMap<u64, u64>,
+    /// SipHash-2-4 key halves; per-process unless adopted from a snapshot
+    /// via [`SessionStore::import`].
+    key: (u64, u64),
+    /// Id source: ids are `splitmix64((seed + stamp) * φ64)`.
+    seed: u64,
 }
 
 /// Bounded, TTL-evicting store of live exploration cursors, addressed by
@@ -87,17 +146,15 @@ pub struct SessionStore {
     inner: Mutex<Inner>,
     capacity: usize,
     ttl: Duration,
-    /// SipHash-2-4 key halves; per-process, so tokens do not survive a
-    /// restart (the sessions would not either).
-    key: (u64, u64),
-    /// Id/stamp source: ids are `splitmix64(seed + n)`, stamps are `n`.
-    seed: u64,
+    /// Origin of the store's monotonic millisecond timeline.
+    base: Instant,
     clock: AtomicU64,
     created: AtomicU64,
     resumed: AtomicU64,
     invalid: AtomicU64,
     expired: AtomicU64,
-    evicted: AtomicU64,
+    evicted_capacity: AtomicU64,
+    expired_ttl: AtomicU64,
 }
 
 impl SessionStore {
@@ -106,21 +163,37 @@ impl SessionStore {
     pub fn new(capacity: usize, ttl: Duration) -> SessionStore {
         let seed = entropy();
         SessionStore {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                key: (
+                    splitmix64(seed ^ 0x0073_6573_7369_6f6e), // "session"
+                    splitmix64(seed ^ 0x0074_6f6b_656e),      // "token"
+                ),
+                seed,
+            }),
             capacity: capacity.max(1),
             ttl,
-            key: (
-                splitmix64(seed ^ 0x0073_6573_7369_6f6e), // "session"
-                splitmix64(seed ^ 0x0074_6f6b_656e),      // "token"
-            ),
-            seed,
+            base: Instant::now(),
             clock: AtomicU64::new(0),
             created: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
             expired: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
+            evicted_capacity: AtomicU64::new(0),
+            expired_ttl: AtomicU64::new(0),
         }
+    }
+
+    /// Milliseconds elapsed on the store's own timeline.
+    fn now_ms(&self) -> u64 {
+        self.base.elapsed().as_millis() as u64
+    }
+
+    /// The TTL in whole milliseconds (at least 1, so a sub-millisecond TTL
+    /// does not expire sessions the instant they are minted).
+    fn ttl_ms(&self) -> u64 {
+        (self.ttl.as_millis() as u64).max(1)
     }
 
     /// Stores `cursor_json` as a fresh unscoped session and returns its
@@ -135,21 +208,23 @@ impl SessionStore {
     /// resumes under the same scope — see [`SessionStore::take_scoped`].
     pub fn mint_scoped(&self, cursor_json: String, scope: &str) -> String {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_ms();
+        let mut inner = self.inner.lock();
         let id = splitmix64(
-            self.seed
+            inner
+                .seed
                 .wrapping_add(stamp)
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15),
         );
-        let now = Instant::now();
-        let mut inner = self.inner.lock();
-        let mut dropped = self.purge_expired(&mut inner, now);
+        let lapsed = self.purge_expired(&mut inner, now);
+        let mut squeezed = 0;
         while inner.map.len() >= self.capacity {
             let Some((&oldest, _)) = inner.order.iter().next() else {
                 break;
             };
             let victim = inner.order.remove(&oldest).expect("stamp just seen");
             inner.map.remove(&victim);
-            dropped += 1;
+            squeezed += 1;
         }
         inner.map.insert(
             id,
@@ -157,16 +232,20 @@ impl SessionStore {
                 cursor_json,
                 scope: scope.to_string(),
                 stamp,
-                minted_at: now,
+                expires_ms: now + self.ttl_ms(),
             },
         );
         inner.order.insert(stamp, id);
+        let key = inner.key;
         drop(inner);
-        if dropped > 0 {
-            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        if lapsed > 0 {
+            self.expired_ttl.fetch_add(lapsed, Ordering::Relaxed);
+        }
+        if squeezed > 0 {
+            self.evicted_capacity.fetch_add(squeezed, Ordering::Relaxed);
         }
         self.created.fetch_add(1, Ordering::Relaxed);
-        self.token_for(id)
+        token_for(key, id)
     }
 
     /// Verifies `token` and consumes its unscoped session, returning the
@@ -181,19 +260,20 @@ impl SessionStore {
     /// answers [`SessionError::Expired`]: the token was once real, but the
     /// epoch it was minted against no longer serves.
     pub fn take_scoped(&self, token: &str, expected_scope: &str) -> Result<String, SessionError> {
-        let Some(id) = self.verify(token) else {
+        let now = self.now_ms();
+        let mut inner = self.inner.lock();
+        let Some(id) = verify(inner.key, token) else {
+            drop(inner);
             self.invalid.fetch_add(1, Ordering::Relaxed);
             return Err(SessionError::Invalid);
         };
-        let now = Instant::now();
-        let mut inner = self.inner.lock();
-        let dropped = self.purge_expired(&mut inner, now);
+        let lapsed = self.purge_expired(&mut inner, now);
         let taken = inner.map.remove(&id).inspect(|entry| {
             inner.order.remove(&entry.stamp);
         });
         drop(inner);
-        if dropped > 0 {
-            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+        if lapsed > 0 {
+            self.expired_ttl.fetch_add(lapsed, Ordering::Relaxed);
         }
         match taken {
             Some(entry) if entry.scope == expected_scope => {
@@ -209,7 +289,8 @@ impl SessionStore {
 
     /// Drops every live session (operational flush; the chaos suite uses
     /// it to simulate a full/restarted store). Outstanding tokens answer
-    /// [`SessionError::Expired`] afterwards. Returns how many were dropped.
+    /// [`SessionError::Expired`] afterwards. Counts as capacity-style
+    /// eviction. Returns how many were dropped.
     pub fn evict_all(&self) -> u64 {
         let mut inner = self.inner.lock();
         let dropped = inner.map.len() as u64;
@@ -217,54 +298,111 @@ impl SessionStore {
         inner.order.clear();
         drop(inner);
         if dropped > 0 {
-            self.evicted.fetch_add(dropped, Ordering::Relaxed);
+            self.evicted_capacity.fetch_add(dropped, Ordering::Relaxed);
         }
         dropped
+    }
+
+    /// A portable image of every live, unexpired session plus the signing
+    /// key, id seed, and mint clock — the session half of a serving-state
+    /// snapshot. Fully aged sessions are omitted rather than exported at
+    /// zero remaining TTL.
+    pub fn export(&self) -> SessionExport {
+        let now = self.now_ms();
+        let inner = self.inner.lock();
+        let entries = inner
+            .order
+            .iter()
+            .filter_map(|(&stamp, &id)| {
+                let e = inner.map.get(&id)?;
+                let remaining = e.expires_ms.saturating_sub(now);
+                (remaining > 0).then(|| SessionRecord {
+                    id,
+                    stamp,
+                    remaining_ms: remaining,
+                    scope: e.scope.clone(),
+                    cursor_json: e.cursor_json.clone(),
+                })
+            })
+            .collect();
+        SessionExport {
+            key: inner.key,
+            seed: inner.seed,
+            clock: self.clock.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Restores sessions from `export`, adopting its signing key and id
+    /// seed (outstanding client tokens keep verifying; future mints stay
+    /// collision-free) and advancing the mint clock past the exporter's.
+    /// Each restored session keeps only its **remaining** TTL from export
+    /// time — a session restored halfway through its TTL still expires on
+    /// the original schedule. Records with no TTL left, colliding
+    /// ids/stamps, or beyond capacity (newest stamps win) are skipped.
+    /// Returns how many sessions were restored.
+    pub fn import(&self, export: SessionExport) -> u64 {
+        let now = self.now_ms();
+        let ttl = self.ttl_ms();
+        self.clock.fetch_max(export.clock, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.key = export.key;
+        inner.seed = export.seed;
+        let mut restored = 0;
+        // Newest stamps first, so the capacity bound sheds the oldest.
+        for rec in export.entries.into_iter().rev() {
+            if rec.remaining_ms == 0
+                || inner.map.len() >= self.capacity
+                || inner.map.contains_key(&rec.id)
+                || inner.order.contains_key(&rec.stamp)
+            {
+                continue;
+            }
+            // Expiry lands at `now + remaining` on this store's timeline
+            // (clamped to the full TTL, so a store with a shorter TTL
+            // never grants imported sessions more than it grants its own).
+            let expires_ms = now + rec.remaining_ms.min(ttl);
+            inner.map.insert(
+                rec.id,
+                Entry {
+                    cursor_json: rec.cursor_json,
+                    scope: rec.scope,
+                    stamp: rec.stamp,
+                    expires_ms,
+                },
+            );
+            inner.order.insert(rec.stamp, rec.id);
+            restored += 1;
+        }
+        restored
     }
 
     /// Current statistics.
     pub fn stats(&self) -> SessionStats {
         let live = self.inner.lock().map.len() as u64;
+        let evicted_capacity = self.evicted_capacity.load(Ordering::Relaxed);
+        let expired_ttl = self.expired_ttl.load(Ordering::Relaxed);
         SessionStats {
             created: self.created.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             invalid: self.invalid.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
-            evicted: self.evicted.load(Ordering::Relaxed),
+            evicted: evicted_capacity + expired_ttl,
+            evicted_capacity,
+            expired_ttl,
             live,
         }
     }
 
-    fn token_for(&self, id: u64) -> String {
-        let mac = siphash24(self.key.0, self.key.1, &id.to_le_bytes());
-        format!("{TOKEN_PREFIX}.{id:016x}.{mac:016x}")
-    }
-
-    /// Parses and authenticates a token; `Some(id)` only when the MAC
-    /// verifies under this store's key.
-    fn verify(&self, token: &str) -> Option<u64> {
-        let rest = token.strip_prefix(TOKEN_PREFIX)?.strip_prefix('.')?;
-        let (id_hex, mac_hex) = rest.split_once('.')?;
-        if id_hex.len() != 16 || mac_hex.len() != 16 {
-            return None;
-        }
-        let id = u64::from_str_radix(id_hex, 16).ok()?;
-        let mac = u64::from_str_radix(mac_hex, 16).ok()?;
-        let expected = siphash24(self.key.0, self.key.1, &id.to_le_bytes());
-        (mac == expected).then_some(id)
-    }
-
-    /// Drops every session older than the TTL; returns how many.
-    fn purge_expired(&self, inner: &mut Inner, now: Instant) -> u64 {
+    /// Drops every session past its expiry deadline; returns how many.
+    fn purge_expired(&self, inner: &mut Inner, now_ms: u64) -> u64 {
         let mut dropped = 0;
         while let Some((&stamp, &id)) = inner.order.iter().next() {
-            let stale = inner
-                .map
-                .get(&id)
-                .is_none_or(|e| now.duration_since(e.minted_at) >= self.ttl);
+            let stale = inner.map.get(&id).is_none_or(|e| now_ms >= e.expires_ms);
             if !stale {
-                // Order is insertion order and the TTL is fixed, so the
-                // oldest live entry bounds every other entry's age.
+                // Order is insertion order, the TTL is fixed, and imports
+                // clamp remaining TTL, so expiry is monotone in stamp: the
+                // oldest live entry bounds every other entry's deadline.
                 break;
             }
             inner.order.remove(&stamp);
@@ -274,6 +412,25 @@ impl SessionStore {
         }
         dropped
     }
+}
+
+fn token_for(key: (u64, u64), id: u64) -> String {
+    let mac = siphash24(key.0, key.1, &id.to_le_bytes());
+    format!("{TOKEN_PREFIX}.{id:016x}.{mac:016x}")
+}
+
+/// Parses and authenticates a token; `Some(id)` only when the MAC
+/// verifies under `key`.
+fn verify(key: (u64, u64), token: &str) -> Option<u64> {
+    let rest = token.strip_prefix(TOKEN_PREFIX)?.strip_prefix('.')?;
+    let (id_hex, mac_hex) = rest.split_once('.')?;
+    if id_hex.len() != 16 || mac_hex.len() != 16 {
+        return None;
+    }
+    let id = u64::from_str_radix(id_hex, 16).ok()?;
+    let mac = u64::from_str_radix(mac_hex, 16).ok()?;
+    let expected = siphash24(key.0, key.1, &id.to_le_bytes());
+    (mac == expected).then_some(id)
 }
 
 /// Process-level entropy for the signing key and id stream. The vendored
@@ -412,6 +569,10 @@ mod tests {
         assert_eq!(store.take(&second).as_deref(), Ok("two"));
         assert_eq!(store.take(&third).as_deref(), Ok("three"));
         let stats = store.stats();
+        // The drop was a capacity squeeze, not a TTL lapse — and the
+        // deprecated aggregate still carries the sum.
+        assert_eq!(stats.evicted_capacity, 1);
+        assert_eq!(stats.expired_ttl, 0);
         assert_eq!(stats.evicted, 1);
         assert_eq!(stats.live, 0);
     }
@@ -422,8 +583,12 @@ mod tests {
         let token = store.mint("stale".into());
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(store.take(&token), Err(SessionError::Expired));
-        assert_eq!(store.stats().evicted, 1);
-        assert_eq!(store.stats().live, 0);
+        let stats = store.stats();
+        // The drop was a TTL lapse, not a capacity squeeze.
+        assert_eq!(stats.expired_ttl, 1);
+        assert_eq!(stats.evicted_capacity, 0);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.live, 0);
     }
 
     #[test]
@@ -487,5 +652,86 @@ mod tests {
         for i in 0..50 {
             assert!(seen.insert(store.mint(format!("{i}"))));
         }
+    }
+
+    #[test]
+    fn export_import_round_trips_tokens_and_scopes() {
+        let a = store(8);
+        let unscoped = a.mint("{\"p\":1}".into());
+        let scoped = a.mint_scoped("{\"p\":2}".into(), "t@3");
+        let export = a.export();
+        assert_eq!(export.entries.len(), 2);
+
+        let b = store(8);
+        assert_eq!(b.import(export), 2);
+        // Tokens minted by A verify and resume on B: the signing key was
+        // adopted, the cursors and scopes came across intact.
+        assert_eq!(b.take(&unscoped).as_deref(), Ok("{\"p\":1}"));
+        assert_eq!(b.take_scoped(&scoped, "t@3").as_deref(), Ok("{\"p\":2}"));
+        // A's copies are untouched (export is a copy, not a move).
+        assert_eq!(a.take(&unscoped).as_deref(), Ok("{\"p\":1}"));
+    }
+
+    #[test]
+    fn import_keeps_future_mints_collision_free() {
+        let a = store(8);
+        let old = a.mint("old".into());
+        let b = store(8);
+        assert_eq!(b.import(a.export()), 1);
+        // B adopted A's seed and advanced its clock past A's, so a fresh
+        // mint on B cannot re-derive an exported id/token.
+        let fresh = b.mint("fresh".into());
+        assert_ne!(fresh, old);
+        assert_eq!(b.take(&old).as_deref(), Ok("old"));
+        assert_eq!(b.take(&fresh).as_deref(), Ok("fresh"));
+    }
+
+    #[test]
+    fn import_respects_capacity_keeping_newest() {
+        let a = store(8);
+        let oldest = a.mint("one".into());
+        let newer = a.mint("two".into());
+        let newest = a.mint("three".into());
+        let b = store(2);
+        assert_eq!(b.import(a.export()), 2);
+        assert_eq!(b.take(&oldest), Err(SessionError::Expired));
+        assert_eq!(b.take(&newer).as_deref(), Ok("two"));
+        assert_eq!(b.take(&newest).as_deref(), Ok("three"));
+    }
+
+    #[test]
+    fn restored_sessions_expire_on_the_original_schedule() {
+        // The satellite-1 regression: a session restored halfway through
+        // its TTL keeps only the *remaining* TTL. Had import reset the
+        // clock, the aged token below would survive its second nap
+        // (500 ms < 600 ms TTL); on the original schedule it is gone
+        // (250 ms + 500 ms > 600 ms).
+        let ttl = Duration::from_millis(600);
+        let a = SessionStore::new(8, ttl);
+        let prompt = a.mint("prompt".into());
+        let aged = a.mint("aged".into());
+        std::thread::sleep(Duration::from_millis(250));
+        let export = a.export();
+        assert_eq!(export.entries.len(), 2);
+        for rec in &export.entries {
+            assert!(rec.remaining_ms < 600, "TTL already part-spent");
+            assert!(rec.remaining_ms > 0);
+        }
+
+        let b = SessionStore::new(8, ttl);
+        assert_eq!(b.import(export), 2);
+        // Straight after restore the sessions are still live.
+        assert_eq!(b.take(&prompt).as_deref(), Ok("prompt"));
+        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(b.take(&aged), Err(SessionError::Expired));
+        assert!(b.stats().expired_ttl >= 1, "lapse counted as TTL expiry");
+    }
+
+    #[test]
+    fn fully_aged_sessions_are_not_exported() {
+        let a = SessionStore::new(8, Duration::from_millis(10));
+        let _ = a.mint("stale".into());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(a.export().entries.is_empty());
     }
 }

@@ -627,3 +627,122 @@ fn stalling_clients_time_out_without_poisoning_the_pool() {
         server.shutdown();
     });
 }
+
+/// A snapshot-enabled chaos config over `dir`, with the given plan.
+fn snapshot_chaos_config(dir: &std::path::Path, plan: FaultPlan) -> ServerConfig {
+    ServerConfig {
+        snapshot_dir: Some(dir.to_path_buf()),
+        snapshot_every: Duration::from_secs(3600),
+        default_budget_ms: None,
+        faults: Arc::new(plan),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn torn_first_snapshot_leaves_no_file_and_the_restart_is_cold_correct() {
+    with_watchdog("torn-first-snapshot", Duration::from_secs(60), || {
+        let json = count_request().to_json().unwrap();
+        let reference = reference_answer(&json);
+        let dir = std::env::temp_dir().join(format!("coursenav-chaos-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Every snapshot write tears mid-temp-file: the rename never
+        // happens, so no snapshot file ever appears.
+        let plan = FaultPlan::new(19).with(FaultSite::SnapshotWriteTorn, 1000);
+        let server =
+            Server::start(snapshot_chaos_config(&dir, plan), brandeis_cs()).expect("start server");
+        let addr = server.local_addr();
+        let warmup = roundtrip(addr, "POST", "/v1/explore", Some(&json)).expect("answers");
+        assert_eq!(warmup.status, 200, "{}", warmup.text());
+
+        let resp = roundtrip(addr, "POST", "/v1/snapshot", None).expect("route answers");
+        assert_eq!(resp.status, 500, "{}", resp.text());
+        assert!(resp.text().contains("snapshot-failed"), "{}", resp.text());
+        assert!(
+            !dir.join(coursenav_server::snapshot::SNAPSHOT_FILE).exists(),
+            "a torn write must never be promoted to the final name"
+        );
+        let metrics = common::fetch_metrics(addr);
+        assert!(
+            metrics["snapshot"]["write-errors"].as_u64().unwrap() >= 1,
+            "{metrics:?}"
+        );
+        server.shutdown();
+
+        // The restart finds nothing to restore and serves cold-correct.
+        let restarted = Server::start(
+            snapshot_chaos_config(&dir, FaultPlan::disabled()),
+            brandeis_cs(),
+        )
+        .expect("restart");
+        let report = restarted
+            .warm_from(&dir)
+            .expect("cold start is not an error");
+        assert!(!report.loaded, "{report:?}");
+        let resp =
+            roundtrip(restarted.local_addr(), "POST", "/v1/explore", Some(&json)).expect("answers");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(
+            normalized(resp.text()),
+            reference,
+            "cold-correct after the tear"
+        );
+        restarted.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn a_tear_preserves_the_prior_snapshot_and_the_restart_restores_it() {
+    with_watchdog("torn-second-snapshot", Duration::from_secs(60), || {
+        let json = count_request().to_json().unwrap();
+        let reference = reference_answer(&json);
+        let dir =
+            std::env::temp_dir().join(format!("coursenav-chaos-prior-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap_path = dir.join(coursenav_server::snapshot::SNAPSHOT_FILE);
+
+        // A clean first snapshot, then a kill -9 spelled as shutdown.
+        let server = Server::start(
+            snapshot_chaos_config(&dir, FaultPlan::disabled()),
+            brandeis_cs(),
+        )
+        .expect("start server");
+        let warm =
+            roundtrip(server.local_addr(), "POST", "/v1/explore", Some(&json)).expect("answers");
+        assert_eq!(warm.status, 200, "{}", warm.text());
+        let resp = roundtrip(server.local_addr(), "POST", "/v1/snapshot", None).expect("answers");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let good_bytes = std::fs::read(&snap_path).expect("first snapshot exists");
+        server.shutdown();
+
+        // The next incarnation restores, then tears its own write: the
+        // prior complete snapshot must survive byte-for-byte.
+        let plan = FaultPlan::new(23).with(FaultSite::SnapshotWriteTorn, 1000);
+        let torn = Server::start(snapshot_chaos_config(&dir, plan), brandeis_cs())
+            .expect("restart under chaos");
+        let report = torn.warm_from(&dir).expect("restore applies");
+        assert_eq!(report.tenants_restored, 1, "{report:?}");
+        let resp = roundtrip(torn.local_addr(), "POST", "/v1/snapshot", None).expect("answers");
+        assert_eq!(resp.status, 500, "{}", resp.text());
+        assert_eq!(
+            std::fs::read(&snap_path).expect("prior snapshot still present"),
+            good_bytes,
+            "a torn write must not touch the last complete snapshot"
+        );
+
+        // Warm answers off the restored state are byte-identical to the
+        // memo-free ground truth, tear or no tear.
+        let answer =
+            roundtrip(torn.local_addr(), "POST", "/v1/explore", Some(&json)).expect("answers");
+        assert_eq!(answer.status, 200, "{}", answer.text());
+        assert_eq!(
+            normalized(answer.text()),
+            reference,
+            "warm equals ground truth"
+        );
+        torn.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

@@ -41,6 +41,11 @@
 //!                                tenant (tenant name = file stem); the
 //!                                positional catalog stays the default
 //!                                tenant
+//!   --snapshot-dir <dir>         write periodic atomic snapshots of warm
+//!                                serving state into <dir>
+//!   --snapshot-every <secs>      snapshotter cadence (default 60)
+//!   --warm-from <dir>            restore warm state from <dir>'s snapshot
+//!                                at startup (rejected snapshots start cold)
 //! ```
 
 use std::fmt;
@@ -118,6 +123,9 @@ struct Flags {
     parallelism: Option<usize>,
     memo_entries: Option<usize>,
     catalog_dir: Option<String>,
+    snapshot_dir: Option<String>,
+    snapshot_every: Option<u64>,
+    warm_from: Option<String>,
 }
 
 fn split_codes(value: &str) -> Vec<String> {
@@ -149,6 +157,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         parallelism: None,
         memo_entries: None,
         catalog_dir: None,
+        snapshot_dir: None,
+        snapshot_every: None,
+        warm_from: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -245,6 +256,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 )
             }
             "--catalog-dir" => flags.catalog_dir = Some(value("--catalog-dir")?.clone()),
+            "--snapshot-dir" => flags.snapshot_dir = Some(value("--snapshot-dir")?.clone()),
+            "--snapshot-every" => {
+                let secs: u64 = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--snapshot-every needs an integer".into()))?;
+                if secs == 0 {
+                    return Err(CliError::Usage(
+                        "--snapshot-every must be at least 1 second".into(),
+                    ));
+                }
+                flags.snapshot_every = Some(secs);
+            }
+            "--warm-from" => flags.warm_from = Some(value("--warm-from")?.clone()),
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -328,6 +352,11 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
         memo_entries: flags
             .memo_entries
             .unwrap_or(ServerConfig::default().memo_entries),
+        snapshot_dir: flags.snapshot_dir.as_ref().map(std::path::PathBuf::from),
+        snapshot_every: flags
+            .snapshot_every
+            .map(std::time::Duration::from_secs)
+            .unwrap_or(ServerConfig::default().snapshot_every),
         ..ServerConfig::default()
     };
     let server =
@@ -338,6 +367,25 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
             .map_err(|e| CliError::Usage(format!("--catalog-dir tenant {name:?}: {e}")))?;
         println!("registered tenant {name:?}");
     }
+    // Warm the serving state *after* every tenant is registered (restore
+    // is matched against the registered catalogs) and *before* the bound
+    // address is printed (scripts treat that line as "ready"). Restore is
+    // availability-first: a rejected snapshot prints a warning and the
+    // server starts cold, it never refuses to serve.
+    if let Some(dir) = &flags.warm_from {
+        match server.warm_from(std::path::Path::new(dir)) {
+            Ok(report) if report.loaded => println!(
+                "warm restore from {dir}: {} tenant(s) warmed ({} memo entries, \
+                 {} sessions), {} rejected",
+                report.tenants_restored,
+                report.entries_restored,
+                report.sessions_restored,
+                report.tenants_rejected
+            ),
+            Ok(_) => println!("no snapshot found in {dir}, starting cold"),
+            Err(e) => println!("warning: {e}; starting cold"),
+        }
+    }
     println!(
         "coursenav-server listening on http://{}",
         server.local_addr()
@@ -345,7 +393,7 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
     println!(
         "routes: POST /v1/explore, POST /v1/explore/stream, GET /v1/catalog, GET /v1/healthz, \
          GET /v1/metrics, GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
-         POST /v1/catalogs/{{tenant}}/invalidate"
+         POST /v1/catalogs/{{tenant}}/invalidate, POST /v1/snapshot"
     );
     server.block_forever()
 }
@@ -686,6 +734,22 @@ mod tests {
         ));
         assert!(matches!(
             run(&["builtin:brandeis", "serve", "--catalog-dir"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--snapshot-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--snapshot-every", "soon"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--warm-from"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--snapshot-dir"]),
             Err(CliError::Usage(_))
         ));
     }
