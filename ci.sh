@@ -34,6 +34,29 @@ echo "==> bench7 smoke (snapshot/restore of warm serving state)"
 # artifact is well-formed JSON with the expected row shape.
 cargo run -q -p coursenav-bench --release --bin bench7 -- --smoke
 
+echo "==> bench8 smoke (cohort advising through one warm memo table)"
+# Serves a simulated cohort cold-isolated and as one /v1/advise/batch,
+# asserts per-student answers are byte-identical and the batch's memo
+# table really warmed; also checks that the committed BENCH_8.json
+# artifact is well-formed JSON with the expected row shape.
+cargo run -q -p coursenav-bench --release --bin bench8 -- --smoke
+
+echo "==> wire API walkthrough against a live loopback server"
+# Boots the real binary and drives every documented workload family —
+# deprecation redirects, typed errors, paged + streamed exploration,
+# advising, cohort batch — through examples/wire_api.sh (curl+python3).
+cargo run -q --release --bin coursenav -- builtin:brandeis serve \
+  --addr 127.0.0.1:18080 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -sf http://127.0.0.1:18080/v1/healthz >/dev/null 2>&1 && break
+  sleep 0.2
+done
+bash examples/wire_api.sh http://127.0.0.1:18080 >/dev/null
+kill "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "==> cargo test (snapshot restore suite)"
 # Warm-replica loopback proof: byte-identical answers off the restored
 # state, sessions resuming across the restart, decoder totality.

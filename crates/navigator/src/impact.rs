@@ -9,11 +9,14 @@
 //! with the memoized-DAG counter so even 10⁷-path subtrees answer in
 //! milliseconds.
 
+use std::time::Instant;
+
 use coursenav_catalog::CourseSet;
 use serde::{Deserialize, Serialize};
 
 use crate::expand::SelectionIter;
 use crate::explorer::{Disposition, Explorer};
+use crate::memo::TranspositionTable;
 
 /// The downstream effect of electing one selection this semester.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +80,66 @@ impl Explorer<'_> {
                 .then(a.selection.len().cmp(&b.selection.len()))
         });
         impacts
+    }
+
+    /// [`Explorer::selection_impacts`] through a transposition table: each
+    /// root selection's subtree is counted with the memoized counter, so
+    /// subtrees already in `table` (from earlier requests, or from other
+    /// students in a cohort whose transcripts converge on the same
+    /// enrollment status) answer without re-expansion, and newly-counted
+    /// subtrees warm the table for the next caller. The impacts — counts,
+    /// order, everything — are byte-identical to the un-memoized ones.
+    ///
+    /// The boolean marks truncation: when `deadline` expires mid-count the
+    /// affected entries are lower bounds and nothing partial was cached.
+    pub fn selection_impacts_memo_until(
+        &self,
+        table: &TranspositionTable,
+        deadline: Option<Instant>,
+    ) -> (Vec<SelectionImpact>, bool) {
+        let pruner = self.pruner();
+        let start = *self.start();
+        let Disposition::Expand {
+            min_selection,
+            include_empty,
+        } = self.disposition(&start, pruner.as_ref())
+        else {
+            return (Vec::new(), false);
+        };
+        let options = *start.options();
+        let iter = if include_empty {
+            SelectionIter::with_empty(&options, self.max_per_semester())
+        } else {
+            SelectionIter::new(&options, self.max_per_semester())
+        };
+        let mut impacts = Vec::new();
+        let mut truncated = false;
+        for selection in iter {
+            if selection.len() < min_selection {
+                continue;
+            }
+            if !self.selection_allowed(&start, &selection) {
+                continue;
+            }
+            let child = start.advance(self.catalog(), &selection);
+            let (counts, _work, expired) = self
+                .restarted(child)
+                .count_paths_memo_until(table, deadline);
+            truncated |= expired;
+            impacts.push(SelectionImpact {
+                selection,
+                options_next_semester: child.options().len(),
+                paths: counts.total_paths,
+                goal_paths: counts.goal_paths,
+            });
+        }
+        impacts.sort_by(|a, b| {
+            b.goal_paths
+                .cmp(&a.goal_paths)
+                .then(b.paths.cmp(&a.paths))
+                .then(a.selection.len().cmp(&b.selection.len()))
+        });
+        (impacts, truncated)
     }
 }
 
@@ -158,6 +221,25 @@ mod tests {
         }
         let total_goal: u128 = impacts.iter().map(|i| i.goal_paths).sum();
         assert_eq!(total_goal, e.count_paths().goal_paths);
+    }
+
+    #[test]
+    fn memoized_impacts_match_cold_and_warm() {
+        let s = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&s.catalog, s.start);
+        let goal = Goal::degree(s.degree.clone());
+        let e = Explorer::goal_driven(&s.catalog, start, s.start + 4, 3, goal).unwrap();
+        let plain = e.selection_impacts();
+        let table = TranspositionTable::new(1 << 14);
+        let (cold, cold_truncated) = e.selection_impacts_memo_until(&table, None);
+        assert!(!cold_truncated);
+        assert_eq!(cold, plain);
+        // Sibling subtrees overlap, so even the cold pass hits the table;
+        // the warm pass must answer identically again.
+        let (warm, warm_truncated) = e.selection_impacts_memo_until(&table, None);
+        assert!(!warm_truncated);
+        assert_eq!(warm, plain);
+        assert!(table.snapshot().hits > 0, "{:?}", table.snapshot());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advise;
 pub mod astar;
 pub mod cursor;
 pub mod dedup;
@@ -59,6 +60,10 @@ pub mod stats;
 pub mod status;
 pub mod stream;
 
+pub use advise::{
+    AdviseOutcome, AdviseRequest, AdviseResponse, BatchAdviseRequest, Recommendation,
+    StudentStatus, TranscriptSpec,
+};
 pub use astar::{RemainingCostHeuristic, TimeHeuristic, WorkloadHeuristic, ZeroHeuristic};
 pub use cursor::{ExplorationCursor, FrameState, SelectionIterState, StreamCursor};
 pub use dedup::{StateDag, StateEdge, StateNode};

@@ -237,6 +237,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -255,6 +256,7 @@ fn default_code(status: u16) -> &'static str {
         404 => "not-found",
         405 => "method-not-allowed",
         408 => "request-timeout",
+        409 => "conflict",
         410 => "gone",
         413 => "payload-too-large",
         422 => "unprocessable",
@@ -315,16 +317,44 @@ impl Response {
     /// stable kebab-case identifiers clients can switch on, independent
     /// of the human-readable message.
     pub fn error_coded(status: u16, code: &str, message: &str, retryable: bool) -> Response {
+        Response::typed_error(status, code, None, message, retryable)
+    }
+
+    /// [`Response::error_coded`] plus a `field` naming the exact request
+    /// input the client must fix (e.g. `transcript.selections[2]`) — the
+    /// request-validation shape shared by `/v1/explore` and `/v1/advise`.
+    pub fn error_field(
+        status: u16,
+        code: &str,
+        field: &str,
+        message: &str,
+        retryable: bool,
+    ) -> Response {
+        Response::typed_error(status, code, Some(field), message, retryable)
+    }
+
+    fn typed_error(
+        status: u16,
+        code: &str,
+        field: Option<&str>,
+        message: &str,
+        retryable: bool,
+    ) -> Response {
+        let mut fields = vec![("code".to_string(), serde_json::Value::Str(code.to_string()))];
+        if let Some(field) = field {
+            fields.push((
+                "field".to_string(),
+                serde_json::Value::Str(field.to_string()),
+            ));
+        }
+        fields.push((
+            "message".to_string(),
+            serde_json::Value::Str(message.to_string()),
+        ));
+        fields.push(("retryable".to_string(), serde_json::Value::Bool(retryable)));
         let body = serde_json::to_string(&serde_json::Value::Object(vec![(
             "error".to_string(),
-            serde_json::Value::Object(vec![
-                ("code".to_string(), serde_json::Value::Str(code.to_string())),
-                (
-                    "message".to_string(),
-                    serde_json::Value::Str(message.to_string()),
-                ),
-                ("retryable".to_string(), serde_json::Value::Bool(retryable)),
-            ]),
+            serde_json::Value::Object(fields),
         )]))
         .unwrap_or_else(|_| {
             "{\"error\":{\"code\":\"internal\",\"message\":\"\",\"retryable\":false}}".to_string()
@@ -563,6 +593,32 @@ mod tests {
         assert!(String::from_utf8(bad.body)
             .unwrap()
             .contains("\"retryable\":false"));
+    }
+
+    #[test]
+    fn field_errors_name_the_offending_input() {
+        let resp = Response::error_field(
+            400,
+            "invalid-request",
+            "transcript.selections[2]",
+            "semester 2 elects ineligible courses",
+            false,
+        );
+        assert_eq!(resp.status, 400);
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":{\"code\":\"invalid-request\",\"field\":\"transcript.selections[2]\",\
+             \"message\":\"semester 2 elects ineligible courses\",\"retryable\":false}}"
+        );
+    }
+
+    #[test]
+    fn conflict_status_has_a_reason_and_code() {
+        assert_eq!(reason(409), "Conflict");
+        let resp = Response::error(409, "already there");
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"code\":\"conflict\""));
     }
 
     #[test]

@@ -24,20 +24,17 @@
 //!    engine itself can fan first-level subtrees across cores
 //!    (`parallelism`) without changing a byte of the answer.
 //!
-//! Routes (wire API v1; unprefixed spellings answer `308` redirects):
-//!
-//! | Route                       | Meaning                                   |
-//! |-----------------------------|-------------------------------------------|
-//! | `POST /v1/explore`          | JSON [`ExplorationRequest`] → [`ExplorationResponse`]; `page_size`/`cursor` page it |
-//! | `POST /v1/explore/stream`   | the same exploration as chunked NDJSON, one path per line |
-//! | `GET /v1/catalog`           | the catalog as JSON                       |
-//! | `GET /v1/healthz`           | liveness probe                            |
-//! | `GET /v1/metrics`           | live counters ([`MetricsSnapshot`])       |
-//! | `POST /v1/cache/invalidate` | *deprecated*: drop every tenant's cached state |
-//! | `GET /v1/catalogs`          | registered tenants and their epochs       |
-//! | `PUT /v1/catalogs/{tenant}` | register or hot-swap a tenant's catalog   |
-//! | `POST /v1/catalogs/{tenant}/invalidate` | drop one tenant's cached state |
-//! | `POST /v1/snapshot`         | write a snapshot of warm state right now  |
+//! The complete wire-API reference — every `/v1` route, request/response
+//! shapes, typed error codes, and the deprecation policy for the
+//! unprefixed aliases — lives in `docs/WIRE_API.md` at the repository
+//! root; the golden wire-contract suite
+//! (`crates/server/tests/wire_contract.rs`) pins that document route by
+//! route. Headlines: `POST /v1/explore` (+ `/stream` NDJSON) serves
+//! catalog-global explorations, `POST /v1/advise` (+ `/batch` NDJSON)
+//! serves transcript-conditioned advising, and the `GET` surface covers
+//! catalog, health, metrics, and tenant administration. Unprefixed
+//! spellings answer `308` redirects carrying `Deprecation`/`Sunset`
+//! headers until removal.
 //!
 //! **Durability.** With a snapshot directory configured
 //! ([`ServerConfig::snapshot_dir`]), a background thread periodically
@@ -95,9 +92,11 @@ use std::time::{Duration, Instant};
 use std::ops::ControlFlow;
 
 use coursenav_navigator::{
-    ExplorationCursor, ExplorationRequest, NavigatorService, ServiceError, StreamedItem,
+    AdviseRequest, BatchAdviseRequest, ExplorationCursor, ExplorationRequest, NavigatorService,
+    ServiceError, StreamedItem, TranscriptSpec,
 };
 use coursenav_registrar::{json::catalog_to_json, parse_registrar_file, RegistrarData};
+use coursenav_transcript::{Transcript, TranscriptError};
 
 use http::{ParseError, Request, Response};
 pub use memo::MemoRegistrySnapshot;
@@ -540,6 +539,13 @@ fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, kee
                     state.metrics.count_status(status);
                     return;
                 }
+                if request.method == "POST" && request.path == "/v1/advise/batch" {
+                    let t0 = Instant::now();
+                    let status = advise_batch_catching_panics(state, &mut conn, &request);
+                    state.metrics.observe_latency(&request.path, t0.elapsed());
+                    state.metrics.count_status(status);
+                    return;
+                }
                 let keep = request.keep_alive;
                 let t0 = Instant::now();
                 let response = dispatch_catching_panics(state, &request);
@@ -606,14 +612,33 @@ fn dispatch_catching_panics(state: &AppState, request: &Request) -> Response {
 
 /// Every endpoint's unversioned spelling, redirected to `/v1` for one
 /// deprecation cycle (the pre-`/v1` wire API).
-const UNPREFIXED_ALIASES: [&str; 6] = [
+const UNPREFIXED_ALIASES: [&str; 8] = [
     "/explore",
     "/explore/stream",
+    "/advise",
+    "/advise/batch",
     "/catalog",
     "/healthz",
     "/metrics",
     "/cache/invalidate",
 ];
+
+/// The HTTP-date after which the deprecated spellings (the unprefixed
+/// aliases and `POST /v1/cache/invalidate`) stop answering. Stated in
+/// `docs/WIRE_API.md`; every deprecated response carries it in a
+/// `Sunset` header alongside `Deprecation: true`.
+pub const DEPRECATION_SUNSET: &str = "Wed, 01 Sep 2027 00:00:00 GMT";
+
+/// Stamps the deprecation headers on a response to a deprecated spelling
+/// and counts the hit under `deprecated-route-hits` in `/v1/metrics`.
+fn with_deprecation(state: &AppState, path: &str, mut resp: Response) -> Response {
+    resp.extra_headers
+        .push(("deprecation".into(), "true".into()));
+    resp.extra_headers
+        .push(("sunset".into(), DEPRECATION_SUNSET.into()));
+    state.metrics.count_deprecated(path);
+    resp
+}
 
 fn route(state: &AppState, request: &Request) -> Response {
     let Some(path) = request.path.strip_prefix("/v1") else {
@@ -624,7 +649,7 @@ fn route(state: &AppState, request: &Request) -> Response {
             let mut resp = Response::error(308, "moved to the /v1 API");
             resp.extra_headers
                 .push(("location".into(), format!("/v1{}", request.path)));
-            return resp;
+            return with_deprecation(state, &request.path, resp);
         }
         return Response::error(404, "no such route");
     };
@@ -634,6 +659,7 @@ fn route(state: &AppState, request: &Request) -> Response {
     }
     match (request.method.as_str(), path) {
         ("POST", "/explore") => explore(state, request),
+        ("POST", "/advise") => advise(state, request),
         ("GET", "/catalog") => {
             let tenant = match resolve_tenant(state, request, None) {
                 Ok(tenant) => tenant,
@@ -683,15 +709,24 @@ fn route(state: &AppState, request: &Request) -> Response {
             // response cache and memo tables. Per-tenant invalidation
             // lives at `POST /v1/catalogs/{tenant}/invalidate`.
             let dropped = state.registry.invalidate_all_tenants();
-            Response::json(
-                200,
-                format!("{{\"invalidated\":{dropped},\"deprecated\":true}}"),
+            with_deprecation(
+                state,
+                &request.path,
+                Response::json(
+                    200,
+                    format!("{{\"invalidated\":{dropped},\"deprecated\":true}}"),
+                ),
             )
         }
         // Right path, wrong verb → 405 with the allowed method. The
         // stream route lands here too: its POST is intercepted before
         // dispatch, so any method that reaches route() is wrong.
-        (_, "/explore") | (_, "/cache/invalidate") | (_, "/explore/stream") | (_, "/snapshot") => {
+        (_, "/explore")
+        | (_, "/cache/invalidate")
+        | (_, "/explore/stream")
+        | (_, "/snapshot")
+        | (_, "/advise")
+        | (_, "/advise/batch") => {
             let mut resp = Response::error(405, "method not allowed");
             resp.extra_headers.push(("allow".into(), "POST".into()));
             resp
@@ -926,11 +961,27 @@ fn explore(state: &AppState, request: &Request) -> Response {
     };
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+        Err(_) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                "body is not UTF-8",
+                false,
+            )
+        }
     };
     let req = match ExplorationRequest::from_json(body) {
         Ok(req) => req,
-        Err(e) => return Response::error(400, &format!("bad exploration request: {e}")),
+        Err(e) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                &format!("bad exploration request: {e}"),
+                false,
+            )
+        }
     };
     // Execute the *canonical* form, not the submitted one: two spellings
     // that share a cache key must produce byte-identical answers, and a
@@ -1275,14 +1326,25 @@ fn explore_stream_admitted(
     }
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return fail(conn, Response::error(400, "body is not UTF-8")),
+        Err(_) => {
+            return fail(
+                conn,
+                Response::error_field(400, "invalid-request", "body", "body is not UTF-8", false),
+            )
+        }
     };
     let req = match ExplorationRequest::from_json(body) {
         Ok(req) => req,
         Err(e) => {
             return fail(
                 conn,
-                Response::error(400, &format!("bad exploration request: {e}")),
+                Response::error_field(
+                    400,
+                    "invalid-request",
+                    "body",
+                    &format!("bad exploration request: {e}"),
+                    false,
+                ),
             )
         }
     };
@@ -1414,6 +1476,489 @@ fn explore_stream_admitted(
             }
         }
     }
+}
+
+/// Replays a wire transcript against the tenant's catalog: resolves every
+/// code and validates each semester's eligibility. The advising routes
+/// refuse a transcript the catalog cannot replay *before* touching the
+/// engine, so the typed error names the exact transcript field at fault.
+fn transcript_status(tenant: &Tenant, spec: &TranscriptSpec) -> Result<(), TranscriptError> {
+    let catalog = &tenant.data().catalog;
+    let transcript = Transcript::from_codes(catalog, spec.start, &spec.selections)?;
+    transcript.status_after(catalog)?;
+    Ok(())
+}
+
+/// [`transcript_status`] rendered as the wire refusal: 422 for codes the
+/// catalog lacks (the transcript belongs to another catalog revision),
+/// 400 for a history the catalog cannot replay (ineligible selections).
+fn validate_transcript(tenant: &Tenant, spec: &TranscriptSpec) -> Result<(), Box<Response>> {
+    transcript_status(tenant, spec).map_err(|e| {
+        let status = match e {
+            TranscriptError::UnknownCourse { .. } => 422,
+            TranscriptError::IneligibleSelection { .. } => 400,
+        };
+        Box::new(Response::error_field(
+            status,
+            e.code(),
+            &e.field(),
+            &e.to_string(),
+            false,
+        ))
+    })
+}
+
+/// [`degrade_request`] for advising: the same clamps at the same levels.
+fn degrade_advise(state: &AppState, req: &mut AdviseRequest, level: u8) {
+    let c = state.overload.config();
+    match level {
+        0 => {}
+        1 => req.apply_degradation(c.soft_budget_ms, c.degraded_page_size),
+        _ => req.apply_degradation(c.floor_budget_ms, c.degraded_page_size),
+    }
+}
+
+/// `POST /v1/advise`: transcript-conditioned advising. Admission control
+/// first, then parse, validate the transcript against the tenant's
+/// catalog, degrade to the admitted level, and serve through the same
+/// cache/coalesce/compute pipeline as `/v1/explore`.
+fn advise(state: &AppState, request: &Request) -> Response {
+    state
+        .metrics
+        .advise_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let (level, probe) = match state.overload.admit() {
+        Admission::Reject { retry_after } => return Response::overloaded(retry_after),
+        Admission::Go { level, probe } => (level, probe),
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                "body is not UTF-8",
+                false,
+            )
+        }
+    };
+    let mut req = match AdviseRequest::from_json(body) {
+        Ok(req) => req,
+        Err(e) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                &format!("bad advise request: {e}"),
+                false,
+            )
+        }
+    };
+    let tenant = match resolve_tenant(state, request, req.tenant.as_deref()) {
+        Ok(tenant) => tenant,
+        Err(resp) => return *resp,
+    };
+    if let Err(resp) = validate_transcript(&tenant, &req.transcript) {
+        return *resp;
+    }
+    degrade_advise(state, &mut req, level);
+    let t0 = Instant::now();
+    let resp = advise_admitted(state, &tenant, &req);
+    state
+        .overload
+        .observe(t0.elapsed(), resp.status < 500, probe);
+    with_degraded(resp, level)
+}
+
+/// The cache/coalesce/compute pipeline for one admitted advising request —
+/// the same shape as [`explore_admitted`], keyed under the advise cache
+/// key so advising and exploration answers never collide while their memo
+/// tables still do (by design) overlap.
+fn advise_admitted(state: &AppState, tenant: &Tenant, req: &AdviseRequest) -> Response {
+    if req.cursor.is_some() || req.page_size.is_some() {
+        return advise_paged(state, tenant, req);
+    }
+
+    let key = req.cache_key();
+    if let Some(cached) = tenant.cache().get(&key) {
+        state
+            .metrics
+            .advise_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return with_x_cache(Response::json(200, cached.to_vec()), "hit");
+    }
+
+    let flight_key = format!("{}\n{key}", tenant.scope());
+    match state.flights.begin(&flight_key) {
+        Role::Leader(leader) => {
+            if let Some(cached) = tenant.cache().get(&key) {
+                state
+                    .metrics
+                    .advise_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::json(200, cached.to_vec());
+                leader.publish(resp.clone());
+                return with_x_cache(resp, "hit");
+            }
+            state
+                .metrics
+                .advise_computed
+                .fetch_add(1, Ordering::Relaxed);
+            let (resp, cacheable) = compute_advise(state, tenant, req);
+            if cacheable {
+                cache_put(state, tenant, &key, &resp.body);
+            }
+            leader.publish(resp.clone());
+            with_x_cache(resp, "miss")
+        }
+        Role::Follower(follower) => {
+            let deadline = req
+                .budget_ms
+                .or(state.default_budget_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            match follower.wait(deadline) {
+                Some(Published::Done(resp)) => with_x_cache(resp, "coalesced"),
+                Some(Published::Abandoned) | None => {
+                    state
+                        .metrics
+                        .advise_computed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (resp, cacheable) = compute_advise(state, tenant, req);
+                    if cacheable {
+                        cache_put(state, tenant, &key, &resp.body);
+                    }
+                    with_x_cache(resp, "miss")
+                }
+            }
+        }
+    }
+}
+
+/// Runs one advising request under its deadline. Returns the wire
+/// response and whether it may be cached (complete 200s only, as with
+/// explorations).
+fn compute_advise(state: &AppState, tenant: &Tenant, req: &AdviseRequest) -> (Response, bool) {
+    let deadline = req
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let data = Arc::clone(tenant.data());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+    // The derived exploration's memo key is the same one `/v1/explore`
+    // uses over this tree: advising warms exploration and vice versa.
+    let table = tenant.memo().table_for(&req.memo_key());
+    match service.advise_until_memo(req, None, deadline, state.parallelism, table.as_deref()) {
+        Ok(outcome) => {
+            let response = outcome.response;
+            match serde_json::to_string(&response) {
+                Ok(json) => (Response::json(200, json), !response.truncated),
+                Err(e) => (Response::error(500, &e.to_string()), false),
+            }
+        }
+        Err(e) => (engine_error(&e), false),
+    }
+}
+
+/// One page of ranked completions for an advising session: the advising
+/// counterpart of [`explore_paged`], riding the same scoped session store
+/// — advise cursors expire on catalog swaps and refuse foreign tenants
+/// exactly as exploration cursors do.
+fn advise_paged(state: &AppState, tenant: &Tenant, req: &AdviseRequest) -> Response {
+    state
+        .metrics
+        .advise_computed
+        .fetch_add(1, Ordering::Relaxed);
+    let scope = tenant.scope();
+    let cursor = match resolve_cursor(state, &scope, req.cursor.as_deref()) {
+        Ok(cursor) => cursor,
+        Err(resp) => return *resp,
+    };
+    let deadline = req
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let data = Arc::clone(tenant.data());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+    let table = tenant.memo().table_for(&req.memo_key());
+    match service.advise_until_memo(
+        req,
+        cursor.as_ref(),
+        deadline,
+        state.parallelism,
+        table.as_deref(),
+    ) {
+        Ok(mut outcome) => {
+            chaos!(state, faults::FaultSite::EvictSessions, {
+                state.sessions.evict_all();
+            });
+            let token = outcome
+                .cursor
+                .map(|c| state.sessions.mint_scoped(c.to_json(), &scope));
+            outcome.response.next_cursor = token;
+            match serde_json::to_string(&outcome.response) {
+                Ok(json) => with_x_cache(Response::json(200, json), "bypass"),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// [`advise_batch`] behind the same panic firewall as the stream route.
+fn advise_batch_catching_panics(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+    std::panic::catch_unwind(AssertUnwindSafe(|| advise_batch(state, conn, request))).unwrap_or(500)
+}
+
+/// One `{"error":{...}}` value in the typed wire shape, for NDJSON lines.
+fn error_value(
+    code: &str,
+    field: Option<&str>,
+    message: &str,
+    retryable: bool,
+) -> serde_json::Value {
+    let mut fields = vec![("code".to_string(), serde_json::Value::Str(code.to_string()))];
+    if let Some(field) = field {
+        fields.push((
+            "field".to_string(),
+            serde_json::Value::Str(field.to_string()),
+        ));
+    }
+    fields.push((
+        "message".to_string(),
+        serde_json::Value::Str(message.to_string()),
+    ));
+    fields.push(("retryable".to_string(), serde_json::Value::Bool(retryable)));
+    serde_json::Value::Object(fields)
+}
+
+/// `POST /v1/advise/batch`: cohort advising. One shared `(tenant, epoch)`
+/// transposition table warms across every student (their derived
+/// explorations share a memo key by construction), per-student answers
+/// stream back as chunked NDJSON lines.
+fn advise_batch(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+    state
+        .metrics
+        .advise_batch_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let (level, probe) = match state.overload.admit() {
+        Admission::Reject { retry_after } => {
+            let resp = Response::overloaded(retry_after);
+            let status = resp.status;
+            let _ = http::write_response(conn, &resp, false);
+            return status;
+        }
+        Admission::Go { level, probe } => (level, probe),
+    };
+    let t0 = Instant::now();
+    let status = advise_batch_admitted(state, conn, request, level);
+    state.overload.observe(t0.elapsed(), status < 500, probe);
+    status
+}
+
+/// The cohort pipeline for one admitted batch, degraded to `level`. Lines
+/// are `{"student":i,"advise":<response>}` or `{"student":i,"error":{...}}`
+/// (one student's bad transcript never sinks the cohort), closed by one
+/// `{"done":{"students":N,"errors":E,"truncated":bool}}` summary. The
+/// batch bypasses the response cache — the shared memo table is where the
+/// cohort's overlap pays off.
+fn advise_batch_admitted(
+    state: &AppState,
+    conn: &mut TcpStream,
+    request: &Request,
+    level: u8,
+) -> u16 {
+    fn fail(conn: &mut TcpStream, resp: Response) -> u16 {
+        let status = resp.status;
+        let _ = http::write_response(conn, &resp, false);
+        status
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return fail(
+                conn,
+                Response::error_field(400, "invalid-request", "body", "body is not UTF-8", false),
+            )
+        }
+    };
+    let batch = match BatchAdviseRequest::from_json(body) {
+        Ok(batch) => batch,
+        Err(e) => {
+            return fail(
+                conn,
+                Response::error_field(
+                    400,
+                    "invalid-request",
+                    "body",
+                    &format!("bad advise batch request: {e}"),
+                    false,
+                ),
+            )
+        }
+    };
+    if batch.students.is_empty() {
+        return fail(
+            conn,
+            Response::error_field(
+                400,
+                "invalid-request",
+                "students",
+                "at least one student is required",
+                false,
+            ),
+        );
+    }
+    let tenant = match resolve_tenant(state, request, batch.tenant.as_deref()) {
+        Ok(tenant) => tenant,
+        Err(resp) => return fail(conn, *resp),
+    };
+
+    let mut head_headers = vec![("x-cache".to_string(), "bypass".to_string())];
+    if level > 0 {
+        head_headers.push(("x-degraded".to_string(), level.to_string()));
+    }
+    if http::write_chunked_head(conn, 200, "application/x-ndjson", &head_headers).is_err() {
+        state
+            .metrics
+            .connections_reset
+            .fetch_add(1, Ordering::Relaxed);
+        return 200;
+    }
+
+    let data = Arc::clone(tenant.data());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+    // Every student in the cohort derives the same memo key (the key masks
+    // transcript-specific state), so one table fetch serves them all —
+    // student 1's subtrees answer student 2's overlapping suffixes.
+    let table = tenant.memo().table_for(&batch.student(0).memo_key());
+
+    let mut errors: u64 = 0;
+    let mut truncated_any = false;
+    for i in 0..batch.students.len() {
+        state
+            .metrics
+            .advise_batch_students
+            .fetch_add(1, Ordering::Relaxed);
+        let mut req = batch.student(i);
+        degrade_advise(state, &mut req, level);
+        // The budget is per student, restarted each iteration: a cohort of
+        // N gets N budgets, not one split N ways.
+        let deadline = req
+            .budget_ms
+            .or(state.default_budget_ms)
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let line = match transcript_status(&tenant, &req.transcript) {
+            Err(e) => {
+                errors += 1;
+                // Re-root the field path at this student's slot in the
+                // batch: `transcript.selections[2]` → `students[4].selections[2]`.
+                let field = format!(
+                    "students[{i}].{}",
+                    e.field().trim_start_matches("transcript.")
+                );
+                serde_json::Value::Object(vec![
+                    (
+                        "student".to_string(),
+                        serde_json::Value::Num(serde_json::Number::U(i as u128)),
+                    ),
+                    (
+                        "error".to_string(),
+                        error_value(e.code(), Some(&field), &e.to_string(), false),
+                    ),
+                ])
+            }
+            Ok(()) => match service.advise_until_memo(
+                &req,
+                None,
+                deadline,
+                state.parallelism,
+                table.as_deref(),
+            ) {
+                Ok(outcome) => {
+                    if outcome.response.truncated {
+                        truncated_any = true;
+                    }
+                    serde_json::Value::Object(vec![
+                        (
+                            "student".to_string(),
+                            serde_json::Value::Num(serde_json::Number::U(i as u128)),
+                        ),
+                        (
+                            "advise".to_string(),
+                            serde_json::to_value(&outcome.response),
+                        ),
+                    ])
+                }
+                Err(e) => {
+                    errors += 1;
+                    serde_json::Value::Object(vec![
+                        (
+                            "student".to_string(),
+                            serde_json::Value::Num(serde_json::Number::U(i as u128)),
+                        ),
+                        (
+                            "error".to_string(),
+                            error_value(e.code(), None, &e.to_string(), e.retryable()),
+                        ),
+                    ])
+                }
+            },
+        };
+        let mut bytes = serde_json::to_string(&line)
+            .unwrap_or_default()
+            .into_bytes();
+        bytes.push(b'\n');
+        if http::write_chunk(conn, &bytes).is_err() {
+            state
+                .metrics
+                .connections_reset
+                .fetch_add(1, Ordering::Relaxed);
+            return 200;
+        }
+    }
+    let done = serde_json::Value::Object(vec![(
+        "done".to_string(),
+        serde_json::Value::Object(vec![
+            (
+                "students".to_string(),
+                serde_json::Value::Num(serde_json::Number::U(batch.students.len() as u128)),
+            ),
+            (
+                "errors".to_string(),
+                serde_json::Value::Num(serde_json::Number::U(u128::from(errors))),
+            ),
+            (
+                "truncated".to_string(),
+                serde_json::Value::Bool(truncated_any),
+            ),
+        ]),
+    )]);
+    let mut bytes = serde_json::to_string(&done)
+        .unwrap_or_default()
+        .into_bytes();
+    bytes.push(b'\n');
+    let _ = http::write_chunk(conn, &bytes);
+    let _ = http::finish_chunks(conn);
+    200
 }
 
 #[cfg(test)]

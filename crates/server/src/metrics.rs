@@ -13,9 +13,11 @@ use crate::snapshot::SnapshotStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
 /// the known paths land in `other`.
-pub const ROUTES: [&str; 9] = [
+pub const ROUTES: [&str; 11] = [
     "explore",
     "explore-stream",
+    "advise",
+    "advise-batch",
     "catalog",
     "catalogs",
     "healthz",
@@ -23,6 +25,23 @@ pub const ROUTES: [&str; 9] = [
     "cache-invalidate",
     "snapshot",
     "other",
+];
+
+/// The deprecated wire surfaces, each with its own hit counter (the
+/// `deprecated-route-hits` breakdown on `/v1/metrics`): every unprefixed
+/// pre-`/v1` alias, plus the global cache invalidation that per-tenant
+/// invalidation superseded. All answer with `Deprecation` and `Sunset`
+/// headers; see `docs/WIRE_API.md` for the removal policy.
+pub const DEPRECATED_ROUTES: [&str; 9] = [
+    "/explore",
+    "/explore/stream",
+    "/advise",
+    "/advise/batch",
+    "/catalog",
+    "/healthz",
+    "/metrics",
+    "/cache/invalidate",
+    "/v1/cache/invalidate",
 ];
 
 /// Number of latency buckets: one sub-millisecond bucket, fifteen
@@ -47,6 +66,8 @@ pub fn route_label(path: &str) -> &'static str {
     match path {
         "/v1/explore" | "/explore" => "explore",
         "/v1/explore/stream" | "/explore/stream" => "explore-stream",
+        "/v1/advise" | "/advise" => "advise",
+        "/v1/advise/batch" | "/advise/batch" => "advise-batch",
         "/v1/catalog" | "/catalog" => "catalog",
         "/v1/healthz" | "/healthz" => "healthz",
         "/v1/metrics" | "/metrics" => "metrics",
@@ -141,6 +162,16 @@ pub struct Metrics {
     pub explore_paged: AtomicU64,
     /// Explorations streamed as NDJSON over `POST /v1/explore/stream`.
     pub explore_streamed: AtomicU64,
+    /// `POST /v1/advise` requests served (cache hits included).
+    pub advise_requests: AtomicU64,
+    /// Advising answers served from the response cache.
+    pub advise_cache_hits: AtomicU64,
+    /// Advising answers that ran the engine.
+    pub advise_computed: AtomicU64,
+    /// `POST /v1/advise/batch` cohort requests served.
+    pub advise_batch_requests: AtomicU64,
+    /// Individual students advised across every batch request.
+    pub advise_batch_students: AtomicU64,
     /// Responses with a 4xx status.
     pub client_errors: AtomicU64,
     /// Responses with a 5xx status (handler panics and shed connections
@@ -148,6 +179,8 @@ pub struct Metrics {
     pub server_errors: AtomicU64,
     /// Per-route latency histograms, indexed like [`ROUTES`].
     latency: [Histogram; ROUTES.len()],
+    /// Hits on deprecated surfaces, indexed like [`DEPRECATED_ROUTES`].
+    deprecated_hits: [AtomicU64; DEPRECATED_ROUTES.len()],
 }
 
 impl Metrics {
@@ -167,9 +200,24 @@ impl Metrics {
             explore_wait_ms: AtomicU64::new(0),
             explore_paged: AtomicU64::new(0),
             explore_streamed: AtomicU64::new(0),
+            advise_requests: AtomicU64::new(0),
+            advise_cache_hits: AtomicU64::new(0),
+            advise_computed: AtomicU64::new(0),
+            advise_batch_requests: AtomicU64::new(0),
+            advise_batch_students: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Histogram::new()),
+            deprecated_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts one request to a deprecated surface (a [`DEPRECATED_ROUTES`]
+    /// path). Unknown paths are ignored — callers pass the request path
+    /// verbatim.
+    pub fn count_deprecated(&self, path: &str) {
+        if let Some(idx) = DEPRECATED_ROUTES.iter().position(|r| *r == path) {
+            self.deprecated_hits[idx].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -223,12 +271,25 @@ impl Metrics {
             explore_wait_ms: load(&self.explore_wait_ms),
             explore_paged: load(&self.explore_paged),
             explore_streamed: load(&self.explore_streamed),
+            advise_requests: load(&self.advise_requests),
+            advise_cache_hits: load(&self.advise_cache_hits),
+            advise_computed: load(&self.advise_computed),
+            advise_batch_requests: load(&self.advise_batch_requests),
+            advise_batch_students: load(&self.advise_batch_students),
             client_errors: load(&self.client_errors),
             server_errors: load(&self.server_errors),
             latency: ROUTES
                 .iter()
                 .enumerate()
                 .map(|(i, route)| self.latency[i].snapshot(route))
+                .collect(),
+            deprecated_route_hits: DEPRECATED_ROUTES
+                .iter()
+                .enumerate()
+                .map(|(i, route)| DeprecatedRouteHits {
+                    route: route.to_string(),
+                    hits: load(&self.deprecated_hits[i]),
+                })
                 .collect(),
             cache,
             memo,
@@ -264,6 +325,16 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+/// One deprecated surface's traffic, as `GET /metrics` serializes it.
+#[derive(Debug, Clone, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct DeprecatedRouteHits {
+    /// The deprecated path, verbatim (a [`DEPRECATED_ROUTES`] member).
+    pub route: String,
+    /// Requests that path has answered since startup.
+    pub hits: u64,
+}
+
 /// What `GET /metrics` serializes.
 #[derive(Debug, Clone, serde::Serialize)]
 #[serde(rename_all = "kebab-case")]
@@ -295,6 +366,16 @@ pub struct MetricsSnapshot {
     pub explore_paged: u64,
     /// Explorations streamed as NDJSON.
     pub explore_streamed: u64,
+    /// `POST /v1/advise` requests served (cache hits included).
+    pub advise_requests: u64,
+    /// Advising answers served from the response cache.
+    pub advise_cache_hits: u64,
+    /// Advising answers that ran the engine.
+    pub advise_computed: u64,
+    /// `POST /v1/advise/batch` cohort requests served.
+    pub advise_batch_requests: u64,
+    /// Individual students advised across every batch request.
+    pub advise_batch_students: u64,
     /// Responses with a 4xx status.
     pub client_errors: u64,
     /// Responses with a 5xx status a handler produced (sheds and resets
@@ -302,6 +383,10 @@ pub struct MetricsSnapshot {
     pub server_errors: u64,
     /// Per-route latency histograms.
     pub latency: Vec<HistogramSnapshot>,
+    /// Requests to deprecated surfaces, one entry per
+    /// [`DEPRECATED_ROUTES`] member (zero-hit entries included, so
+    /// dashboards see the full deprecated surface).
+    pub deprecated_route_hits: Vec<DeprecatedRouteHits>,
     /// Response-cache statistics, aggregated across every tenant (retired
     /// epochs included, so the totals never go backwards on a swap).
     pub cache: CacheStats,
@@ -376,6 +461,43 @@ mod tests {
         assert!(json.contains("\"connections-reset\":0"), "{json}");
         assert!(json.contains("\"latency\":["), "{json}");
         assert!(json.contains("\"route\":\"explore\""), "{json}");
+        assert!(json.contains("\"advise-requests\":0"), "{json}");
+        assert!(json.contains("\"advise-batch-students\":0"), "{json}");
+        assert!(json.contains("\"deprecated-route-hits\":["), "{json}");
+        assert!(json.contains("\"route\":\"/cache/invalidate\""), "{json}");
+    }
+
+    #[test]
+    fn deprecated_hits_are_counted_per_route() {
+        let m = Metrics::new();
+        m.count_deprecated("/explore");
+        m.count_deprecated("/explore");
+        m.count_deprecated("/v1/cache/invalidate");
+        m.count_deprecated("/v1/explore"); // not deprecated: ignored
+        let snap = m.snapshot(
+            CacheStats::default(),
+            MemoRegistrySnapshot::default(),
+            SessionStats::default(),
+            OverloadSnapshot::default(),
+            Vec::new(),
+            SnapshotStats::default(),
+            0,
+            0,
+        );
+        let hits = |route: &str| {
+            snap.deprecated_route_hits
+                .iter()
+                .find(|h| h.route == route)
+                .map(|h| h.hits)
+        };
+        assert_eq!(hits("/explore"), Some(2));
+        assert_eq!(hits("/v1/cache/invalidate"), Some(1));
+        assert_eq!(hits("/advise"), Some(0), "zero-hit entries are present");
+        assert_eq!(
+            snap.deprecated_route_hits.len(),
+            DEPRECATED_ROUTES.len(),
+            "the breakdown covers the whole deprecated surface"
+        );
     }
 
     #[test]

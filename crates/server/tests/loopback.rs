@@ -355,12 +355,14 @@ fn malformed_and_unroutable_requests_get_4xx() {
     let resp = Client::connect(addr).send("POST", "/v1/explore", Some("{not json"));
     assert_eq!(resp.status, 400);
     assert!(resp.body.contains("bad exploration request"));
-    // Errors are typed: {"error":{"code":...,"message":...,"retryable":...}}.
+    // Validation errors are typed with the offending field:
+    // {"error":{"code":...,"field":...,"message":...,"retryable":...}}.
     assert!(
-        resp.body.contains("\"code\":\"bad-request\""),
+        resp.body.contains("\"code\":\"invalid-request\""),
         "{}",
         resp.body
     );
+    assert!(resp.body.contains("\"field\":\"body\""), "{}", resp.body);
     assert!(resp.body.contains("\"retryable\":false"), "{}", resp.body);
 
     // Valid JSON, invalid request (unknown course).

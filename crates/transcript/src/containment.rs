@@ -90,7 +90,7 @@ pub fn check_containment(
     }
     let path = transcript
         .to_path(explorer.catalog())
-        .map_err(ContainmentError::InvalidTransition)?;
+        .map_err(|e| ContainmentError::InvalidTransition(e.to_string()))?;
     if path.end().semester() > explorer.deadline() {
         return Err(ContainmentError::PastDeadline);
     }

@@ -30,4 +30,4 @@ pub use policy::{
     WorkloadAversePolicy,
 };
 pub use simulator::TranscriptSimulator;
-pub use transcript::Transcript;
+pub use transcript::{Transcript, TranscriptError};

@@ -1,8 +1,78 @@
 //! The transcript record type.
 
-use coursenav_catalog::{Catalog, CourseSet, Semester};
+use std::fmt;
+
+use coursenav_catalog::{Catalog, CourseCode, CourseSet, Semester};
 use coursenav_navigator::{EnrollmentStatus, Path};
 use serde::{Deserialize, Serialize};
+
+/// Why a transcript failed to validate against a catalog.
+///
+/// Every variant names the offending position inside the transcript, and
+/// [`TranscriptError::field`] renders it as a wire-API field path (e.g.
+/// `transcript.selections[2]`) so the serving layer can return typed
+/// validation errors that point at the exact input the client must fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranscriptError {
+    /// `selections[semester][position]` names a course the catalog lacks —
+    /// typically a transcript from a different catalog revision.
+    UnknownCourse {
+        /// Zero-based index of the semester whose selection names the course.
+        semester: usize,
+        /// Zero-based position of the code inside that selection.
+        position: usize,
+        /// The unresolvable course code, verbatim.
+        code: String,
+    },
+    /// `selections[semester]` elects at least one course that is not
+    /// eligible at that point (not offered, prerequisites unmet, or
+    /// already completed).
+    IneligibleSelection {
+        /// Zero-based index of the offending semester.
+        semester: usize,
+        /// The calendar semester that index falls in.
+        at: Semester,
+    },
+}
+
+impl TranscriptError {
+    /// The wire-API field path of the offending input, rooted at
+    /// `transcript` (the advise request's field name for the transcript).
+    pub fn field(&self) -> String {
+        match self {
+            TranscriptError::UnknownCourse {
+                semester, position, ..
+            } => format!("transcript.selections[{semester}][{position}]"),
+            TranscriptError::IneligibleSelection { semester, .. } => {
+                format!("transcript.selections[{semester}]")
+            }
+        }
+    }
+
+    /// Stable kebab-case error code for the wire API, matching the codes
+    /// [`coursenav_navigator::ServiceError`] uses for the same defects.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TranscriptError::UnknownCourse { .. } => "unknown-course",
+            TranscriptError::IneligibleSelection { .. } => "invalid-request",
+        }
+    }
+}
+
+impl fmt::Display for TranscriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranscriptError::UnknownCourse { semester, code, .. } => {
+                write!(f, "unknown course {code:?} in semester {semester}")
+            }
+            TranscriptError::IneligibleSelection { semester, at } => {
+                write!(f, "semester {semester} ({at}) elects ineligible courses")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranscriptError {}
 
 /// A student's transcript: the semester they started and the courses they
 /// elected each semester (possibly none — a semester without CS courses).
@@ -16,6 +86,34 @@ impl Transcript {
     /// Builds a transcript from a start semester and per-semester selections.
     pub fn new(start: Semester, selections: Vec<CourseSet>) -> Transcript {
         Transcript { start, selections }
+    }
+
+    /// Builds a transcript from per-semester course *codes* — the wire
+    /// vocabulary — resolving each against `catalog`. Fails with a
+    /// field-pathed [`TranscriptError::UnknownCourse`] on the first code
+    /// the catalog lacks; eligibility is checked separately by
+    /// [`Transcript::status_after`] / [`Transcript::to_path`].
+    pub fn from_codes(
+        catalog: &Catalog,
+        start: Semester,
+        selections: &[Vec<String>],
+    ) -> Result<Transcript, TranscriptError> {
+        let mut resolved = Vec::with_capacity(selections.len());
+        for (semester, codes) in selections.iter().enumerate() {
+            let mut set = CourseSet::EMPTY;
+            for (position, raw) in codes.iter().enumerate() {
+                let id = catalog.id_of(&CourseCode::new(raw)).ok_or_else(|| {
+                    TranscriptError::UnknownCourse {
+                        semester,
+                        position,
+                        code: raw.clone(),
+                    }
+                })?;
+                set.insert(id);
+            }
+            resolved.push(set);
+        }
+        Ok(Transcript::new(start, resolved))
     }
 
     /// The student's first semester.
@@ -42,25 +140,42 @@ impl Transcript {
         set
     }
 
-    /// Replays the transcript into a learning [`Path`] over the catalog.
-    ///
-    /// Fails (with a message naming the offending semester) if any selection
-    /// elects a course that is not eligible at that point — transcripts from
-    /// a different catalog revision do this in practice.
-    pub fn to_path(&self, catalog: &Catalog) -> Result<Path, String> {
+    /// Replays the transcript semester by semester, validating that every
+    /// selection was eligible when it was made. Returns every intermediate
+    /// [`EnrollmentStatus`], including the final one.
+    fn replay(&self, catalog: &Catalog) -> Result<Vec<EnrollmentStatus>, TranscriptError> {
         let mut statuses = vec![EnrollmentStatus::fresh(catalog, self.start)];
         for (i, sel) in self.selections.iter().enumerate() {
             let current = statuses.last().expect("nonempty by construction");
             if !sel.is_subset(current.options()) {
-                return Err(format!(
-                    "semester {} ({}) elects ineligible courses",
-                    i,
-                    current.semester()
-                ));
+                return Err(TranscriptError::IneligibleSelection {
+                    semester: i,
+                    at: current.semester(),
+                });
             }
             statuses.push(current.advance(catalog, sel));
         }
+        Ok(statuses)
+    }
+
+    /// Replays the transcript into a learning [`Path`] over the catalog.
+    ///
+    /// Fails (naming the offending semester) if any selection elects a
+    /// course that is not eligible at that point — transcripts from a
+    /// different catalog revision do this in practice.
+    pub fn to_path(&self, catalog: &Catalog) -> Result<Path, TranscriptError> {
+        let statuses = self.replay(catalog)?;
         Ok(Path::new(statuses, self.selections.clone()))
+    }
+
+    /// The student's enrollment status *after* the transcript: the semester
+    /// they are about to select courses for, with everything the transcript
+    /// covers completed. This is the advising workload's starting state —
+    /// validated by the same replay as [`Transcript::to_path`], so an
+    /// ineligible historical selection is rejected, not silently unioned.
+    pub fn status_after(&self, catalog: &Catalog) -> Result<EnrollmentStatus, TranscriptError> {
+        let statuses = self.replay(catalog)?;
+        Ok(*statuses.last().expect("nonempty by construction"))
     }
 
     /// The transcript truncated at the first point where `completed`
@@ -118,7 +233,63 @@ mod tests {
         // B is not offered in Fall 2011.
         let t = Transcript::new(Semester::new(2011, Term::Fall), vec![ids(&[1])]);
         let err = t.to_path(&cat).unwrap_err();
-        assert!(err.contains("Fall 2011"), "{err}");
+        assert!(err.to_string().contains("Fall 2011"), "{err}");
+        assert_eq!(
+            err,
+            TranscriptError::IneligibleSelection {
+                semester: 0,
+                at: Semester::new(2011, Term::Fall),
+            }
+        );
+        assert_eq!(err.field(), "transcript.selections[0]");
+        assert_eq!(err.code(), "invalid-request");
+    }
+
+    #[test]
+    fn from_codes_resolves_and_field_paths_unknowns() {
+        let cat = catalog();
+        let fall11 = Semester::new(2011, Term::Fall);
+        let t = Transcript::from_codes(
+            &cat,
+            fall11,
+            &[vec!["A".to_string()], vec!["B".to_string()]],
+        )
+        .unwrap();
+        assert_eq!(t, Transcript::new(fall11, vec![ids(&[0]), ids(&[1])]));
+
+        let err = Transcript::from_codes(
+            &cat,
+            fall11,
+            &[
+                vec!["A".to_string()],
+                vec!["B".to_string(), "GHOST 9".to_string()],
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TranscriptError::UnknownCourse {
+                semester: 1,
+                position: 1,
+                code: "GHOST 9".into(),
+            }
+        );
+        assert_eq!(err.field(), "transcript.selections[1][1]");
+        assert_eq!(err.code(), "unknown-course");
+    }
+
+    #[test]
+    fn status_after_is_the_advising_start_state() {
+        let cat = catalog();
+        let t = Transcript::new(Semester::new(2011, Term::Fall), vec![ids(&[0])]);
+        let status = t.status_after(&cat).unwrap();
+        assert_eq!(status.semester(), Semester::new(2012, Term::Spring));
+        assert_eq!(*status.completed(), ids(&[0]));
+        // The empty transcript's status is the fresh student.
+        let empty = Transcript::new(Semester::new(2011, Term::Fall), vec![]);
+        let status = empty.status_after(&cat).unwrap();
+        assert!(status.completed().is_empty());
+        assert_eq!(status.semester(), Semester::new(2011, Term::Fall));
     }
 
     #[test]

@@ -78,3 +78,42 @@ echo "..."
 echo
 echo "The final {\"done\": ...} line carries the next_cursor; it resumes"
 echo "on either /v1/explore or /v1/explore/stream."
+echo
+
+echo "== 5. Advising: a transcript in, next-semester picks + completions out"
+ADVISE='{"transcript": {"start": "Fall 2012",
+                        "selections": [["COSI 10A", "COSI 11A", "COSI 29A"]]},
+         "deadline": "Spring 2015", "goal": "degree", "k": 2}'
+req /v1/advise "$ADVISE" | python3 -c '
+import json, sys
+resp = json.load(sys.stdin)
+status = resp["status"]
+print("advising for %s: %d done" % (status["semester"], len(status["completed"])))
+for rec in resp["recommendations"][:3]:
+    print("  take %s: %d goal paths stay open" % (rec["courses"], rec["goal-paths"]))
+print("top completions by %s: %d" % (resp["ranking"], len(resp["completions"])))'
+echo
+
+echo "== 6. Advising errors: the field path names the bad selection"
+req /v1/advise '{"transcript": {"start": "Fall 2012",
+                                "selections": [["GHOST 1"]]},
+                 "deadline": "Spring 2015"}'
+echo; echo
+
+echo "== 7. Cohort advising: one warm memo table, NDJSON out"
+BATCH='{"students": [
+          {"start": "Fall 2012", "selections": [["COSI 10A", "COSI 11A", "COSI 29A"]]},
+          {"start": "Fall 2012", "selections": [["COSI 10A", "COSI 11A"], ["COSI 12B", "COSI 29A"]]}
+        ],
+        "deadline": "Spring 2015", "goal": "degree", "k": 1}'
+curl -sSN -X POST "$BASE/v1/advise/batch" -d "$BATCH" | python3 -c '
+import json, sys
+for line in sys.stdin:
+    row = json.loads(line)
+    if "advise" in row:
+        n = len(row["advise"]["recommendations"])
+        print("student %d: %d recommendations" % (row["student"], n))
+    elif "error" in row:
+        print("student %d: %s" % (row["student"], row["error"]["code"]))
+    else:
+        print("done: %s" % json.dumps(row["done"]))'

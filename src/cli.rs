@@ -15,16 +15,19 @@
 //!   paths                        print learning paths (up to --limit)
 //!   topk                         top-k ranked paths (Algorithm 3)
 //!   impact                       rank this semester's selection options
+//!   advise                       next-semester recommendations + top-k
+//!                                completions from a --transcript
 //!   pareto                       time/workload trade-off curve of goal paths
 //!   progress                     degree progress for --completed courses
 //!   explain <CODE>               one course: prerequisites, schedule, odds
 //!   lint                         catalog quality checks
 //!   export                       normalized registrar text (or --json)
 //!   dot                          Graphviz export (--dag for the state DAG)
-//!   serve                        HTTP server (POST /v1/explore, POST
-//!                                /v1/explore/stream, GET /v1/catalog,
-//!                                GET /v1/healthz, GET /v1/metrics, plus
-//!                                the /v1/catalogs tenant admin routes)
+//!   serve                        HTTP server: the full /v1 wire API
+//!                                (explore, explore/stream, advise,
+//!                                advise/batch, catalog, healthz, metrics,
+//!                                snapshot, and the /v1/catalogs tenant
+//!                                admin routes — see docs/WIRE_API.md)
 //!
 //! common flags:
 //!   --start <sem>   --deadline <sem>   --m <n>
@@ -32,6 +35,9 @@
 //!   --completed CODE,CODE        --avoid CODE,CODE
 //!   --no-prune                   --limit <n>   --k <n>
 //!   --ranking time|workload|reliability
+//!   --transcript "A,B;C"         per-semester course codes for `advise`
+//!                                (';' separates semesters, ',' courses;
+//!                                the transcript starts at --start)
 //!
 //! serve flags:
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
@@ -52,8 +58,8 @@ use std::fmt;
 
 use coursenav_catalog::{CourseCode, Semester};
 use coursenav_navigator::{
-    ExplorationRequest, ExplorationResponse, GoalSpec, NavigatorService, OutputMode, PruneConfig,
-    RankingSpec, ServiceError,
+    AdviseRequest, ExplorationRequest, ExplorationResponse, GoalSpec, NavigatorService, OutputMode,
+    PruneConfig, RankingSpec, ServiceError, TranscriptSpec,
 };
 use coursenav_navigator::{TimeRanking, WorkloadRanking};
 use coursenav_registrar::{
@@ -61,6 +67,7 @@ use coursenav_registrar::{
     RegistrarData,
 };
 use coursenav_server::{Server, ServerConfig};
+use coursenav_transcript::Transcript;
 use coursenav_viz::{graph_to_dot, render_path, render_path_list, state_dag_to_dot, DotOptions};
 
 /// CLI failure, rendered to stderr by the binary.
@@ -99,7 +106,7 @@ impl From<ServiceError> for CliError {
 }
 
 const USAGE: &str = "usage: coursenav <catalog.cnav | builtin:brandeis> \
-<info|count|paths|topk|impact|pareto|progress|explain|lint|export|dot|serve> [flags]\n\
+<info|count|paths|topk|impact|advise|pareto|progress|explain|lint|export|dot|serve> [flags]\n\
 see `coursenav help` for flags";
 
 /// Parsed command-line flags.
@@ -115,6 +122,7 @@ struct Flags {
     limit: usize,
     k: usize,
     ranking: RankingSpec,
+    transcript: Option<String>,
     dag: bool,
     json: bool,
     addr: Option<String>,
@@ -149,6 +157,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         limit: 20,
         k: 5,
         ranking: RankingSpec::Time,
+        transcript: None,
         dag: false,
         json: false,
         addr: None,
@@ -224,6 +233,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     other => return Err(CliError::Usage(format!("unknown ranking {other:?}"))),
                 }
             }
+            "--transcript" => flags.transcript = Some(value("--transcript")?.clone()),
             "--dag" => flags.dag = true,
             "--json" => flags.json = true,
             "--addr" => flags.addr = Some(value("--addr")?.clone()),
@@ -391,9 +401,11 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
         server.local_addr()
     );
     println!(
-        "routes: POST /v1/explore, POST /v1/explore/stream, GET /v1/catalog, GET /v1/healthz, \
-         GET /v1/metrics, GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
-         POST /v1/catalogs/{{tenant}}/invalidate, POST /v1/snapshot"
+        "routes: POST /v1/explore, POST /v1/explore/stream, POST /v1/advise, \
+         POST /v1/advise/batch, GET /v1/catalog, GET /v1/healthz, GET /v1/metrics, \
+         GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
+         POST /v1/catalogs/{{tenant}}/invalidate, POST /v1/snapshot \
+         (see docs/WIRE_API.md)"
     );
     server.block_forever()
 }
@@ -550,6 +562,60 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     out.push_str(&format!(", {} goal paths", impact.goal_paths));
                 }
                 out.push('\n');
+            }
+        }
+        "advise" => {
+            let start = flags.start.unwrap_or(data.horizon.0);
+            let deadline = flags.deadline.unwrap_or(data.horizon.1);
+            // "A,B;C" → [[A,B],[C]]: semicolons separate semesters, commas
+            // courses. A trailing ';' is an explicit empty (wait) semester.
+            let selections: Vec<Vec<String>> = flags
+                .transcript
+                .as_deref()
+                .map(|t| t.split(';').map(split_codes).collect())
+                .unwrap_or_default();
+            let spec = TranscriptSpec { start, selections };
+            // The same replay validation the server performs, so the CLI
+            // refuses an unreplayable transcript with the field at fault.
+            Transcript::from_codes(&data.catalog, spec.start, &spec.selections)
+                .and_then(|t| t.status_after(&data.catalog).map(|_| ()))
+                .map_err(|e| CliError::Usage(format!("{e} ({})", e.field())))?;
+            let mut areq = AdviseRequest::new(spec, deadline);
+            areq.interests = Some(flags.ranking.clone());
+            areq.max_per_semester = flags.m;
+            areq.goal = flags.goal.clone();
+            areq.k = Some(flags.k);
+            let resp = service.advise(&areq)?;
+            out.push_str(&format!(
+                "advising for {}: {} completed, options {}\n",
+                resp.status.semester,
+                resp.status.completed.len(),
+                if resp.status.options.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    resp.status.options.join(", ")
+                }
+            ));
+            out.push_str("next semester, by doors kept open:\n");
+            for rec in &resp.recommendations {
+                let label = if rec.courses.is_empty() {
+                    "(wait)".to_string()
+                } else {
+                    rec.courses.join(" + ")
+                };
+                out.push_str(&format!(
+                    "  {label:<40} -> {} options next, {} paths, {} goal paths\n",
+                    rec.options_next_semester, rec.paths, rec.goal_paths
+                ));
+            }
+            out.push_str(&format!(
+                "top {} completions by {}:\n",
+                resp.completions.len(),
+                resp.ranking
+            ));
+            for (i, rp) in resp.completions.iter().enumerate() {
+                out.push_str(&format!("--- #{} (cost {:.2}) ---\n", i + 1, rp.cost));
+                out.push_str(&render_path(&rp.path, &data.catalog));
             }
         }
         "dot" => {
@@ -895,6 +961,74 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(out.lines().count(), 1, "{out}");
+    }
+
+    #[test]
+    fn advise_recommends_from_a_transcript() {
+        let out = run(&[
+            "builtin:brandeis",
+            "advise",
+            "--transcript",
+            "COSI 10A,COSI 11A,COSI 29A",
+            "--deadline",
+            "Spring 2015",
+            "--goal",
+            "degree",
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        // The transcript covers Fall 2012, so advising targets Spring 2013.
+        assert!(out.contains("advising for Spring 2013"), "{out}");
+        assert!(out.contains("3 completed"), "{out}");
+        assert!(out.contains("next semester, by doors kept open"), "{out}");
+        assert!(out.contains("goal paths"), "{out}");
+        assert!(out.contains("completions by time"), "{out}");
+    }
+
+    #[test]
+    fn advise_without_transcript_is_the_fresh_student() {
+        let out = run(&[
+            "builtin:brandeis",
+            "advise",
+            "--deadline",
+            "Fall 2014",
+            "--goal",
+            "degree",
+            "--k",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("advising for Fall 2012"), "{out}");
+        assert!(out.contains("0 completed"), "{out}");
+    }
+
+    #[test]
+    fn advise_refuses_unreplayable_transcripts() {
+        // Unknown course: the error names the transcript field at fault.
+        let err = run(&[
+            "builtin:brandeis",
+            "advise",
+            "--transcript",
+            "GHOST 1",
+            "--deadline",
+            "Fall 2014",
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("transcript.selections[0][0]"), "{msg}");
+        // Ineligible selection: COSI 21A needs COSI 12B first.
+        let err = run(&[
+            "builtin:brandeis",
+            "advise",
+            "--transcript",
+            "COSI 21A",
+            "--deadline",
+            "Fall 2014",
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("transcript.selections[0]"), "{msg}");
     }
 
     #[test]
