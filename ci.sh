@@ -41,6 +41,21 @@ echo "==> bench8 smoke (cohort advising through one warm memo table)"
 # artifact is well-formed JSON with the expected row shape.
 cargo run -q -p coursenav-bench --release --bin bench8 -- --smoke
 
+echo "==> bench9 smoke (connection scale on the event-driven core)"
+# Runs the three-phase baseline / held-idle / active-under-held ladder
+# at 64 idle + 32 active connections, asserting zero request errors and
+# that the parked fleet shows up on the event-loop gauges; also checks
+# that the committed BENCH_9.json artifact is well-formed and still
+# shows the headline numbers (>= 10k held, p99 within 2x of baseline).
+cargo run -q -p coursenav-bench --release --bin bench9 -- --smoke
+
+echo "==> cargo test (event core: connection lifecycle + state machine)"
+# The PR 9 battery: held connections cost gauges not threads, slots
+# recycle, the single timer wheel pins 408-vs-silent-close, the accept
+# cap sheds typed 503s, and the byte-split proptests hold the machine
+# identical to whole-buffer delivery down to 1-byte drips.
+cargo test -q -p coursenav-server --test event_core --test conn_machine --test overload
+
 echo "==> wire API walkthrough against a live loopback server"
 # Boots the real binary and drives every documented workload family —
 # deprecation redirects, typed errors, paged + streamed exploration,

@@ -24,6 +24,7 @@
 //! | `ResetMidWrite`       | the connection drops after a partial response  |
 //! | `MemoInsertDropped`   | a transposition-table store is silently skipped |
 //! | `SnapshotWriteTorn`   | a snapshot write stops halfway through its temp file |
+//! | `ConnectionStall`     | the peer stops reading mid-response (writes freeze) |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -51,10 +52,14 @@ pub enum FaultSite {
     /// mid-write). The rename never happens, so the previous complete
     /// snapshot — or a cold start — is what a restart sees.
     SnapshotWriteTorn,
+    /// The peer stops reading mid-response: the event loop freezes this
+    /// connection's socket writes until the write-stall reaper fires,
+    /// proving a stalled consumer never blocks the loop or a worker.
+    ConnectionStall,
 }
 
 /// Every site, in counter-index order.
-pub const SITES: [FaultSite; 8] = [
+pub const SITES: [FaultSite; 9] = [
     FaultSite::PanicBeforeCompute,
     FaultSite::PanicAfterCompute,
     FaultSite::ComputeDelay,
@@ -63,6 +68,7 @@ pub const SITES: [FaultSite; 8] = [
     FaultSite::ResetMidWrite,
     FaultSite::MemoInsertDropped,
     FaultSite::SnapshotWriteTorn,
+    FaultSite::ConnectionStall,
 ];
 
 /// A seeded, per-site fault schedule. See the module docs.

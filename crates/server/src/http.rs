@@ -84,44 +84,45 @@ fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
         .map(|p| from + p + 4)
 }
 
-/// Reads and parses one request from `stream`. `max_body` caps the body;
-/// on [`ParseError::BodyTooLarge`] the caller should answer 413 and close
-/// (the unread body would otherwise desynchronize the connection).
-///
-/// `buf` is the connection's carry buffer: bytes read past the end of this
-/// request (HTTP/1.1 pipelining batches several requests into one TCP
-/// segment) are left in it for the next call, which parses them before
-/// touching the socket again. On an error return the buffer holds whatever
-/// partial request had arrived — the caller uses that to distinguish an
-/// idle keep-alive timeout (empty: close silently) from a stalled
-/// mid-request client (non-empty: answer `408`).
-///
-/// Sends `HTTP/1.1 100 Continue` when the client asked for it — curl does
-/// this for POST bodies above its threshold, and without the interim
-/// response it stalls for a second before sending the body.
-pub fn read_request<S: Read + Write>(
-    stream: &mut S,
+/// A fully parsed request head, pinned to its byte extent in the carry
+/// buffer. Produced by [`parse_head`]; once [`body_complete`] says the
+/// declared body has arrived, [`take_request`] consumes the bytes and
+/// yields the [`Request`]. The split lets the event-driven core parse
+/// incrementally as bytes trickle in — the head is parsed exactly once
+/// no matter how the client fragments its writes.
+#[derive(Debug, Clone)]
+pub struct HeadInfo {
+    /// Offset one past the `\r\n\r\n` terminator in the carry buffer.
+    pub head_end: usize,
+    /// Declared `Content-Length` (0 when absent), already ≤ the cap.
+    pub content_length: usize,
+    /// Whether the client sent `Expect: 100-continue`.
+    pub expects_continue: bool,
+    method: String,
+    path: String,
+    query: Option<String>,
+    headers: Vec<(String, String)>,
+    keep_alive: bool,
+}
+
+/// Incremental head parse over the carry buffer. Returns `Ok(None)` when
+/// the terminator has not arrived yet (read more and call again),
+/// `Ok(Some(head))` once the head parsed cleanly, or the same errors the
+/// blocking reader raised. `scanned` is the resumable scan cursor: the
+/// caller keeps it across calls so a slow-trickle client costs O(n)
+/// total instead of O(n²) rescans, and resets it to 0 for each new
+/// request.
+pub fn parse_head(
+    buf: &[u8],
+    scanned: &mut usize,
     max_body: usize,
-    buf: &mut Vec<u8>,
-) -> Result<Request, ParseError> {
-    let mut chunk = [0u8; 4096];
-    let mut scanned = 0usize;
-    let head_end = loop {
-        if let Some(end) = find_head_end(buf, scanned) {
-            break end;
-        }
-        scanned = buf.len().saturating_sub(3);
+) -> Result<Option<HeadInfo>, ParseError> {
+    let Some(head_end) = find_head_end(buf, *scanned) else {
+        *scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ParseError::HeadTooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(io_error)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(ParseError::ConnectionClosed);
-            }
-            return Err(ParseError::Malformed("truncated request head".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
 
     let head = std::str::from_utf8(&buf[..head_end - 4])
@@ -142,10 +143,6 @@ pub fn read_request<S: Read + Write>(
             "unsupported version {version:?}"
         )));
     }
-    // Own the request-line pieces now: the body loop below appends to
-    // (and finally drains) `buf`, which `head` borrows.
-    let method = method.to_string();
-    let target = target.to_string();
     let http11 = version == "HTTP/1.1";
 
     let mut headers = Vec::new();
@@ -190,41 +187,105 @@ pub fn read_request<S: Read + Write>(
         _ => http11,
     };
 
-    if header("expect")
+    let expects_continue = header("expect")
         .map(|v| v.eq_ignore_ascii_case("100-continue"))
-        .unwrap_or(false)
-        && content_length > buf.len() - head_end
-    {
-        stream
-            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-            .map_err(io_error)?;
-    }
-
-    while buf.len() < head_end + content_length {
-        let n = stream.read(&mut chunk).map_err(io_error)?;
-        if n == 0 {
-            return Err(ParseError::Malformed("truncated request body".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    }
-    // Consume exactly this request's bytes; anything beyond the declared
-    // body is the start of the next pipelined request and stays buffered.
-    let body = buf[head_end..head_end + content_length].to_vec();
-    buf.drain(..head_end + content_length);
+        .unwrap_or(false);
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
     };
 
-    Ok(Request {
-        method,
+    Ok(Some(HeadInfo {
+        head_end,
+        content_length,
+        expects_continue,
+        method: method.to_string(),
         path,
         query,
         headers,
-        body,
         keep_alive,
-    })
+    }))
+}
+
+/// Whether the declared body has fully arrived in the carry buffer.
+pub fn body_complete(buf: &[u8], head: &HeadInfo) -> bool {
+    buf.len() >= head.head_end + head.content_length
+}
+
+/// Consumes exactly this request's bytes from the carry buffer; anything
+/// beyond the declared body is the start of the next pipelined request
+/// and stays buffered. Call only after [`body_complete`].
+pub fn take_request(buf: &mut Vec<u8>, head: HeadInfo) -> Request {
+    debug_assert!(body_complete(buf, &head));
+    let body = buf[head.head_end..head.head_end + head.content_length].to_vec();
+    buf.drain(..head.head_end + head.content_length);
+    Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        headers: head.headers,
+        body,
+        keep_alive: head.keep_alive,
+    }
+}
+
+/// Reads and parses one request from `stream`. `max_body` caps the body;
+/// on [`ParseError::BodyTooLarge`] the caller should answer 413 and close
+/// (the unread body would otherwise desynchronize the connection).
+///
+/// `buf` is the connection's carry buffer: bytes read past the end of this
+/// request (HTTP/1.1 pipelining batches several requests into one TCP
+/// segment) are left in it for the next call, which parses them before
+/// touching the socket again. On an error return the buffer holds whatever
+/// partial request had arrived — the caller uses that to distinguish an
+/// idle keep-alive timeout (empty: close silently) from a stalled
+/// mid-request client (non-empty: answer `408`).
+///
+/// Sends `HTTP/1.1 100 Continue` when the client asked for it — curl does
+/// this for POST bodies above its threshold, and without the interim
+/// response it stalls for a second before sending the body.
+///
+/// This is the blocking driver over [`parse_head`] / [`take_request`];
+/// the event-driven core drives the same functions from readiness
+/// callbacks instead (`conn.rs`), so both cores share one parser.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+    buf: &mut Vec<u8>,
+) -> Result<Request, ParseError> {
+    let mut chunk = [0u8; 4096];
+    let mut scanned = 0usize;
+    let head = loop {
+        match parse_head(buf, &mut scanned, max_body)? {
+            Some(head) => break head,
+            None => {
+                let n = stream.read(&mut chunk).map_err(io_error)?;
+                if n == 0 {
+                    if buf.is_empty() {
+                        return Err(ParseError::ConnectionClosed);
+                    }
+                    return Err(ParseError::Malformed("truncated request head".into()));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    };
+
+    if head.expects_continue && head.content_length > buf.len() - head.head_end {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(io_error)?;
+    }
+
+    while !body_complete(buf, &head) {
+        let n = stream.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("truncated request body".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(take_request(buf, head))
 }
 
 /// The canonical reason phrase for the status codes this server emits.

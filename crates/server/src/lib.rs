@@ -64,13 +64,25 @@
 //! byte-identical to one unpaged run. Paged requests bypass the response
 //! cache and singleflight (each page is single-use by construction).
 //!
-//! No async runtime, no HTTP framework: `std::net` sockets, a crossbeam
-//! channel, and parking_lot locks. See [`http`] for the wire protocol,
-//! [`pool`] for the threading model, [`cache`] for the LRU.
+//! No async runtime, no HTTP framework: `std::net` sockets, raw `epoll`
+//! (see [`sys`]), a crossbeam channel, and parking_lot locks.
+//!
+//! **Threading model (PR 9).** One event-loop thread owns every
+//! connection: nonblocking accept, epoll readiness, incremental parsing
+//! through a per-connection staged state machine ([`conn`]), and
+//! response/stream writes as each socket drains. The worker pool
+//! ([`pool`]) does *compute only* — one job per dispatched request —
+//! so an idle keep-alive connection costs a slab slot and its buffers,
+//! not a parked thread, and the concurrency ceiling is the fd limit
+//! rather than the thread count. All idle/408/write-stall deadlines
+//! live in one timer wheel ([`timer`]) inside the loop. See [`http`]
+//! for the wire protocol, [`cache`] for the LRU.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conn;
+mod event;
 pub mod faults;
 pub mod http;
 pub mod memo;
@@ -81,8 +93,11 @@ pub mod registry;
 pub mod session;
 pub mod singleflight;
 pub mod snapshot;
+pub mod sys;
+pub mod timer;
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,7 +113,7 @@ use coursenav_navigator::{
 use coursenav_registrar::{json::catalog_to_json, parse_registrar_file, RegistrarData};
 use coursenav_transcript::{Transcript, TranscriptError};
 
-use http::{ParseError, Request, Response};
+use http::{Request, Response};
 pub use memo::MemoRegistrySnapshot;
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
@@ -128,14 +143,28 @@ macro_rules! chaos {
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
     pub addr: String,
-    /// Worker threads (each owns one connection at a time).
+    /// Compute worker threads (the event loop owns every connection;
+    /// workers only run routed requests).
     pub threads: usize,
     /// Response-cache budget in mebibytes, *per tenant partition* (the
     /// budget is a cap, not an allocation — an idle tenant's cache costs
     /// nothing).
     pub cache_mb: usize,
-    /// Accepted-but-unclaimed connection queue; beyond it, 503.
+    /// Dispatched-but-unclaimed compute queue; a request arriving
+    /// beyond it is shed with 503 (and under [`ServerConfig::max_connections`]'s
+    /// default, connections beyond `threads + queue_depth` shed at
+    /// accept — the same admission the bounded hand-off queue enforced
+    /// under thread-per-connection).
     pub queue_depth: usize,
+    /// Hard cap on concurrently held connections; beyond it, accepts
+    /// answer the saturation 503 and close. `None` derives
+    /// `threads + queue_depth`, matching the old thread-pool ceiling;
+    /// raise it to hold large idle keep-alive populations.
+    pub max_connections: Option<usize>,
+    /// Byte cap on each streaming response's hand-off buffer between
+    /// the compute worker and the event loop. A stalled client blocks
+    /// its worker only until the write-stall reaper frees it.
+    pub stream_buffer_bytes: usize,
     /// Per-request body cap in bytes.
     pub max_body_bytes: usize,
     /// How long a keep-alive connection may sit idle between requests.
@@ -182,6 +211,8 @@ impl Default for ServerConfig {
             threads: 4,
             cache_mb: 64,
             queue_depth: 64,
+            max_connections: None,
+            stream_buffer_bytes: 4 << 20,
             max_body_bytes: 1 << 20,
             keep_alive: Duration::from_secs(5),
             default_budget_ms: Some(10_000),
@@ -268,7 +299,12 @@ struct Snapshotter {
 }
 
 /// A running server. Dropping it shuts it down gracefully.
+///
+/// Field order is teardown order: the event loop stops first (closing
+/// every connection and stream buffer, which frees any blocked worker
+/// and drops its pool handle), then the pool disconnects and joins.
 pub struct Server {
+    events: event::EventLoop,
     pool: pool::Pool,
     addr: SocketAddr,
     state: Arc<AppState>,
@@ -312,43 +348,114 @@ impl Server {
             faults: Arc::clone(&config.faults),
         });
 
-        let handler = {
-            let state = Arc::clone(&state);
-            let max_body = config.max_body_bytes;
-            let keep_alive = config.keep_alive;
-            Arc::new(move |conn: TcpStream| {
-                handle_connection(&state, conn, max_body, keep_alive);
-            })
-        };
-        let on_shed = {
-            let state = Arc::clone(&state);
-            Arc::new(move || {
-                // Sheds get their own counter, deliberately *not* folded
-                // into `server_errors`: a shed is load-control working as
-                // designed, and overload dashboards need it distinguishable
-                // from handler failures.
-                state
-                    .metrics
-                    .connections_shed
-                    .fetch_add(1, Ordering::Relaxed);
-                // The advertised retry-after: the breaker's remaining
-                // cooldown when it is open (rounded up), else the minimum.
-                state
-                    .overload
-                    .remaining_open()
-                    .map(|d| d.as_secs() + u64::from(d.subsec_nanos() > 0))
-                    .unwrap_or(1)
-                    .max(1)
-            })
-        };
         let depth_gauge = state.overload.queue_gauge();
-        let pool = pool::spawn(
+        let pool = pool::spawn(config.threads, Arc::clone(&depth_gauge));
+        let hooks = {
+            let metrics_accept = Arc::clone(&state);
+            let metrics_request = Arc::clone(&state);
+            let can_dispatch_state = Arc::clone(&state);
+            let shed_state = Arc::clone(&state);
+            let status_state = Arc::clone(&state);
+            let reset_state = Arc::clone(&state);
+            #[cfg(feature = "chaos")]
+            let tear_state = Arc::clone(&state);
+            #[cfg(feature = "chaos")]
+            let stall_state = Arc::clone(&state);
+            let handle_state = Arc::clone(&state);
+            let submitter = pool.handle();
+            let queue_depth = config.queue_depth.max(1) as u64;
+            event::Hooks {
+                on_accept: Box::new(move || {
+                    metrics_accept
+                        .metrics
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                }),
+                on_request: Box::new(move || {
+                    metrics_request
+                        .metrics
+                        .requests_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }),
+                can_dispatch: Box::new(move || {
+                    can_dispatch_state
+                        .overload
+                        .queue_gauge()
+                        .load(Ordering::Relaxed)
+                        < queue_depth
+                }),
+                on_shed: Box::new(move || {
+                    // Sheds get their own counter, deliberately *not*
+                    // folded into `server_errors`: a shed is load-control
+                    // working as designed, and overload dashboards need it
+                    // distinguishable from handler failures.
+                    shed_state
+                        .metrics
+                        .connections_shed
+                        .fetch_add(1, Ordering::Relaxed);
+                    // The advertised retry-after: the breaker's remaining
+                    // cooldown when it is open (rounded up), else the
+                    // minimum.
+                    shed_state
+                        .overload
+                        .remaining_open()
+                        .map(|d| d.as_secs() + u64::from(d.subsec_nanos() > 0))
+                        .unwrap_or(1)
+                        .max(1)
+                }),
+                on_status: Box::new(move |status| {
+                    status_state.metrics.count_status(status);
+                }),
+                on_reset: Box::new(move || {
+                    reset_state
+                        .metrics
+                        .connections_reset
+                        .fetch_add(1, Ordering::Relaxed);
+                }),
+                #[cfg(feature = "chaos")]
+                chaos_tear: Box::new(move || {
+                    if tear_state.faults.fires(faults::FaultSite::ResetMidWrite) {
+                        // Count before the tear goes on the wire: the
+                        // moment the peer sees the torn bytes the counter
+                        // must already reflect it.
+                        tear_state
+                            .metrics
+                            .connections_reset
+                            .fetch_add(1, Ordering::Relaxed);
+                        true
+                    } else {
+                        false
+                    }
+                }),
+                #[cfg(not(feature = "chaos"))]
+                chaos_tear: Box::new(|| false),
+                #[cfg(feature = "chaos")]
+                chaos_stall: Box::new(move || {
+                    stall_state.faults.fires(faults::FaultSite::ConnectionStall)
+                }),
+                #[cfg(not(feature = "chaos"))]
+                chaos_stall: Box::new(|| false),
+                handle: Box::new(move |request, responder| {
+                    let state = Arc::clone(&handle_state);
+                    submitter.submit(Box::new(move || {
+                        run_request(&state, request, responder);
+                    }));
+                }),
+            }
+        };
+        let max_connections = config
+            .max_connections
+            .unwrap_or(config.threads.max(1) + config.queue_depth.max(1));
+        let events = event::EventLoop::spawn(
             listener,
-            config.threads,
-            config.queue_depth,
-            handler,
-            on_shed,
-            depth_gauge,
+            event::EventConfig {
+                max_body: config.max_body_bytes,
+                keep_alive: config.keep_alive,
+                max_connections,
+                stream_buffer: config.stream_buffer_bytes,
+            },
+            hooks,
+            Arc::clone(&state.metrics.event),
         )?;
         // The periodic snapshotter: one thread, woken early by shutdown.
         // It writes on each tick; the first snapshot lands one period in
@@ -375,6 +482,7 @@ impl Server {
             Snapshotter { stop, handle }
         });
         Ok(Server {
+            events,
             pool,
             addr,
             state,
@@ -489,8 +597,10 @@ impl Server {
         Ok(report)
     }
 
-    /// Graceful shutdown: stop accepting, drain the queue, join every
-    /// thread (the snapshotter first, so no write races the teardown).
+    /// Graceful shutdown: the snapshotter first (so no write races the
+    /// teardown), then the event loop (closing every connection and
+    /// stream buffer, which unblocks any streaming worker and drops the
+    /// loop's pool handle), then the compute pool disconnects and joins.
     pub fn shutdown(mut self) {
         if let Some(snapshotter) = self.snapshotter.take() {
             {
@@ -500,6 +610,7 @@ impl Server {
             }
             let _ = snapshotter.handle.join();
         }
+        self.events.shutdown();
         self.pool.shutdown();
     }
 
@@ -512,93 +623,41 @@ impl Server {
     }
 }
 
-/// One connection, start to finish: parse, route, respond, repeat while
-/// keep-alive holds. `carry` holds pipelined bytes that arrived beyond one
-/// request's framing; the next iteration parses them before reading more.
-fn handle_connection(state: &AppState, mut conn: TcpStream, max_body: usize, keep_alive: Duration) {
-    state
-        .metrics
-        .connections_accepted
-        .fetch_add(1, Ordering::Relaxed);
-    let _ = conn.set_read_timeout(Some(keep_alive));
-    let _ = conn.set_nodelay(true);
-    let mut carry = Vec::with_capacity(1024);
-    loop {
-        let (response, keep_open) = match http::read_request(&mut conn, max_body, &mut carry) {
-            Ok(request) => {
-                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                // Streaming bypasses the buffered request→response shape:
-                // the handler owns the socket and writes chunks as the
-                // engine yields paths. Always closes when done — chunked
-                // framing is self-delimiting, but a mid-stream abort has
-                // no other way to signal failure.
-                if request.method == "POST" && request.path == "/v1/explore/stream" {
-                    let t0 = Instant::now();
-                    let status = explore_stream_catching_panics(state, &mut conn, &request);
-                    state.metrics.observe_latency(&request.path, t0.elapsed());
-                    state.metrics.count_status(status);
-                    return;
-                }
-                if request.method == "POST" && request.path == "/v1/advise/batch" {
-                    let t0 = Instant::now();
-                    let status = advise_batch_catching_panics(state, &mut conn, &request);
-                    state.metrics.observe_latency(&request.path, t0.elapsed());
-                    state.metrics.count_status(status);
-                    return;
-                }
-                let keep = request.keep_alive;
-                let t0 = Instant::now();
-                let response = dispatch_catching_panics(state, &request);
-                state.metrics.observe_latency(&request.path, t0.elapsed());
-                (response, keep)
-            }
-            // Idle between requests: close silently. But a timeout with a
-            // partial request head already buffered means the client
-            // stalled mid-request — tell it so before hanging up.
-            Err(ParseError::TimedOut) if carry.is_empty() => return,
-            Err(ParseError::TimedOut) => {
-                (Response::error(408, "timed out reading the request"), false)
-            }
-            Err(ParseError::ConnectionClosed) => return,
-            Err(ParseError::Io(_)) => return,
-            Err(ParseError::Malformed(msg)) => (Response::error(400, &msg), false),
-            Err(ParseError::HeadTooLarge) => {
-                (Response::error(431, "request head too large"), false)
-            }
-            Err(ParseError::BodyTooLarge { declared, limit }) => (
-                Response::error(
-                    413,
-                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
-                ),
-                // The unread body would desynchronize the stream.
-                false,
-            ),
+/// One dispatched request, on a compute worker: route it and hand the
+/// result back to the event loop through `responder`. Parsing, status
+/// accounting for buffered responses, the `ResetMidWrite` chaos site,
+/// and all connection lifecycle live in the event loop; this function
+/// only computes.
+///
+/// Streaming routes bypass the buffered request→response shape: the
+/// handler writes chunked frames into the responder's stream buffer and
+/// the loop relays them as the socket drains. Always closes when done —
+/// chunked framing is self-delimiting, but a mid-stream abort has no
+/// other way to signal failure. Stream statuses are accounted here (the
+/// handler is the only place that knows them), buffered statuses at
+/// delivery in the loop — both exactly where the thread-per-connection
+/// core counted them.
+fn run_request(state: &Arc<AppState>, request: Request, responder: event::Responder) {
+    let streaming = request.method == "POST"
+        && (request.path == "/v1/explore/stream" || request.path == "/v1/advise/batch");
+    if streaming {
+        let t0 = Instant::now();
+        let mut writer = responder.stream();
+        let status = if request.path == "/v1/explore/stream" {
+            explore_stream_catching_panics(state, &mut writer, &request)
+        } else {
+            advise_batch_catching_panics(state, &mut writer, &request)
         };
-        state.metrics.count_status(response.status);
-        chaos!(state, faults::FaultSite::ResetMidWrite, {
-            // A torn response: part of the status line, then a hard close.
-            // Count before shutting down: the moment the peer sees EOF the
-            // tear is observable, so the counter must already reflect it.
-            use std::io::Write as _;
-            state
-                .metrics
-                .connections_reset
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = conn.write_all(b"HTTP/1.1 ");
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-            return;
-        });
-        if http::write_response(&mut conn, &response, keep_open).is_err() {
-            state
-                .metrics
-                .connections_reset
-                .fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        if !keep_open {
-            return;
-        }
+        state.metrics.observe_latency(&request.path, t0.elapsed());
+        state.metrics.count_status(status);
+        writer.finish();
+        return;
     }
+    let keep = request.keep_alive;
+    let t0 = Instant::now();
+    let response = dispatch_catching_panics(state, &request);
+    state.metrics.observe_latency(&request.path, t0.elapsed());
+    responder.respond(response, keep);
 }
 
 /// Routes one request; a panicking handler becomes a 500, not a dead
@@ -1249,9 +1308,9 @@ fn explore_paged(state: &AppState, tenant: &Tenant, req: &ExplorationRequest) ->
 /// [`explore_stream`] behind the same panic firewall as buffered routes.
 /// A panic after the chunked head is on the wire cannot be turned into an
 /// error response; dropping the connection mid-body is the signal.
-fn explore_stream_catching_panics(
+fn explore_stream_catching_panics<W: Write>(
     state: &AppState,
-    conn: &mut TcpStream,
+    conn: &mut W,
     request: &Request,
 ) -> u16 {
     std::panic::catch_unwind(AssertUnwindSafe(|| explore_stream(state, conn, request)))
@@ -1281,7 +1340,7 @@ fn stream_line(item: StreamedItem<'_>) -> Vec<u8> {
 /// final `{"done":<response>}` line whose `paths` are cleared (they were
 /// already streamed) and whose `next_cursor` carries the resume token.
 /// Returns the status to account under `/metrics`.
-fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+fn explore_stream<W: Write>(state: &AppState, conn: &mut W, request: &Request) -> u16 {
     state
         .metrics
         .explore_requests
@@ -1307,9 +1366,9 @@ fn explore_stream(state: &AppState, conn: &mut TcpStream, request: &Request) -> 
 
 /// The streaming pipeline for one admitted exploration, degraded to
 /// `level`.
-fn explore_stream_admitted(
+fn explore_stream_admitted<W: Write>(
     state: &AppState,
-    conn: &mut TcpStream,
+    conn: &mut W,
     request: &Request,
     level: u8,
 ) -> u16 {
@@ -1318,8 +1377,8 @@ fn explore_stream_admitted(
         .explore_computed
         .fetch_add(1, Ordering::Relaxed);
     // Before any chunk is written, failures are ordinary buffered
-    // responses on the same socket.
-    fn fail(conn: &mut TcpStream, resp: Response) -> u16 {
+    // responses on the same connection.
+    fn fail<W: Write>(conn: &mut W, resp: Response) -> u16 {
         let status = resp.status;
         let _ = http::write_response(conn, &resp, false);
         status
@@ -1408,12 +1467,9 @@ fn explore_stream_admitted(
     };
     match result {
         Ok(_) if io_failed => {
-            // The client hung up (or stalled past its write timeout)
-            // mid-stream: account the torn connection, not a server error.
-            state
-                .metrics
-                .connections_reset
-                .fetch_add(1, Ordering::Relaxed);
+            // The connection died mid-stream (the event loop reaped or
+            // reset it and closed our buffer). The loop owns the reset
+            // accounting; this is not a server error.
             200
         }
         Ok(mut outcome) => {
@@ -1718,7 +1774,11 @@ fn advise_paged(state: &AppState, tenant: &Tenant, req: &AdviseRequest) -> Respo
 }
 
 /// [`advise_batch`] behind the same panic firewall as the stream route.
-fn advise_batch_catching_panics(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+fn advise_batch_catching_panics<W: Write>(
+    state: &AppState,
+    conn: &mut W,
+    request: &Request,
+) -> u16 {
     std::panic::catch_unwind(AssertUnwindSafe(|| advise_batch(state, conn, request))).unwrap_or(500)
 }
 
@@ -1748,7 +1808,7 @@ fn error_value(
 /// transposition table warms across every student (their derived
 /// explorations share a memo key by construction), per-student answers
 /// stream back as chunked NDJSON lines.
-fn advise_batch(state: &AppState, conn: &mut TcpStream, request: &Request) -> u16 {
+fn advise_batch<W: Write>(state: &AppState, conn: &mut W, request: &Request) -> u16 {
     state
         .metrics
         .advise_batch_requests
@@ -1774,13 +1834,13 @@ fn advise_batch(state: &AppState, conn: &mut TcpStream, request: &Request) -> u1
 /// `{"done":{"students":N,"errors":E,"truncated":bool}}` summary. The
 /// batch bypasses the response cache — the shared memo table is where the
 /// cohort's overlap pays off.
-fn advise_batch_admitted(
+fn advise_batch_admitted<W: Write>(
     state: &AppState,
-    conn: &mut TcpStream,
+    conn: &mut W,
     request: &Request,
     level: u8,
 ) -> u16 {
-    fn fail(conn: &mut TcpStream, resp: Response) -> u16 {
+    fn fail<W: Write>(conn: &mut W, resp: Response) -> u16 {
         let status = resp.status;
         let _ = http::write_response(conn, &resp, false);
         status
@@ -1831,10 +1891,8 @@ fn advise_batch_admitted(
         head_headers.push(("x-degraded".to_string(), level.to_string()));
     }
     if http::write_chunked_head(conn, 200, "application/x-ndjson", &head_headers).is_err() {
-        state
-            .metrics
-            .connections_reset
-            .fetch_add(1, Ordering::Relaxed);
+        // Connection gone before the head went out; the event loop owns
+        // the reset accounting.
         return 200;
     }
 
@@ -1928,10 +1986,8 @@ fn advise_batch_admitted(
             .into_bytes();
         bytes.push(b'\n');
         if http::write_chunk(conn, &bytes).is_err() {
-            state
-                .metrics
-                .connections_reset
-                .fetch_add(1, Ordering::Relaxed);
+            // Connection gone mid-cohort; the event loop owns the reset
+            // accounting.
             return 200;
         }
     }

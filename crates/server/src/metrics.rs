@@ -2,6 +2,7 @@
 //! histograms, snapshotted to JSON by `GET /metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
@@ -48,6 +49,78 @@ pub const DEPRECATED_ROUTES: [&str; 9] = [
 /// `[2^(i-1), 2^i)`-millisecond buckets, and one overflow bucket for
 /// everything at 2^15 ms (~33 s) and beyond.
 pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// Gauges the event loop updates in place — connection population,
+/// per-stage occupancy, wakeup and reap counters. Shared by `Arc`
+/// between the loop thread and `/metrics` snapshots.
+#[derive(Default)]
+pub struct EventLoopGauges {
+    /// Connections currently held open (every stage).
+    pub connections_held: AtomicU64,
+    /// Times the loop returned from `epoll_wait` (readiness or timer).
+    pub epoll_wakeups: AtomicU64,
+    /// Connections idle between requests.
+    pub stage_idle: AtomicU64,
+    /// Connections mid-request (bytes read, head or body incomplete).
+    pub stage_reading: AtomicU64,
+    /// Connections with a request in flight on the compute pool.
+    pub stage_dispatched: AtomicU64,
+    /// Connections draining a buffered response.
+    pub stage_writing: AtomicU64,
+    /// Connections relaying a chunked stream.
+    pub stage_streaming: AtomicU64,
+    /// Idle keep-alive connections reaped silently at the deadline.
+    pub reaped_idle: AtomicU64,
+    /// Mid-request stalls answered with 408 at the deadline.
+    pub reaped_408: AtomicU64,
+    /// Write-side stalls reaped (the peer stopped reading a response).
+    pub reaped_stalled: AtomicU64,
+}
+
+impl EventLoopGauges {
+    fn snapshot(&self) -> EventLoopSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EventLoopSnapshot {
+            connections_held: load(&self.connections_held),
+            epoll_wakeups: load(&self.epoll_wakeups),
+            stage_idle: load(&self.stage_idle),
+            stage_reading: load(&self.stage_reading),
+            stage_dispatched: load(&self.stage_dispatched),
+            stage_writing: load(&self.stage_writing),
+            stage_streaming: load(&self.stage_streaming),
+            reaped_idle: load(&self.reaped_idle),
+            reaped_408: load(&self.reaped_408),
+            reaped_stalled: load(&self.reaped_stalled),
+        }
+    }
+}
+
+/// The event loop's gauges as `GET /metrics` serializes them (the
+/// `event-loop` block).
+#[derive(Debug, Clone, Default, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct EventLoopSnapshot {
+    /// Connections currently held open.
+    pub connections_held: u64,
+    /// `epoll_wait` returns since startup.
+    pub epoll_wakeups: u64,
+    /// Connections idle between requests.
+    pub stage_idle: u64,
+    /// Connections mid-request.
+    pub stage_reading: u64,
+    /// Connections with a request on the compute pool.
+    pub stage_dispatched: u64,
+    /// Connections draining a buffered response.
+    pub stage_writing: u64,
+    /// Connections relaying a chunked stream.
+    pub stage_streaming: u64,
+    /// Idle keep-alives reaped silently.
+    pub reaped_idle: u64,
+    /// Mid-request stalls answered with 408.
+    pub reaped_408: u64,
+    /// Write-side stalls reaped.
+    pub reaped_stalled: u64,
+}
 
 /// Maps a latency in whole milliseconds to its log2 bucket.
 fn bucket_index(ms: u64) -> usize {
@@ -181,6 +254,8 @@ pub struct Metrics {
     latency: [Histogram; ROUTES.len()],
     /// Hits on deprecated surfaces, indexed like [`DEPRECATED_ROUTES`].
     deprecated_hits: [AtomicU64; DEPRECATED_ROUTES.len()],
+    /// Event-loop gauges, shared by `Arc` with the loop thread.
+    pub event: Arc<EventLoopGauges>,
 }
 
 impl Metrics {
@@ -209,6 +284,7 @@ impl Metrics {
             server_errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Histogram::new()),
             deprecated_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            event: Arc::new(EventLoopGauges::default()),
         }
     }
 
@@ -291,6 +367,7 @@ impl Metrics {
                     hits: load(&self.deprecated_hits[i]),
                 })
                 .collect(),
+            event_loop: self.event.snapshot(),
             cache,
             memo,
             sessions,
@@ -387,6 +464,9 @@ pub struct MetricsSnapshot {
     /// [`DEPRECATED_ROUTES`] member (zero-hit entries included, so
     /// dashboards see the full deprecated surface).
     pub deprecated_route_hits: Vec<DeprecatedRouteHits>,
+    /// Event-loop gauges: connection population, per-stage occupancy,
+    /// wakeups, and timer reaps.
+    pub event_loop: EventLoopSnapshot,
     /// Response-cache statistics, aggregated across every tenant (retired
     /// epochs included, so the totals never go backwards on a swap).
     pub cache: CacheStats,
@@ -459,6 +539,11 @@ mod tests {
         assert!(json.contains("\"overload\":{"), "{json}");
         assert!(json.contains("\"breaker\":\"closed\""), "{json}");
         assert!(json.contains("\"connections-reset\":0"), "{json}");
+        assert!(json.contains("\"event-loop\":{"), "{json}");
+        assert!(json.contains("\"connections-held\":0"), "{json}");
+        assert!(json.contains("\"epoll-wakeups\":0"), "{json}");
+        assert!(json.contains("\"stage-dispatched\":0"), "{json}");
+        assert!(json.contains("\"reaped-408\":0"), "{json}");
         assert!(json.contains("\"latency\":["), "{json}");
         assert!(json.contains("\"route\":\"explore\""), "{json}");
         assert!(json.contains("\"advise-requests\":0"), "{json}");

@@ -1,139 +1,177 @@
-//! The serving threads: one acceptor, a fixed pool of connection workers,
-//! a bounded hand-off queue between them.
+//! The compute pool: a fixed set of worker threads that run routed
+//! requests for the event loop.
 //!
-//! The acceptor owns the listener. Each accepted connection is pushed onto
-//! a bounded crossbeam channel with `try_send`: if every worker is busy
-//! and the queue is full, the acceptor *sheds load* — it writes a one-line
-//! `503` and closes, so clients fail fast instead of queueing without
-//! bound (the paper's interactivity budget cuts both ways: a response that
-//! arrives late is as bad as none).
+//! Until PR 9 this module owned the whole serving thread model — an
+//! acceptor plus workers that each held a connection for its entire
+//! keep-alive lifetime. The event loop now owns every socket, so the
+//! pool's job shrank to pure compute: the loop submits one job per
+//! dispatched request, a worker runs the handler, and the response
+//! travels back through the loop's completion channel. No thread ever
+//! blocks on a peer again (streaming backpressure is bounded by the
+//! stall reaper, see `event.rs`).
 //!
-//! Workers own a connection for its whole keep-alive lifetime. Graceful
-//! shutdown: flip the shutdown flag; the acceptor (polling a non-blocking
-//! listener) drops the sender, the channel disconnects, workers finish
-//! their current connection and exit, `join` collects them all.
+//! ## Queue-depth accounting
+//!
+//! The overload controller's queue gauge must mean what it meant under
+//! thread-per-connection: *work waiting behind busy capacity*. A job
+//! handed straight to an idle worker was never "queued" in that sense —
+//! under the old model it would have been a connection claimed
+//! immediately by a free thread. So `submit` reserves an idle worker
+//! when one is registered (the job stays off the gauge) and counts the
+//! job only when every worker is busy. A worker picking up a counted
+//! job takes it off the gauge before running, which is exactly when the
+//! old model's claiming worker decremented it. The `debt` ledger
+//! squares the one racy interleaving — a submitter reserving a worker
+//! that then picks up an older *counted* job — so the books stay exact
+//! under load, not just on average.
 
-use std::io::Write;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use crossbeam::channel::{bounded, TrySendError};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 
-/// How often the acceptor polls for shutdown between accepts.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// One unit of compute: a routed request ready to run.
+pub type Job = Box<dyn FnOnce() + Send>;
 
-/// The running thread set.
+/// Idle-worker bookkeeping, under one small lock (per-request traffic,
+/// not per-byte; contention is negligible).
+#[derive(Default)]
+struct Ledger {
+    /// Workers registered as waiting for a job.
+    idle: usize,
+    /// Registrations consumed out-of-order: a submitter reserved a
+    /// worker that then picked up an older counted job. The next
+    /// worker registration settles the debt instead of re-counting.
+    debt: usize,
+}
+
+/// A cheap, cloneable submission handle. The event loop holds one so
+/// the pool itself can stay owned (and joinable) by the server.
+/// Workers exit once every handle *and* the pool's own sender drop.
+#[derive(Clone)]
+pub struct PoolHandle {
+    sender: Sender<(Job, bool)>,
+    ledger: Arc<Mutex<Ledger>>,
+    depth_gauge: Arc<AtomicU64>,
+}
+
+impl PoolHandle {
+    /// Hands one job to the pool. Never blocks.
+    pub fn submit(&self, job: Job) {
+        let counted = {
+            let mut ledger = self.ledger.lock();
+            if ledger.idle > 0 {
+                ledger.idle -= 1;
+                false
+            } else {
+                true
+            }
+        };
+        if counted {
+            self.depth_gauge.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = self.sender.send((job, counted));
+    }
+}
+
+/// The running compute pool.
 pub struct Pool {
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    handle: Option<PoolHandle>,
+    depth_gauge: Arc<AtomicU64>,
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Everything a worker does with one connection.
-pub type ConnectionHandler = dyn Fn(TcpStream) + Send + Sync;
-
-/// Spawns the acceptor and `threads` workers over `listener`.
+/// Spawns `threads` compute workers.
 ///
-/// `queue_depth` bounds connections accepted but not yet claimed by a
-/// worker; beyond it the acceptor sheds with 503. `on_shed` observes every
-/// shed (metrics) and returns the `retry-after` seconds to advertise —
-/// derived from the breaker's remaining cooldown when it is open, so shed
-/// clients back off for the actual wait instead of a fixed guess.
-/// `depth_gauge` tracks connections sitting in the queue:
-/// the acceptor increments it *before* the hand-off, the claiming worker
-/// decrements it — so the gauge never under-reads, and the overload
-/// controller sees queue pressure the moment it builds.
-pub fn spawn(
-    listener: TcpListener,
-    threads: usize,
-    queue_depth: usize,
-    handler: Arc<ConnectionHandler>,
-    on_shed: Arc<dyn Fn() -> u64 + Send + Sync>,
-    depth_gauge: Arc<AtomicU64>,
-) -> std::io::Result<Pool> {
-    listener.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let (sender, receiver) = bounded::<TcpStream>(queue_depth.max(1));
+/// `depth_gauge` is the overload controller's queue gauge: it counts
+/// jobs submitted while no worker was idle and not yet picked up.
+pub fn spawn(threads: usize, depth_gauge: Arc<AtomicU64>) -> Pool {
+    let (sender, receiver) = unbounded::<(Job, bool)>();
+    let ledger = Arc::new(Mutex::new(Ledger::default()));
 
     let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
         .map(|i| {
             let receiver = receiver.clone();
-            let handler = Arc::clone(&handler);
+            let ledger = Arc::clone(&ledger);
             let depth_gauge = Arc::clone(&depth_gauge);
             std::thread::Builder::new()
                 .name(format!("coursenav-worker-{i}"))
-                .spawn(move || {
-                    while let Ok(conn) = receiver.recv() {
-                        depth_gauge.fetch_sub(1, Ordering::Relaxed);
-                        handler(conn);
+                .spawn(move || loop {
+                    {
+                        let mut ledger = ledger.lock();
+                        if ledger.debt > 0 {
+                            // A submitter already reserved this
+                            // registration (see module docs).
+                            ledger.debt -= 1;
+                        } else {
+                            ledger.idle += 1;
+                        }
                     }
+                    let Ok((job, counted)) = receiver.recv() else {
+                        return; // channel disconnected: shutdown
+                    };
+                    if counted {
+                        let mut ledger = ledger.lock();
+                        if ledger.idle > 0 {
+                            ledger.idle -= 1;
+                        } else {
+                            // Our registration was reserved for an
+                            // uncounted job behind this one.
+                            ledger.debt += 1;
+                        }
+                        drop(ledger);
+                        depth_gauge.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    // Handler panics are caught at the dispatch layer
+                    // (`*_catching_panics`); a stray one must not kill
+                    // the worker.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                 })
                 .expect("spawn worker thread")
         })
         .collect();
 
-    let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::Builder::new()
-            .name("coursenav-acceptor".into())
-            .spawn(move || {
-                // `sender` moves in here; dropping it on exit disconnects
-                // the channel and lets the workers drain and stop.
-                while !shutdown.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((conn, _peer)) => {
-                            depth_gauge.fetch_add(1, Ordering::Relaxed);
-                            match sender.try_send(conn) {
-                                Ok(()) => {}
-                                Err(TrySendError::Full(conn)) => {
-                                    depth_gauge.fetch_sub(1, Ordering::Relaxed);
-                                    shed(conn, on_shed());
-                                }
-                                Err(TrySendError::Disconnected(_)) => break,
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => std::thread::sleep(ACCEPT_POLL),
-                    }
-                }
-            })
-            .expect("spawn acceptor thread")
-    };
-
-    Ok(Pool {
-        shutdown,
-        acceptor: Some(acceptor),
+    Pool {
+        handle: Some(PoolHandle {
+            sender,
+            ledger,
+            depth_gauge: Arc::clone(&depth_gauge),
+        }),
+        depth_gauge,
         workers,
-    })
-}
-
-/// The load-shedding response: minimal, written without blocking the
-/// accept loop for long. `retry_after` comes from the `on_shed` callback.
-fn shed(mut conn: TcpStream, retry_after: u64) {
-    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
-    let body = b"{\"error\":\"server saturated, retry later\"}";
-    let head = format!(
-        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: {}\r\nconnection: close\r\n\r\n",
-        body.len(),
-        retry_after.max(1),
-    );
-    let _ = conn.write_all(head.as_bytes());
-    let _ = conn.write_all(body);
-    // Dropping the stream closes it.
+    }
 }
 
 impl Pool {
-    /// Signals shutdown and joins every thread. Idempotent.
-    pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+    /// A cloneable submission handle (see [`PoolHandle`]). Panics after
+    /// [`Pool::shutdown`].
+    pub fn handle(&self) -> PoolHandle {
+        self.handle.clone().expect("pool is running")
+    }
+
+    /// Hands one job to the pool. Never blocks and never fails while
+    /// the pool is up; after [`Pool::shutdown`] the job is dropped.
+    pub fn submit(&self, job: Job) {
+        if let Some(handle) = &self.handle {
+            handle.submit(job);
         }
+    }
+
+    /// Current queue gauge reading (counted jobs not yet picked up).
+    pub fn queued(&self) -> u64 {
+        self.depth_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Drops this side of the channel and joins every worker.
+    /// Idempotent. Callers must first drop any outstanding
+    /// [`PoolHandle`] clones (workers exit only when the channel fully
+    /// disconnects) and unblock workers waiting on connection
+    /// backpressure — the event loop's teardown does both before the
+    /// server joins the pool.
+    pub fn shutdown(&mut self) {
+        self.handle.take();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -143,5 +181,77 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_shutdown_joins() {
+        let gauge = Arc::new(AtomicU64::new(0));
+        let mut pool = spawn(2, Arc::clone(&gauge));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let ran = Arc::clone(&ran);
+            pool.submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+        assert_eq!(gauge.load(Ordering::Relaxed), 0, "gauge drains to zero");
+    }
+
+    #[test]
+    fn idle_workers_keep_jobs_off_the_gauge() {
+        let gauge = Arc::new(AtomicU64::new(0));
+        let pool = spawn(4, Arc::clone(&gauge));
+        // Let every worker register idle.
+        std::thread::sleep(Duration::from_millis(100));
+        let (done_tx, done_rx) = crossbeam::channel::bounded::<()>(4);
+        for _ in 0..4 {
+            let done_tx = done_tx.clone();
+            pool.submit(Box::new(move || {
+                let _ = done_tx.send(());
+            }));
+        }
+        // All four reserved an idle worker: nothing was ever counted.
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+        for _ in 0..4 {
+            done_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("job ran");
+        }
+    }
+
+    #[test]
+    fn jobs_behind_busy_workers_are_counted() {
+        let gauge = Arc::new(AtomicU64::new(0));
+        let pool = spawn(1, Arc::clone(&gauge));
+        std::thread::sleep(Duration::from_millis(100));
+
+        let (hold_tx, hold_rx) = crossbeam::channel::bounded::<()>(1);
+        pool.submit(Box::new(move || {
+            let _ = hold_rx.recv_timeout(Duration::from_secs(5));
+        }));
+        // Wait for the worker to actually claim the holder.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(gauge.load(Ordering::Relaxed), 0, "claimed job is uncounted");
+
+        pool.submit(Box::new(|| {}));
+        pool.submit(Box::new(|| {}));
+        assert_eq!(gauge.load(Ordering::Relaxed), 2, "queued jobs are counted");
+
+        hold_tx.send(()).unwrap();
+        // The worker drains both; the gauge returns to zero.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while gauge.load(Ordering::Relaxed) != 0 {
+            assert!(std::time::Instant::now() < deadline, "gauge never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 }

@@ -746,3 +746,77 @@ fn a_tear_preserves_the_prior_snapshot_and_the_restart_restores_it() {
         let _ = std::fs::remove_dir_all(&dir);
     });
 }
+
+#[test]
+fn stalled_writers_are_reaped_without_blocking_the_loop_or_a_worker() {
+    with_watchdog("connection-stall", Duration::from_secs(60), || {
+        // `ConnectionStall` freezes a connection's writes at dispatch —
+        // the peer has, as far as the loop is concerned, stopped reading
+        // mid-response. The invariants: the worker finishes its compute
+        // and moves on immediately (the response parks in the loop's
+        // output buffer, not in a thread), the event loop keeps serving
+        // every other connection, and the write-stall reaper resets the
+        // frozen connection within the keep-alive window.
+        let plan = FaultPlan::new(97).with(FaultSite::ConnectionStall, 500);
+        let server = Server::start(
+            ServerConfig {
+                threads: 2,
+                keep_alive: Duration::from_millis(300),
+                faults: Arc::new(plan),
+                ..ServerConfig::default()
+            },
+            brandeis_cs(),
+        )
+        .expect("start server");
+        let addr = server.local_addr();
+
+        // A burst wider than the worker pool: with ~half the dispatches
+        // stalling, two stalled writers would wedge a 2-thread pool in
+        // under a second if stalls held workers. Every client either
+        // gets a whole response or a clean reset — and the server keeps
+        // answering throughout.
+        let mut whole = 0usize;
+        let mut torn = 0usize;
+        for _ in 0..24 {
+            match roundtrip(addr, "GET", "/v1/healthz", None) {
+                Some(resp) if resp.complete => {
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    whole += 1;
+                }
+                _ => torn += 1, // stalled, then reaped: a clean close/reset
+            }
+        }
+        assert!(whole > 0, "some dispatches dodge the 500-per-mille stall");
+        assert!(torn > 0, "some dispatches hit the stall");
+
+        // The reaper needs at most the keep-alive window per stall; the
+        // serial client above already waited most of it out.
+        std::thread::sleep(Duration::from_millis(700));
+        let resp = retry_until_whole(addr, "GET", "/v1/metrics", None);
+        let metrics: serde_json::Value = serde_json::from_str(resp.text()).expect("metrics JSON");
+        assert!(
+            metrics["event-loop"]["reaped-stalled"].as_u64().unwrap() >= torn as u64,
+            "{metrics:?}"
+        );
+        // A reaped stall is a reset, and resets are accounted.
+        assert!(
+            metrics["connections-reset"].as_u64().unwrap() >= torn as u64,
+            "{metrics:?}"
+        );
+        // No stalled connection holds its slot past the reap.
+        assert!(
+            metrics["event-loop"]["connections-held"].as_u64().unwrap() <= 2,
+            "{metrics:?}"
+        );
+
+        // Both workers are demonstrably free: compute-bound requests are
+        // served back-to-back after the stall storm.
+        let json = count_request().to_json().unwrap();
+        for _ in 0..3 {
+            let resp = retry_until_whole(addr, "POST", "/v1/explore", Some(&json));
+            assert_eq!(resp.status, 200, "{}", resp.text());
+        }
+
+        server.shutdown();
+    });
+}

@@ -66,13 +66,28 @@ fn degraded_level_clamps_budget_and_marks_responses() {
     server.shutdown();
 }
 
+/// A deliberately heavy exploration with a wall-clock budget: the full
+/// released horizon at a wide `m` is far more work than `budget_ms`, so
+/// the single compute worker is parked for that long (then answers a
+/// truncated 200). Under the event-driven core an *idle* connection no
+/// longer occupies a worker, so the breaker tests park the worker with
+/// compute instead of a keep-alive loop — the admission-time assertions
+/// are unchanged.
+fn parked_worker_request(budget_ms: u64) -> String {
+    let data = brandeis_cs();
+    let mut req =
+        coursenav_navigator::ExplorationRequest::deadline_count(data.horizon.0, data.horizon.1, 5);
+    req.budget_ms = Some(budget_ms);
+    req.to_json().unwrap()
+}
+
 #[test]
 fn breaker_trips_on_saturation_and_recovers_with_hysteresis() {
     // One worker and a deliberately tiny break threshold make the trip
-    // deterministic: while the worker is parked in one connection's
-    // keep-alive loop, three more connections queue up, and the first
-    // admission that observes the queue at `break_queue` trips the
-    // breaker immediately (`trip_after: 1`).
+    // deterministic: while the worker is parked in a budget-bounded heavy
+    // exploration, three more requests queue up, and the first admission
+    // that observes the queue at `break_queue` trips the breaker
+    // immediately (`trip_after: 1`).
     let server = Server::start(
         ServerConfig {
             threads: 1,
@@ -94,17 +109,23 @@ fn breaker_trips_on_saturation_and_recovers_with_hysteresis() {
     let addr = server.local_addr();
     let json = count_request().to_json().unwrap();
 
-    // Park the single worker in this connection's keep-alive loop.
+    // Park the single worker in a heavy exploration (~700ms of compute).
     let mut holder = TcpStream::connect(addr).unwrap();
     holder
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
+    let heavy = parked_worker_request(700);
     holder
-        .write_all(b"GET /v1/healthz HTTP/1.1\r\nhost: a\r\n\r\n")
+        .write_all(
+            format!(
+                "POST /v1/explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{heavy}",
+                heavy.len()
+            )
+            .as_bytes(),
+        )
         .unwrap();
-    let mut buf = [0u8; 1024];
-    let n = holder.read(&mut buf).unwrap();
-    assert!(n > 0, "holder got its healthz response");
+    // Let the event loop parse and hand the holder to the worker.
+    std::thread::sleep(Duration::from_millis(200));
 
     // Queue three explorations behind it (depth 3 ≥ break_queue 2).
     let request = format!(
@@ -149,6 +170,9 @@ fn breaker_trips_on_saturation_and_recovers_with_hysteresis() {
         assert!(retry_after >= 1);
     }
     drop(queued);
+    let mut buf = [0u8; 1024];
+    let n = holder.read(&mut buf).unwrap();
+    assert!(n > 0, "the parked holder eventually got its truncated 200");
     drop(holder);
 
     // `/metrics` is exempt from admission control and shows the trip.
@@ -233,14 +257,22 @@ fn open_breaker_rejects_streams_with_the_same_typed_503() {
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert!(resp.complete);
 
-    // Park the worker, queue three streams behind it.
+    // Park the worker in a heavy exploration, queue three streams behind it.
     let mut holder = TcpStream::connect(addr).unwrap();
     holder
-        .write_all(b"GET /v1/healthz HTTP/1.1\r\nhost: a\r\n\r\n")
+        .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
-    let mut buf = [0u8; 1024];
-    let n = holder.read(&mut buf).unwrap();
-    assert!(n > 0);
+    let heavy = parked_worker_request(700);
+    holder
+        .write_all(
+            format!(
+                "POST /v1/explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{heavy}",
+                heavy.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
     let stream_request = format!(
         "POST /v1/explore/stream HTTP/1.1\r\nhost: a\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{json}",
         json.len()
@@ -271,6 +303,9 @@ fn open_breaker_rejects_streams_with_the_same_typed_503() {
         );
         assert!(resp.header("retry-after").is_some());
     }
+    let mut buf = [0u8; 1024];
+    let n = holder.read(&mut buf).unwrap();
+    assert!(n > 0, "the parked holder eventually got its truncated 200");
     drop(holder);
 
     let metrics = fetch_metrics(addr);

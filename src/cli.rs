@@ -41,6 +41,9 @@
 //!
 //! serve flags:
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
+//!   --max-conns <n>              concurrent connection cap (default 10000;
+//!                                past it, new connections get a 503 and
+//!                                are closed)
 //!   --parallelism <n>            engine worker threads per exploration
 //!   --memo-entries <n>           per-table transposition cap (0 disables)
 //!   --catalog-dir <dir>          register every <dir>/*.cnav file as a
@@ -127,6 +130,7 @@ struct Flags {
     json: bool,
     addr: Option<String>,
     threads: Option<usize>,
+    max_conns: Option<usize>,
     cache_mb: Option<usize>,
     parallelism: Option<usize>,
     memo_entries: Option<usize>,
@@ -162,6 +166,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         json: false,
         addr: None,
         threads: None,
+        max_conns: None,
         cache_mb: None,
         parallelism: None,
         memo_entries: None,
@@ -243,6 +248,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .parse()
                         .map_err(|_| CliError::Usage("--threads needs an integer".into()))?,
                 )
+            }
+            "--max-conns" => {
+                let n: usize = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-conns needs an integer".into()))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--max-conns must be at least 1".into()));
+                }
+                flags.max_conns = Some(n);
             }
             "--cache-mb" => {
                 flags.cache_mb = Some(
@@ -357,6 +371,10 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
             .clone()
             .unwrap_or_else(|| "127.0.0.1:8080".into()),
         threads: flags.threads.unwrap_or(4),
+        // The event-driven core holds idle keep-alive connections for
+        // bytes, not threads, so the CLI default is sized for advising
+        // season rather than the worker count.
+        max_connections: Some(flags.max_conns.unwrap_or(10_000)),
         cache_mb: flags.cache_mb.unwrap_or(64),
         parallelism: flags.parallelism.unwrap_or(1),
         memo_entries: flags
@@ -784,6 +802,14 @@ mod tests {
         ));
         assert!(matches!(
             run(&["builtin:brandeis", "serve", "--cache-mb"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--max-conns", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "serve", "--max-conns", "0"]),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
