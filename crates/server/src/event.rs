@@ -51,6 +51,11 @@ const WAKER: u64 = u64::MAX - 1;
 /// connection's output buffer per pump.
 const PUMP_BYTES: usize = 64 * 1024;
 
+/// How many stream refills one `flush_out` call may perform before it
+/// must yield (re-queueing itself through the completion channel), so a
+/// fast-draining peer cannot monopolize the event loop.
+const PUMPS_PER_FLUSH: usize = 16;
+
 /// The callbacks lib.rs plugs into the loop: metrics placement,
 /// admission, and chaos sites. Keeping them opaque keeps this module
 /// protocol-only.
@@ -495,6 +500,9 @@ impl Core {
                         if mask & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
                             self.read_ready(token);
                         }
+                        if mask & (sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                            self.hangup(token);
+                        }
                     }
                 }
             }
@@ -552,8 +560,20 @@ impl Core {
                 Ok((sock, _peer)) => self.admit(sock),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                // Transient accept errors (ECONNABORTED etc.): keep going.
-                Err(_) => continue,
+                // The handshake died before we got to it: per-connection,
+                // the next one may be fine.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(_) => {
+                    // Persistent accept failure (EMFILE/ENFILE under fd
+                    // exhaustion): looping here would wedge the whole
+                    // loop — no timers, no reads, no fds ever reclaimed.
+                    // Back off briefly (the old acceptor thread's 10 ms)
+                    // and return; the level-triggered listener re-reports
+                    // readiness once we are back in `epoll_wait`, and
+                    // in-flight closes reclaim descriptors meanwhile.
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
             }
         }
     }
@@ -567,7 +587,6 @@ impl Core {
             shed(sock, retry_after);
             return;
         }
-        (self.hooks.on_accept)();
         let _ = sock.set_nodelay(true);
         if sock.set_nonblocking(true).is_err() {
             return;
@@ -595,8 +614,13 @@ impl Core {
             gauged: Stage::Idle,
         };
         if sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, sys::EPOLLIN, token).is_err() {
+            // The slot was never occupied: hand the index back so it
+            // cannot leak, and skip the accept accounting — this
+            // connection was never held.
+            self.free.push(idx);
             return;
         }
+        (self.hooks.on_accept)();
         self.slots[idx].conn = Some(conn);
         self.held += 1;
         self.gauges.connections_held.fetch_add(1, Ordering::Relaxed);
@@ -756,6 +780,27 @@ impl Core {
         }
     }
 
+    /// EPOLLHUP/EPOLLERR after the readiness handlers ran: epoll always
+    /// reports these regardless of the interest mask, so a connection
+    /// that is neither reading (Dispatched pauses reads) nor owed bytes
+    /// never consumes the event — level-triggered epoll would redeliver
+    /// it every `epoll_wait`, spinning the loop at 100% CPU until the
+    /// worker's completion arrives. The peer is fully gone (HUP needs
+    /// both halves down, ERR a pending socket error), so reap now; a
+    /// late completion for the bumped generation is dropped harmlessly.
+    fn hangup(&mut self, token: u64) {
+        let Some(conn) = self.slot_of(token) else {
+            return; // the readiness handlers already closed it
+        };
+        let reading = matches!(conn.machine.stage(), Stage::Idle | Stage::Reading);
+        let writing = !conn.stalled
+            && (conn.machine.wants_write()
+                || conn.stream.as_ref().is_some_and(|s| !s.is_empty()));
+        if !reading && !writing {
+            self.reset_close(token);
+        }
+    }
+
     fn on_step(&mut self, token: u64, step: Step) {
         match step {
             Step::Wait => {
@@ -893,6 +938,12 @@ impl Core {
     }
 
     fn flush_out(&mut self, token: u64) {
+        // Fairness bound: a fast-draining peer fed by a worker keeping
+        // the hand-off buffer full could otherwise hold the loop in
+        // here indefinitely. After this many refills the stream is
+        // re-queued behind every other ready connection via the
+        // completion channel (see below) instead of pumped further.
+        let mut pumps = PUMPS_PER_FLUSH;
         loop {
             let Some(conn) = self.slot_of(token) else {
                 return;
@@ -903,86 +954,99 @@ impl Core {
                 // reaper do its job.
                 return;
             }
-            if !conn.machine.wants_write() {
-                break;
-            }
-            let n = {
-                let pending_ptr = conn.machine.out_pending().to_vec();
-                conn.sock.write(&pending_ptr)
-            };
-            match n {
-                Ok(0) => {
-                    self.reset_close(token);
-                    return;
-                }
-                Ok(n) => {
-                    if let Some(conn) = self.slot_of(token) {
-                        conn.machine.consume_out(n);
+            if conn.machine.wants_write() {
+                // Disjoint borrows of the same `Conn`: the pending
+                // slice is written straight from the machine's buffer,
+                // no per-write copy (a large response draining through
+                // small socket windows would otherwise pay O(n)
+                // allocation per write — quadratic overall).
+                let n = conn.sock.write(conn.machine.out_pending());
+                match n {
+                    Ok(0) => {
+                        self.reset_close(token);
+                        return;
                     }
-                    self.feed_timer(token);
+                    Ok(n) => {
+                        conn.machine.consume_out(n);
+                        self.feed_timer(token);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.update_interest(token);
+                        return;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Bytes were owed and the socket died: a reset,
+                        // same as the old core's failed `write_response`.
+                        self.reset_close(token);
+                        return;
+                    }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                continue;
+            }
+            // Output drained. Streams refill from the hand-off buffer;
+            // buffered replies end their cycle.
+            match conn.machine.stage() {
+                Stage::Streaming => {
+                    let stream = conn.stream.as_ref().map(Arc::clone);
+                    let ended = conn.stream_ended;
+                    if let Some(stream) = stream {
+                        if pumps == 0 {
+                            // Budget spent: yield the loop. The
+                            // self-sent completion (not epoll interest
+                            // — nothing is *owed* the socket yet)
+                            // guarantees another pump even when the
+                            // producer already finished and will never
+                            // ring the doorbell again.
+                            let _ = self.tx.send(Completion::StreamData { token });
+                            self.waker.wake();
+                            return;
+                        }
+                        pumps -= 1;
+                        let bytes = stream.take(PUMP_BYTES);
+                        if !bytes.is_empty() {
+                            if let Some(conn) = self.slot_of(token) {
+                                conn.machine.append_out(&bytes);
+                            }
+                            // More to write: go around.
+                            continue;
+                        }
+                        if ended {
+                            // Producer done, buffers empty: the stream
+                            // is fully on the wire.
+                            self.close(token, false);
+                            return;
+                        }
+                    }
                     self.update_interest(token);
                     return;
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    // Bytes were owed and the socket died: a reset,
-                    // same as the old core's failed `write_response`.
-                    self.reset_close(token);
+                Stage::Writing => {
+                    let step = conn.machine.on_out_drained();
+                    match step {
+                        Step::CloseSilent => self.close(token, false),
+                        Step::Dispatch(request) => {
+                            // The carry already held the next pipelined
+                            // request in full.
+                            self.sync_stage_gauge(token);
+                            self.dispatch(token, request);
+                        }
+                        Step::Wait => {
+                            // Keep-alive: back to waiting for the next
+                            // request with a fresh idle window.
+                            self.sync_stage_gauge(token);
+                            self.arm_timer(token, TimerKind::Read);
+                            self.update_interest(token);
+                        }
+                        Step::Fail(response) => self.deliver_reply(token, response, false),
+                    }
+                    return;
+                }
+                _ => {
+                    self.update_interest(token);
                     return;
                 }
             }
-        }
-        // Output drained. Streams refill from the hand-off buffer;
-        // buffered replies end their cycle.
-        let Some(conn) = self.slot_of(token) else {
-            return;
-        };
-        match conn.machine.stage() {
-            Stage::Streaming => {
-                let stream = conn.stream.as_ref().map(Arc::clone);
-                let ended = conn.stream_ended;
-                if let Some(stream) = stream {
-                    let bytes = stream.take(PUMP_BYTES);
-                    if !bytes.is_empty() {
-                        if let Some(conn) = self.slot_of(token) {
-                            conn.machine.append_out(&bytes);
-                        }
-                        // More to write: go around.
-                        self.flush_out(token);
-                        return;
-                    }
-                    if ended {
-                        // Producer done, buffers empty: the stream is
-                        // fully on the wire.
-                        self.close(token, false);
-                        return;
-                    }
-                }
-                self.update_interest(token);
-            }
-            Stage::Writing => {
-                let step = conn.machine.on_out_drained();
-                match step {
-                    Step::CloseSilent => self.close(token, false),
-                    Step::Dispatch(request) => {
-                        // The carry already held the next pipelined
-                        // request in full.
-                        self.sync_stage_gauge(token);
-                        self.dispatch(token, request);
-                    }
-                    Step::Wait => {
-                        // Keep-alive: back to waiting for the next
-                        // request with a fresh idle window.
-                        self.sync_stage_gauge(token);
-                        self.arm_timer(token, TimerKind::Read);
-                        self.update_interest(token);
-                    }
-                    Step::Fail(response) => self.deliver_reply(token, response, false),
-                }
-            }
-            _ => self.update_interest(token),
         }
     }
 

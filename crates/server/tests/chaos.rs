@@ -820,3 +820,76 @@ fn stalled_writers_are_reaped_without_blocking_the_loop_or_a_worker() {
         server.shutdown();
     });
 }
+
+#[test]
+fn an_aborted_peer_mid_dispatch_never_spins_the_loop() {
+    with_watchdog("hup-mid-dispatch", Duration::from_secs(60), || {
+        // A peer that RSTs while its request is dispatched leaves the
+        // connection with an empty interest mask (reads paused, nothing
+        // owed) — but epoll reports EPOLLHUP/EPOLLERR regardless of the
+        // mask. The regression this pins: the loop must consume that
+        // event by reaping the connection, not redeliver-spin at 100%
+        // CPU until the worker's completion finally arrives.
+        let plan = FaultPlan::new(11)
+            .with(FaultSite::ComputeDelay, 1000)
+            .with_delay(Duration::from_millis(600));
+        let server = chaos_server(plan);
+        let addr = server.local_addr();
+
+        // Two pipelined explores (distinct bodies, so the second cannot
+        // answer from cache), never read: the first's response lands
+        // unread in our receive buffer while the second dispatches into
+        // its 600 ms ComputeDelay. Dropping the socket with unread data
+        // then sends RST, which reaches the server mid-dispatch.
+        let first = count_request().to_json().unwrap();
+        let second = {
+            let mut req = count_request();
+            req.output = OutputMode::TopK { k: 5 };
+            req.ranking = Some(RankingSpec::Time);
+            req.to_json().unwrap()
+        };
+        let raw = format!(
+            "POST /v1/explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{first}\
+             POST /v1/explore HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{second}",
+            first.len(),
+            second.len(),
+        );
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        // First reply ~600 ms in; the second dispatch then sleeps until
+        // ~1200 ms. At 900 ms the abort lands squarely mid-dispatch.
+        std::thread::sleep(Duration::from_millis(900));
+        drop(s); // unread response in our buffer ⇒ RST, not FIN
+
+        // While the second compute still sleeps, the loop must stay
+        // quiet. Pre-fix it spins here, racking up tens of thousands of
+        // wakeups in these 250 ms; a healthy loop logs a handful for
+        // the whole test.
+        std::thread::sleep(Duration::from_millis(250));
+        let metrics = common::fetch_metrics(addr);
+        let wakeups = metrics["event-loop"]["epoll-wakeups"].as_u64().unwrap();
+        assert!(
+            wakeups < 20_000,
+            "event loop is spinning on the hung-up connection: {wakeups} wakeups"
+        );
+        // The aborted connection was reaped the moment the hangup
+        // arrived — before its dispatched compute ever finished — and
+        // the reap is a counted reset. Only the metrics probe's own
+        // connection may still be held.
+        assert!(
+            metrics["event-loop"]["connections-held"].as_u64().unwrap() <= 1,
+            "{metrics:?}"
+        );
+        assert!(
+            metrics["connections-reset"].as_u64().unwrap() >= 1,
+            "{metrics:?}"
+        );
+
+        // The worker's late completion for the bumped generation is
+        // dropped harmlessly; the pool and loop both keep serving.
+        let resp = retry_until_whole(addr, "GET", "/v1/healthz", None);
+        assert_eq!(resp.status, 200, "{}", resp.text());
+
+        server.shutdown();
+    });
+}
