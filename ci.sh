@@ -49,6 +49,14 @@ echo "==> bench9 smoke (connection scale on the event-driven core)"
 # shows the headline numbers (>= 10k held, p99 within 2x of baseline).
 cargo run -q -p coursenav-bench --release --bin bench9 -- --smoke
 
+echo "==> bench10 smoke (what-if apply over the hash-consed path DAG)"
+# Runs the shallow catalog-wide what-if sweep end to end (reexplore /
+# dag-build / apply, answers asserted identical delta by delta) and
+# checks that the committed BENCH_10.json artifact is well-formed and
+# still shows the headline: sparse-7sem apply >= 20x re-exploration
+# with hash-consing shrinking the node count.
+cargo run -q -p coursenav-bench --release --bin bench10 -- --smoke
+
 echo "==> cargo test (event core: connection lifecycle + state machine)"
 # The PR 9 battery: held connections cost gauges not threads, slots
 # recycle, the single timer wheel pins 408-vs-silent-close, the accept

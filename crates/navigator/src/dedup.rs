@@ -10,23 +10,22 @@
 //! number of distinct states — milliseconds in regimes where the paper's
 //! enumeration needed hours or exhausted memory.
 //!
-//! Counters in the returned [`PathCounts::stats`] reflect *distinct states*
-//! (each state is expanded or pruned once), not tree nodes.
-
-use std::collections::HashMap;
+//! Since the hash-consed unique table ([`crate::unique`]) landed, this
+//! module is a *thin view* over it: every entry point builds (or reuses)
+//! the canonical path DAG via [`Explorer::build_path_dag`] and projects the
+//! answer out of the interned nodes. The historical contracts are
+//! preserved exactly — budgets, error types, the [`StateDag`] shape with
+//! its root at index 0, and statistics that reflect *distinct states*
+//! (each state expanded or pruned once), not tree nodes.
 
 use coursenav_catalog::CourseSet;
 
 use crate::error::ExploreError;
-use crate::expand::SelectionIter;
-use crate::explorer::{Disposition, Explorer};
+use crate::explorer::Explorer;
 use crate::path::LeafKind;
-use crate::pruning::{record_prune, Pruner};
-use crate::stats::{ExploreStats, PathCounts};
+use crate::stats::PathCounts;
 use crate::status::EnrollmentStatus;
-
-type StateKey = (i32, CourseSet);
-type Counts = (u128, u128); // (total paths, goal paths)
+use crate::unique::{DagBudget, DagBuild, DagBuildError, DagNodeKind, UniqueTable};
 
 /// A node of the deduplicated state DAG.
 #[derive(Debug, Clone)]
@@ -85,123 +84,53 @@ impl StateDag {
     }
 }
 
+fn counts_view(table: &UniqueTable, build: &DagBuild) -> PathCounts {
+    let root = table.node(build.root);
+    PathCounts {
+        total_paths: root.paths,
+        goal_paths: root.goal_paths,
+        // Per-*distinct-state* statistics: each state expanded (or pruned)
+        // exactly once, the module's historical contract. The builder
+        // records them per build — they cannot be recovered from the
+        // interned nodes, whose terminals are shared across states.
+        stats: build.stats,
+    }
+}
+
 impl Explorer<'_> {
     /// Counts learning paths by memoizing per-state subtree counts.
     /// Equivalent to [`Explorer::count_paths`] on the path counts, far
     /// faster when many selection orders converge to the same states.
     pub fn count_paths_dedup(&self) -> PathCounts {
-        let pruner = self.pruner();
-        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
-        let mut stats = ExploreStats::default();
-        let (total_paths, goal_paths) =
-            self.count_state(*self.start(), pruner.as_ref(), &mut memo, &mut stats);
-        PathCounts {
-            total_paths,
-            goal_paths,
-            stats,
-        }
+        let table = UniqueTable::new(0);
+        let build = self
+            .build_path_dag(&table, DagBudget::Unlimited, None)
+            .expect("unbudgeted build cannot fail");
+        counts_view(&table, &build)
     }
 
     /// Budgeted variant of [`Explorer::count_paths_dedup`]: gives up with
     /// [`ExploreError::BudgetExceeded`] once more than `state_budget`
-    /// distinct states have been memoized, bounding memory on instances
+    /// distinct states have been visited, bounding memory on instances
     /// whose *state space* (not just path count) is huge.
     pub fn count_paths_dedup_budgeted(
         &self,
         state_budget: usize,
     ) -> Result<PathCounts, ExploreError> {
-        let pruner = self.pruner();
-        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
-        let mut stats = ExploreStats::default();
-        let (total_paths, goal_paths) = self.count_state_budgeted(
-            *self.start(),
-            pruner.as_ref(),
-            &mut memo,
-            &mut stats,
-            state_budget,
-        )?;
-        Ok(PathCounts {
-            total_paths,
-            goal_paths,
-            stats,
-        })
-    }
-
-    fn count_state_budgeted(
-        &self,
-        status: EnrollmentStatus,
-        pruner: Option<&Pruner<'_>>,
-        memo: &mut HashMap<StateKey, Counts>,
-        stats: &mut ExploreStats,
-        state_budget: usize,
-    ) -> Result<Counts, ExploreError> {
-        let key = status.state_key();
-        if let Some(&cached) = memo.get(&key) {
-            return Ok(cached);
-        }
-        if memo.len() >= state_budget {
-            return Err(ExploreError::BudgetExceeded {
-                node_budget: state_budget,
-            });
-        }
-        let result = match self.disposition(&status, pruner) {
-            Disposition::Leaf(kind) => (1, u128::from(kind == LeafKind::Goal)),
-            Disposition::Pruned(reason) => {
-                record_prune(stats, reason);
-                (0, 0)
-            }
-            Disposition::Expand {
-                min_selection,
-                include_empty,
-            } => {
-                stats.nodes_expanded += 1;
-                let options = *status.options();
-                let iter = if include_empty {
-                    SelectionIter::with_empty(&options, self.max_per_semester())
-                } else {
-                    SelectionIter::new(&options, self.max_per_semester())
-                };
-                let mut total = 0u128;
-                let mut goal = 0u128;
-                let mut emitted = 0usize;
-                let mut floor_skipped = 0usize;
-                for selection in iter {
-                    if selection.len() < min_selection {
-                        floor_skipped += 1;
-                        stats.pruned_time += 1;
-                        continue;
-                    }
-                    if !self.selection_allowed(&status, &selection) {
-                        continue;
-                    }
-                    emitted += 1;
-                    stats.edges_created += 1;
-                    let child = status.advance(self.catalog(), &selection);
-                    let (t, g) =
-                        self.count_state_budgeted(child, pruner, memo, stats, state_budget)?;
-                    total += t;
-                    goal += g;
-                }
-                if emitted == 0 && floor_skipped == 0 {
-                    (1, 0)
-                } else {
-                    (total, goal)
-                }
-            }
-        };
-        memo.insert(key, result);
-        Ok(result)
+        let table = UniqueTable::new(0);
+        let build = self
+            .build_path_dag(&table, DagBudget::Distinct(state_budget), None)
+            .map_err(budget_error)?;
+        Ok(counts_view(&table, &build))
     }
 
     /// Number of distinct `(semester, completed)` states reachable in this
     /// exploration — the size of the deduplicated DAG.
     pub fn distinct_states(&self) -> usize {
-        let pruner = self.pruner();
-        let mut memo: HashMap<StateKey, Counts> = HashMap::new();
-        let mut stats = ExploreStats::default();
-        self.count_state(*self.start(), pruner.as_ref(), &mut memo, &mut stats);
-        // The root is counted whether or not it was memoized.
-        memo.len().max(1)
+        let table = UniqueTable::new(0);
+        self.build_path_dag(&table, DagBudget::Unlimited, None)
+            .expect("unbudgeted build cannot fail")
+            .distinct
     }
 
     /// Builds the deduplicated state DAG, with per-state path counts.
@@ -209,16 +138,51 @@ impl Explorer<'_> {
     /// (the DAG is exponentially smaller than the tree, but deep dense
     /// horizons can still have millions of states).
     pub fn build_state_dag(&self, state_budget: usize) -> Result<StateDag, ExploreError> {
-        let pruner = self.pruner();
+        let table = UniqueTable::new(0);
+        let build = self
+            .build_path_dag(&table, DagBudget::Materialized(state_budget), None)
+            .map_err(budget_error)?;
         let mut dag = StateDag::default();
-        let mut index: HashMap<StateKey, Option<u32>> = HashMap::new();
-        self.dag_state(
-            *self.start(),
-            pruner.as_ref(),
-            &mut dag,
-            &mut index,
-            state_budget,
-        )?;
+        // Nodes are shared (terminals across all their states, interiors
+        // across selection orders), so edges are resolved by *state key*,
+        // which is unique per materialized state within one build.
+        let mut index_of = std::collections::HashMap::new();
+        for (position, (_, status)) in build.order.iter().enumerate() {
+            index_of.insert(status.state_key(), position as u32);
+        }
+        for (id, status) in &build.order {
+            let node = table.node(*id);
+            let from = dag.states.len() as u32;
+            let from_key = status.state_key();
+            let leaf = match &node.kind {
+                DagNodeKind::Leaf(kind) => Some(*kind),
+                DagNodeKind::Interior { edges, .. } => {
+                    for (selection, _) in edges {
+                        // Edges to pruned children exist structurally (they
+                        // keep the node interior) but the rendered DAG only
+                        // links materialized states.
+                        let to_key = (from_key.0 + 1, from_key.1.union(selection));
+                        if let Some(&to) = index_of.get(&to_key) {
+                            dag.edges.push(StateEdge {
+                                from,
+                                to,
+                                selection: *selection,
+                            });
+                        }
+                    }
+                    None
+                }
+                DagNodeKind::Pruned(_) | DagNodeKind::Empty => {
+                    unreachable!("pruned states are never materialized")
+                }
+            };
+            dag.states.push(StateNode {
+                status: *status,
+                leaf,
+                paths: node.paths,
+                goal_paths: node.goal_paths,
+            });
+        }
         if dag.states.is_empty() {
             // The root itself was pruned (the goal is unreachable from the
             // start): represent it as an interior state with zero paths so
@@ -230,7 +194,7 @@ impl Explorer<'_> {
                 goal_paths: 0,
             });
         }
-        // The recursion appends post-order; re-rooting at 0 keeps the
+        // The build materializes post-order; re-rooting at 0 keeps the
         // documented invariant that index 0 is the root.
         {
             let last = dag.states.len() as u32 - 1;
@@ -250,167 +214,12 @@ impl Explorer<'_> {
         }
         Ok(dag)
     }
+}
 
-    /// Returns the state's DAG index, or `None` when it was pruned.
-    fn dag_state(
-        &self,
-        status: EnrollmentStatus,
-        pruner: Option<&Pruner<'_>>,
-        dag: &mut StateDag,
-        index: &mut HashMap<StateKey, Option<u32>>,
-        state_budget: usize,
-    ) -> Result<Option<u32>, ExploreError> {
-        let key = status.state_key();
-        if let Some(&cached) = index.get(&key) {
-            return Ok(cached);
-        }
-        let result = match self.disposition(&status, pruner) {
-            Disposition::Leaf(kind) => {
-                if dag.states.len() >= state_budget {
-                    return Err(ExploreError::BudgetExceeded {
-                        node_budget: state_budget,
-                    });
-                }
-                let id = dag.states.len() as u32;
-                dag.states.push(StateNode {
-                    status,
-                    leaf: Some(kind),
-                    paths: 1,
-                    goal_paths: u128::from(kind == LeafKind::Goal),
-                });
-                Some(id)
-            }
-            Disposition::Pruned(_) => None,
-            Disposition::Expand {
-                min_selection,
-                include_empty,
-            } => {
-                let options = *status.options();
-                let iter = if include_empty {
-                    SelectionIter::with_empty(&options, self.max_per_semester())
-                } else {
-                    SelectionIter::new(&options, self.max_per_semester())
-                };
-                let mut children: Vec<(CourseSet, u32)> = Vec::new();
-                let mut paths = 0u128;
-                let mut goal_paths = 0u128;
-                let mut floor_skipped = false;
-                // Selections surviving the floor and filters, including ones
-                // whose child state is pruned (the tree still creates those
-                // edges, so this node is interior, not a dead end).
-                let mut attempted = 0usize;
-                for selection in iter {
-                    if selection.len() < min_selection {
-                        floor_skipped = true;
-                        continue;
-                    }
-                    if !self.selection_allowed(&status, &selection) {
-                        continue;
-                    }
-                    attempted += 1;
-                    let child = status.advance(self.catalog(), &selection);
-                    if let Some(child_id) =
-                        self.dag_state(child, pruner, dag, index, state_budget)?
-                    {
-                        paths += dag.states[child_id as usize].paths;
-                        goal_paths += dag.states[child_id as usize].goal_paths;
-                        children.push((selection, child_id));
-                    }
-                }
-                if dag.states.len() >= state_budget {
-                    return Err(ExploreError::BudgetExceeded {
-                        node_budget: state_budget,
-                    });
-                }
-                let id = dag.states.len() as u32;
-                if attempted == 0 && !floor_skipped {
-                    // Filters vetoed everything: dead-end leaf state.
-                    dag.states.push(StateNode {
-                        status,
-                        leaf: Some(LeafKind::DeadEnd),
-                        paths: 1,
-                        goal_paths: 0,
-                    });
-                } else {
-                    dag.states.push(StateNode {
-                        status,
-                        leaf: None,
-                        paths,
-                        goal_paths,
-                    });
-                    for (selection, child_id) in children {
-                        dag.edges.push(StateEdge {
-                            from: id,
-                            to: child_id,
-                            selection,
-                        });
-                    }
-                }
-                Some(id)
-            }
-        };
-        index.insert(key, result);
-        Ok(result)
-    }
-
-    fn count_state(
-        &self,
-        status: EnrollmentStatus,
-        pruner: Option<&Pruner<'_>>,
-        memo: &mut HashMap<StateKey, Counts>,
-        stats: &mut ExploreStats,
-    ) -> Counts {
-        let key = status.state_key();
-        if let Some(&cached) = memo.get(&key) {
-            return cached;
-        }
-        let result = match self.disposition(&status, pruner) {
-            Disposition::Leaf(kind) => (1, u128::from(kind == LeafKind::Goal)),
-            Disposition::Pruned(reason) => {
-                record_prune(stats, reason);
-                (0, 0)
-            }
-            Disposition::Expand {
-                min_selection,
-                include_empty,
-            } => {
-                stats.nodes_expanded += 1;
-                let options = *status.options();
-                let iter = if include_empty {
-                    SelectionIter::with_empty(&options, self.max_per_semester())
-                } else {
-                    SelectionIter::new(&options, self.max_per_semester())
-                };
-                let mut total = 0u128;
-                let mut goal = 0u128;
-                let mut emitted = 0usize;
-                let mut floor_skipped = 0usize;
-                for selection in iter {
-                    if selection.len() < min_selection {
-                        floor_skipped += 1;
-                        stats.pruned_time += 1;
-                        continue;
-                    }
-                    if !self.selection_allowed(&status, &selection) {
-                        continue;
-                    }
-                    emitted += 1;
-                    stats.edges_created += 1;
-                    let child = status.advance(self.catalog(), &selection);
-                    let (t, g) = self.count_state(child, pruner, memo, stats);
-                    total += t;
-                    goal += g;
-                }
-                if emitted == 0 && floor_skipped == 0 {
-                    // All selections vetoed by filters: dead-end leaf.
-                    (1, 0)
-                } else {
-                    (total, goal)
-                }
-            }
-        };
-        memo.insert(key, result);
-        result
+fn budget_error(err: DagBuildError) -> ExploreError {
+    match err {
+        DagBuildError::Budget { node_budget } => ExploreError::BudgetExceeded { node_budget },
+        DagBuildError::Deadline => unreachable!("no deadline was passed to the build"),
     }
 }
 
@@ -557,5 +366,22 @@ mod tests {
         let states = e.distinct_states();
         let graph = e.build_graph(10_000).unwrap();
         assert!(states >= 1 && states <= graph.node_count());
+    }
+
+    #[test]
+    fn dedup_stats_count_distinct_states_once() {
+        // The historical contract: a state expanded (or pruned) once no
+        // matter how many selection orders reach it. The streaming tree
+        // counters are upper bounds with equality only on tree-shaped
+        // instances.
+        let synth = SyntheticCatalog::generate(&SyntheticConfig::small());
+        let start = EnrollmentStatus::fresh(&synth.catalog, synth.start);
+        let goal = Goal::degree(synth.degree.clone());
+        let e = Explorer::goal_driven(&synth.catalog, start, synth.start + 4, 3, goal).unwrap();
+        let tree = e.count_paths();
+        let dedup = e.count_paths_dedup();
+        assert!(dedup.stats.nodes_expanded <= tree.stats.nodes_expanded);
+        assert!(dedup.stats.edges_created <= tree.stats.edges_created);
+        assert!(dedup.stats.pruned_total() <= tree.stats.pruned_total());
     }
 }

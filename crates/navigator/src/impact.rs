@@ -5,9 +5,10 @@
 //! paths to a CS major?"* [`Explorer::selection_impacts`] answers it: for
 //! every selection the student could make this semester, it reports the
 //! options unlocked next semester and the number of learning paths (and
-//! goal paths, for goal-driven runs) in the resulting subtree — computed
-//! with the memoized-DAG counter so even 10⁷-path subtrees answer in
-//! milliseconds.
+//! goal paths, for goal-driven runs) in the resulting subtree — read
+//! straight off the hash-consed path DAG ([`crate::unique`]), where every
+//! root edge's child node already carries its subtree counts, so even
+//! 10⁷-path subtrees answer in milliseconds.
 
 use std::time::Instant;
 
@@ -17,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::expand::SelectionIter;
 use crate::explorer::{Disposition, Explorer};
 use crate::memo::TranspositionTable;
+use crate::unique::{DagBudget, DagNodeId, DagNodeKind, UniqueTable};
 
 /// The downstream effect of electing one selection this semester.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,36 +43,33 @@ impl Explorer<'_> {
     /// Returns an empty vector when the start node is terminal (deadline
     /// reached, goal already satisfied, or no options and no wait).
     pub fn selection_impacts(&self) -> Vec<SelectionImpact> {
-        let pruner = self.pruner();
-        let start = *self.start();
-        let Disposition::Expand {
-            min_selection,
-            include_empty,
-        } = self.disposition(&start, pruner.as_ref())
-        else {
+        let table = UniqueTable::new(0);
+        let build = self
+            .build_path_dag(&table, DagBudget::Unlimited, None)
+            .expect("unbudgeted build cannot fail");
+        self.impacts_from_dag(&table, build.root)
+    }
+
+    /// Projects [`SelectionImpact`]s out of an already-built path DAG
+    /// rooted at this explorer's start state: each root edge already
+    /// carries the subtree's path counts on its interned child node, so
+    /// no re-exploration happens at all. Returns an empty vector when the
+    /// root is terminal.
+    pub fn impacts_from_dag(&self, table: &UniqueTable, root: DagNodeId) -> Vec<SelectionImpact> {
+        let node = table.node(root);
+        let DagNodeKind::Interior { edges, .. } = &node.kind else {
             return Vec::new();
         };
-        let options = *start.options();
-        let iter = if include_empty {
-            SelectionIter::with_empty(&options, self.max_per_semester())
-        } else {
-            SelectionIter::new(&options, self.max_per_semester())
-        };
+        let start = *self.start();
         let mut impacts = Vec::new();
-        for selection in iter {
-            if selection.len() < min_selection {
-                continue;
-            }
-            if !self.selection_allowed(&start, &selection) {
-                continue;
-            }
-            let child = start.advance(self.catalog(), &selection);
-            let counts = self.restarted(child).count_paths_dedup();
+        for (selection, child_id) in edges {
+            let child_status = start.advance(self.catalog(), selection);
+            let child = table.node(*child_id);
             impacts.push(SelectionImpact {
-                selection,
-                options_next_semester: child.options().len(),
-                paths: counts.total_paths,
-                goal_paths: counts.goal_paths,
+                selection: *selection,
+                options_next_semester: child_status.options().len(),
+                paths: child.paths,
+                goal_paths: child.goal_paths,
             });
         }
         impacts.sort_by(|a, b| {

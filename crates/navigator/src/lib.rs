@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod advise;
+pub mod apply;
 pub mod astar;
 pub mod cursor;
 pub mod dedup;
@@ -59,11 +60,14 @@ pub mod service;
 pub mod stats;
 pub mod status;
 pub mod stream;
+pub mod unique;
+pub mod whatif;
 
 pub use advise::{
     AdviseOutcome, AdviseRequest, AdviseResponse, BatchAdviseRequest, Recommendation,
     StudentStatus, TranscriptSpec,
 };
+pub use apply::{ApplyError, Restriction, SetOp};
 pub use astar::{RemainingCostHeuristic, TimeHeuristic, WorkloadHeuristic, ZeroHeuristic};
 pub use cursor::{ExplorationCursor, FrameState, SelectionIterState, StreamCursor};
 pub use dedup::{StateDag, StateEdge, StateNode};
@@ -89,3 +93,8 @@ pub use service::{ExplorationResponse, NavigatorService, ServiceError, API_VERSI
 pub use stats::{ExploreStats, PathCounts};
 pub use status::EnrollmentStatus;
 pub use stream::PathStream;
+pub use unique::{
+    DagBudget, DagBuild, DagBuildError, DagNode, DagNodeId, DagNodeKind, UniqueTable,
+    UniqueTableStats,
+};
+pub use whatif::{WhatIfDelta, WhatIfOutcome, WhatIfRequest, WhatIfServed};

@@ -309,6 +309,30 @@ impl ExplorationRequest {
         serde_json::to_string(&canon).expect("a request always serializes")
     }
 
+    /// The path-DAG root-cache key: the compact JSON of the canonical form
+    /// with every field that does not change the *exploration structure*
+    /// masked out. Unlike [`memo_key`], the start semester and completed
+    /// set stay — a DAG root is anchored at a concrete start state — but
+    /// the output mode and ranking are masked (the DAG captures the full
+    /// path set; counts, collections, and impacts are views over it), as
+    /// are the budget, paging, and tenant fields, exactly as in
+    /// [`cache_key`]. Two what-if requests over the same transcript and
+    /// constraints therefore share one cached root no matter what output
+    /// they ask for.
+    ///
+    /// [`cache_key`]: ExplorationRequest::cache_key
+    /// [`memo_key`]: ExplorationRequest::memo_key
+    pub fn dag_key(&self) -> String {
+        let mut canon = self.canonicalize();
+        canon.output = OutputMode::Count;
+        canon.ranking = None;
+        canon.budget_ms = None;
+        canon.page_size = None;
+        canon.cursor = None;
+        canon.tenant = None;
+        serde_json::to_string(&canon).expect("a request always serializes")
+    }
+
     /// Applies a serving-layer degradation clamp: the effective wall-clock
     /// budget becomes `min(budget_ms, budget_cap_ms)` (a request without
     /// its own budget gets the cap outright) and an explicit `page_size`

@@ -61,18 +61,21 @@ impl ServiceError {
             ServiceError::NoOfferingModelConfigured => "no-offering-model-configured",
             ServiceError::BadRanking(_) => "bad-ranking",
             ServiceError::InvalidCursor(_) => "invalid-cursor",
-            ServiceError::Explore(ExploreError::BudgetExceeded { .. }) => "budget-exceeded",
+            ServiceError::Explore(ExploreError::BudgetExceeded { .. }) => "state-budget",
             ServiceError::Explore(ExploreError::InvalidRequest(_)) => "invalid-request",
             ServiceError::Explore(ExploreError::InvalidCursor(_)) => "invalid-cursor",
         }
     }
 
-    /// Whether retrying the identical request could succeed. Service
-    /// errors are all deterministic request defects, so this is `false`
-    /// across the board today; it exists so the wire contract already
-    /// carries the bit when a retryable variant appears.
+    /// Whether retrying the identical request could succeed. Most service
+    /// errors are deterministic request defects; a `state-budget` overflow
+    /// is the exception — the server may have more headroom later (a
+    /// larger configured budget, a warmer table), so clients may retry it.
     pub fn retryable(&self) -> bool {
-        false
+        matches!(
+            self,
+            ServiceError::Explore(ExploreError::BudgetExceeded { .. })
+        )
     }
 }
 
@@ -232,7 +235,11 @@ impl<'a> NavigatorService<'a> {
         self
     }
 
-    fn resolve_codes(&self, codes: &[String]) -> Result<CourseSet, ServiceError> {
+    pub(crate) fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    pub(crate) fn resolve_codes(&self, codes: &[String]) -> Result<CourseSet, ServiceError> {
         codes
             .iter()
             .map(|raw| {

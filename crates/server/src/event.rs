@@ -794,8 +794,7 @@ impl Core {
         };
         let reading = matches!(conn.machine.stage(), Stage::Idle | Stage::Reading);
         let writing = !conn.stalled
-            && (conn.machine.wants_write()
-                || conn.stream.as_ref().is_some_and(|s| !s.is_empty()));
+            && (conn.machine.wants_write() || conn.stream.as_ref().is_some_and(|s| !s.is_empty()));
         if !reading && !writing {
             self.reset_close(token);
         }

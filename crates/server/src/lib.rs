@@ -107,8 +107,8 @@ use std::time::{Duration, Instant};
 use std::ops::ControlFlow;
 
 use coursenav_navigator::{
-    AdviseRequest, BatchAdviseRequest, ExplorationCursor, ExplorationRequest, NavigatorService,
-    ServiceError, StreamedItem, TranscriptSpec,
+    AdviseRequest, BatchAdviseRequest, ExplorationCursor, ExplorationRequest, ExploreError,
+    NavigatorService, ServiceError, StreamedItem, TranscriptSpec, WhatIfRequest, WhatIfServed,
 };
 use coursenav_registrar::{json::catalog_to_json, parse_registrar_file, RegistrarData};
 use coursenav_transcript::{Transcript, TranscriptError};
@@ -120,7 +120,7 @@ pub use metrics::MetricsSnapshot;
 use overload::{Admission, Overload};
 pub use overload::{OverloadConfig, OverloadSnapshot};
 use registry::{CatalogRegistry, RegistryError, Tenant, DEFAULT_TENANT};
-pub use registry::{Registered, TenantInfo, TenantSnapshot};
+pub use registry::{DagStoreSnapshot, Registered, TenantInfo, TenantSnapshot};
 use session::{SessionError, SessionStore};
 use singleflight::{Published, Role, Singleflight};
 pub use snapshot::{RestoreError, RestoreReport, SnapshotStats};
@@ -180,6 +180,11 @@ pub struct ServerConfig {
     /// different requests over the same exploration tree share subtree
     /// work ([`memo::MemoRegistry`]). `0` disables memoization.
     pub memo_entries: usize,
+    /// Per-tenant node cap on the hash-consed path-DAG table that
+    /// `/v1/whatif` builds base explorations into. A base DAG that would
+    /// outgrow it answers a typed, retryable `413 state-budget` and the
+    /// saturated table is retired for a fresh one. `0` removes the cap.
+    pub dag_nodes: usize,
     /// Live resumable sessions kept at once; beyond it, the least
     /// recently minted cursor is evicted (its token answers 410).
     pub session_capacity: usize,
@@ -218,6 +223,7 @@ impl Default for ServerConfig {
             default_budget_ms: Some(10_000),
             parallelism: 1,
             memo_entries: 1 << 16,
+            dag_nodes: 1 << 20,
             session_capacity: 1024,
             session_ttl: Duration::from_secs(300),
             max_tenants: 256,
@@ -334,6 +340,7 @@ impl Server {
                 data,
                 config.cache_mb.max(1) * (1 << 20),
                 config.memo_entries,
+                config.dag_nodes,
                 config.max_tenants,
                 gate,
             ),
@@ -719,6 +726,7 @@ fn route(state: &AppState, request: &Request) -> Response {
     match (request.method.as_str(), path) {
         ("POST", "/explore") => explore(state, request),
         ("POST", "/advise") => advise(state, request),
+        ("POST", "/whatif") => whatif(state, request),
         ("GET", "/catalog") => {
             let tenant = match resolve_tenant(state, request, None) {
                 Ok(tenant) => tenant,
@@ -785,7 +793,8 @@ fn route(state: &AppState, request: &Request) -> Response {
         | (_, "/explore/stream")
         | (_, "/snapshot")
         | (_, "/advise")
-        | (_, "/advise/batch") => {
+        | (_, "/advise/batch")
+        | (_, "/whatif") => {
             let mut resp = Response::error(405, "method not allowed");
             resp.extra_headers.push(("allow".into(), "POST".into()));
             resp
@@ -896,6 +905,7 @@ fn full_snapshot(state: &AppState) -> MetricsSnapshot {
         state.overload.snapshot(),
         state.registry.tenants_snapshot(),
         state.snapshots.stats(),
+        state.registry.aggregate_dag(),
         state.registry.tenant_invalidations(),
         state.registry.global_invalidations(),
     )
@@ -1204,13 +1214,15 @@ fn compute_explore(
 
 /// Maps an engine failure to its typed wire error: the stable kebab-case
 /// code from [`ServiceError::code`], under 400 for cursor problems (the
-/// client sent reusable garbage) and 422 otherwise (the request was
+/// client sent reusable garbage), 413 for a state budget the server ran
+/// out of (the answer is too large to materialize — retryable once the
+/// saturated table rotates), and 422 otherwise (the request was
 /// well-formed but unservable).
 fn engine_error(e: &ServiceError) -> Response {
-    let status = if e.code() == "invalid-cursor" {
-        400
-    } else {
-        422
+    let status = match e.code() {
+        "invalid-cursor" => 400,
+        "state-budget" => 413,
+        _ => 422,
     };
     Response::error_coded(status, e.code(), &e.to_string(), e.retryable())
 }
@@ -1770,6 +1782,194 @@ fn advise_paged(state: &AppState, tenant: &Tenant, req: &AdviseRequest) -> Respo
             }
         }
         Err(e) => engine_error(&e),
+    }
+}
+
+/// [`degrade_request`] for what-ifs: the clamps land on the base request.
+fn degrade_whatif(state: &AppState, req: &mut WhatIfRequest, level: u8) {
+    let c = state.overload.config();
+    match level {
+        0 => {}
+        1 => req.apply_degradation(c.soft_budget_ms, c.degraded_page_size),
+        _ => req.apply_degradation(c.floor_budget_ms, c.degraded_page_size),
+    }
+}
+
+/// `POST /v1/whatif`: a base exploration plus a constraint delta,
+/// answered by set-algebraic apply over the tenant's hash-consed path
+/// DAG when possible ([`NavigatorService::whatif_until`]). Admission
+/// control, transcript validation, degradation, caching, and
+/// singleflight are all shared with `/v1/explore` — a no-force what-if
+/// even shares the explore cache entry of its merged request, because
+/// the answers are byte-identical by construction.
+fn whatif(state: &AppState, request: &Request) -> Response {
+    state
+        .metrics
+        .whatif_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let (level, probe) = match state.overload.admit() {
+        Admission::Reject { retry_after } => return Response::overloaded(retry_after),
+        Admission::Go { level, probe } => (level, probe),
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                "body is not UTF-8",
+                false,
+            )
+        }
+    };
+    let mut req = match WhatIfRequest::from_json(body) {
+        Ok(req) => req,
+        Err(e) => {
+            return Response::error_field(
+                400,
+                "invalid-request",
+                "body",
+                &format!("bad what-if request: {e}"),
+                false,
+            )
+        }
+    };
+    let tenant = match resolve_tenant(state, request, req.tenant()) {
+        Ok(tenant) => tenant,
+        Err(resp) => return *resp,
+    };
+    if let Some(spec) = &req.transcript {
+        if let Err(resp) = validate_transcript(&tenant, spec) {
+            return *resp;
+        }
+    }
+    degrade_whatif(state, &mut req, level);
+    let t0 = Instant::now();
+    let resp = whatif_admitted(state, &tenant, &req);
+    state
+        .overload
+        .observe(t0.elapsed(), resp.status < 500, probe);
+    with_degraded(resp, level)
+}
+
+/// The cache/coalesce/compute pipeline for one admitted what-if — the
+/// same shape as [`explore_admitted`]. Paged what-ifs resolve to paged
+/// explorations of the merged request (force has no paged form); unpaged
+/// ones ride the cache and singleflight under [`WhatIfRequest::cache_key`].
+fn whatif_admitted(state: &AppState, tenant: &Tenant, req: &WhatIfRequest) -> Response {
+    let merged = req.merged_request();
+    if merged.cursor.is_some() || merged.page_size.is_some() {
+        if !req.delta.force.is_empty() {
+            return engine_error(&ServiceError::Explore(ExploreError::InvalidRequest(
+                "forced courses require count output without paging".into(),
+            )));
+        }
+        return explore_paged(state, tenant, &merged);
+    }
+
+    let key = req.cache_key();
+    if let Some(cached) = tenant.cache().get(&key) {
+        state
+            .metrics
+            .whatif_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+        return with_x_cache(Response::json(200, cached.to_vec()), "hit");
+    }
+
+    let flight_key = format!("{}\n{key}", tenant.scope());
+    match state.flights.begin(&flight_key) {
+        Role::Leader(leader) => {
+            if let Some(cached) = tenant.cache().get(&key) {
+                state
+                    .metrics
+                    .whatif_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::json(200, cached.to_vec());
+                leader.publish(resp.clone());
+                return with_x_cache(resp, "hit");
+            }
+            state
+                .metrics
+                .whatif_computed
+                .fetch_add(1, Ordering::Relaxed);
+            let (resp, cacheable) = compute_whatif(state, tenant, req);
+            if cacheable {
+                cache_put(state, tenant, &key, &resp.body);
+            }
+            leader.publish(resp.clone());
+            with_x_cache(resp, "miss")
+        }
+        Role::Follower(follower) => {
+            let deadline = req
+                .base
+                .budget_ms
+                .or(state.default_budget_ms)
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            match follower.wait(deadline) {
+                Some(Published::Done(resp)) => with_x_cache(resp, "coalesced"),
+                Some(Published::Abandoned) | None => {
+                    state
+                        .metrics
+                        .whatif_computed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (resp, cacheable) = compute_whatif(state, tenant, req);
+                    if cacheable {
+                        cache_put(state, tenant, &key, &resp.body);
+                    }
+                    with_x_cache(resp, "miss")
+                }
+            }
+        }
+    }
+}
+
+/// Runs one what-if under its deadline, against the tenant's shared memo
+/// table *and* its shared path-DAG table. Returns the wire response and
+/// whether it may be cached (complete 200s only).
+fn compute_whatif(state: &AppState, tenant: &Tenant, req: &WhatIfRequest) -> (Response, bool) {
+    let deadline = req
+        .base
+        .budget_ms
+        .or(state.default_budget_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let data = Arc::clone(tenant.data());
+    let mut service = NavigatorService::new(&data.catalog);
+    if let Some(degree) = &data.degree {
+        service = service.with_degree(degree);
+    }
+    if let Some(offering) = &data.offering {
+        service = service.with_offering_model(offering);
+    }
+    let table = tenant.memo().table_for(&req.memo_key());
+    let dag = tenant.dag().table();
+    match service.whatif_until(
+        req,
+        deadline,
+        state.parallelism,
+        table.as_deref(),
+        Some(&dag),
+    ) {
+        Ok(outcome) => {
+            match outcome.served {
+                WhatIfServed::Applied => &state.metrics.whatif_applied,
+                WhatIfServed::Explored => &state.metrics.whatif_explored,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            match serde_json::to_string(&outcome.response) {
+                Ok(json) => (Response::json(200, json), !outcome.response.truncated()),
+                Err(e) => (Response::error(500, &e.to_string()), false),
+            }
+        }
+        Err(e) => {
+            if e.code() == "state-budget" {
+                // Retire the saturated table so the retry the typed 413
+                // invites starts against a fresh one; in-flight requests
+                // holding the old table finish unharmed.
+                tenant.dag().retire();
+            }
+            (engine_error(&e), false)
+        }
     }
 }
 

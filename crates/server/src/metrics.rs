@@ -8,17 +8,18 @@ use std::time::{Duration, Instant};
 use crate::cache::CacheStats;
 use crate::memo::MemoRegistrySnapshot;
 use crate::overload::OverloadSnapshot;
-use crate::registry::TenantSnapshot;
+use crate::registry::{DagStoreSnapshot, TenantSnapshot};
 use crate::session::SessionStats;
 use crate::snapshot::SnapshotStats;
 
 /// Routes with a dedicated latency histogram; requests that match none of
 /// the known paths land in `other`.
-pub const ROUTES: [&str; 11] = [
+pub const ROUTES: [&str; 12] = [
     "explore",
     "explore-stream",
     "advise",
     "advise-batch",
+    "whatif",
     "catalog",
     "catalogs",
     "healthz",
@@ -141,6 +142,8 @@ pub fn route_label(path: &str) -> &'static str {
         "/v1/explore/stream" | "/explore/stream" => "explore-stream",
         "/v1/advise" | "/advise" => "advise",
         "/v1/advise/batch" | "/advise/batch" => "advise-batch",
+        // `/v1/whatif` is post-`/v1`: it has no unprefixed alias.
+        "/v1/whatif" => "whatif",
         "/v1/catalog" | "/catalog" => "catalog",
         "/v1/healthz" | "/healthz" => "healthz",
         "/v1/metrics" | "/metrics" => "metrics",
@@ -245,6 +248,17 @@ pub struct Metrics {
     pub advise_batch_requests: AtomicU64,
     /// Individual students advised across every batch request.
     pub advise_batch_students: AtomicU64,
+    /// `POST /v1/whatif` requests served (cache hits included).
+    pub whatif_requests: AtomicU64,
+    /// What-ifs answered from the response cache.
+    pub whatif_cache_hits: AtomicU64,
+    /// What-ifs that ran the engine.
+    pub whatif_computed: AtomicU64,
+    /// What-ifs answered by set-algebraic apply over the shared path DAG.
+    pub whatif_applied: AtomicU64,
+    /// What-ifs answered by ordinary exploration of the merged request
+    /// (non-count output, paging, or a deadline-expired DAG build).
+    pub whatif_explored: AtomicU64,
     /// Responses with a 4xx status.
     pub client_errors: AtomicU64,
     /// Responses with a 5xx status (handler panics and shed connections
@@ -280,6 +294,11 @@ impl Metrics {
             advise_computed: AtomicU64::new(0),
             advise_batch_requests: AtomicU64::new(0),
             advise_batch_students: AtomicU64::new(0),
+            whatif_requests: AtomicU64::new(0),
+            whatif_cache_hits: AtomicU64::new(0),
+            whatif_computed: AtomicU64::new(0),
+            whatif_applied: AtomicU64::new(0),
+            whatif_explored: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| Histogram::new()),
@@ -329,6 +348,7 @@ impl Metrics {
         overload: OverloadSnapshot,
         tenants: Vec<TenantSnapshot>,
         snapshot: SnapshotStats,
+        unique_table: DagStoreSnapshot,
         invalidate_tenant_requests: u64,
         invalidate_global_requests: u64,
     ) -> MetricsSnapshot {
@@ -352,6 +372,11 @@ impl Metrics {
             advise_computed: load(&self.advise_computed),
             advise_batch_requests: load(&self.advise_batch_requests),
             advise_batch_students: load(&self.advise_batch_students),
+            whatif_requests: load(&self.whatif_requests),
+            whatif_cache_hits: load(&self.whatif_cache_hits),
+            whatif_computed: load(&self.whatif_computed),
+            whatif_applied: load(&self.whatif_applied),
+            whatif_explored: load(&self.whatif_explored),
             client_errors: load(&self.client_errors),
             server_errors: load(&self.server_errors),
             latency: ROUTES
@@ -374,6 +399,7 @@ impl Metrics {
             overload,
             tenants,
             snapshot,
+            unique_table,
             invalidate_tenant_requests,
             invalidate_global_requests,
         }
@@ -453,6 +479,16 @@ pub struct MetricsSnapshot {
     pub advise_batch_requests: u64,
     /// Individual students advised across every batch request.
     pub advise_batch_students: u64,
+    /// `POST /v1/whatif` requests served (cache hits included).
+    pub whatif_requests: u64,
+    /// What-ifs answered from the response cache.
+    pub whatif_cache_hits: u64,
+    /// What-ifs that ran the engine.
+    pub whatif_computed: u64,
+    /// What-ifs answered by set-algebraic apply over the shared path DAG.
+    pub whatif_applied: u64,
+    /// What-ifs answered by ordinary exploration of the merged request.
+    pub whatif_explored: u64,
     /// Responses with a 4xx status.
     pub client_errors: u64,
     /// Responses with a 5xx status a handler produced (sheds and resets
@@ -481,6 +517,9 @@ pub struct MetricsSnapshot {
     pub tenants: Vec<TenantSnapshot>,
     /// Durable snapshot/restore counters.
     pub snapshot: SnapshotStats,
+    /// Hash-consed path-DAG counters, aggregated across every tenant
+    /// (retired tables and epochs included).
+    pub unique_table: DagStoreSnapshot,
     /// Per-tenant `POST /v1/catalogs/{tenant}/invalidate` calls served.
     pub invalidate_tenant_requests: u64,
     /// Deprecated global `POST /v1/cache/invalidate` calls served.
@@ -505,6 +544,7 @@ mod tests {
             OverloadSnapshot::default(),
             Vec::new(),
             SnapshotStats::default(),
+            DagStoreSnapshot::default(),
             0,
             0,
         );
@@ -523,6 +563,7 @@ mod tests {
             OverloadSnapshot::default(),
             Vec::new(),
             SnapshotStats::default(),
+            DagStoreSnapshot::default(),
             0,
             0,
         ))
@@ -548,6 +589,11 @@ mod tests {
         assert!(json.contains("\"route\":\"explore\""), "{json}");
         assert!(json.contains("\"advise-requests\":0"), "{json}");
         assert!(json.contains("\"advise-batch-students\":0"), "{json}");
+        assert!(json.contains("\"whatif-requests\":0"), "{json}");
+        assert!(json.contains("\"whatif-applied\":0"), "{json}");
+        assert!(json.contains("\"unique-table\":{"), "{json}");
+        assert!(json.contains("\"hash-cons-hits\":0"), "{json}");
+        assert!(json.contains("\"tables-retired\":0"), "{json}");
         assert!(json.contains("\"deprecated-route-hits\":["), "{json}");
         assert!(json.contains("\"route\":\"/cache/invalidate\""), "{json}");
     }
@@ -566,6 +612,7 @@ mod tests {
             OverloadSnapshot::default(),
             Vec::new(),
             SnapshotStats::default(),
+            DagStoreSnapshot::default(),
             0,
             0,
         );
@@ -614,6 +661,7 @@ mod tests {
             OverloadSnapshot::default(),
             Vec::new(),
             SnapshotStats::default(),
+            DagStoreSnapshot::default(),
             0,
             0,
         );

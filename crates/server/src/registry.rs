@@ -26,9 +26,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use coursenav_navigator::InsertGate;
+use coursenav_navigator::{InsertGate, UniqueTable, UniqueTableStats};
 use coursenav_registrar::RegistrarData;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{CacheStats, ResponseCache};
 use crate::memo::{MemoRegistry, MemoRegistrySnapshot};
@@ -112,6 +112,115 @@ impl fmt::Display for RestoreRefusal {
     }
 }
 
+/// A tenant partition's hash-consed path-DAG store: the [`UniqueTable`]
+/// that `/v1/whatif` builds base DAGs into and applies deltas against.
+///
+/// The table is held behind an `Arc` swap, never cleared in place — a
+/// request that resolved the old table finishes against it (its node ids
+/// stay valid), exactly as in-flight requests finish against a replaced
+/// catalog partition. Retiring folds the old table's lifetime counters
+/// into the store's retired totals so `/metrics` never goes backwards.
+pub struct DagStore {
+    capacity: usize,
+    table: RwLock<Arc<UniqueTable>>,
+    retired: Mutex<UniqueTableStats>,
+    tables_retired: AtomicU64,
+}
+
+impl DagStore {
+    fn new(capacity: usize) -> DagStore {
+        DagStore {
+            capacity,
+            table: RwLock::new(Arc::new(UniqueTable::new(capacity))),
+            retired: Mutex::new(UniqueTableStats::default()),
+            tables_retired: AtomicU64::new(0),
+        }
+    }
+
+    /// The live table, cloned out for the duration of one request.
+    pub fn table(&self) -> Arc<UniqueTable> {
+        Arc::clone(&self.table.read())
+    }
+
+    /// Swaps in a fresh empty table and folds the old one's counters into
+    /// the retired totals. Invalidation and capacity overflow both land
+    /// here: the retry a typed `413 state-budget` invites starts against
+    /// an empty table.
+    pub fn retire(&self) {
+        let fresh = Arc::new(UniqueTable::new(self.capacity));
+        let old = std::mem::replace(&mut *self.table.write(), fresh);
+        let mut stats = old.snapshot();
+        // Resident nodes and roots die with the table; only the lifetime
+        // counters carry forward.
+        stats.nodes = 0;
+        stats.roots = 0;
+        self.retired.lock().merge(&stats);
+        self.tables_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Live counters with every retired table's folded in — the
+    /// `unique-table` block of `/v1/metrics`.
+    pub fn snapshot(&self) -> DagStoreSnapshot {
+        let mut stats = *self.retired.lock();
+        stats.merge(&self.table.read().snapshot());
+        let mut snap = DagStoreSnapshot {
+            capacity: self.capacity as u64,
+            nodes: stats.nodes,
+            roots: stats.roots,
+            hash_cons_hits: stats.hash_cons_hits,
+            interned: stats.interned,
+            hash_cons_hit_rate: 0.0,
+            apply_hits: stats.apply_hits,
+            apply_misses: stats.apply_misses,
+            root_hits: stats.root_hits,
+            root_misses: stats.root_misses,
+            tables_retired: self.tables_retired.load(Ordering::Relaxed),
+        };
+        snap.recompute_rate();
+        snap
+    }
+}
+
+/// A [`DagStore`]'s counters as `/v1/metrics` serializes them, both as
+/// the top-level `unique-table` aggregate and per tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+#[serde(rename_all = "kebab-case")]
+pub struct DagStoreSnapshot {
+    /// Configured per-table node cap (0 = unlimited).
+    pub capacity: u64,
+    /// Nodes resident in live tables.
+    pub nodes: u64,
+    /// Cached exploration roots in live tables.
+    pub roots: u64,
+    /// Intern requests answered by an existing node.
+    pub hash_cons_hits: u64,
+    /// Nodes actually created (intern misses).
+    pub interned: u64,
+    /// `hash_cons_hits / (hash_cons_hits + interned)`, in `[0, 1]`.
+    pub hash_cons_hit_rate: f64,
+    /// Apply operations answered from the pair-keyed apply cache.
+    pub apply_hits: u64,
+    /// Apply operations computed and cached.
+    pub apply_misses: u64,
+    /// What-ifs that reused an already-built base DAG.
+    pub root_hits: u64,
+    /// What-ifs that had to build their base DAG.
+    pub root_misses: u64,
+    /// Tables retired by invalidation or capacity overflow.
+    pub tables_retired: u64,
+}
+
+impl DagStoreSnapshot {
+    fn recompute_rate(&mut self) {
+        let total = self.hash_cons_hits + self.interned;
+        self.hash_cons_hit_rate = if total == 0 {
+            0.0
+        } else {
+            self.hash_cons_hits as f64 / total as f64
+        };
+    }
+}
+
 /// One `(tenant, epoch)` serving partition: the catalog data plus the
 /// caches derived from it. Immutable once published; a swap builds a new
 /// one.
@@ -121,6 +230,7 @@ pub struct Tenant {
     data: Arc<RegistrarData>,
     cache: ResponseCache,
     memo: MemoRegistry,
+    dag: DagStore,
 }
 
 impl Tenant {
@@ -147,6 +257,11 @@ impl Tenant {
     /// The partition's memo-table registry.
     pub fn memo(&self) -> &MemoRegistry {
         &self.memo
+    }
+
+    /// The partition's hash-consed path-DAG store (`/v1/whatif`).
+    pub fn dag(&self) -> &DagStore {
+        &self.dag
     }
 
     /// The scope string (`tenant@epoch`) that partitions the keyspaces
@@ -199,6 +314,8 @@ pub struct TenantSnapshot {
     pub cache: CacheStats,
     /// Memo-table counters (live partition + retired epochs).
     pub memo: MemoRegistrySnapshot,
+    /// Hash-consed path-DAG counters (live partition + retired epochs).
+    pub unique_table: DagStoreSnapshot,
 }
 
 /// A tenant's registry slot: the live partition plus the counters its
@@ -208,6 +325,7 @@ struct Slot {
     swaps: u64,
     retired_cache: CacheStats,
     retired_memo: MemoRegistrySnapshot,
+    retired_dag: DagStoreSnapshot,
 }
 
 /// The registry itself. One per server; shared behind the server's
@@ -218,6 +336,8 @@ pub struct CatalogRegistry {
     cache_bytes: usize,
     /// Per-partition memo entries-per-table cap.
     memo_entries: usize,
+    /// Per-partition node cap on the hash-consed path-DAG table.
+    dag_nodes: usize,
     /// Registered-tenant cap (swaps of existing tenants are exempt).
     max_tenants: usize,
     /// Insert gate cloned into every partition's memo registry (chaos
@@ -237,6 +357,7 @@ impl CatalogRegistry {
         default_data: RegistrarData,
         cache_bytes: usize,
         memo_entries: usize,
+        dag_nodes: usize,
         max_tenants: usize,
         gate: Option<InsertGate>,
     ) -> CatalogRegistry {
@@ -244,6 +365,7 @@ impl CatalogRegistry {
             tenants: RwLock::new(HashMap::new()),
             cache_bytes,
             memo_entries,
+            dag_nodes,
             max_tenants: max_tenants.max(1),
             gate,
             tenant_invalidations: AtomicU64::new(0),
@@ -257,6 +379,7 @@ impl CatalogRegistry {
                 swaps: 0,
                 retired_cache: CacheStats::default(),
                 retired_memo: MemoRegistrySnapshot::default(),
+                retired_dag: DagStoreSnapshot::default(),
             },
         );
         registry
@@ -274,6 +397,7 @@ impl CatalogRegistry {
             data: Arc::new(data),
             cache: ResponseCache::new(self.cache_bytes),
             memo,
+            dag: DagStore::new(self.dag_nodes),
         })
     }
 
@@ -329,6 +453,7 @@ impl CatalogRegistry {
                 let dropped = old_cache.entries;
                 fold_cache(&mut slot.retired_cache, &old_cache, true);
                 fold_memo(&mut slot.retired_memo, &old_memo, true);
+                fold_dag(&mut slot.retired_dag, &old.dag.snapshot(), true);
                 Ok(Registered {
                     epoch,
                     swapped: true,
@@ -349,6 +474,7 @@ impl CatalogRegistry {
                         swaps: 0,
                         retired_cache: CacheStats::default(),
                         retired_memo: MemoRegistrySnapshot::default(),
+                        retired_dag: DagStoreSnapshot::default(),
                     },
                 );
                 Ok(Registered {
@@ -370,6 +496,7 @@ impl CatalogRegistry {
         })?;
         self.tenant_invalidations.fetch_add(1, Ordering::Relaxed);
         partition.memo.invalidate_all();
+        partition.dag.retire();
         Ok(partition.cache.invalidate_all())
     }
 
@@ -386,6 +513,7 @@ impl CatalogRegistry {
         let mut dropped = 0;
         for partition in partitions {
             partition.memo.invalidate_all();
+            partition.dag.retire();
             dropped += partition.cache.invalidate_all();
         }
         dropped
@@ -420,12 +548,15 @@ impl CatalogRegistry {
                 fold_cache(&mut cache, &slot.current.cache.stats(), false);
                 let mut memo = slot.retired_memo;
                 fold_memo(&mut memo, &slot.current.memo.snapshot(), false);
+                let mut unique_table = slot.retired_dag;
+                fold_dag(&mut unique_table, &slot.current.dag.snapshot(), false);
                 TenantSnapshot {
                     name: slot.current.name.clone(),
                     epoch: slot.current.epoch,
                     swaps: slot.swaps,
                     cache,
                     memo,
+                    unique_table,
                 }
             })
             .collect();
@@ -447,6 +578,19 @@ impl CatalogRegistry {
             memo.enabled = memo.enabled || slot.current.memo.snapshot().enabled;
         }
         (cache, memo)
+    }
+
+    /// Whole-server hash-consed path-DAG totals (live partitions + every
+    /// retired epoch and table) — the top-level `unique-table` block of
+    /// `/v1/metrics`.
+    pub fn aggregate_dag(&self) -> DagStoreSnapshot {
+        let mut dag = DagStoreSnapshot::default();
+        for slot in self.tenants.read().values() {
+            fold_dag(&mut dag, &slot.retired_dag, false);
+            fold_dag(&mut dag, &slot.current.dag.snapshot(), false);
+        }
+        dag.recompute_rate();
+        dag
     }
 
     /// Every live partition, name-sorted — what the background
@@ -504,6 +648,7 @@ impl CatalogRegistry {
         let old = std::mem::replace(&mut slot.current, next);
         fold_cache(&mut slot.retired_cache, &old.cache.stats(), true);
         fold_memo(&mut slot.retired_memo, &old.memo.snapshot(), true);
+        fold_dag(&mut slot.retired_dag, &old.dag.snapshot(), true);
         Ok(Arc::clone(&slot.current))
     }
 
@@ -534,6 +679,28 @@ fn fold_cache(a: &mut CacheStats, b: &CacheStats, retire: bool) {
     }
 }
 
+/// Adds `b`'s counters into `a`, mirroring [`fold_cache`] for the DAG
+/// side: on retirement, the partition's live table counts as retired and
+/// its resident gauges vanish with it. The derived hit-rate is
+/// recomputed after the fold.
+fn fold_dag(a: &mut DagStoreSnapshot, b: &DagStoreSnapshot, retire: bool) {
+    a.hash_cons_hits += b.hash_cons_hits;
+    a.interned += b.interned;
+    a.apply_hits += b.apply_hits;
+    a.apply_misses += b.apply_misses;
+    a.root_hits += b.root_hits;
+    a.root_misses += b.root_misses;
+    a.tables_retired += b.tables_retired;
+    if retire {
+        a.tables_retired += 1;
+    } else {
+        a.capacity += b.capacity;
+        a.nodes += b.nodes;
+        a.roots += b.roots;
+    }
+    a.recompute_rate();
+}
+
 /// Adds `b`'s counters into `a`, mirroring [`fold_cache`] for the memo
 /// side: on retirement, resident tables count as dropped.
 fn fold_memo(a: &mut MemoRegistrySnapshot, b: &MemoRegistrySnapshot, retire: bool) {
@@ -557,7 +724,7 @@ mod tests {
     use coursenav_registrar::brandeis_cs;
 
     fn registry(max: usize) -> CatalogRegistry {
-        CatalogRegistry::new(brandeis_cs(), 1 << 20, 1 << 10, max, None)
+        CatalogRegistry::new(brandeis_cs(), 1 << 20, 1 << 10, 1 << 16, max, None)
     }
 
     #[test]
@@ -701,6 +868,37 @@ mod tests {
                 .unwrap(),
             RestoreRefusal::FingerprintMismatch
         );
+    }
+
+    #[test]
+    fn dag_store_retires_tables_without_losing_counters() {
+        let r = registry(8);
+        let t = r.get(DEFAULT_TENANT).unwrap();
+        let table = t.dag().table();
+        table.intern(
+            1,
+            coursenav_catalog::CourseSet::new(),
+            coursenav_navigator::DagNodeKind::Empty,
+            Vec::new(),
+        );
+        let live = t.dag().snapshot();
+        assert_eq!(live.nodes, 1);
+        assert_eq!(live.interned, 1);
+        // Invalidation retires the table: gauges reset, counters carry.
+        r.invalidate_tenant(DEFAULT_TENANT).unwrap();
+        let after = t.dag().snapshot();
+        assert_eq!(after.nodes, 0, "fresh table is empty");
+        assert_eq!(after.interned, 1, "lifetime counters survive");
+        assert_eq!(after.tables_retired, 1);
+        // A request that resolved the old table still reads its nodes.
+        assert_eq!(table.len(), 1);
+        // Catalog swaps fold the whole store into the slot's retired
+        // totals, keeping per-tenant aggregates monotonic.
+        r.register(DEFAULT_TENANT, brandeis_cs()).unwrap();
+        let rows = r.tenants_snapshot();
+        assert_eq!(rows[0].unique_table.interned, 1);
+        assert_eq!(rows[0].unique_table.tables_retired, 2);
+        assert_eq!(r.aggregate_dag().interned, 1);
     }
 
     #[test]

@@ -8,7 +8,9 @@ mod common;
 
 use common::{fetch_metrics, roundtrip, roundtrip_with_headers, WireResponse};
 use coursenav_catalog::{Semester, Term};
-use coursenav_navigator::{AdviseRequest, BatchAdviseRequest, GoalSpec, TranscriptSpec};
+use coursenav_navigator::{
+    AdviseRequest, BatchAdviseRequest, GoalSpec, TranscriptSpec, WhatIfRequest,
+};
 use coursenav_registrar::{brandeis_cs, writer::write_registrar_file};
 use coursenav_server::{Server, ServerConfig, DEPRECATION_SUNSET};
 
@@ -103,6 +105,95 @@ fn advise_answers_the_documented_shape() {
     let again = send(&server, "POST", "/v1/advise", Some(&body));
     assert_eq!(again.header("x-cache"), Some("hit"));
     assert_eq!(again.body, resp.body);
+    server.shutdown();
+}
+
+fn whatif_request() -> WhatIfRequest {
+    let mut req = WhatIfRequest {
+        base: common::count_request(),
+        transcript: None,
+        delta: Default::default(),
+    };
+    req.delta.avoid = vec!["COSI 12B".to_string()];
+    req
+}
+
+#[test]
+fn whatif_answers_counts_with_cache_headers() {
+    let server = server();
+    let body = whatif_request().to_json().unwrap();
+    let resp = send(&server, "POST", "/v1/whatif", Some(&body));
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    assert_eq!(resp.header("x-cache"), Some("miss"));
+    // What-if counts answer in the exploration response shape, which
+    // keeps its snake_case field names (docs/WIRE_API.md).
+    assert!(resp.text().contains("\"counts\""), "{}", resp.text());
+    assert!(resp.text().contains("\"api_version\":1"), "{}", resp.text());
+    // The identical delta is a cache hit with an identical body.
+    let again = send(&server, "POST", "/v1/whatif", Some(&body));
+    assert_eq!(again.header("x-cache"), Some("hit"));
+    assert_eq!(again.body, resp.body);
+    // The metrics surface accounts the route and the shared unique table.
+    let metrics = fetch_metrics(server.local_addr());
+    assert_eq!(metrics["whatif-requests"].as_u64(), Some(2));
+    assert_eq!(metrics["whatif-applied"].as_u64(), Some(1));
+    assert_eq!(metrics["whatif-cache-hits"].as_u64(), Some(1));
+    let table = &metrics["unique-table"];
+    assert!(table["nodes"].as_u64().unwrap() > 0, "{table:?}");
+    assert!(table["roots"].as_u64().unwrap() >= 1, "{table:?}");
+    assert_eq!(table["tables-retired"].as_u64(), Some(0));
+    let latency = metrics["latency"].as_array().expect("route latencies");
+    assert!(
+        latency
+            .iter()
+            .any(|row| row["route"].as_str() == Some("whatif")),
+        "{latency:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn whatif_force_requires_unpaged_counts() {
+    let server = server();
+    let mut req = whatif_request();
+    req.delta.force = vec!["COSI 12B".to_string()];
+    req.base.page_size = Some(5);
+    let resp = send(&server, "POST", "/v1/whatif", Some(&req.to_json().unwrap()));
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    assert!(
+        resp.text().contains("\"code\":\"invalid-request\""),
+        "{}",
+        resp.text()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn whatif_over_budget_is_a_typed_retryable_413() {
+    // A one-node table cannot hold any base DAG: the build aborts with
+    // the documented state-budget error and the saturated table is
+    // retired so later requests start clean.
+    let config = ServerConfig {
+        dag_nodes: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config, brandeis_cs()).expect("bind loopback");
+    let resp = send(
+        &server,
+        "POST",
+        "/v1/whatif",
+        Some(&whatif_request().to_json().unwrap()),
+    );
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    let text = resp.text();
+    assert!(text.contains("\"code\":\"state-budget\""), "{text}");
+    assert!(text.contains("\"retryable\":true"), "{text}");
+    let metrics = fetch_metrics(server.local_addr());
+    assert!(
+        metrics["unique-table"]["tables-retired"].as_u64().unwrap() >= 1,
+        "saturated tables are retired"
+    );
     server.shutdown();
 }
 
@@ -406,6 +497,7 @@ fn wrong_methods_answer_405_with_allow() {
         ("GET", "/v1/explore/stream", "POST"),
         ("GET", "/v1/advise", "POST"),
         ("DELETE", "/v1/advise/batch", "POST"),
+        ("GET", "/v1/whatif", "POST"),
         ("GET", "/v1/cache/invalidate", "POST"),
         ("GET", "/v1/snapshot", "POST"),
         ("POST", "/v1/catalog", "GET"),

@@ -117,3 +117,37 @@ for line in sys.stdin:
         print("student %d: %s" % (row["student"], row["error"]["code"]))
     else:
         print("done: %s" % json.dumps(row["done"]))'
+echo
+
+echo "== 8. What-if advising: deltas over the shared path DAG"
+# The first what-if against a base exploration interns its path DAG into
+# the per-(tenant, epoch) unique table; every further delta is answered
+# by set algebra over the shared structure (watch x-cache and the
+# unique-table metrics block warm up).
+WBASE='{"start-semester": "Fall 2012", "deadline": "Fall 2014",
+        "max-per-semester": 3, "goal": "degree", "output": "count"}'
+for delta in '{"avoid": ["COSI 12B"]}' \
+             '{"force": ["COSI 21A"]}' \
+             '{"max-semester-workload": 38}' \
+             '{"avoid": ["COSI 12B"]}'; do
+  body=$(python3 -c '
+import json, sys
+print(json.dumps({"base": json.loads(sys.argv[1]), "delta": json.loads(sys.argv[2])}))' \
+    "$WBASE" "$delta")
+  curl -sS -D /tmp/whatif.h -X POST "$BASE/v1/whatif" -d "$body" | python3 -c '
+import json, sys
+counts = json.load(sys.stdin)["counts"]
+cache = [l.split(":", 1)[1].strip() for l in open("/tmp/whatif.h")
+         if l.lower().startswith("x-cache")][0]
+print("delta %-40s -> %7s total / %7s goal paths (x-cache: %s)"
+      % (sys.argv[1], counts["total_paths"], counts["goal_paths"], cache))' "$delta"
+done
+echo
+echo "== 8b. The shared structure shows up on /v1/metrics"
+# (Oversized base DAGs answer a typed retryable 413 instead — the
+# wire-contract suite pins {"code": "state-budget", "retryable": true}.)
+curl -sS "$BASE/v1/metrics" | python3 -c '
+import json, sys
+t = json.load(sys.stdin)["unique-table"]
+print("unique table: %d nodes, %d roots, %d hash-cons hits, %d apply hits"
+      % (t["nodes"], t["roots"], t["hash-cons-hits"], t["apply-hits"]))'

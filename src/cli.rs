@@ -17,6 +17,9 @@
 //!   impact                       rank this semester's selection options
 //!   advise                       next-semester recommendations + top-k
 //!                                completions from a --transcript
+//!   whatif                       base count vs a constraint delta
+//!                                (--drop/--force/--max-workload), answered
+//!                                by apply over the hash-consed path DAG
 //!   pareto                       time/workload trade-off curve of goal paths
 //!   progress                     degree progress for --completed courses
 //!   explain <CODE>               one course: prerequisites, schedule, odds
@@ -39,6 +42,11 @@
 //!                                (';' separates semesters, ',' courses;
 //!                                the transcript starts at --start)
 //!
+//! whatif flags (the delta on top of the base request):
+//!   --drop CODE,CODE             additionally avoid these courses
+//!   --force CODE,CODE            count only paths taking all of these
+//!   --max-workload <h>           cap per-semester workload hours
+//!
 //! serve flags:
 //!   --addr <host:port>           --threads <n>   --cache-mb <n>
 //!   --max-conns <n>              concurrent connection cap (default 10000;
@@ -46,6 +54,9 @@
 //!                                are closed)
 //!   --parallelism <n>            engine worker threads per exploration
 //!   --memo-entries <n>           per-table transposition cap (0 disables)
+//!   --dag-nodes <n>              per-tenant node budget for the what-if
+//!                                path-DAG table (oversized base DAGs
+//!                                answer a retryable 413 state-budget)
 //!   --catalog-dir <dir>          register every <dir>/*.cnav file as a
 //!                                tenant (tenant name = file stem); the
 //!                                positional catalog stays the default
@@ -62,7 +73,8 @@ use std::fmt;
 use coursenav_catalog::{CourseCode, Semester};
 use coursenav_navigator::{
     AdviseRequest, ExplorationRequest, ExplorationResponse, GoalSpec, NavigatorService, OutputMode,
-    PruneConfig, RankingSpec, ServiceError, TranscriptSpec,
+    PruneConfig, RankingSpec, ServiceError, TranscriptSpec, UniqueTable, WhatIfDelta,
+    WhatIfRequest, WhatIfServed,
 };
 use coursenav_navigator::{TimeRanking, WorkloadRanking};
 use coursenav_registrar::{
@@ -109,8 +121,8 @@ impl From<ServiceError> for CliError {
 }
 
 const USAGE: &str = "usage: coursenav <catalog.cnav | builtin:brandeis> \
-<info|count|paths|topk|impact|advise|pareto|progress|explain|lint|export|dot|serve> [flags]\n\
-see `coursenav help` for flags";
+<info|count|paths|topk|impact|advise|whatif|pareto|progress|explain|lint|export|dot|serve> \
+[flags]\nsee `coursenav help` for flags";
 
 /// Parsed command-line flags.
 #[derive(Debug)]
@@ -126,6 +138,9 @@ struct Flags {
     k: usize,
     ranking: RankingSpec,
     transcript: Option<String>,
+    drop: Vec<String>,
+    force: Vec<String>,
+    max_workload: Option<f64>,
     dag: bool,
     json: bool,
     addr: Option<String>,
@@ -134,6 +149,7 @@ struct Flags {
     cache_mb: Option<usize>,
     parallelism: Option<usize>,
     memo_entries: Option<usize>,
+    dag_nodes: Option<usize>,
     catalog_dir: Option<String>,
     snapshot_dir: Option<String>,
     snapshot_every: Option<u64>,
@@ -162,6 +178,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         k: 5,
         ranking: RankingSpec::Time,
         transcript: None,
+        drop: Vec::new(),
+        force: Vec::new(),
+        max_workload: None,
         dag: false,
         json: false,
         addr: None,
@@ -170,6 +189,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         cache_mb: None,
         parallelism: None,
         memo_entries: None,
+        dag_nodes: None,
         catalog_dir: None,
         snapshot_dir: None,
         snapshot_every: None,
@@ -239,6 +259,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 }
             }
             "--transcript" => flags.transcript = Some(value("--transcript")?.clone()),
+            "--drop" => flags.drop = split_codes(value("--drop")?),
+            "--force" => flags.force = split_codes(value("--force")?),
+            "--max-workload" => {
+                let hours: f64 = value("--max-workload")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-workload needs a number".into()))?;
+                if !hours.is_finite() || hours < 0.0 {
+                    return Err(CliError::Usage(
+                        "--max-workload must be a non-negative number".into(),
+                    ));
+                }
+                flags.max_workload = Some(hours);
+            }
             "--dag" => flags.dag = true,
             "--json" => flags.json = true,
             "--addr" => flags.addr = Some(value("--addr")?.clone()),
@@ -277,6 +310,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     value("--memo-entries")?
                         .parse()
                         .map_err(|_| CliError::Usage("--memo-entries needs an integer".into()))?,
+                )
+            }
+            "--dag-nodes" => {
+                flags.dag_nodes = Some(
+                    value("--dag-nodes")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--dag-nodes needs an integer".into()))?,
                 )
             }
             "--catalog-dir" => flags.catalog_dir = Some(value("--catalog-dir")?.clone()),
@@ -380,6 +420,7 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
         memo_entries: flags
             .memo_entries
             .unwrap_or(ServerConfig::default().memo_entries),
+        dag_nodes: flags.dag_nodes.unwrap_or(ServerConfig::default().dag_nodes),
         snapshot_dir: flags.snapshot_dir.as_ref().map(std::path::PathBuf::from),
         snapshot_every: flags
             .snapshot_every
@@ -420,8 +461,8 @@ fn serve_command(data: RegistrarData, flags: &Flags) -> Result<String, CliError>
     );
     println!(
         "routes: POST /v1/explore, POST /v1/explore/stream, POST /v1/advise, \
-         POST /v1/advise/batch, GET /v1/catalog, GET /v1/healthz, GET /v1/metrics, \
-         GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
+         POST /v1/advise/batch, POST /v1/whatif, GET /v1/catalog, GET /v1/healthz, \
+         GET /v1/metrics, GET /v1/catalogs, PUT /v1/catalogs/{{tenant}}, \
          POST /v1/catalogs/{{tenant}}/invalidate, POST /v1/snapshot \
          (see docs/WIRE_API.md)"
     );
@@ -635,6 +676,76 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                 out.push_str(&format!("--- #{} (cost {:.2}) ---\n", i + 1, rp.cost));
                 out.push_str(&render_path(&rp.path, &data.catalog));
             }
+        }
+        "whatif" => {
+            req.output = OutputMode::Count;
+            let start = flags.start.unwrap_or(data.horizon.0);
+            let transcript = flags.transcript.as_deref().map(|t| TranscriptSpec {
+                start,
+                selections: t.split(';').map(split_codes).collect(),
+            });
+            if let Some(spec) = &transcript {
+                // The same replay validation the server performs on
+                // /v1/whatif, so a bad transcript names the field at fault.
+                Transcript::from_codes(&data.catalog, spec.start, &spec.selections)
+                    .and_then(|t| t.status_after(&data.catalog).map(|_| ()))
+                    .map_err(|e| CliError::Usage(format!("{e} ({})", e.field())))?;
+            }
+            // Unknown delta courses fail before the base DAG is built, like
+            // the transcript check above.
+            for raw in flags.drop.iter().chain(&flags.force) {
+                if data.catalog.id_of(&CourseCode::new(raw)).is_none() {
+                    return Err(CliError::Usage(format!("unknown course {raw:?}")));
+                }
+            }
+            // Both questions run against one unique table: the baseline
+            // builds the shared path DAG, the delta is answered from it by
+            // the apply engine rather than a second exploration. The node
+            // cap turns an infeasibly wide horizon into the same typed
+            // state-budget error the server returns, instead of eating
+            // memory; narrow --deadline to bring the DAG under it.
+            let table = UniqueTable::new(1 << 21);
+            let base = WhatIfRequest {
+                base: req.clone(),
+                transcript,
+                delta: WhatIfDelta::default(),
+            };
+            let mut what = base.clone();
+            what.delta = WhatIfDelta {
+                avoid: flags.drop.clone(),
+                force: flags.force.clone(),
+                max_semester_workload: flags.max_workload,
+            };
+            let counts = |resp: &ExplorationResponse| match resp {
+                ExplorationResponse::Counts {
+                    total_paths,
+                    goal_paths,
+                    millis,
+                    ..
+                } => (*total_paths, *goal_paths, *millis),
+                _ => unreachable!("count what-ifs produce counts"),
+            };
+            let base_out = service.whatif_until(&base, None, 1, None, Some(&table))?;
+            let what_out = service.whatif_until(&what, None, 1, None, Some(&table))?;
+            let (bt, bg, bms) = counts(&base_out.response);
+            let (wt, wg, wms) = counts(&what_out.response);
+            out.push_str(&format!("base:    paths: {bt}\n"));
+            out.push_str(&format!("what-if: paths: {wt}\n"));
+            if req.goal.is_some() {
+                out.push_str(&format!("base:    goal paths: {bg}\n"));
+                out.push_str(&format!("what-if: goal paths: {wg}\n"));
+            }
+            let stats = table.snapshot();
+            out.push_str(&format!(
+                "served: {} ({} interned nodes, {} hash-cons hits)\n",
+                match what_out.served {
+                    WhatIfServed::Applied => "apply over the shared path DAG",
+                    WhatIfServed::Explored => "fallback re-exploration",
+                },
+                stats.nodes,
+                stats.hash_cons_hits
+            ));
+            out.push_str(&format!("elapsed: {bms} ms base, {wms} ms what-if\n"));
         }
         "dot" => {
             let explorer = service.build_explorer(&req)?;
@@ -1055,6 +1166,73 @@ mod tests {
         .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("transcript.selections[0]"), "{msg}");
+    }
+
+    fn paths_line(out: &str, prefix: &str) -> u64 {
+        out.lines()
+            .find(|l| l.starts_with(prefix))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("no {prefix:?} line in {out:?}"))
+    }
+
+    #[test]
+    fn whatif_answers_deltas_from_the_shared_dag() {
+        let out = run(&[
+            "builtin:brandeis",
+            "whatif",
+            "--deadline",
+            "Fall 2013",
+            "--drop",
+            "COSI 12B",
+        ])
+        .unwrap();
+        let base = paths_line(&out, "base:    paths:");
+        let what = paths_line(&out, "what-if: paths:");
+        assert!(what < base, "{out}");
+        assert!(out.contains("apply over the shared path DAG"), "{out}");
+
+        // --force keeps only paths taking the course; with --goal the goal
+        // counts are reported too.
+        let out = run(&[
+            "builtin:brandeis",
+            "whatif",
+            "--deadline",
+            "Fall 2013",
+            "--force",
+            "COSI 12B",
+            "--goal",
+            "expr:COSI 12B",
+        ])
+        .unwrap();
+        let what = paths_line(&out, "what-if: paths:");
+        let goal = paths_line(&out, "what-if: goal paths:");
+        assert_eq!(what, goal, "forced paths all satisfy the goal: {out}");
+    }
+
+    #[test]
+    fn whatif_validates_inputs_like_the_server() {
+        // Transcript replay failures name the field at fault, as on
+        // /v1/whatif.
+        let err = run(&["builtin:brandeis", "whatif", "--transcript", "GHOST 1"]).unwrap_err();
+        assert!(
+            err.to_string().contains("transcript.selections[0][0]"),
+            "{err}"
+        );
+        // Unknown delta courses fail before any exploration runs.
+        let err = run(&["builtin:brandeis", "whatif", "--drop", "GHOST 1"]).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown course \"GHOST 1\""),
+            "{err}"
+        );
+        assert!(matches!(
+            run(&["builtin:brandeis", "whatif", "--max-workload", "heavy"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["builtin:brandeis", "whatif", "--max-workload", "-3"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
